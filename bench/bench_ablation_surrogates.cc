@@ -1,0 +1,77 @@
+// Ablation — surrogate complexity vs fidelity (tutorial Section 2.1.1 /
+// 2.2: interpretability-accuracy balance). Sweeps the complexity budget of
+// three global surrogates of the same GBDT: tree depth, decision-set rule
+// count, and the CXplain importance surrogate vs its direct target.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "feature/cxplain.h"
+#include "feature/surrogate.h"
+#include "math/stats.h"
+#include "model/gbdt.h"
+#include "rule/decision_set.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("ablation: bench_ablation_surrogates",
+         "surrogate fidelity rises with complexity budget and saturates — "
+         "the interpretability/fidelity trade-off every surrogate method "
+         "navigates");
+  Dataset ds = MakeLoanDataset(2500);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 50});
+  if (!gbdt.ok()) return 1;
+
+  Row("tree surrogate: depth vs fidelity (R^2 against model output)");
+  Row("%-8s %12s %10s", "depth", "fidelity_r2", "leaves");
+  for (int depth : {1, 2, 3, 4, 6, 8, 10}) {
+    auto s = FitTreeSurrogate(*gbdt, ds,
+                              {.max_depth = depth, .min_samples_leaf = 5});
+    if (!s.ok()) return 1;
+    Row("%-8d %12.4f %10zu", depth, s->fidelity_r2,
+        s->tree.tree().NumLeaves());
+  }
+
+  Row("");
+  Row("decision set: rule budget vs label-agreement with the model");
+  Row("%-8s %12s %10s", "rules", "fidelity", "coverage");
+  for (int rules : {1, 2, 4, 8, 16}) {
+    DecisionSetOptions opts;
+    opts.max_rules = rules;
+    auto dset = FitDecisionSet(ds, &*gbdt, opts);
+    if (!dset.ok()) return 1;
+    size_t agree = 0;
+    for (size_t i = 0; i < ds.n(); ++i)
+      if ((dset->Predict(ds.row(i)) >= 0.5) ==
+          (gbdt->Predict(ds.row(i)) >= 0.5))
+        ++agree;
+    Row("%-8d %12.4f %10.3f", rules,
+        static_cast<double>(agree) / static_cast<double>(ds.n()),
+        dset->Coverage(ds));
+  }
+
+  Row("");
+  Row("cxplain: surrogate-vs-direct importance agreement and speedup");
+  auto cx = CxplainExplainer::Fit(*gbdt, ds);
+  if (!cx.ok()) return 1;
+  double corr = 0.0;
+  Timer t_sur;
+  for (size_t i = 0; i < 50; ++i) {
+    auto attr = cx->Explain(ds.row(i));
+    if (!attr.ok()) return 1;
+  }
+  const double sur_ms = t_sur.ElapsedMs() / 50.0;
+  Timer t_dir;
+  for (size_t i = 0; i < 50; ++i) {
+    auto attr = cx->Explain(ds.row(i));
+    std::vector<double> direct = cx->DirectImportance(ds.row(i));
+    if (attr.ok()) corr += PearsonCorrelation(attr->values, direct) / 50.0;
+  }
+  const double dir_ms = t_dir.ElapsedMs() / 50.0 - sur_ms;
+  Row("%-24s %8.3f", "agreement (pearson)", corr);
+  Row("%-24s %8.3f ms vs %.3f ms direct", "per-query cost", sur_ms, dir_ms);
+  Row("# expected shape: fidelity curves rise and saturate; cxplain "
+      "agreement > 0.5 at a fraction of the direct cost for expensive "
+      "models.");
+  return 0;
+}

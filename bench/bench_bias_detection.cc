@@ -1,0 +1,44 @@
+// E14 — XAI localizes bias (tutorial Section 1, motivation (3): XAI
+// should facilitate "the identification of sources of harms such as bias
+// and discrimination"). Sweeps the strength of injected gender bias in
+// the lender and shows three audits rising together: the demographic-
+// parity gap (harm), the sensitive feature's global SHAP importance
+// (localization), and its importance *rank* among all features.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/fairness.h"
+#include "feature/tree_shap.h"
+#include "model/gbdt.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E14: bench_bias_detection",
+         "as injected discrimination grows, the sensitive feature's SHAP "
+         "importance rises from noise-level to top-3 — attribution audits "
+         "localize the harm the parity gap only measures");
+  const size_t kGender = 6;
+  Row("%-12s %12s %16s %14s", "bias_logodds", "parity_gap",
+      "shap(gender)", "gender_rank");
+  for (double bias : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    Dataset ds = MakeLoanDataset(3000, {.seed = 11, .gender_bias = bias});
+    auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 50});
+    if (!gbdt.ok()) return 1;
+    auto audit = AuditGroupFairness(*gbdt, ds, kGender);
+    if (!audit.ok()) return 1;
+    TreeShapExplainer explainer(*gbdt, ds.schema());
+    std::vector<double> imp = GlobalMeanAbsShap(&explainer, ds, 150);
+    // Rank of gender by importance (1 = most important).
+    size_t rank = 1;
+    for (size_t j = 0; j < imp.size(); ++j)
+      if (j != kGender && imp[j] > imp[kGender]) ++rank;
+    Row("%-12.1f %12.3f %16.4f %14zu", bias,
+        audit->demographic_parity_gap, imp[kGender], rank);
+  }
+  Row("# expected shape: all three columns increase together; at bias 0 "
+      "gender ranks last, at bias 3 it reaches the top ranks.");
+  return 0;
+}

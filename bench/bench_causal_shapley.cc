@@ -1,0 +1,94 @@
+// E12 — causal attribution semantics differ (tutorial Section 2.1.3):
+// on a confounded linear SCM, marginal SVs ignore indirect influence,
+// conditional SVs leak credit through correlation, causal SVs credit
+// interventional effects while keeping all Shapley axioms, and asymmetric
+// SVs concentrate credit on root causes (sacrificing symmetry). The
+// ground-truth decomposition of the linear SCM anchors the comparison.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/game.h"
+#include "feature/causal_shapley.h"
+#include "feature/shapley.h"
+#include "math/stats.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E12: bench_causal_shapley",
+         "marginal SV gives a pure cause no credit for downstream effects; "
+         "causal/asymmetric SVs recover indirect influence; efficiency "
+         "holds for all symmetric variants");
+
+  // SCM: z (root) -> x (z + noise); model f = x only.
+  //      plus an independent feature w (dummy for f).
+  Dag dag;
+  const size_t nz = *dag.AddNode("z");
+  const size_t nx = *dag.AddNode("x");
+  const size_t nw = *dag.AddNode("w");
+  (void)dag.AddEdge(nz, nx);
+  Scm scm(std::move(dag));
+  (void)scm.SetLinearEquation(nz, {}, 0.0, 1.0);
+  (void)scm.SetLinearEquation(nx, {1.0}, 0.0, 0.5);
+  (void)scm.SetLinearEquation(nw, {}, 0.0, 1.0);
+
+  auto model = MakeLambdaModel(3, [](const std::vector<double>& v) {
+    return v[1];  // f(x) = x.
+  });
+  // Instance consistent with the SCM: z=1.5, x=1.5, w=0.7.
+  const std::vector<double> instance = {1.5, 1.5, 0.7};
+
+  // Background sample from the SCM.
+  Rng rng(5);
+  Matrix background = scm.SampleMatrix(3000, &rng);
+
+  auto row = [&](const char* name, const std::vector<double>& phi) {
+    double sum = 0.0;
+    for (double p : phi) sum += p;
+    Row("%-22s %10.3f %10.3f %10.3f %12.3f", name, phi[0], phi[1], phi[2],
+        sum);
+  };
+  Row("%-22s %10s %10s %10s %12s", "method", "phi_z", "phi_x", "phi_w",
+      "sum(=eff)");
+
+  // (1) Marginal SV.
+  {
+    MarginalFeatureGame game(model, background, instance, 300);
+    auto phi = ExactShapley(game);
+    if (!phi.ok()) return 1;
+    row("marginal", *phi);
+  }
+  // (2) Conditional SV (Gaussian conditioning).
+  {
+    auto game =
+        ConditionalGaussianGame::Create(model, background, instance, 256);
+    if (!game.ok()) return 1;
+    auto phi = ExactShapley(*game);
+    if (!phi.ok()) return 1;
+    row("conditional", *phi);
+  }
+  // (3) Causal SV (interventional, symmetric).
+  {
+    auto phi = CausalShapley(model, scm, {nz, nx, nw}, instance,
+                             {.samples_per_eval = 3000, .seed = 9});
+    if (!phi.ok()) return 1;
+    row("causal", *phi);
+  }
+  // (4) Asymmetric SV over the interventional game.
+  {
+    ScmInterventionalGame game(model, scm, {nz, nx, nw}, instance, 3000, 11);
+    Rng arng(13);
+    std::vector<double> phi =
+        AsymmetricShapley(game, scm.dag(), {nz, nx, nw}, 60, &arng);
+    row("asymmetric", phi);
+  }
+  Row("");
+  Row("ground truth of the linear SCM at z=1.5: total effect of z on f is "
+      "1.5 (all indirect); x's own (direct, non-inherited) effect is 0; "
+      "w is a dummy.");
+  Row("# expected shape: marginal gives z ~0; causal splits ~ (0.75, "
+      "0.75); asymmetric concentrates ~1.5 on z; every sum = f(x) - E[f] "
+      "= 1.5; w ~0 everywhere.");
+  return 0;
+}

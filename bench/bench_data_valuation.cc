@@ -1,0 +1,89 @@
+// E5 — Data Shapley values support data debugging: corrupted-label points
+// receive low values (tutorial Section 2.3.1, Ghorbani & Zou protocol).
+// Sweeps the inspection budget and reports the fraction of corrupted
+// points surfaced by TMC Data Shapley, exact KNN-Shapley, leave-one-out
+// and a random baseline; also shows TMC convergence vs permutations.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "math/stats.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+#include "valuation/data_valuation.h"
+#include "valuation/influence.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E5: bench_data_valuation",
+         "valuation methods rank corrupted-label points at the bottom; "
+         "inspecting low-value points finds them far faster than random");
+  Dataset train = MakeGaussianDataset(200, {.seed = 1, .dims = 4});
+  Dataset validation = MakeGaussianDataset(800, {.seed = 2, .dims = 4});
+  Rng rng(3);
+  std::vector<size_t> corrupted = InjectLabelNoise(&train, 0.15, &rng);
+  Row("train n=%zu, corrupted=%zu (15%%)", train.n(), corrupted.size());
+
+  TrainEvalFn train_eval = [&](const Dataset& subset) {
+    if (subset.n() < 5) return 0.5;
+    auto m = LogisticRegression::Fit(subset,
+                                     {.lambda = 1e-2, .max_iter = 12});
+    return m.ok() ? EvaluateAccuracy(*m, validation) : 0.5;
+  };
+
+  Timer t_tmc;
+  std::vector<double> tmc =
+      TmcDataShapley(train, train_eval, {.num_permutations = 30});
+  const double tmc_ms = t_tmc.ElapsedMs();
+  Timer t_knn;
+  std::vector<double> knn = ExactKnnShapley(train, validation, 5);
+  const double knn_ms = t_knn.ElapsedMs();
+  Timer t_loo;
+  std::vector<double> loo = LeaveOneOutValues(train, train_eval);
+  const double loo_ms = t_loo.ElapsedMs();
+  auto model = LogisticRegression::Fit(train, {.lambda = 1e-2});
+  std::vector<double> infl;
+  Timer t_infl;
+  double infl_ms = 0.0;
+  if (model.ok()) {
+    auto calc = InfluenceCalculator::Create(*model, train);
+    if (calc.ok()) {
+      // The loss delta on removal IS the point's value: harmful points
+      // have negative delta (removal improves the model) => low value.
+      infl = calc->InfluenceOnValidationLoss(validation);
+      infl_ms = t_infl.ElapsedMs();
+    }
+  }
+
+  Row("%-22s %10s %10s %10s %10s %12s", "inspected", "tmc", "knn", "loo",
+      "influence", "random(exp)");
+  for (double frac : {0.5, 1.0, 1.5, 2.0}) {
+    const auto k = static_cast<size_t>(frac * corrupted.size());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1fx corrupted (%zu)", frac, k);
+    Row("%-22s %10.2f %10.2f %10.2f %10.2f %12.2f", label,
+        CorruptionDetectionRate(tmc, corrupted, k),
+        CorruptionDetectionRate(knn, corrupted, k),
+        CorruptionDetectionRate(loo, corrupted, k),
+        infl.empty() ? 0.0 : CorruptionDetectionRate(infl, corrupted, k),
+        static_cast<double>(k) / train.n());
+  }
+  Row("cost (ms): tmc=%.0f knn=%.0f loo=%.0f influence=%.0f", tmc_ms,
+      knn_ms, loo_ms, infl_ms);
+
+  // TMC convergence: correlation of values with a long reference run.
+  std::vector<double> ref =
+      TmcDataShapley(train, train_eval, {.num_permutations = 60, .seed = 99});
+  Row("");
+  Row("%-16s %18s", "permutations", "corr_to_reference");
+  for (int perms : {2, 5, 10, 20, 40}) {
+    std::vector<double> v = TmcDataShapley(
+        train, train_eval,
+        {.num_permutations = perms, .seed = 7});
+    Row("%-16d %18.3f", perms, PearsonCorrelation(v, ref));
+  }
+  Row("# expected shape: all methods well above random; knn-shapley "
+      "cheapest; tmc correlation rises with permutations.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E15 — "the assigned values may not be meaningful for the data points in
+// the context of a new dataset. Distributional Shapley addresses these
+// concerns" (tutorial Section 2.3.1, Ghorbani/Kim/Zou & Kwon et al.).
+//
+// Protocol: value the same 20 probe points inside two *different* datasets
+// drawn from the same distribution. Dataset-bound TMC Data Shapley values
+// decorrelate across contexts; distributional values (defined w.r.t. the
+// distribution itself) transfer.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "math/stats.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+#include "valuation/data_valuation.h"
+#include "valuation/distributional_shapley.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+namespace {
+
+/// Concatenate probes + context rows into one training set.
+Dataset Stack(const Dataset& probes, const Dataset& context) {
+  Matrix x = probes.x();
+  std::vector<double> y = probes.y();
+  for (size_t i = 0; i < context.n(); ++i) {
+    x.AppendRow(context.row(i));
+    y.push_back(context.y()[i]);
+  }
+  return Dataset(probes.schema(), std::move(x), std::move(y));
+}
+
+}  // namespace
+
+int main() {
+  Banner("E15: bench_distributional",
+         "dataset-bound Data Shapley values of the same points decorrelate "
+         "across datasets; distributional values transfer");
+  // Heterogeneous probes: half keep correct labels (positive value), half
+  // are mislabeled (negative value), plus within-group variation from the
+  // margin — so there is real signal for the values to transfer.
+  const size_t kProbes = 20;
+  Dataset probes = MakeGaussianDataset(kProbes, {.seed = 1, .dims = 3});
+  for (size_t i = 0; i < kProbes; i += 2)
+    probes.mutable_y()[i] = probes.y()[i] >= 0.5 ? 0.0 : 1.0;
+  Dataset context_a = MakeGaussianDataset(40, {.seed = 2, .dims = 3});
+  Dataset context_b = MakeGaussianDataset(40, {.seed = 3, .dims = 3});
+  Dataset validation = MakeGaussianDataset(600, {.seed = 4, .dims = 3});
+  TrainEvalFn train_eval = [&](const Dataset& subset) {
+    if (subset.n() < 4) return 0.5;
+    auto m = LogisticRegression::Fit(subset,
+                                     {.lambda = 1e-2, .max_iter = 12});
+    return m.ok() ? EvaluateAccuracy(*m, validation) : 0.5;
+  };
+
+  // Dataset-bound TMC values of the probe points in context A vs B.
+  auto tmc_probe_values = [&](const Dataset& context, uint64_t seed) {
+    Dataset train = Stack(probes, context);
+    std::vector<double> all = TmcDataShapley(
+        train, train_eval, {.num_permutations = 40, .seed = seed});
+    return std::vector<double>(all.begin(),
+                               all.begin() + static_cast<long>(kProbes));
+  };
+  Timer t_tmc;
+  std::vector<double> tmc_a = tmc_probe_values(context_a, 11);
+  std::vector<double> tmc_b = tmc_probe_values(context_b, 12);
+  const double tmc_ms = t_tmc.ElapsedMs();
+
+  // Distributional values against the two pools.
+  auto dist_probe_values = [&](const Dataset& pool, uint64_t seed) {
+    DistributionalShapleyOptions opts;
+    opts.cardinality = 15;
+    opts.num_draws = 400;
+    opts.seed = seed;
+    std::vector<double> out;
+    auto vals = DistributionalShapleyValues(pool, probes, train_eval, opts);
+    out.reserve(vals.size());
+    for (const auto& v : vals) out.push_back(v.value);
+    return out;
+  };
+  Timer t_dist;
+  std::vector<double> dist_a = dist_probe_values(context_a, 21);
+  std::vector<double> dist_b = dist_probe_values(context_b, 22);
+  const double dist_ms = t_dist.ElapsedMs();
+
+  Row("%-28s %18s %12s", "method", "cross-context corr", "ms");
+  Row("%-28s %18.3f %12.0f", "TMC Data Shapley (bound)",
+      PearsonCorrelation(tmc_a, tmc_b), tmc_ms);
+  Row("%-28s %18.3f %12.0f", "Distributional Shapley",
+      PearsonCorrelation(dist_a, dist_b), dist_ms);
+  Row("# expected shape: distributional correlation clearly higher — the "
+      "same point keeps (roughly) its value under a fresh sample of the "
+      "distribution.");
+  return 0;
+}

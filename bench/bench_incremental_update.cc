@@ -1,0 +1,96 @@
+// E9 — incremental-view-maintenance-style model updates beat retraining
+// (tutorial Section 3, PrIU / HedgeCut). Deletes k tuples from a linear
+// regression (Sherman-Morrison downdates) and a logistic regression (warm
+// Newton refresh) and reports speedup plus parameter error vs full
+// retraining.
+#include <cmath>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "db/incremental.h"
+#include "model/linear_regression.h"
+#include "model/logistic_regression.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E9: bench_incremental_update",
+         "maintaining the model like a materialized view makes tuple "
+         "deletion orders of magnitude cheaper than retraining, at "
+         "negligible parameter error");
+
+  // ---- Linear regression: exact downdates. ----
+  {
+    const size_t n = 50000;
+    const size_t d = 12;
+    std::vector<double> w;
+    Dataset ds = MakeLinearRegressionDataset(n, d, 5, &w);
+    Row("linear regression, n=%zu, d=%zu:", n, d);
+    Row("%-8s %14s %14s %10s %14s", "k", "incr_ms", "retrain_ms", "speedup",
+        "max_param_err");
+    for (size_t k : {1, 8, 64, 512}) {
+      auto inc = IncrementalLinearRegression::Fit(ds, {.lambda = 1e-6});
+      if (!inc.ok()) return 1;
+      std::vector<size_t> removed;
+      for (size_t i = 0; i < k; ++i) removed.push_back(i * 7 + 1);
+
+      Timer t_inc;
+      for (size_t i : removed) {
+        if (!inc->RemoveRow(ds.row(i), ds.y()[i]).ok()) return 1;
+      }
+      std::vector<double> theta_inc = inc->Theta();
+      const double inc_ms = t_inc.ElapsedMs();
+
+      Timer t_full;
+      Dataset reduced = ds.RemoveRows(removed);
+      auto full = LinearRegression::Fit(reduced, {.lambda = 1e-6});
+      if (!full.ok()) return 1;
+      const double full_ms = t_full.ElapsedMs();
+
+      double err = 0.0;
+      for (size_t j = 0; j < d; ++j)
+        err = std::max(err, std::fabs(theta_inc[j] - full->weights()[j]));
+      err = std::max(err, std::fabs(theta_inc[d] - full->intercept()));
+      Row("%-8zu %14.2f %14.2f %9.0fx %14.2e", k, inc_ms, full_ms,
+          full_ms / std::max(inc_ms, 1e-3), err);
+    }
+  }
+
+  // ---- Logistic regression: warm Newton refresh. ----
+  {
+    const size_t n = 20000;
+    Dataset ds = MakeGaussianDataset(n, {.seed = 7, .dims = 10});
+    LogisticRegression::Options opts{.lambda = 1e-3, .max_iter = 50,
+                                     .tol = 1e-10};
+    Row("");
+    Row("logistic regression, n=%zu, d=10 (2 warm Newton steps):", n);
+    Row("%-8s %14s %14s %10s %14s", "k", "warm_ms", "retrain_ms", "speedup",
+        "max_param_err");
+    auto inc = IncrementalLogisticRegression::Fit(ds, opts);
+    if (!inc.ok()) return 1;
+    for (size_t k : {1, 16, 128, 512}) {
+      std::vector<size_t> removed;
+      for (size_t i = 0; i < k; ++i) removed.push_back(i * 11 + 3);
+
+      Timer t_warm;
+      auto warm = inc->ThetaAfterRemoval(removed, 2);
+      const double warm_ms = t_warm.ElapsedMs();
+      if (!warm.ok()) return 1;
+
+      Timer t_cold;
+      auto cold = LogisticRegression::Fit(ds.RemoveRows(removed), opts);
+      const double cold_ms = t_cold.ElapsedMs();
+      if (!cold.ok()) return 1;
+
+      double err = 0.0;
+      for (size_t a = 0; a < warm->size(); ++a)
+        err = std::max(err, std::fabs((*warm)[a] - cold->theta()[a]));
+      Row("%-8zu %14.2f %14.2f %9.1fx %14.2e", k, warm_ms, cold_ms,
+          cold_ms / std::max(warm_ms, 1e-3), err);
+    }
+  }
+  Row("# expected shape: linear speedup ~n/k-scale and error ~1e-10; "
+      "logistic warm refresh several-x faster at ~1e-5 error.");
+  return 0;
+}

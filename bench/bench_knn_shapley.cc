@@ -1,0 +1,88 @@
+// E11 — exploiting model structure makes data valuation tractable (Jia et
+// al., tutorial Section 2.3.1): exact KNN-Shapley runs in O(n log n) per
+// validation point while Monte-Carlo Data Shapley on the same KNN utility
+// needs many retrainings. Sweeps n and reports runtime plus agreement.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "math/stats.h"
+#include "valuation/data_valuation.h"
+
+#include <algorithm>
+
+using namespace xai;
+using namespace xai::bench;
+
+namespace {
+
+/// The KNN utility (same convention as the recurrence: matches / K).
+double KnnUtility(const Dataset& train, const std::vector<size_t>& subset,
+                  const Dataset& validation, int k) {
+  if (subset.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t v = 0; v < validation.n(); ++v) {
+    const std::vector<double> xv = validation.row(v);
+    std::vector<std::pair<double, size_t>> dist;
+    dist.reserve(subset.size());
+    for (size_t i : subset) {
+      double d2 = 0.0;
+      for (size_t j = 0; j < train.d(); ++j) {
+        const double dd = train.x()(i, j) - xv[j];
+        d2 += dd * dd;
+      }
+      dist.emplace_back(d2, i);
+    }
+    std::sort(dist.begin(), dist.end());
+    const size_t kk = std::min<size_t>(static_cast<size_t>(k), dist.size());
+    double matches = 0.0;
+    for (size_t r = 0; r < kk; ++r)
+      if ((train.y()[dist[r].second] >= 0.5) == (validation.y()[v] >= 0.5))
+        matches += 1.0;
+    total += matches / static_cast<double>(k);
+  }
+  return total / static_cast<double>(validation.n());
+}
+
+}  // namespace
+
+int main() {
+  Banner("E11: bench_knn_shapley",
+         "exact KNN-Shapley is orders of magnitude cheaper than "
+         "Monte-Carlo valuation of the same utility, with near-perfect "
+         "agreement");
+  const int k = 5;
+  Dataset validation = MakeGaussianDataset(100, {.seed = 2, .dims = 3});
+
+  Row("%-8s %12s %12s %12s %12s", "n", "exact_ms", "tmc_ms", "pearson",
+      "spearman");
+  for (size_t n : {20, 50, 100, 200, 400}) {
+    Dataset train = MakeGaussianDataset(n, {.seed = 1, .dims = 3});
+
+    Timer t_exact;
+    std::vector<double> exact = ExactKnnShapley(train, validation, k);
+    const double exact_ms = t_exact.ElapsedMs();
+
+    // TMC over the KNN utility game (20 permutations).
+    Timer t_tmc;
+    std::vector<double> tmc(n, 0.0);
+    Rng rng(7);
+    const int kPerms = 20;
+    for (int p = 0; p < kPerms; ++p) {
+      std::vector<size_t> perm = rng.Permutation(n);
+      std::vector<size_t> prefix;
+      double prev = 0.0;
+      for (size_t idx : perm) {
+        prefix.push_back(idx);
+        const double cur = KnnUtility(train, prefix, validation, k);
+        tmc[idx] += (cur - prev) / kPerms;
+        prev = cur;
+      }
+    }
+    const double tmc_ms = t_tmc.ElapsedMs();
+
+    Row("%-8zu %12.1f %12.1f %12.3f %12.3f", n, exact_ms, tmc_ms,
+        PearsonCorrelation(exact, tmc), SpearmanCorrelation(exact, tmc));
+  }
+  Row("# expected shape: exact_ms grows ~n log n, tmc_ms ~n^2 per "
+      "permutation sweep; correlation stays high (sampling noise only).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels the experiment
+// suite leans on: dense linear algebra, tree inference, TreeSHAP per
+// instance, LIME per query and the RNG. Useful for tracking performance
+// regressions; not tied to a specific paper claim.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "feature/lime.h"
+#include "feature/tree_shap.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "model/gbdt.h"
+
+namespace xai {
+namespace {
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.Gaussian();
+      b(i, j) = rng.Gaussian();
+    }
+  for (auto _ : state) {
+    Matrix c = a * b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Gaussian();
+  Matrix a = b * b.Transpose();
+  for (size_t i = 0; i < n; ++i) a(i, i) += n;
+  std::vector<double> rhs(n, 1.0);
+  for (auto _ : state) {
+    auto x = SolveSpd(a, rhs);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(16)->Arg(64);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  Dataset ds = MakeLoanDataset(2000);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 50});
+  const std::vector<double> x = ds.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt->Predict(x));
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_TreeShapPerInstance(benchmark::State& state) {
+  Dataset ds = MakeLoanDataset(2000);
+  auto gbdt = GradientBoostedTrees::Fit(
+      ds, {.num_rounds = static_cast<int>(state.range(0))});
+  TreeShapExplainer explainer(*gbdt, ds.schema());
+  const std::vector<double> x = ds.row(0);
+  for (auto _ : state) {
+    auto attr = explainer.Explain(x);
+    benchmark::DoNotOptimize(attr);
+  }
+}
+BENCHMARK(BM_TreeShapPerInstance)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_LimePerQuery(benchmark::State& state) {
+  Dataset ds = MakeLoanDataset(2000);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 50});
+  const std::vector<double> x = ds.row(0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    LimeExplainer lime(
+        *gbdt, ds,
+        {.num_samples = static_cast<int>(state.range(0)), .seed = ++seed});
+    auto attr = lime.Explain(x);
+    benchmark::DoNotOptimize(attr);
+  }
+}
+BENCHMARK(BM_LimePerQuery)->Arg(500)->Arg(2000);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Gaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+}  // namespace
+}  // namespace xai
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E10 — Shapley values of tuples explain SQL query answers (tutorial
+// Section 3, "Explanations in Databases"). Measures exact-vs-sampled
+// agreement and the runtime growth of tuple Shapley with database size on
+// a selection+aggregation query, plus agreement with why-provenance-based
+// responsibility on a Boolean query.
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "db/provenance_explain.h"
+#include "db/query_shapley.h"
+#include "math/stats.h"
+#include "relational/query.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E10: bench_query_shapley",
+         "exact tuple Shapley explodes with relation size; permutation "
+         "sampling tracks it closely at bounded cost; rankings agree with "
+         "responsibility on Boolean queries");
+
+  Row("%-6s %12s %12s %14s %12s", "tuples", "exact_ms", "sampled_ms",
+      "value_corr", "rank_corr");
+  Rng data_rng(3);
+  for (size_t n : {8, 12, 16, 20, 64, 256}) {
+    Relation r("sales", {"region", "amount"});
+    TupleId first = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double region = data_rng.Bernoulli(0.5) ? 0.0 : 1.0;
+      const double amount = data_rng.Uniform(10, 200);
+      auto tid = r.Insert({region, amount});
+      if (i == 0) first = *tid;
+    }
+    // Query: SUM(amount) WHERE region = 0 — but make it *non-additive* by
+    // capping: min(sum, 1000), so interactions exist and sampling is
+    // actually exercised.
+    auto run_query = [](const Relation& rel) {
+      auto pred = ColumnPredicate(rel, "region", "==", 0.0);
+      if (!pred.ok()) return 0.0;
+      const double s =
+          Aggregate(Select(rel, *pred), AggKind::kSum, "amount")->value;
+      return std::min(s, 1000.0);
+    };
+    auto query_fn = MakeRelationQueryFn(r, first, run_query);
+
+    double exact_ms = -1.0;
+    std::vector<double> exact;
+    if (n <= 20) {
+      Timer t;
+      QueryShapleyOptions opts;
+      opts.exact_up_to = 20;
+      auto phi = TupleShapley(n, query_fn, opts);
+      exact_ms = t.ElapsedMs();
+      if (!phi.ok()) return 1;
+      exact = *phi;
+    }
+
+    Timer t;
+    QueryShapleyOptions sopts;
+    sopts.exact_up_to = 0;
+    sopts.num_permutations = 100;
+    auto sampled = TupleShapley(n, query_fn, sopts);
+    const double sampled_ms = t.ElapsedMs();
+    if (!sampled.ok()) return 1;
+
+    if (!exact.empty()) {
+      Row("%-6zu %12.1f %12.1f %14.3f %12.3f", n, exact_ms, sampled_ms,
+          PearsonCorrelation(exact, *sampled),
+          SpearmanCorrelation(exact, *sampled));
+    } else {
+      Row("%-6zu %12s %12.1f %14s %12s", n, "intractable", sampled_ms, "-",
+          "-");
+    }
+  }
+
+  // Boolean query: answer = [exists a sale with amount > 150 in region 0].
+  // Compare Shapley ranking with provenance responsibility.
+  {
+    Relation r("t", {"region", "amount"});
+    const TupleId first = *r.Insert({0, 160});
+    (void)*r.Insert({0, 170});
+    (void)*r.Insert({0, 40});
+    (void)*r.Insert({1, 190});
+    auto boolean_query = MakeRelationQueryFn(
+        r, first, [](const Relation& sub) {
+          for (size_t i = 0; i < sub.num_rows(); ++i)
+            if (sub.value(i, 0) == 0.0 && sub.value(i, 1) > 150.0)
+              return 1.0;
+          return 0.0;
+        });
+    auto phi = TupleShapley(4, boolean_query);
+    // Why-provenance of the Boolean answer: witnesses {t0} and {t1}.
+    auto resp = ComputeResponsibilities({{first}, {first + 1}});
+    Row("");
+    Row("boolean query (exists amount>150 in region 0):");
+    if (phi.ok()) {
+      Row("  tuple shapley: t0=%.3f t1=%.3f t2=%.3f t3=%.3f", (*phi)[0],
+          (*phi)[1], (*phi)[2], (*phi)[3]);
+    }
+    for (const auto& rr : resp)
+      Row("  responsibility: tuple %llu = %.3f",
+          static_cast<unsigned long long>(rr.tuple), rr.responsibility);
+    Row("  -> both single out exactly the two witness tuples, with equal "
+        "scores by symmetry.");
+  }
+  Row("# expected shape: exact runtime explodes past ~20 tuples; sampled "
+      "correlation with exact > 0.95 where both exist.");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E8 — Anchors produce "short and widely applicable rules" with high
+// precision (tutorial Section 2.2). Compares, on a rule-generated hiring
+// model: Anchors rules, LIME's top features recast as a rule, and the
+// rules of an interpretable decision set — measuring empirical precision,
+// coverage and rule length.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "feature/lime.h"
+#include "model/gbdt.h"
+#include "rule/anchors.h"
+#include "rule/decision_set.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+namespace {
+
+/// Empirical precision/coverage of a rule on a dataset against the model.
+std::pair<double, double> EmpiricalQuality(const RuleExplanation& rule,
+                                           const Model& model,
+                                           const Dataset& ds) {
+  size_t matched = 0;
+  size_t agree = 0;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (!rule.Matches(ds.row(i))) continue;
+    ++matched;
+    if (PredictLabel(model, ds.row(i)) == rule.outcome) ++agree;
+  }
+  const double prec =
+      matched ? static_cast<double>(agree) / matched : 0.0;
+  return {prec, static_cast<double>(matched) / ds.n()};
+}
+
+}  // namespace
+
+int main() {
+  Banner("E8: bench_rules",
+         "Anchors find short rules with near-1 precision and non-trivial "
+         "coverage; LIME-as-rule has lower precision; decision sets trade "
+         "a little precision for global coverage");
+  Dataset ds = MakeHiringDataset(3000);
+  Rng rng(2);
+  auto [train, holdout] = ds.Split(0.6, &rng);
+  auto model = GradientBoostedTrees::Fit(train, {.num_rounds = 60});
+  if (!model.ok()) return 1;
+
+  // Instances to explain: 10 hired candidates.
+  std::vector<std::vector<double>> targets;
+  for (size_t i = 0; i < train.n() && targets.size() < 10; ++i)
+    if (model->Predict(train.row(i)) > 0.7) targets.push_back(train.row(i));
+
+  Row("%-16s %12s %12s %12s %10s", "method", "precision", "coverage",
+      "rule_len", "ms/query");
+
+  // (1) Anchors.
+  {
+    AnchorsExplainer anchors(*model, train, {.precision_threshold = 0.9});
+    double prec = 0, cov = 0, len = 0, ms = 0;
+    for (const auto& x : targets) {
+      Timer t;
+      auto rule = anchors.Explain(x);
+      ms += t.ElapsedMs();
+      if (!rule.ok()) continue;
+      auto [p, c] = EmpiricalQuality(*rule, *model, holdout);
+      prec += p / targets.size();
+      cov += c / targets.size();
+      len += static_cast<double>(rule->predicates.size()) / targets.size();
+    }
+    Row("%-16s %12.3f %12.3f %12.1f %10.1f", "anchors", prec, cov, len,
+        ms / targets.size());
+  }
+
+  // (2) LIME top-2 features recast as a bin rule around the instance.
+  {
+    Discretizer disc = Discretizer::Fit(train, 4);
+    LimeExplainer lime(*model, train, {.num_samples = 1500});
+    double prec = 0, cov = 0, len = 0, ms = 0;
+    for (const auto& x : targets) {
+      Timer t;
+      auto attr = lime.Explain(x);
+      ms += t.ElapsedMs();
+      if (!attr.ok()) continue;
+      RuleExplanation rule;
+      rule.outcome = PredictLabel(*model, x);
+      for (size_t j : attr->TopFeatures(2)) {
+        RulePredicate pred;
+        pred.feature = j;
+        if (train.schema().feature(j).is_numeric()) {
+          auto [lo, hi] = disc.BinRange(j, disc.Bin(j, x[j]));
+          pred.lower = lo;
+          pred.upper = hi;
+        } else {
+          pred.is_categorical = true;
+          pred.category = x[j];
+        }
+        rule.predicates.push_back(pred);
+      }
+      auto [p, c] = EmpiricalQuality(rule, *model, holdout);
+      prec += p / targets.size();
+      cov += c / targets.size();
+      len += static_cast<double>(rule.predicates.size()) / targets.size();
+    }
+    Row("%-16s %12.3f %12.3f %12.1f %10.1f", "lime-as-rule", prec, cov, len,
+        ms / targets.size());
+  }
+
+  // (3) Decision set (global): average quality of its rules.
+  {
+    Timer t;
+    auto dset = FitDecisionSet(train, &*model, {});
+    const double ms = t.ElapsedMs();
+    if (!dset.ok()) return 1;
+    double prec = 0, cov = 0, len = 0;
+    for (const auto& rule : dset->rules()) {
+      auto [p, c] = EmpiricalQuality(rule, *model, holdout);
+      prec += p / dset->rules().size();
+      cov += c / dset->rules().size();
+      len += static_cast<double>(rule.predicates.size()) /
+             dset->rules().size();
+    }
+    Row("%-16s %12.3f %12.3f %12.1f %10.1f", "decision-set", prec, cov, len,
+        ms);
+  }
+  Row("# expected shape: anchors precision ~0.9+ at modest coverage and "
+      "short length; lime-as-rule lower precision; decision set covers "
+      "globally.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E13 — logic-based explanations are *provably correct* where attribution
+// sets are merely suggestive (tutorial Section 2.2.2: abductive reasoning
+// computes "provably correct explanations"; attribution methods "can
+// generate explanations only in terms of a set of attributes" without a
+// sufficiency guarantee). For decision trees we compute minimal sufficient
+// reasons and test whether the TOP-k TreeSHAP feature set (same size)
+// actually entails the decision.
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "feature/tree_shap.h"
+#include "model/decision_tree.h"
+#include "rule/sufficient_reason.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+int main() {
+  Banner("E13: bench_sufficient_reasons",
+         "minimal sufficient reasons always entail the decision (by "
+         "construction); the same-size top-SHAP feature set frequently "
+         "does not — a guarantee vs heuristic gap");
+  Row("%-8s %14s %18s %20s", "depth", "avg_reason_sz",
+      "reason_sufficient", "topk_shap_sufficient");
+
+  for (int depth : {3, 4, 5, 6, 8}) {
+    Dataset ds = MakeGaussianDataset(
+        1200, {.seed = 17 + static_cast<uint64_t>(depth), .dims = 8});
+    auto tree = DecisionTree::Fit(
+        ds, {.max_depth = depth, .min_samples_leaf = 5});
+    if (!tree.ok()) return 1;
+    TreeShapExplainer shap(*tree, ds.schema());
+
+    const size_t kInstances = 100;
+    double avg_size = 0.0;
+    size_t reason_ok = 0;
+    size_t shap_ok = 0;
+    for (size_t i = 0; i < kInstances; ++i) {
+      const std::vector<double> x = ds.row(i);
+      auto reason = MinimalSufficientReason(tree->tree(), x);
+      if (!reason.ok()) return 1;
+      avg_size += static_cast<double>(reason->features.size()) / kInstances;
+      if (IsSufficientForTree(tree->tree(), x, reason->features))
+        ++reason_ok;
+      auto attr = shap.Explain(x);
+      if (!attr.ok()) return 1;
+      const std::vector<size_t> topk =
+          attr->TopFeatures(reason->features.size());
+      if (IsSufficientForTree(tree->tree(), x, topk)) ++shap_ok;
+    }
+    Row("%-8d %14.2f %17.0f%% %19.0f%%", depth, avg_size,
+        100.0 * reason_ok / kInstances, 100.0 * shap_ok / kInstances);
+  }
+  Row("# expected shape: reasons 100%% sufficient at every depth; top-k "
+      "SHAP sets fall well short, and further as trees deepen.");
+  return 0;
+}

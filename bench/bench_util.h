@@ -1,0 +1,45 @@
+#ifndef XAIDB_BENCH_BENCH_UTIL_H_
+#define XAIDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xai::bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints an experiment banner: id, claim, and the series/rows to expect.
+inline void Banner(const char* experiment_id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// printf-style row helper so every bench prints aligned CSV-ish tables.
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace xai::bench
+
+#endif  // XAIDB_BENCH_BENCH_UTIL_H_

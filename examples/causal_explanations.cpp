@@ -1,0 +1,125 @@
+// Causal explanation semantics side by side (tutorial Section 2.1.3):
+// on a lending SCM where employment drives income which drives debt, the
+// same prediction gets four different attributions — marginal (correlation
+// -blind), conditional (correlation-aware), causal (interventional), and
+// asymmetric (root-cause-seeking) — plus Shapley-flow edge credits that
+// show *how* influence travels through the graph.
+#include <cstdio>
+
+#include "causal/scm.h"
+#include "core/game.h"
+#include "feature/causal_shapley.h"
+#include "feature/shapley.h"
+#include "feature/shapley_flow.h"
+#include "math/stats.h"
+
+using namespace xai;
+
+int main() {
+  // SCM: employment -> income -> debt; score = f(income, debt, credit).
+  Dag dag;
+  const size_t n_emp = *dag.AddNode("employment_years");
+  const size_t n_inc = *dag.AddNode("income");
+  const size_t n_debt = *dag.AddNode("debt");
+  const size_t n_credit = *dag.AddNode("credit_score");
+  (void)dag.AddEdge(n_emp, n_inc);
+  (void)dag.AddEdge(n_inc, n_debt);
+  Scm scm(std::move(dag));
+  (void)scm.SetLinearEquation(n_emp, {}, 12.0, 6.0);
+  (void)scm.SetLinearEquation(n_inc, {1.2}, 30.0, 8.0);
+  (void)scm.SetLinearEquation(n_debt, {0.4}, 0.0, 6.0);
+  (void)scm.SetLinearEquation(n_credit, {}, 650.0, 60.0);
+
+  // The lender's score (linear in the three financial features; note it
+  // does NOT look at employment directly).
+  auto model = MakeLambdaModel(4, [](const std::vector<double>& v) {
+    // v = [employment, income, debt, credit] in node order.
+    return 0.05 * v[1] - 0.06 * v[2] + 0.01 * (v[3] - 650.0);
+  });
+
+  // A long-employed applicant (employment 25y -> high income -> some debt).
+  const std::vector<double> x = {25.0, 60.0, 24.0, 700.0};
+  std::printf("applicant: employment=25y income=60k debt=24k credit=700\n");
+  std::printf("score f(x) = %.3f (model ignores employment directly!)\n\n",
+              model.Predict(x));
+
+  Rng rng(3);
+  Matrix background = scm.SampleMatrix(4000, &rng);
+  const std::vector<size_t> nodes = {n_emp, n_inc, n_debt, n_credit};
+
+  auto print_phi = [&](const char* name, const std::vector<double>& phi) {
+    std::printf("%-14s employment=%7.3f income=%7.3f debt=%7.3f "
+                "credit=%7.3f  (sum=%.3f)\n",
+                name, phi[0], phi[1], phi[2], phi[3],
+                phi[0] + phi[1] + phi[2] + phi[3]);
+  };
+
+  {
+    MarginalFeatureGame game(model, background, x, 400);
+    auto phi = ExactShapley(game);
+    if (phi.ok()) print_phi("marginal", *phi);
+  }
+  {
+    auto game = ConditionalGaussianGame::Create(model, background, x, 256);
+    if (game.ok()) {
+      auto phi = ExactShapley(*game);
+      if (phi.ok()) print_phi("conditional", *phi);
+    }
+  }
+  {
+    auto phi = CausalShapley(model, scm, nodes, x,
+                             {.samples_per_eval = 4000, .seed = 7});
+    if (phi.ok()) print_phi("causal", *phi);
+  }
+  {
+    ScmInterventionalGame game(model, scm, nodes, x, 4000, 9);
+    Rng arng(11);
+    print_phi("asymmetric",
+              AsymmetricShapley(game, scm.dag(), nodes, 80, &arng));
+  }
+
+  // Shapley flow: extend the SCM with an explicit score node so edge
+  // credits into the sink are visible.
+  std::printf("\nShapley-flow edge credits (baseline = SCM means):\n");
+  Dag fdag;
+  const size_t f_emp = *fdag.AddNode("employment");
+  const size_t f_inc = *fdag.AddNode("income");
+  const size_t f_debt = *fdag.AddNode("debt");
+  const size_t f_credit = *fdag.AddNode("credit");
+  const size_t f_score = *fdag.AddNode("score");
+  (void)fdag.AddEdge(f_emp, f_inc);
+  (void)fdag.AddEdge(f_inc, f_debt);
+  (void)fdag.AddEdge(f_inc, f_score);
+  (void)fdag.AddEdge(f_debt, f_score);
+  (void)fdag.AddEdge(f_credit, f_score);
+  Scm fscm(std::move(fdag));
+  (void)fscm.SetLinearEquation(f_emp, {}, 12.0, 6.0);
+  (void)fscm.SetLinearEquation(f_inc, {1.2}, 30.0, 8.0);
+  (void)fscm.SetLinearEquation(f_debt, {0.4}, 0.0, 6.0);
+  (void)fscm.SetLinearEquation(f_credit, {}, 650.0, 60.0);
+  // Parents of score are [income, debt, credit] in edge insertion order.
+  (void)fscm.SetLinearEquation(f_score, {0.05, -0.06, 0.01}, -6.5, 0.0);
+
+  const std::vector<double> baseline = {12.0, 44.4, 17.76, 650.0,
+                                        0.05 * 44.4 - 0.06 * 17.76 - 6.5 +
+                                            6.5};
+  const std::vector<double> instance = {25.0, 60.0, 24.0, 700.0,
+                                        0.05 * 60 - 0.06 * 24 +
+                                            0.01 * 50.0};
+  auto flow = LinearShapleyFlow(fscm, f_score, baseline, instance);
+  if (flow.ok()) {
+    for (const auto& [edge, credit] : flow->edge_credit) {
+      std::printf("  %-12s -> %-8s : %7.3f\n",
+                  fscm.dag().name(edge.first).c_str(),
+                  fscm.dag().name(edge.second).c_str(), credit);
+    }
+    std::printf("  flow into score: %.3f (= f(x) - f(baseline))\n",
+                flow->InFlow(f_score));
+  }
+  std::printf("\nreading: marginal hides employment entirely; causal "
+              "credits it for its downstream income effect; asymmetric "
+              "pushes nearly all credit to the root cause; the flow view "
+              "shows income's credit splitting between its direct path "
+              "and the debt side-effect.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// xaidb_cli — explain any CSV from the command line.
+//
+// Usage:
+//   xaidb_cli <data.csv> [--model gbdt|logistic|forest] [--row N]
+//             [--explainer treeshap|kernelshap|lime|anchors|counterfactual]
+//
+// The CSV format is WriteCsv's: header row, last column = binary target.
+// With no arguments the tool writes a demo CSV to /tmp and explains it —
+// so `xaidb_cli` alone always produces output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cf/dice.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "feature/kernel_shap.h"
+#include "feature/lime.h"
+#include "feature/tree_shap.h"
+#include "model/decision_tree.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+#include "rule/anchors.h"
+
+using namespace xai;
+
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  std::string model_kind = "gbdt";
+  std::string explainer_kind = "treeshap";
+  size_t row = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model" && i + 1 < argc) {
+      model_kind = argv[++i];
+    } else if (arg == "--explainer" && i + 1 < argc) {
+      explainer_kind = argv[++i];
+    } else if (arg == "--row" && i + 1 < argc) {
+      row = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
+                  "[--row N] [--explainer "
+                  "treeshap|kernelshap|lime|anchors|counterfactual]\n",
+                  argv[0]);
+      return 0;
+    } else if (csv_path.empty()) {
+      csv_path = arg;
+    }
+  }
+
+  if (csv_path.empty()) {
+    csv_path = "/tmp/xaidb_demo.csv";
+    std::printf("no CSV given; writing a demo loan dataset to %s\n\n",
+                csv_path.c_str());
+    Status st = WriteCsv(MakeLoanDataset(1500), csv_path);
+    if (!st.ok()) return Fail(st);
+  }
+
+  auto data = ReadCsv(csv_path);
+  if (!data.ok()) return Fail(data.status());
+  Dataset ds = std::move(data).value();
+  std::printf("loaded %zu rows x %zu features from %s\n", ds.n(), ds.d(),
+              csv_path.c_str());
+  if (row >= ds.n()) {
+    std::fprintf(stderr, "error: --row %zu out of range\n", row);
+    return 1;
+  }
+
+  // Train the requested model.
+  std::unique_ptr<Model> model;
+  const GradientBoostedTrees* gbdt_ptr = nullptr;
+  if (model_kind == "gbdt") {
+    auto m = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
+    if (!m.ok()) return Fail(m.status());
+    auto owned = std::make_unique<GradientBoostedTrees>(std::move(*m));
+    gbdt_ptr = owned.get();
+    model = std::move(owned);
+  } else if (model_kind == "logistic") {
+    auto m = LogisticRegression::Fit(ds, {.lambda = 1e-3});
+    if (!m.ok()) return Fail(m.status());
+    model = std::make_unique<LogisticRegression>(std::move(*m));
+  } else if (model_kind == "forest") {
+    auto m = RandomForest::Fit(ds, {.num_trees = 60});
+    if (!m.ok()) return Fail(m.status());
+    model = std::make_unique<RandomForest>(std::move(*m));
+  } else {
+    std::fprintf(stderr, "error: unknown model '%s'\n", model_kind.c_str());
+    return 1;
+  }
+  std::printf("model=%s  train accuracy=%.3f  AUC=%.3f\n\n",
+              model_kind.c_str(), EvaluateAccuracy(*model, ds),
+              EvaluateAuc(*model, ds));
+
+  const std::vector<double> x = ds.row(row);
+  std::printf("explaining row %zu (prediction = %.3f):\n", row,
+              model->Predict(x));
+  for (size_t j = 0; j < ds.d(); ++j)
+    std::printf("  %s\n", ds.schema().FormatValue(j, x[j]).c_str());
+  std::printf("\n");
+
+  if (explainer_kind == "treeshap") {
+    if (!gbdt_ptr) {
+      std::fprintf(stderr,
+                   "error: --explainer treeshap requires --model gbdt\n");
+      return 1;
+    }
+    TreeShapExplainer explainer(*gbdt_ptr, ds.schema());
+    auto attr = explainer.Explain(x);
+    if (!attr.ok()) return Fail(attr.status());
+    std::printf("TreeSHAP (log-odds units):\n%s", attr->ToString().c_str());
+  } else if (explainer_kind == "kernelshap") {
+    KernelShapExplainer explainer(*model, ds, {.max_background = 50});
+    auto attr = explainer.Explain(x);
+    if (!attr.ok()) return Fail(attr.status());
+    std::printf("KernelSHAP:\n%s", attr->ToString().c_str());
+  } else if (explainer_kind == "lime") {
+    LimeExplainer explainer(*model, ds, {.num_samples = 3000});
+    auto attr = explainer.Explain(x);
+    if (!attr.ok()) return Fail(attr.status());
+    std::printf("LIME (local R^2 = %.3f):\n%s", explainer.last_local_r2(),
+                attr->ToString().c_str());
+  } else if (explainer_kind == "anchors") {
+    AnchorsExplainer explainer(*model, ds, {});
+    auto rule = explainer.Explain(x);
+    if (!rule.ok()) return Fail(rule.status());
+    std::printf("Anchor:\n%s\n", rule->ToString(ds.schema()).c_str());
+  } else if (explainer_kind == "counterfactual") {
+    FeatureSpace space = FeatureSpace::FromDataset(ds);
+    const int desired = model->Predict(x) >= 0.5 ? 0 : 1;
+    auto cfs = DiceCounterfactuals(*model, space, x, desired,
+                                   {.num_counterfactuals = 3});
+    if (!cfs.ok()) return Fail(cfs.status());
+    std::printf("counterfactuals toward class %d:\n%s", desired,
+                cfs->ToString(ds.schema(), x).c_str());
+  } else {
+    std::fprintf(stderr, "error: unknown explainer '%s'\n",
+                 explainer_kind.c_str());
+    return 1;
+  }
+  return 0;
+}

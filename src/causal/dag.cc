@@ -1,0 +1,119 @@
+#include "causal/dag.h"
+
+#include <algorithm>
+
+namespace xai {
+
+Result<size_t> Dag::AddNode(const std::string& name) {
+  for (const std::string& n : names_)
+    if (n == name) return Status::AlreadyExists("node exists: " + name);
+  names_.push_back(name);
+  parents_.emplace_back();
+  children_.emplace_back();
+  return names_.size() - 1;
+}
+
+Status Dag::AddEdge(size_t from, size_t to) {
+  if (from >= num_nodes() || to >= num_nodes())
+    return Status::OutOfRange("Dag::AddEdge: node index out of range");
+  if (from == to) return Status::InvalidArgument("self edge");
+  if (HasEdge(from, to)) return Status::AlreadyExists("edge exists");
+  if (WouldCreateCycle(from, to))
+    return Status::InvalidArgument("edge would create a cycle");
+  parents_[to].push_back(from);
+  children_[from].push_back(to);
+  edges_.emplace_back(from, to);
+  return Status::OK();
+}
+
+Result<size_t> Dag::NodeIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  return Status::NotFound("node not found: " + name);
+}
+
+bool Dag::HasEdge(size_t from, size_t to) const {
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+bool Dag::WouldCreateCycle(size_t from, size_t to) const {
+  // Cycle iff `from` is reachable from `to`.
+  return IsAncestor(to, from);
+}
+
+std::vector<size_t> Dag::TopologicalOrder() const {
+  const size_t n = num_nodes();
+  std::vector<size_t> indeg(n, 0);
+  for (size_t i = 0; i < n; ++i) indeg[i] = parents_[i].size();
+  std::vector<size_t> queue;
+  for (size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) queue.push_back(i);
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const size_t u = queue[qi];
+    order.push_back(u);
+    for (size_t v : children_[u])
+      if (--indeg[v] == 0) queue.push_back(v);
+  }
+  return order;
+}
+
+bool Dag::IsAncestor(size_t anc, size_t node) const {
+  if (anc == node) return true;
+  std::vector<size_t> stack = {anc};
+  std::vector<bool> seen(num_nodes(), false);
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    for (size_t v : children_[u]) {
+      if (v == node) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> Dag::Ancestors(size_t node) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<size_t> stack = {node};
+  std::vector<size_t> out;
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    for (size_t p : parents_[u]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        out.push_back(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<size_t> Dag::Descendants(size_t node) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<size_t> stack = {node};
+  std::vector<size_t> out;
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    for (size_t c : children_[u]) {
+      if (!seen[c]) {
+        seen[c] = true;
+        out.push_back(c);
+        stack.push_back(c);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,57 @@
+#ifndef XAIDB_CAUSAL_DAG_H_
+#define XAIDB_CAUSAL_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xai {
+
+/// Directed acyclic graph over named nodes. Substrate for the causal
+/// explanation methods of tutorial Section 2.1.3: asymmetric Shapley values
+/// restrict coalitions to topological orderings, causal Shapley values
+/// intervene along the graph, and Shapley-flow attributes to edges.
+class Dag {
+ public:
+  /// Adds a node; returns its index. Duplicate names are rejected.
+  Result<size_t> AddNode(const std::string& name);
+  /// Adds edge from -> to. Rejects edges that would create a cycle.
+  Status AddEdge(size_t from, size_t to);
+
+  size_t num_nodes() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  Result<size_t> NodeIndex(const std::string& name) const;
+
+  const std::vector<size_t>& parents(size_t i) const { return parents_[i]; }
+  const std::vector<size_t>& children(size_t i) const { return children_[i]; }
+  bool HasEdge(size_t from, size_t to) const;
+
+  /// All edges as (from, to) pairs in insertion order.
+  const std::vector<std::pair<size_t, size_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Nodes in a topological order (parents before children).
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// True if `anc` is an ancestor of `node` (or equal).
+  bool IsAncestor(size_t anc, size_t node) const;
+
+  /// All ancestors of `node` (excluding itself).
+  std::vector<size_t> Ancestors(size_t node) const;
+  /// All descendants of `node` (excluding itself).
+  std::vector<size_t> Descendants(size_t node) const;
+
+ private:
+  bool WouldCreateCycle(size_t from, size_t to) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<size_t>> parents_;
+  std::vector<std::vector<size_t>> children_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CAUSAL_DAG_H_

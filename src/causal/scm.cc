@@ -1,0 +1,132 @@
+#include "causal/scm.h"
+
+#include <algorithm>
+
+#include "math/linalg.h"
+
+namespace xai {
+
+Scm::Scm(Dag dag) : dag_(std::move(dag)) {
+  eqs_.resize(dag_.num_nodes());
+  topo_ = dag_.TopologicalOrder();
+}
+
+Status Scm::SetLinearEquation(size_t node, std::vector<double> coeffs,
+                              double intercept, double noise_std) {
+  if (node >= num_nodes()) return Status::OutOfRange("Scm: bad node");
+  if (coeffs.size() != dag_.parents(node).size())
+    return Status::InvalidArgument("Scm: coeffs size != #parents");
+  NodeEq& e = eqs_[node];
+  e.set = true;
+  e.linear = true;
+  e.coeffs = std::move(coeffs);
+  e.intercept = intercept;
+  e.noise_std = noise_std;
+  e.fn = nullptr;
+  return Status::OK();
+}
+
+Status Scm::SetEquation(size_t node, Equation eq, double noise_std) {
+  if (node >= num_nodes()) return Status::OutOfRange("Scm: bad node");
+  NodeEq& e = eqs_[node];
+  e.set = true;
+  e.linear = false;
+  e.fn = std::move(eq);
+  e.noise_std = noise_std;
+  return Status::OK();
+}
+
+double Scm::EvaluateEquation(size_t node,
+                             const std::vector<double>& parent_values) const {
+  const NodeEq& e = eqs_[node];
+  if (e.linear) {
+    double v = e.intercept;
+    for (size_t k = 0; k < e.coeffs.size(); ++k)
+      v += e.coeffs[k] * parent_values[k];
+    return v;
+  }
+  if (e.fn) return e.fn(parent_values);
+  return 0.0;
+}
+
+bool Scm::IsComplete() const {
+  return std::all_of(eqs_.begin(), eqs_.end(),
+                     [](const NodeEq& e) { return e.set; });
+}
+
+std::vector<double> Scm::Sample(Rng* rng) const { return SampleDo({}, rng); }
+
+std::vector<double> Scm::SampleDo(const std::vector<Intervention>& dos,
+                                  Rng* rng) const {
+  std::vector<double> x(num_nodes(), 0.0);
+  std::vector<bool> clamped(num_nodes(), false);
+  for (const Intervention& iv : dos) {
+    x[iv.node] = iv.value;
+    clamped[iv.node] = true;
+  }
+  std::vector<double> pv;
+  for (size_t node : topo_) {
+    if (clamped[node]) continue;
+    const NodeEq& e = eqs_[node];
+    const auto& parents = dag_.parents(node);
+    double v = 0.0;
+    if (e.linear) {
+      v = e.intercept;
+      for (size_t k = 0; k < parents.size(); ++k)
+        v += e.coeffs[k] * x[parents[k]];
+    } else if (e.fn) {
+      pv.clear();
+      for (size_t p : parents) pv.push_back(x[p]);
+      v = e.fn(pv);
+    }
+    x[node] = v + (e.noise_std > 0.0 ? rng->Gaussian(0.0, e.noise_std) : 0.0);
+  }
+  return x;
+}
+
+double Scm::ExpectationDo(
+    const std::vector<Intervention>& dos,
+    const std::function<double(const std::vector<double>&)>& g,
+    int num_samples, Rng* rng) const {
+  double s = 0.0;
+  for (int i = 0; i < num_samples; ++i) s += g(SampleDo(dos, rng));
+  return s / static_cast<double>(num_samples);
+}
+
+Matrix Scm::SampleMatrix(size_t n, Rng* rng) const {
+  Matrix out(n, num_nodes());
+  for (size_t i = 0; i < n; ++i) out.SetRow(i, Sample(rng));
+  return out;
+}
+
+Status Scm::AnalyticMeanCov(std::vector<double>* mean, Matrix* cov) const {
+  const size_t n = num_nodes();
+  for (const NodeEq& e : eqs_)
+    if (!e.set || !e.linear)
+      return Status::FailedPrecondition("AnalyticMeanCov: non-linear SCM");
+  // x = B x + c + e  =>  x = (I - B)^{-1} (c + e).
+  Matrix b(n, n);
+  std::vector<double> c(n);
+  Matrix d(n, n);  // Noise covariance (diagonal).
+  for (size_t node = 0; node < n; ++node) {
+    const auto& parents = dag_.parents(node);
+    for (size_t k = 0; k < parents.size(); ++k)
+      b(node, parents[k]) = eqs_[node].coeffs[k];
+    c[node] = eqs_[node].intercept;
+    d(node, node) = eqs_[node].noise_std * eqs_[node].noise_std;
+  }
+  // M = (I - B)^{-1} computed column by column via LU solves.
+  Matrix imb = Matrix::Identity(n) - b;
+  Matrix m(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> ej(n, 0.0);
+    ej[j] = 1.0;
+    XAI_ASSIGN_OR_RETURN(std::vector<double> col, SolveLu(imb, ej));
+    for (size_t i = 0; i < n; ++i) m(i, j) = col[i];
+  }
+  *mean = m * c;
+  *cov = m * d * m.Transpose();
+  return Status::OK();
+}
+
+}  // namespace xai

@@ -1,0 +1,95 @@
+#ifndef XAIDB_CAUSAL_SCM_H_
+#define XAIDB_CAUSAL_SCM_H_
+
+#include <functional>
+#include <vector>
+
+#include "causal/dag.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+/// An intervention do(node := value).
+struct Intervention {
+  size_t node;
+  double value;
+};
+
+/// Structural causal model over a Dag. Each node has a structural equation
+/// value = f(parent_values) + noise, with independent zero-mean Gaussian
+/// noise. Supports observational sampling and interventional sampling under
+/// do(.) — the machinery behind causal Shapley values, necessity/sufficiency
+/// scores and Shapley-flow (tutorial Section 2.1.3).
+class Scm {
+ public:
+  using Equation =
+      std::function<double(const std::vector<double>& parent_values)>;
+
+  explicit Scm(Dag dag);
+
+  const Dag& dag() const { return dag_; }
+  size_t num_nodes() const { return dag_.num_nodes(); }
+
+  /// Linear equation: value = intercept + coeffs . parents + N(0, noise^2).
+  /// `coeffs` must align with dag().parents(node) order.
+  Status SetLinearEquation(size_t node, std::vector<double> coeffs,
+                           double intercept, double noise_std);
+
+  /// Arbitrary equation plus additive Gaussian noise.
+  Status SetEquation(size_t node, Equation eq, double noise_std);
+
+  /// One observational sample (all equations evaluated in topological
+  /// order with fresh noise).
+  std::vector<double> Sample(Rng* rng) const;
+
+  /// One sample under the interventions: intervened nodes are clamped, and
+  /// their structural equations (not their descendants') are severed.
+  std::vector<double> SampleDo(const std::vector<Intervention>& dos,
+                               Rng* rng) const;
+
+  /// Monte-Carlo estimate of E[g(X)] under do(.).
+  double ExpectationDo(const std::vector<Intervention>& dos,
+                       const std::function<double(const std::vector<double>&)>& g,
+                       int num_samples, Rng* rng) const;
+
+  /// Draws `n` observational samples as rows.
+  Matrix SampleMatrix(size_t n, Rng* rng) const;
+
+  /// For a *fully linear* SCM: the implied mean and covariance
+  /// (x = (I-B)^{-1}(c + e), cov = (I-B)^{-1} D (I-B)^{-T}).
+  /// Fails if any equation is non-linear.
+  Status AnalyticMeanCov(std::vector<double>* mean, Matrix* cov) const;
+
+  /// Noise-free evaluation of node's structural equation at the given
+  /// parent values (ordered as dag().parents(node)). The hook that
+  /// abduction-based counterfactual reasoning (necessity/sufficiency)
+  /// builds on.
+  double EvaluateEquation(size_t node,
+                          const std::vector<double>& parent_values) const;
+
+  /// Noise standard deviation of a node's equation.
+  double noise_std(size_t node) const { return eqs_[node].noise_std; }
+
+  /// True if node equations are all set.
+  bool IsComplete() const;
+
+ private:
+  struct NodeEq {
+    bool set = false;
+    bool linear = false;
+    std::vector<double> coeffs;  // For linear equations.
+    double intercept = 0.0;
+    Equation fn;  // For non-linear equations.
+    double noise_std = 1.0;
+  };
+
+  Dag dag_;
+  std::vector<NodeEq> eqs_;
+  std::vector<size_t> topo_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CAUSAL_SCM_H_

@@ -1,0 +1,130 @@
+#include "cf/cf_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace xai {
+
+FeatureSpace FeatureSpace::FromDataset(const Dataset& ds) {
+  FeatureSpace s;
+  const size_t d = ds.d();
+  s.min_value.resize(d);
+  s.max_value.resize(d);
+  s.std.resize(d);
+  s.is_numeric.resize(d);
+  s.actionable.assign(d, true);
+  s.observed.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> col = ds.x().Col(j);
+    s.min_value[j] = *std::min_element(col.begin(), col.end());
+    s.max_value[j] = *std::max_element(col.begin(), col.end());
+    s.std[j] = std::max(StdDev(col), 1e-9);
+    s.is_numeric[j] = ds.schema().feature(j).is_numeric();
+    std::sort(col.begin(), col.end());
+    col.erase(std::unique(col.begin(), col.end()), col.end());
+    s.observed[j] = std::move(col);
+  }
+  const size_t keep = std::min<size_t>(ds.n(), 500);
+  const size_t stride = std::max<size_t>(1, ds.n() / keep);
+  for (size_t i = 0; i < ds.n(); i += stride)
+    s.sample_rows.AppendRow(ds.row(i));
+  return s;
+}
+
+double CounterfactualDistance(const FeatureSpace& space,
+                              const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  double dist = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (space.is_numeric[j]) {
+      dist += std::fabs(a[j] - b[j]) / space.std[j];
+    } else if (std::lround(a[j]) != std::lround(b[j])) {
+      dist += 1.0;
+    }
+  }
+  return dist;
+}
+
+size_t NumChanged(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  size_t c = 0;
+  for (size_t j = 0; j < a.size(); ++j)
+    if (std::fabs(a[j] - b[j]) > 1e-9) ++c;
+  return c;
+}
+
+Counterfactual MakeCounterfactual(const Model& model,
+                                  const FeatureSpace& space,
+                                  const std::vector<double>& original,
+                                  std::vector<double> candidate,
+                                  int desired_class) {
+  Counterfactual cf;
+  cf.prediction = model.Predict(candidate);
+  cf.valid = desired_class == 1 ? cf.prediction >= 0.5 : cf.prediction < 0.5;
+  cf.num_changed = NumChanged(original, candidate);
+  cf.distance = CounterfactualDistance(space, original, candidate);
+  cf.instance = std::move(candidate);
+  return cf;
+}
+
+double ManifoldKnnDistance(const FeatureSpace& space,
+                           const std::vector<double>& x, int k) {
+  const size_t n = space.sample_rows.rows();
+  if (n == 0) return 0.0;
+  std::vector<double> dists(n);
+  for (size_t i = 0; i < n; ++i)
+    dists[i] = CounterfactualDistance(space, x, space.sample_rows.Row(i));
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), n);
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(kk),
+                    dists.end());
+  double total = 0.0;
+  for (size_t i = 0; i < kk; ++i) total += dists[i];
+  return total / static_cast<double>(kk);
+}
+
+double ManifoldDistanceQuantile(const FeatureSpace& space, double q, int k) {
+  const size_t n = space.sample_rows.rows();
+  if (n < 2) return 0.0;
+  std::vector<double> self_dists;
+  self_dists.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Leave-one-out: distance to k nearest *other* rows.
+    std::vector<double> dists;
+    dists.reserve(n - 1);
+    const std::vector<double> xi = space.sample_rows.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.push_back(
+          CounterfactualDistance(space, xi, space.sample_rows.Row(j)));
+    }
+    const size_t kk = std::min<size_t>(static_cast<size_t>(k), dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(kk),
+                      dists.end());
+    double total = 0.0;
+    for (size_t d = 0; d < kk; ++d) total += dists[d];
+    self_dists.push_back(total / static_cast<double>(kk));
+  }
+  std::sort(self_dists.begin(), self_dists.end());
+  const double pos =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(self_dists.size() - 1);
+  return self_dists[static_cast<size_t>(pos)];
+}
+
+double SetDiversity(const FeatureSpace& space,
+                    const std::vector<Counterfactual>& cfs) {
+  if (cfs.size() < 2) return 0.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < cfs.size(); ++i) {
+    for (size_t j = i + 1; j < cfs.size(); ++j) {
+      total += CounterfactualDistance(space, cfs[i].instance,
+                                      cfs[j].instance);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace xai

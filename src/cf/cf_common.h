@@ -1,0 +1,75 @@
+#ifndef XAIDB_CF_CF_COMMON_H_
+#define XAIDB_CF_CF_COMMON_H_
+
+#include <vector>
+
+#include "core/explanation.h"
+#include "data/dataset.h"
+#include "data/transforms.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Per-feature search space and actionability for counterfactual search,
+/// derived from a reference dataset. The tutorial (2.1.4, Section 3)
+/// stresses that counterfactuals must be *plausible* (stay on the data
+/// manifold) and *feasible* (respect real-world mutability) — these
+/// constraints encode feasibility; plausibility is handled by sampling
+/// observed values.
+struct FeatureSpace {
+  std::vector<double> min_value;
+  std::vector<double> max_value;
+  std::vector<double> std;            // Distance normalization (numeric).
+  std::vector<bool> is_numeric;
+  std::vector<bool> actionable;       // Features the user can change.
+  /// Observed values per feature, for plausibility-preserving sampling.
+  std::vector<std::vector<double>> observed;
+  /// A subsample of full reference rows (up to 500) for joint-distribution
+  /// ("data manifold") plausibility checks — per-column sampling keeps
+  /// marginals realistic but can produce impossible combinations, the
+  /// failure mode the tutorial flags (Section 2.1.4: counterfactuals
+  /// "sometimes provide unrealistic and impossible instances").
+  Matrix sample_rows;
+
+  static FeatureSpace FromDataset(const Dataset& ds);
+
+  /// Marks a feature immutable (e.g. gender, age in recourse settings).
+  void SetImmutable(size_t feature) { actionable[feature] = false; }
+
+  size_t num_features() const { return min_value.size(); }
+};
+
+/// Normalized L1 distance used for proximity: |dx|/std for numeric
+/// features, 1.0 per changed categorical feature.
+double CounterfactualDistance(const FeatureSpace& space,
+                              const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Number of coordinates that differ (sparsity).
+size_t NumChanged(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Builds a Counterfactual record (validity = crossed 0.5 in the desired
+/// direction: desired_class 1 means we want prediction >= 0.5).
+Counterfactual MakeCounterfactual(const Model& model,
+                                  const FeatureSpace& space,
+                                  const std::vector<double>& original,
+                                  std::vector<double> candidate,
+                                  int desired_class);
+
+/// Mean pairwise distance among a set of counterfactuals (DiCE diversity).
+double SetDiversity(const FeatureSpace& space,
+                    const std::vector<Counterfactual>& cfs);
+
+/// Mean normalized-L1 distance from x to its k nearest sample rows — a
+/// data-manifold proximity score (low = plausible joint combination).
+double ManifoldKnnDistance(const FeatureSpace& space,
+                           const std::vector<double>& x, int k = 5);
+
+/// The q-quantile of the sample rows' own leave-one-out manifold distance:
+/// the natural rejection threshold ("as plausible as real data").
+double ManifoldDistanceQuantile(const FeatureSpace& space, double q,
+                                int k = 5);
+
+}  // namespace xai
+
+#endif  // XAIDB_CF_CF_COMMON_H_

@@ -1,0 +1,149 @@
+#include "cf/dice.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xai {
+namespace {
+
+/// Random candidate: perturb a random subset of actionable features with
+/// values observed in the data (plausible marginals).
+std::vector<double> RandomCandidate(const FeatureSpace& space,
+                                    const std::vector<double>& instance,
+                                    Rng* rng) {
+  const size_t d = instance.size();
+  std::vector<size_t> actionable;
+  for (size_t j = 0; j < d; ++j)
+    if (space.actionable[j]) actionable.push_back(j);
+  std::vector<double> x = instance;
+  if (actionable.empty()) return x;
+  const size_t k =
+      1 + static_cast<size_t>(rng->NextInt(actionable.size()));
+  std::vector<size_t> chosen =
+      rng->SampleWithoutReplacement(actionable.size(), k);
+  for (size_t c : chosen) {
+    const size_t j = actionable[c];
+    const auto& vals = space.observed[j];
+    x[j] = vals[rng->NextInt(vals.size())];
+  }
+  return x;
+}
+
+void Sparsify(const Model& model, const FeatureSpace& space,
+              const std::vector<double>& instance, int desired_class,
+              std::vector<double>* candidate) {
+  // Try reverting changed features one by one, cheapest-to-keep first
+  // (largest distance contribution reverted first).
+  const size_t d = instance.size();
+  std::vector<std::pair<double, size_t>> changed;
+  for (size_t j = 0; j < d; ++j) {
+    if (std::fabs((*candidate)[j] - instance[j]) > 1e-9) {
+      const double contrib =
+          space.is_numeric[j]
+              ? std::fabs((*candidate)[j] - instance[j]) / space.std[j]
+              : 1.0;
+      changed.emplace_back(-contrib, j);
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  for (const auto& [neg_contrib, j] : changed) {
+    const double saved = (*candidate)[j];
+    (*candidate)[j] = instance[j];
+    const double p = model.Predict(*candidate);
+    const bool still_valid = desired_class == 1 ? p >= 0.5 : p < 0.5;
+    if (!still_valid) (*candidate)[j] = saved;
+  }
+}
+
+}  // namespace
+
+Result<CounterfactualSet> DiceCounterfactuals(
+    const Model& model, const FeatureSpace& space,
+    const std::vector<double>& instance, int desired_class,
+    const DiceOptions& opts) {
+  if (instance.size() != space.num_features())
+    return Status::InvalidArgument("Dice: instance arity mismatch");
+  Rng rng(opts.seed);
+
+  // Stage 1: collect valid (and, if requested, on-manifold) candidates.
+  const double manifold_cutoff =
+      opts.manifold_quantile > 0.0
+          ? ManifoldDistanceQuantile(space, opts.manifold_quantile)
+          : 0.0;
+  std::vector<Counterfactual> pool;
+  for (int i = 0; i < opts.num_candidates; ++i) {
+    std::vector<double> x = RandomCandidate(space, instance, &rng);
+    Counterfactual cf =
+        MakeCounterfactual(model, space, instance, std::move(x),
+                           desired_class);
+    if (!cf.valid) continue;
+    if (cf.num_changed == 0) continue;  // The instance itself is not a CF.
+    if (opts.manifold_quantile > 0.0 &&
+        ManifoldKnnDistance(space, cf.instance) > manifold_cutoff)
+      continue;
+    pool.push_back(std::move(cf));
+  }
+  if (pool.empty())
+    return Status::NotFound("Dice: no valid counterfactual found");
+
+  // Keep the closest pool_size candidates.
+  std::sort(pool.begin(), pool.end(),
+            [](const Counterfactual& a, const Counterfactual& b) {
+              return a.distance < b.distance;
+            });
+  if (pool.size() > static_cast<size_t>(opts.pool_size))
+    pool.resize(static_cast<size_t>(opts.pool_size));
+
+  // Stage 2: sparsify pool members. When the instance itself already has
+  // the desired class, sparsification can revert every change; drop such
+  // degenerate members (they are not counterfactuals).
+  if (opts.sparsify) {
+    for (Counterfactual& cf : pool) {
+      Sparsify(model, space, instance, desired_class, &cf.instance);
+      cf = MakeCounterfactual(model, space, instance,
+                              std::move(cf.instance), desired_class);
+    }
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [](const Counterfactual& cf) {
+                                return cf.num_changed == 0;
+                              }),
+               pool.end());
+    if (pool.empty())
+      return Status::NotFound(
+          "Dice: instance already satisfies the desired class");
+  }
+
+  // Stage 3: maximal-marginal-relevance greedy selection for diversity.
+  CounterfactualSet out;
+  std::vector<bool> taken(pool.size(), false);
+  const int want =
+      std::min<int>(opts.num_counterfactuals, static_cast<int>(pool.size()));
+  for (int pick = 0; pick < want; ++pick) {
+    double best_score = -1e300;
+    int best = -1;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      double min_div = 0.0;
+      if (!out.counterfactuals.empty()) {
+        min_div = 1e300;
+        for (const Counterfactual& sel : out.counterfactuals)
+          min_div = std::min(min_div,
+                             CounterfactualDistance(space, pool[i].instance,
+                                                    sel.instance));
+      }
+      const double score =
+          -pool[i].distance + opts.diversity_weight * min_div;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    taken[static_cast<size_t>(best)] = true;
+    out.counterfactuals.push_back(pool[static_cast<size_t>(best)]);
+  }
+  out.diversity = SetDiversity(space, out.counterfactuals);
+  return out;
+}
+
+}  // namespace xai

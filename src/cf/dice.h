@@ -1,0 +1,47 @@
+#ifndef XAIDB_CF_DICE_H_
+#define XAIDB_CF_DICE_H_
+
+#include <vector>
+
+#include "cf/cf_common.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace xai {
+
+struct DiceOptions {
+  /// How many diverse counterfactuals to return.
+  int num_counterfactuals = 4;
+  /// Random candidates generated before diverse selection.
+  int num_candidates = 2000;
+  /// Candidate pool kept for the diversity-aware greedy selection.
+  int pool_size = 50;
+  /// Trade-off in greedy selection: score = -distance + diversity_weight *
+  /// (min distance to already-selected counterfactuals).
+  double diversity_weight = 0.5;
+  /// Post-processing: greedily revert changed features that are not needed
+  /// to keep validity (sparsity enhancement, as in the DiCE paper).
+  bool sparsify = true;
+  /// When > 0, reject candidates whose k-NN distance to the data exceeds
+  /// the given quantile of the data's own k-NN distances — constrain the
+  /// counterfactuals to the data manifold (the plausibility fix the
+  /// tutorial cites for "unrealistic and impossible" counterfactuals).
+  /// 0 disables the check. Typical value: 0.95.
+  double manifold_quantile = 0.0;
+  uint64_t seed = 2023;
+};
+
+/// DiCE-style diverse counterfactual explanations (Mothilal, Sharma & Tan
+/// 2020), tutorial Section 2.1.4: returns a *set* of valid, proximate and
+/// mutually diverse counterfactuals so the user sees several distinct paths
+/// to the desired outcome. Search is gradient-free: plausibility-preserving
+/// random candidates (feature values drawn from observed data) followed by
+/// maximal-marginal-relevance selection and greedy sparsification.
+Result<CounterfactualSet> DiceCounterfactuals(
+    const Model& model, const FeatureSpace& space,
+    const std::vector<double>& instance, int desired_class,
+    const DiceOptions& opts = DiceOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_CF_DICE_H_

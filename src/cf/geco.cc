@@ -1,0 +1,186 @@
+#include "cf/geco.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xai {
+
+PlafConstraint PlafConstraint::Immutable(size_t feature, std::string name) {
+  return {[feature](const std::vector<double>& o,
+                    const std::vector<double>& c) {
+            return std::fabs(o[feature] - c[feature]) <= 1e-9;
+          },
+          "immutable(" + name + ")"};
+}
+
+PlafConstraint PlafConstraint::MonotoneIncrease(size_t feature,
+                                                std::string name) {
+  return {[feature](const std::vector<double>& o,
+                    const std::vector<double>& c) {
+            return c[feature] >= o[feature] - 1e-9;
+          },
+          "monotone_increase(" + name + ")"};
+}
+
+PlafConstraint PlafConstraint::MonotoneDecrease(size_t feature,
+                                                std::string name) {
+  return {[feature](const std::vector<double>& o,
+                    const std::vector<double>& c) {
+            return c[feature] <= o[feature] + 1e-9;
+          },
+          "monotone_decrease(" + name + ")"};
+}
+
+PlafConstraint PlafConstraint::ChangeImplies(size_t feature, size_t implied,
+                                             std::string name) {
+  return {[feature, implied](const std::vector<double>& o,
+                             const std::vector<double>& c) {
+            const bool changed = std::fabs(o[feature] - c[feature]) > 1e-9;
+            const bool implied_changed =
+                std::fabs(o[implied] - c[implied]) > 1e-9;
+            return !changed || implied_changed;
+          },
+          "change_implies(" + name + ")"};
+}
+
+namespace {
+
+bool SatisfiesAll(const std::vector<PlafConstraint>& constraints,
+                  const std::vector<double>& original,
+                  const std::vector<double>& candidate) {
+  for (const PlafConstraint& c : constraints)
+    if (!c.predicate(original, candidate)) return false;
+  return true;
+}
+
+/// Lexicographic fitness: valid first, then fewer changes, then distance.
+struct Fitness {
+  bool valid;
+  double gap;       // |0.5 - prediction| distance to the boundary if invalid.
+  size_t changed;
+  double distance;
+
+  bool BetterThan(const Fitness& o) const {
+    if (valid != o.valid) return valid;
+    if (!valid) return gap < o.gap;
+    if (changed != o.changed) return changed < o.changed;
+    return distance < o.distance;
+  }
+};
+
+Fitness Evaluate(const Model& model, const FeatureSpace& space,
+                 const std::vector<double>& instance, int desired_class,
+                 const std::vector<double>& candidate) {
+  const double p = model.Predict(candidate);
+  Fitness f;
+  f.valid = desired_class == 1 ? p >= 0.5 : p < 0.5;
+  f.gap = desired_class == 1 ? std::max(0.0, 0.5 - p)
+                             : std::max(0.0, p - 0.5);
+  f.changed = NumChanged(instance, candidate);
+  f.distance = CounterfactualDistance(space, instance, candidate);
+  return f;
+}
+
+void Mutate(const FeatureSpace& space, const GecoOptions& opts,
+            std::vector<double>* x, Rng* rng) {
+  for (size_t j = 0; j < x->size(); ++j) {
+    if (!space.actionable[j]) continue;
+    if (!rng->Bernoulli(opts.mutation_rate)) continue;
+    const auto& vals = space.observed[j];
+    (*x)[j] = vals[rng->NextInt(vals.size())];
+  }
+}
+
+std::vector<double> Crossover(const std::vector<double>& a,
+                              const std::vector<double>& b, Rng* rng) {
+  std::vector<double> c(a.size());
+  for (size_t j = 0; j < a.size(); ++j) c[j] = rng->Bernoulli(0.5) ? a[j] : b[j];
+  return c;
+}
+
+}  // namespace
+
+Result<CounterfactualSet> GecoCounterfactuals(
+    const Model& model, const FeatureSpace& space,
+    const std::vector<double>& instance, int desired_class,
+    const std::vector<PlafConstraint>& constraints, const GecoOptions& opts) {
+  if (instance.size() != space.num_features())
+    return Status::InvalidArgument("Geco: instance arity mismatch");
+  Rng rng(opts.seed);
+
+  struct Member {
+    std::vector<double> x;
+    Fitness fit;
+  };
+  auto make_member = [&](std::vector<double> x) {
+    Member m;
+    m.fit = Evaluate(model, space, instance, desired_class, x);
+    m.x = std::move(x);
+    return m;
+  };
+
+  // Initial population: single-feature changes (GeCo grows change sets
+  // lazily from small to large).
+  std::vector<Member> pop;
+  pop.reserve(static_cast<size_t>(opts.population));
+  int guard = 0;
+  while (pop.size() < static_cast<size_t>(opts.population) &&
+         guard < opts.population * 50) {
+    ++guard;
+    std::vector<double> x = instance;
+    const size_t j = static_cast<size_t>(rng.NextInt(instance.size()));
+    if (!space.actionable[j]) continue;
+    const auto& vals = space.observed[j];
+    x[j] = vals[rng.NextInt(vals.size())];
+    if (!SatisfiesAll(constraints, instance, x)) continue;
+    pop.push_back(make_member(std::move(x)));
+  }
+  if (pop.empty())
+    return Status::NotFound("Geco: constraints leave no candidates");
+
+  auto by_fitness = [](const Member& a, const Member& b) {
+    return a.fit.BetterThan(b.fit);
+  };
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), by_fitness);
+    const size_t elite = std::max<size_t>(
+        2, static_cast<size_t>(opts.elite_fraction *
+                               static_cast<double>(pop.size())));
+    std::vector<Member> next(pop.begin(),
+                             pop.begin() + static_cast<long>(std::min(
+                                               elite, pop.size())));
+    while (next.size() < static_cast<size_t>(opts.population)) {
+      const Member& a = pop[rng.NextInt(std::min(elite, pop.size()))];
+      const Member& b = pop[rng.NextInt(std::min(elite, pop.size()))];
+      std::vector<double> child = Crossover(a.x, b.x, &rng);
+      Mutate(space, opts, &child, &rng);
+      if (!SatisfiesAll(constraints, instance, child)) continue;
+      next.push_back(make_member(std::move(child)));
+    }
+    pop = std::move(next);
+  }
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  CounterfactualSet out;
+  for (const Member& m : pop) {
+    if (!m.fit.valid) continue;
+    if (m.fit.changed == 0) continue;  // The instance itself is not a CF.
+    // Skip near-duplicates of already selected counterfactuals.
+    bool dup = false;
+    for (const Counterfactual& sel : out.counterfactuals)
+      if (CounterfactualDistance(space, sel.instance, m.x) < 1e-9) dup = true;
+    if (dup) continue;
+    out.counterfactuals.push_back(
+        MakeCounterfactual(model, space, instance, m.x, desired_class));
+    if (out.counterfactuals.size() ==
+        static_cast<size_t>(opts.num_counterfactuals))
+      break;
+  }
+  if (out.counterfactuals.empty())
+    return Status::NotFound("Geco: no valid counterfactual found");
+  out.diversity = SetDiversity(space, out.counterfactuals);
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,59 @@
+#ifndef XAIDB_CF_GECO_H_
+#define XAIDB_CF_GECO_H_
+
+#include <functional>
+#include <vector>
+
+#include "cf/cf_common.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace xai {
+
+/// A PLAF-style plausibility/feasibility constraint (GeCo's constraint
+/// language, Schleich et al. 2021): a predicate over (original, candidate)
+/// pairs that every counterfactual must satisfy.
+struct PlafConstraint {
+  std::function<bool(const std::vector<double>& original,
+                     const std::vector<double>& candidate)>
+      predicate;
+  std::string description;
+
+  /// feature may not change.
+  static PlafConstraint Immutable(size_t feature, std::string name);
+  /// feature may only increase (e.g. age, education).
+  static PlafConstraint MonotoneIncrease(size_t feature, std::string name);
+  /// feature may only decrease.
+  static PlafConstraint MonotoneDecrease(size_t feature, std::string name);
+  /// if `feature` changes, `implied` must also change (dependency rule).
+  static PlafConstraint ChangeImplies(size_t feature, size_t implied,
+                                      std::string name);
+};
+
+struct GecoOptions {
+  int population = 100;
+  int generations = 30;
+  /// Fraction of population kept as elite each generation.
+  double elite_fraction = 0.3;
+  /// Per-feature mutation probability.
+  double mutation_rate = 0.3;
+  int num_counterfactuals = 3;
+  uint64_t seed = 31337;
+};
+
+/// GeCo-style genetic counterfactual search with PLAF constraints
+/// (tutorial Section 3, "Efficiency of Feature-based Explanations"):
+/// maintains a population of candidates mutated with *observed* feature
+/// values, discards constraint violators, and selects by lexicographic
+/// fitness (validity, then distance, then sparsity). Candidates start from
+/// few-feature changes, so returned counterfactuals tend to be sparse —
+/// GeCo's "quality counterfactuals in real time" design point.
+Result<CounterfactualSet> GecoCounterfactuals(
+    const Model& model, const FeatureSpace& space,
+    const std::vector<double>& instance, int desired_class,
+    const std::vector<PlafConstraint>& constraints,
+    const GecoOptions& opts = GecoOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_CF_GECO_H_

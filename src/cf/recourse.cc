@@ -1,0 +1,98 @@
+#include "cf/recourse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "math/stats.h"
+
+namespace xai {
+
+std::string RecourseAction::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os.precision(4);
+  if (!feasible) {
+    os << "no feasible recourse within bounds";
+    return os.str();
+  }
+  os << "recourse (cost=" << cost << ", p=" << new_probability << "):\n";
+  for (const RecourseStep& s : steps) {
+    os << "  " << schema.FormatValue(s.feature, s.from) << " -> "
+       << schema.FormatValue(s.feature, s.to) << "\n";
+  }
+  return os.str();
+}
+
+Result<RecourseAction> LinearRecourse(const LogisticRegression& model,
+                                      const FeatureSpace& space,
+                                      const std::vector<double>& instance,
+                                      const RecourseOptions& opts) {
+  const size_t d = instance.size();
+  if (space.num_features() != d)
+    return Status::InvalidArgument("Recourse: arity mismatch");
+  if (!opts.unit_costs.empty() && opts.unit_costs.size() != d)
+    return Status::InvalidArgument("Recourse: unit_costs size mismatch");
+  const double p0 = std::clamp(opts.target_probability, 1e-6, 1.0 - 1e-6);
+  const double target_margin = std::log(p0 / (1.0 - p0));
+
+  const std::vector<double>& w = model.theta();  // [w_0..w_{d-1}, b]
+  double margin = model.Margin(instance);
+
+  RecourseAction action;
+  if (margin >= target_margin) {
+    action.feasible = true;  // Already positive.
+    action.new_probability = Sigmoid(margin);
+    return action;
+  }
+
+  // Candidate moves: numeric actionable features only (categorical flips
+  // are handled by the counterfactual searchers; linear recourse treats
+  // continuous levers). Ratio = |w_j| * std_j / cost_j = margin gain per
+  // unit of normalized cost.
+  struct Lever {
+    size_t j;
+    double ratio;
+  };
+  std::vector<Lever> levers;
+  for (size_t j = 0; j < d; ++j) {
+    if (!space.actionable[j] || !space.is_numeric[j]) continue;
+    if (std::fabs(w[j]) < 1e-12) continue;
+    const double cost_j =
+        opts.unit_costs.empty() ? 1.0 : opts.unit_costs[j];
+    if (cost_j <= 0.0) continue;
+    levers.push_back({j, std::fabs(w[j]) * space.std[j] / cost_j});
+  }
+  std::sort(levers.begin(), levers.end(),
+            [](const Lever& a, const Lever& b) { return a.ratio > b.ratio; });
+
+  std::vector<double> x = instance;
+  for (const Lever& lever : levers) {
+    if (margin >= target_margin) break;
+    const size_t j = lever.j;
+    // Move toward the favorable bound.
+    const double bound = w[j] > 0 ? space.max_value[j] : space.min_value[j];
+    const double max_gain = w[j] * (bound - x[j]);
+    if (max_gain <= 0.0) continue;
+    const double needed = target_margin - margin;
+    double delta;
+    if (max_gain >= needed) {
+      delta = needed / w[j];
+    } else {
+      delta = bound - x[j];
+    }
+    const double from = x[j];
+    x[j] += delta;
+    margin += w[j] * delta;
+    const double cost_j = opts.unit_costs.empty() ? 1.0 : opts.unit_costs[j];
+    action.cost += std::fabs(delta) / space.std[j] * cost_j;
+    action.steps.push_back({j, from, x[j]});
+  }
+
+  action.feasible = margin >= target_margin - 1e-9;
+  action.new_probability = Sigmoid(margin);
+  if (!action.feasible)
+    return action;  // Report infeasibility with partial diagnostics.
+  return action;
+}
+
+}  // namespace xai

@@ -1,0 +1,53 @@
+#ifndef XAIDB_CF_RECOURSE_H_
+#define XAIDB_CF_RECOURSE_H_
+
+#include <string>
+#include <vector>
+
+#include "cf/cf_common.h"
+#include "common/result.h"
+#include "model/logistic_regression.h"
+
+namespace xai {
+
+/// One suggested change of a recourse action.
+struct RecourseStep {
+  size_t feature;
+  double from;
+  double to;
+};
+
+/// An actionable recourse recommendation (Ustun, Spangher & Liu 2019),
+/// tutorial Section 2.1.4: the cheapest set of changes to *actionable*
+/// features that flips a linear classifier's decision to positive.
+struct RecourseAction {
+  std::vector<RecourseStep> steps;
+  double cost = 0.0;          // Sum of per-feature |delta|/std * unit cost.
+  double new_probability = 0.0;
+  bool feasible = false;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct RecourseOptions {
+  /// Target probability to reach (strictly above the 0.5 boundary by
+  /// default so the flip is robust).
+  double target_probability = 0.55;
+  /// Per-feature unit costs in normalized units; empty = all 1.
+  std::vector<double> unit_costs;
+};
+
+/// Computes minimal-cost recourse for a logistic model by greedy
+/// coordinate moves: repeatedly push the actionable feature with the best
+/// margin-gain-per-cost ratio toward its bound until the target
+/// probability is reached (optimal for L1 costs with box constraints on a
+/// linear margin). Fails (feasible = false) if the bounds cannot flip the
+/// decision.
+Result<RecourseAction> LinearRecourse(const LogisticRegression& model,
+                                      const FeatureSpace& space,
+                                      const std::vector<double>& instance,
+                                      const RecourseOptions& opts = RecourseOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_CF_RECOURSE_H_

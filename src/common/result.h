@@ -1,0 +1,70 @@
+#ifndef XAIDB_COMMON_RESULT_H_
+#define XAIDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xai {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+/// Accessing the value of an errored Result is a programming error
+/// (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::InvalidArgument(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define XAI_ASSIGN_OR_RETURN(lhs, expr)             \
+  XAI_ASSIGN_OR_RETURN_IMPL(                        \
+      XAI_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define XAI_CONCAT_NAME_INNER(x, y) x##y
+#define XAI_CONCAT_NAME(x, y) XAI_CONCAT_NAME_INNER(x, y)
+#define XAI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace xai
+
+#endif  // XAIDB_COMMON_RESULT_H_

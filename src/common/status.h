@@ -1,0 +1,79 @@
+#ifndef XAIDB_COMMON_STATUS_H_
+#define XAIDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace xai {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB idiom:
+/// fallible public APIs return Status (or Result<T>), never throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// A Status holds an error code plus a human-readable message.
+/// The OK status is cheap to construct and copy (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result converts implicitly from Status).
+#define XAI_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::xai::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace xai
+
+#endif  // XAIDB_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef XAIDB_COMMON_STR_UTIL_H_
+#define XAIDB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xai {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace xai
+
+#endif  // XAIDB_COMMON_STR_UTIL_H_

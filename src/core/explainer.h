@@ -1,0 +1,27 @@
+#ifndef XAIDB_CORE_EXPLAINER_H_
+#define XAIDB_CORE_EXPLAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explanation.h"
+
+namespace xai {
+
+/// Common interface of local feature-attribution explainers (LIME,
+/// KernelSHAP, TreeSHAP, QII, causal Shapley, ...). The model and
+/// background data are bound at construction; Explain is called per
+/// instance. Having one interface lets the evaluation module (fidelity,
+/// stability, adversarial robustness) treat explainers uniformly — the
+/// comparison methodology the tutorial calls for.
+class AttributionExplainer {
+ public:
+  virtual ~AttributionExplainer() = default;
+
+  virtual Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) = 0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CORE_EXPLAINER_H_

@@ -1,0 +1,102 @@
+#include "core/explanation.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "math/stats.h"
+
+namespace xai {
+
+std::vector<size_t> FeatureAttribution::TopFeatures(size_t k) const {
+  return TopKByMagnitude(values, k);
+}
+
+double FeatureAttribution::Reconstruction() const {
+  double s = base_value;
+  for (double v : values) s += v;
+  return s;
+}
+
+std::string FeatureAttribution::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "prediction=" << prediction << " base=" << base_value << "\n";
+  for (size_t i : TopFeatures(values.size())) {
+    os << "  " << (i < feature_names.size() ? feature_names[i]
+                                            : "f" + std::to_string(i))
+       << ": " << values[i] << "\n";
+  }
+  return os.str();
+}
+
+bool RulePredicate::Matches(const std::vector<double>& x) const {
+  const double v = x[feature];
+  if (is_categorical) return std::lround(v) == std::lround(category);
+  return v >= lower && v <= upper;
+}
+
+std::string RulePredicate::ToString(const Schema& schema) const {
+  const FeatureSpec& spec = schema.feature(feature);
+  std::ostringstream os;
+  os.precision(4);
+  if (is_categorical) {
+    const auto code = static_cast<size_t>(std::lround(category));
+    os << spec.name << " = "
+       << (code < spec.cardinality() ? spec.categories[code] : "?");
+    return os.str();
+  }
+  const bool has_lo = lower > -std::numeric_limits<double>::infinity();
+  const bool has_hi = upper < std::numeric_limits<double>::infinity();
+  if (has_lo && has_hi) {
+    os << lower << " <= " << spec.name << " <= " << upper;
+  } else if (has_lo) {
+    os << spec.name << " >= " << lower;
+  } else {
+    os << spec.name << " <= " << upper;
+  }
+  return os.str();
+}
+
+bool RuleExplanation::Matches(const std::vector<double>& x) const {
+  for (const RulePredicate& p : predicates)
+    if (!p.Matches(x)) return false;
+  return true;
+}
+
+std::string RuleExplanation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "IF ";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i) os << " AND ";
+    os << predicates[i].ToString(schema);
+  }
+  os << " THEN predict " << outcome << "  (precision=" << precision
+     << ", coverage=" << coverage << ")";
+  return os.str();
+}
+
+std::string CounterfactualSet::ToString(
+    const Schema& schema, const std::vector<double>& original) const {
+  std::ostringstream os;
+  os.precision(4);
+  os << counterfactuals.size() << " counterfactual(s), diversity="
+     << diversity << "\n";
+  for (size_t c = 0; c < counterfactuals.size(); ++c) {
+    const Counterfactual& cf = counterfactuals[c];
+    os << "  #" << c << " (pred=" << cf.prediction
+       << ", changed=" << cf.num_changed << ", dist=" << cf.distance
+       << "):";
+    for (size_t j = 0; j < cf.instance.size(); ++j) {
+      if (std::fabs(cf.instance[j] - original[j]) > 1e-9) {
+        os << " " << schema.FormatValue(j, original[j]) << " -> "
+           << schema.FormatValue(j, cf.instance[j]) << ";";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xai

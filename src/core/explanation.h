@@ -1,0 +1,84 @@
+#ifndef XAIDB_CORE_EXPLANATION_H_
+#define XAIDB_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace xai {
+
+/// A local feature-attribution explanation: one real-valued importance per
+/// feature for a single prediction (tutorial Section 2.1). For
+/// Shapley-based explainers the efficiency property holds:
+/// sum(values) ≈ prediction - base_value.
+struct FeatureAttribution {
+  std::vector<std::string> feature_names;
+  std::vector<double> values;
+  /// Expected model output over the background ("average prediction").
+  double base_value = 0.0;
+  /// Model output on the explained instance.
+  double prediction = 0.0;
+
+  size_t size() const { return values.size(); }
+  /// Indices of the k most important features by |value|.
+  std::vector<size_t> TopFeatures(size_t k) const;
+  /// sum(values) + base_value — what an additive explanation reconstructs.
+  double Reconstruction() const;
+  std::string ToString() const;
+};
+
+/// A single predicate of a rule: feature `feature` falls in
+/// [lower, upper] for numeric features, or equals `category` for
+/// categorical ones.
+struct RulePredicate {
+  size_t feature = 0;
+  bool is_categorical = false;
+  double lower = 0.0;   // Numeric: inclusive lower bound (-inf allowed).
+  double upper = 0.0;   // Numeric: inclusive upper bound (+inf allowed).
+  double category = 0;  // Categorical code.
+
+  bool Matches(const std::vector<double>& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// An IF-THEN rule explanation (Anchors, interpretable decision sets,
+/// tutorial Section 2.2): when every predicate holds, the model predicts
+/// `outcome` with estimated `precision`; `coverage` is the fraction of the
+/// data distribution the rule applies to.
+struct RuleExplanation {
+  std::vector<RulePredicate> predicates;
+  double outcome = 1.0;
+  double precision = 0.0;
+  double coverage = 0.0;
+
+  bool Matches(const std::vector<double>& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A counterfactual example (tutorial Section 2.1.4): a minimally-changed
+/// instance with the opposite model outcome, plus diagnostics.
+struct Counterfactual {
+  std::vector<double> instance;
+  double prediction = 0.0;
+  /// Number of features changed vs the original (sparsity; lower better).
+  size_t num_changed = 0;
+  /// L1 distance in normalized feature space (proximity; lower better).
+  double distance = 0.0;
+  /// True if the model output actually crossed the decision boundary.
+  bool valid = false;
+};
+
+/// A set of counterfactuals with set-level diagnostics (DiCE's diversity).
+struct CounterfactualSet {
+  std::vector<Counterfactual> counterfactuals;
+  /// Mean pairwise L1 distance among returned counterfactuals.
+  double diversity = 0.0;
+
+  std::string ToString(const Schema& schema,
+                       const std::vector<double>& original) const;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CORE_EXPLANATION_H_

@@ -1,0 +1,100 @@
+#include "core/game.h"
+
+#include <algorithm>
+
+namespace xai {
+
+MarginalFeatureGame::MarginalFeatureGame(const Model& model,
+                                         const Matrix& background,
+                                         std::vector<double> instance,
+                                         size_t max_background)
+    : model_(model), instance_(std::move(instance)) {
+  const size_t m = std::min(background.rows(), max_background);
+  background_ = Matrix(m, background.cols());
+  // Deterministic stride subsample keeps the game a pure function.
+  const size_t stride = std::max<size_t>(1, background.rows() / m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t src = std::min(i * stride, background.rows() - 1);
+    std::copy(background.RowPtr(src), background.RowPtr(src) + background.cols(),
+              background_.RowPtr(i));
+  }
+}
+
+double MarginalFeatureGame::Value(
+    const std::vector<bool>& in_coalition) const {
+  const size_t d = instance_.size();
+  const size_t m = background_.rows();
+  double total = 0.0;
+  std::vector<double> x(d);
+  for (size_t b = 0; b < m; ++b) {
+    const double* bg = background_.RowPtr(b);
+    for (size_t j = 0; j < d; ++j)
+      x[j] = in_coalition[j] ? instance_[j] : bg[j];
+    total += model_.Predict(x);
+  }
+  return total / static_cast<double>(m);
+}
+
+double MarginalFeatureGame::BaseValue() const {
+  return Value(std::vector<bool>(instance_.size(), false));
+}
+
+Result<ConditionalGaussianGame> ConditionalGaussianGame::Create(
+    const Model& model, const Matrix& background,
+    std::vector<double> instance, int samples_per_eval, uint64_t seed) {
+  XAI_ASSIGN_OR_RETURN(MultivariateGaussian dist,
+                       MultivariateGaussian::Fit(background));
+  return ConditionalGaussianGame(model, std::move(dist), std::move(instance),
+                                 samples_per_eval, seed);
+}
+
+double ConditionalGaussianGame::Value(
+    const std::vector<bool>& in_coalition) const {
+  const size_t d = instance_.size();
+  std::vector<size_t> given;
+  for (size_t j = 0; j < d; ++j)
+    if (in_coalition[j]) given.push_back(j);
+
+  // Derive a deterministic per-coalition stream so Value is a pure
+  // function of the coalition (required for consistent Shapley sums).
+  uint64_t mask_hash = seed_;
+  for (size_t j = 0; j < d; ++j)
+    mask_hash = mask_hash * 1099511628211ULL + (in_coalition[j] ? 2 : 1);
+  Rng rng(mask_hash);
+
+  if (given.size() == d) return model_.Predict(instance_);
+
+  std::vector<double> x(d);
+  double total = 0.0;
+  if (given.empty()) {
+    for (int s = 0; s < samples_; ++s) {
+      total += model_.Predict(dist_.Sample(&rng));
+    }
+    return total / samples_;
+  }
+
+  std::vector<double> given_vals;
+  for (size_t j : given) given_vals.push_back(instance_[j]);
+  auto cond = dist_.Condition(given, given_vals);
+  if (!cond.ok()) {
+    // Degenerate conditioning: fall back to clamping given features only.
+    for (int s = 0; s < samples_; ++s) {
+      std::vector<double> smp = dist_.Sample(&rng);
+      for (size_t j : given) smp[j] = instance_[j];
+      total += model_.Predict(smp);
+    }
+    return total / samples_;
+  }
+  std::vector<size_t> rest;
+  for (size_t j = 0; j < d; ++j)
+    if (!in_coalition[j]) rest.push_back(j);
+  for (int s = 0; s < samples_; ++s) {
+    std::vector<double> smp = cond->Sample(&rng);
+    for (size_t j : given) x[j] = instance_[j];
+    for (size_t k = 0; k < rest.size(); ++k) x[rest[k]] = smp[k];
+    total += model_.Predict(x);
+  }
+  return total / samples_;
+}
+
+}  // namespace xai

@@ -1,0 +1,101 @@
+#ifndef XAIDB_CORE_GAME_H_
+#define XAIDB_CORE_GAME_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "math/gaussian.h"
+#include "math/matrix.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// A cooperative game: players and a value for every coalition. Shapley
+/// computation (exact enumeration, permutation sampling) is implemented
+/// once against this interface and reused for feature attribution (players
+/// = features), data valuation (players = training points) and query
+/// answering (players = tuples) — the unifying view the tutorial draws
+/// between Sections 2.1.2, 2.3.1 and 3.
+class CoalitionGame {
+ public:
+  virtual ~CoalitionGame() = default;
+
+  virtual size_t num_players() const = 0;
+  /// Value of the coalition S = { i : in_coalition[i] }.
+  virtual double Value(const std::vector<bool>& in_coalition) const = 0;
+};
+
+/// Wraps a callable as a game (tests, query-Shapley).
+class LambdaGame : public CoalitionGame {
+ public:
+  using Fn = std::function<double(const std::vector<bool>&)>;
+  LambdaGame(size_t n, Fn fn) : n_(n), fn_(std::move(fn)) {}
+  size_t num_players() const override { return n_; }
+  double Value(const std::vector<bool>& s) const override { return fn_(s); }
+
+ private:
+  size_t n_;
+  Fn fn_;
+};
+
+/// The *marginal* (a.k.a. interventional / baseline) feature game behind
+/// KernelSHAP and exact SHAP:
+///   v(S) = (1/m) sum_b f(x_S combined with background row b on ~S).
+/// Features outside the coalition are imputed from background rows,
+/// breaking their correlation with coalition members.
+class MarginalFeatureGame : public CoalitionGame {
+ public:
+  /// `background` rows are the reference distribution (typically a sample
+  /// of the training set). `max_background` caps the rows used.
+  MarginalFeatureGame(const Model& model, const Matrix& background,
+                      std::vector<double> instance,
+                      size_t max_background = 100);
+
+  size_t num_players() const override { return instance_.size(); }
+  double Value(const std::vector<bool>& in_coalition) const override;
+
+  /// v(empty) — the base value.
+  double BaseValue() const;
+
+ private:
+  const Model& model_;
+  Matrix background_;
+  std::vector<double> instance_;
+};
+
+/// The *conditional* feature game: v(S) = E[f(X) | X_S = x_S] under a
+/// Gaussian fit of the background data (exact conditioning, Monte-Carlo
+/// over the conditional for f). Captures what correlated features carry
+/// about each other — the contrast with the marginal game that experiment
+/// E12 measures.
+class ConditionalGaussianGame : public CoalitionGame {
+ public:
+  static Result<ConditionalGaussianGame> Create(const Model& model,
+                                                const Matrix& background,
+                                                std::vector<double> instance,
+                                                int samples_per_eval = 64,
+                                                uint64_t seed = 101);
+
+  size_t num_players() const override { return instance_.size(); }
+  double Value(const std::vector<bool>& in_coalition) const override;
+
+ private:
+  ConditionalGaussianGame(const Model& model, MultivariateGaussian dist,
+                          std::vector<double> instance, int samples,
+                          uint64_t seed)
+      : model_(model), dist_(std::move(dist)),
+        instance_(std::move(instance)), samples_(samples), seed_(seed) {}
+
+  const Model& model_;
+  MultivariateGaussian dist_;
+  std::vector<double> instance_;
+  int samples_;
+  uint64_t seed_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CORE_GAME_H_

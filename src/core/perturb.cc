@@ -1,0 +1,43 @@
+#include "core/perturb.h"
+
+#include <cmath>
+
+namespace xai {
+
+TabularPerturber::TabularPerturber(const Dataset& reference,
+                                   std::vector<double> instance)
+    : schema_(reference.schema()),
+      stats_(ComputeColumnStats(reference)),
+      instance_(std::move(instance)) {}
+
+TabularPerturber::Sample TabularPerturber::Draw(Rng* rng) const {
+  return DrawConditional(std::vector<bool>(instance_.size(), false), rng);
+}
+
+TabularPerturber::Sample TabularPerturber::DrawConditional(
+    const std::vector<bool>& fixed, Rng* rng) const {
+  const size_t d = instance_.size();
+  Sample s;
+  s.x.resize(d);
+  s.z.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    if (fixed[j]) {
+      s.x[j] = instance_[j];
+      s.z[j] = 1;
+      continue;
+    }
+    if (schema_.feature(j).is_numeric()) {
+      s.x[j] = rng->Gaussian(instance_[j], stats_.std[j]);
+      // "Same as instance" when within half a std — the binarization LIME
+      // uses for its interpretable representation of numeric features.
+      s.z[j] = std::fabs(s.x[j] - instance_[j]) <= 0.5 * stats_.std[j] ? 1 : 0;
+    } else {
+      const size_t code = rng->Categorical(stats_.frequencies[j]);
+      s.x[j] = static_cast<double>(code);
+      s.z[j] = std::lround(instance_[j]) == static_cast<long>(code) ? 1 : 0;
+    }
+  }
+  return s;
+}
+
+}  // namespace xai

@@ -1,0 +1,49 @@
+#ifndef XAIDB_CORE_PERTURB_H_
+#define XAIDB_CORE_PERTURB_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/transforms.h"
+
+namespace xai {
+
+/// Tabular perturbation sampler shared by LIME and Anchors. Produces
+/// neighbors of an instance by resampling feature values from the training
+/// distribution: numeric features draw N(instance_j, column_std_j);
+/// categorical features draw from the empirical category frequencies.
+/// Returns both the raw perturbed row and its binary "interpretable
+/// representation" z (z_j = 1 iff feature j kept a value close to the
+/// instance's) — the unreliable sampling step the tutorial flags as LIME's
+/// key vulnerability (Section 2.1.1), which E3/E4 quantify.
+class TabularPerturber {
+ public:
+  TabularPerturber(const Dataset& reference, std::vector<double> instance);
+
+  struct Sample {
+    std::vector<double> x;
+    std::vector<uint8_t> z;  // 1 = feature agrees with the instance.
+  };
+
+  /// One unconstrained perturbation.
+  Sample Draw(Rng* rng) const;
+
+  /// One perturbation with the features in `fixed` clamped to the
+  /// instance's values (the conditional sampler Anchors needs).
+  Sample DrawConditional(const std::vector<bool>& fixed, Rng* rng) const;
+
+  size_t num_features() const { return instance_.size(); }
+  const std::vector<double>& instance() const { return instance_; }
+  const ColumnStats& stats() const { return stats_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Schema schema_;
+  ColumnStats stats_;
+  std::vector<double> instance_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_CORE_PERTURB_H_

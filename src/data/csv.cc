@@ -1,0 +1,102 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace xai {
+
+Status WriteCsv(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = ds.schema();
+  for (size_t j = 0; j < schema.num_features(); ++j)
+    out << schema.feature(j).name << ",";
+  out << "target\n";
+  out.precision(10);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    for (size_t j = 0; j < ds.d(); ++j) {
+      const FeatureSpec& spec = schema.feature(j);
+      const double v = ds.x()(i, j);
+      if (spec.is_numeric()) {
+        out << v;
+      } else {
+        const auto code = static_cast<size_t>(std::lround(v));
+        out << (code < spec.cardinality() ? spec.categories[code]
+                                          : "UNKNOWN");
+      }
+      out << ",";
+    }
+    out << ds.y()[i] << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::IOError("empty file: " + path);
+  std::vector<std::string> header = Split(StripWhitespace(line), ',');
+  if (header.size() < 2)
+    return Status::InvalidArgument("csv needs >= 1 feature + target");
+  const size_t d = header.size() - 1;
+
+  std::vector<std::vector<std::string>> cells;  // row-major raw fields
+  while (std::getline(in, line)) {
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty()) continue;
+    std::vector<std::string> fields = Split(sv, ',');
+    if (fields.size() != header.size())
+      return Status::InvalidArgument("csv row has wrong field count");
+    cells.push_back(std::move(fields));
+  }
+
+  // Determine column types.
+  std::vector<bool> numeric(d, true);
+  for (const auto& row : cells) {
+    for (size_t j = 0; j < d; ++j) {
+      double v;
+      if (numeric[j] && !ParseDouble(row[j], &v)) numeric[j] = false;
+    }
+  }
+
+  std::vector<FeatureSpec> specs(d);
+  std::vector<std::map<std::string, size_t>> cat_codes(d);
+  for (size_t j = 0; j < d; ++j) {
+    specs[j].name = header[j];
+    specs[j].type =
+        numeric[j] ? FeatureType::kNumeric : FeatureType::kCategorical;
+  }
+
+  Matrix x(cells.size(), d);
+  std::vector<double> y(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (numeric[j]) {
+        double v;
+        if (!ParseDouble(cells[i][j], &v))
+          return Status::InvalidArgument("bad numeric field");
+        x(i, j) = v;
+      } else {
+        auto [it, inserted] =
+            cat_codes[j].emplace(cells[i][j], cat_codes[j].size());
+        if (inserted) specs[j].categories.push_back(cells[i][j]);
+        x(i, j) = static_cast<double>(it->second);
+      }
+    }
+    double v;
+    if (!ParseDouble(cells[i][d], &v))
+      return Status::InvalidArgument("bad target field");
+    y[i] = v;
+  }
+  return Dataset::Create(Schema(std::move(specs)), std::move(x),
+                         std::move(y));
+}
+
+}  // namespace xai

@@ -1,0 +1,24 @@
+#ifndef XAIDB_DATA_CSV_H_
+#define XAIDB_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Writes a dataset as CSV with a header row; the target column is written
+/// last under the name "target". Categorical codes are written as their
+/// category names.
+Status WriteCsv(const Dataset& ds, const std::string& path);
+
+/// Reads a CSV previously produced by WriteCsv (or hand-authored with the
+/// same conventions): header row; last column is the target; a column is
+/// treated as categorical if any value fails numeric parsing, with
+/// categories assigned in order of first appearance.
+Result<Dataset> ReadCsv(const std::string& path);
+
+}  // namespace xai
+
+#endif  // XAIDB_DATA_CSV_H_

@@ -1,0 +1,44 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace xai {
+
+Result<Dataset> Dataset::Create(Schema schema, Matrix x,
+                                std::vector<double> y) {
+  if (x.rows() != y.size())
+    return Status::InvalidArgument("Dataset: X rows != y size");
+  if (x.cols() != schema.num_features())
+    return Status::InvalidArgument("Dataset: X cols != schema features");
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& idx) const {
+  std::vector<double> ysel(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) ysel[i] = y_[idx[i]];
+  return Dataset(schema_, x_.SelectRows(idx), std::move(ysel));
+}
+
+Dataset Dataset::RemoveRow(size_t i) const { return RemoveRows({i}); }
+
+Dataset Dataset::RemoveRows(const std::vector<size_t>& idx) const {
+  std::vector<bool> drop(n(), false);
+  for (size_t i : idx) drop[i] = true;
+  std::vector<size_t> keep;
+  keep.reserve(n() - idx.size());
+  for (size_t i = 0; i < n(); ++i)
+    if (!drop[i]) keep.push_back(i);
+  return Select(keep);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng* rng) const {
+  std::vector<size_t> perm = rng->Permutation(n());
+  const size_t n_train =
+      static_cast<size_t>(train_fraction * static_cast<double>(n()));
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<size_t> test_idx(perm.begin() + n_train, perm.end());
+  return {Select(train_idx), Select(test_idx)};
+}
+
+}  // namespace xai

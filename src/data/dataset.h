@@ -1,0 +1,59 @@
+#ifndef XAIDB_DATA_DATASET_H_
+#define XAIDB_DATA_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/schema.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+/// A supervised tabular dataset: feature matrix X (row per example, column
+/// per feature; categorical features stored as category codes), target
+/// vector y, and a Schema describing the columns. Targets are regression
+/// values or {0,1} class labels depending on the task.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, Matrix x, std::vector<double> y)
+      : schema_(std::move(schema)), x_(std::move(x)), y_(std::move(y)) {}
+
+  /// Validates shapes (X rows == y size, X cols == schema size).
+  static Result<Dataset> Create(Schema schema, Matrix x,
+                                std::vector<double> y);
+
+  size_t n() const { return x_.rows(); }
+  size_t d() const { return x_.cols(); }
+  const Schema& schema() const { return schema_; }
+  const Matrix& x() const { return x_; }
+  Matrix& mutable_x() { return x_; }
+  const std::vector<double>& y() const { return y_; }
+  std::vector<double>& mutable_y() { return y_; }
+
+  std::vector<double> row(size_t i) const { return x_.Row(i); }
+  double label(size_t i) const { return y_[i]; }
+
+  /// Subset restricted to the given row indices.
+  Dataset Select(const std::vector<size_t>& idx) const;
+
+  /// Dataset with the given row removed.
+  Dataset RemoveRow(size_t i) const;
+
+  /// Dataset with all rows in `idx` removed.
+  Dataset RemoveRows(const std::vector<size_t>& idx) const;
+
+  /// Random (train, test) split; train_fraction in (0,1).
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng* rng) const;
+
+ private:
+  Schema schema_;
+  Matrix x_;
+  std::vector<double> y_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_DATA_DATASET_H_

@@ -1,0 +1,32 @@
+#include "data/schema.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace xai {
+
+Result<size_t> Schema::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < features_.size(); ++i)
+    if (features_[i].name == name) return i;
+  return Status::NotFound("feature not in schema: " + name);
+}
+
+std::string Schema::FormatValue(size_t feature, double value) const {
+  const FeatureSpec& spec = features_[feature];
+  std::ostringstream os;
+  os << spec.name << "=";
+  if (spec.is_numeric()) {
+    os.precision(4);
+    os << value;
+  } else {
+    const auto code = static_cast<size_t>(std::lround(value));
+    if (code < spec.categories.size()) {
+      os << spec.categories[code];
+    } else {
+      os << "<code " << code << ">";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace xai

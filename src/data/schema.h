@@ -1,0 +1,58 @@
+#ifndef XAIDB_DATA_SCHEMA_H_
+#define XAIDB_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xai {
+
+enum class FeatureType { kNumeric, kCategorical };
+
+/// Description of one feature column. Categorical values are stored in the
+/// data matrix as category codes 0..categories.size()-1 (doubles), with
+/// `categories` carrying their display names.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kNumeric;
+  std::vector<std::string> categories;  // Only for kCategorical.
+
+  static FeatureSpec Numeric(std::string name) {
+    return {std::move(name), FeatureType::kNumeric, {}};
+  }
+  static FeatureSpec Categorical(std::string name,
+                                 std::vector<std::string> categories) {
+    return {std::move(name), FeatureType::kCategorical,
+            std::move(categories)};
+  }
+
+  bool is_numeric() const { return type == FeatureType::kNumeric; }
+  size_t cardinality() const { return categories.size(); }
+};
+
+/// Ordered collection of feature columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FeatureSpec> features)
+      : features_(std::move(features)) {}
+
+  size_t num_features() const { return features_.size(); }
+  const FeatureSpec& feature(size_t i) const { return features_[i]; }
+  const std::vector<FeatureSpec>& features() const { return features_; }
+
+  /// Index of the named feature.
+  Result<size_t> FeatureIndex(const std::string& name) const;
+
+  /// Human-readable rendering of a feature value ("income=54k" vs
+  /// "education=Masters").
+  std::string FormatValue(size_t feature, double value) const;
+
+ private:
+  std::vector<FeatureSpec> features_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_DATA_SCHEMA_H_

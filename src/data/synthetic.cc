@@ -1,0 +1,204 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/stats.h"
+
+namespace xai {
+
+Dataset MakeLoanDataset(size_t n, const LoanDataOptions& opts) {
+  Rng rng(opts.seed);
+  Schema schema({
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Numeric("income"),
+      FeatureSpec::Numeric("credit_score"),
+      FeatureSpec::Numeric("debt"),
+      FeatureSpec::Numeric("employment_years"),
+      FeatureSpec::Categorical("education",
+                               {"HighSchool", "Bachelors", "Masters", "PhD"}),
+      FeatureSpec::Categorical("gender", {"female", "male"}),
+      FeatureSpec::Categorical("married", {"no", "yes"}),
+  });
+  Matrix x(n, schema.num_features());
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double age = std::clamp(rng.Gaussian(42.0, 12.0), 18.0, 80.0);
+    const double edu_draw = rng.NextDouble();
+    const double education =
+        edu_draw < 0.4 ? 0 : edu_draw < 0.75 ? 1 : edu_draw < 0.93 ? 2 : 3;
+    const double employment =
+        std::clamp((age - 18.0) * rng.Uniform(0.2, 0.8), 0.0, 45.0);
+    // Income correlates with age, education and employment length.
+    const double income = std::max(
+        8.0, 25.0 + 0.45 * (age - 30.0) + 9.0 * education +
+                 0.8 * employment + rng.Gaussian(0.0, 12.0));
+    // Debt correlates with income (people borrow against earnings).
+    const double debt =
+        std::max(0.0, 0.35 * income + rng.Gaussian(0.0, 10.0));
+    const double credit = std::clamp(
+        560.0 + 1.6 * employment + 0.9 * (income - debt) +
+            rng.Gaussian(0.0, 55.0),
+        300.0, 850.0);
+    const double gender = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    const double married = rng.Bernoulli(0.55) ? 1.0 : 0.0;
+
+    x(i, 0) = age;
+    x(i, 1) = income;
+    x(i, 2) = credit;
+    x(i, 3) = debt;
+    x(i, 4) = employment;
+    x(i, 5) = education;
+    x(i, 6) = gender;
+    x(i, 7) = married;
+
+    const double logit = -3.4 + 0.05 * income + 0.018 * (credit - 560.0) -
+                         0.065 * debt + 0.06 * employment +
+                         0.25 * education + 0.3 * married +
+                         opts.gender_bias * gender +
+                         rng.Gaussian(0.0, opts.noise);
+    y[i] = rng.Bernoulli(Sigmoid(logit)) ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeCreditDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      FeatureSpec::Numeric("duration_months"),
+      FeatureSpec::Numeric("amount"),
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Categorical("checking_status",
+                               {"none", "low", "medium", "high"}),
+      FeatureSpec::Categorical("savings", {"none", "low", "medium", "high"}),
+      FeatureSpec::Categorical("housing", {"rent", "own", "free"}),
+      FeatureSpec::Categorical("purpose",
+                               {"car", "furniture", "education", "business"}),
+      FeatureSpec::Categorical("employment",
+                               {"unemployed", "short", "medium", "long"}),
+  });
+  Matrix x(n, schema.num_features());
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double duration = std::clamp(rng.Gaussian(21.0, 12.0), 4.0, 72.0);
+    const double amount =
+        std::max(250.0, duration * rng.Uniform(80.0, 260.0));
+    const double age = std::clamp(rng.Gaussian(35.0, 11.0), 19.0, 75.0);
+    const double checking = static_cast<double>(rng.NextInt(4));
+    const double savings = static_cast<double>(rng.NextInt(4));
+    const double housing = rng.NextDouble() < 0.2   ? 0.0
+                           : rng.NextDouble() < 0.9 ? 1.0
+                                                    : 2.0;
+    const double purpose = static_cast<double>(rng.NextInt(4));
+    const double employment =
+        std::min(3.0, std::floor((age - 19.0) / 12.0) +
+                          static_cast<double>(rng.NextInt(2)));
+    x(i, 0) = duration;
+    x(i, 1) = amount;
+    x(i, 2) = age;
+    x(i, 3) = checking;
+    x(i, 4) = savings;
+    x(i, 5) = housing;
+    x(i, 6) = purpose;
+    x(i, 7) = employment;
+    const double logit = 1.8 - 0.045 * duration - 0.00012 * amount +
+                         0.01 * (age - 30.0) + 0.45 * checking +
+                         0.35 * savings + 0.3 * (housing == 1.0) +
+                         0.4 * employment + rng.Gaussian(0.0, 0.6);
+    y[i] = rng.Bernoulli(Sigmoid(logit)) ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeHiringDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      FeatureSpec::Numeric("experience_years"),
+      FeatureSpec::Numeric("interview_score"),
+      FeatureSpec::Categorical("degree", {"none", "bachelors", "masters"}),
+      FeatureSpec::Categorical("referred", {"no", "yes"}),
+      FeatureSpec::Categorical("role", {"junior", "senior", "manager"}),
+  });
+  Matrix x(n, schema.num_features());
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double exp_years = std::clamp(rng.Gaussian(6.0, 5.0), 0.0, 30.0);
+    const double interview = std::clamp(rng.Gaussian(6.0, 2.0), 0.0, 10.0);
+    const double degree = static_cast<double>(rng.NextInt(3));
+    const double referred = rng.Bernoulli(0.25) ? 1.0 : 0.0;
+    const double role = exp_years > 10  ? (rng.Bernoulli(0.4) ? 2.0 : 1.0)
+                        : exp_years > 4 ? 1.0
+                                        : 0.0;
+    x(i, 0) = exp_years;
+    x(i, 1) = interview;
+    x(i, 2) = degree;
+    x(i, 3) = referred;
+    x(i, 4) = role;
+    // Crisp generative rules + 5% noise: hired iff (interview >= 7 AND
+    // degree >= bachelors) OR (referred AND interview >= 5) OR
+    // (experience >= 12 AND interview >= 6).
+    bool hired = (interview >= 7.0 && degree >= 1.0) ||
+                 (referred == 1.0 && interview >= 5.0) ||
+                 (exp_years >= 12.0 && interview >= 6.0);
+    if (rng.Bernoulli(0.05)) hired = !hired;
+    y[i] = hired ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeGaussianDataset(size_t n, const GaussianDataOptions& opts) {
+  Rng rng(opts.seed);
+  const size_t d = opts.dims;
+  std::vector<FeatureSpec> specs;
+  specs.reserve(d);
+  for (size_t j = 0; j < d; ++j)
+    specs.push_back(FeatureSpec::Numeric("x" + std::to_string(j)));
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  const double rho = std::clamp(opts.rho, -0.99, 0.99);
+  const double noise_scale = std::sqrt(1.0 - rho * rho);
+  for (size_t i = 0; i < n; ++i) {
+    double prev = rng.Gaussian();
+    x(i, 0) = prev;
+    for (size_t j = 1; j < d; ++j) {
+      // AR(1) chain: corr(x_j, x_{j-1}) = rho.
+      prev = rho * prev + noise_scale * rng.Gaussian();
+      x(i, j) = prev;
+    }
+    double score = 0.0;
+    for (size_t j = 0; j < d; ++j)
+      score += x(i, j) / static_cast<double>(j + 1);
+    if (opts.classification) {
+      y[i] = rng.Bernoulli(Sigmoid(2.0 * score)) ? 1.0 : 0.0;
+    } else {
+      y[i] = score + rng.Gaussian(0.0, 0.1);
+    }
+  }
+  return Dataset(Schema(std::move(specs)), std::move(x), std::move(y));
+}
+
+Dataset MakeLinearRegressionDataset(size_t n, size_t d, uint64_t seed,
+                                    std::vector<double>* true_weights) {
+  Rng rng(seed);
+  std::vector<FeatureSpec> specs;
+  specs.reserve(d);
+  for (size_t j = 0; j < d; ++j)
+    specs.push_back(FeatureSpec::Numeric("f" + std::to_string(j)));
+  std::vector<double> w(d);
+  for (size_t j = 0; j < d; ++j) w[j] = rng.Uniform(-2.0, 2.0);
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.Gaussian();
+      s += w[j] * x(i, j);
+    }
+    y[i] = s + rng.Gaussian(0.0, 0.25);
+  }
+  if (true_weights) *true_weights = std::move(w);
+  return Dataset(Schema(std::move(specs)), std::move(x), std::move(y));
+}
+
+}  // namespace xai

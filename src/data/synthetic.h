@@ -1,0 +1,64 @@
+#ifndef XAIDB_DATA_SYNTHETIC_H_
+#define XAIDB_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Synthetic stand-ins for the real-world tabular datasets the tutorial's
+/// running examples draw on (loan approval / credit scoring / hiring —
+/// finance and employment decision-making). See DESIGN.md "Substitutions":
+/// the schemas, mixed feature types, feature correlations, and optional
+/// injected demographic bias reproduce the properties the explainers are
+/// sensitive to.
+
+struct LoanDataOptions {
+  uint64_t seed = 42;
+  /// Additional log-odds weight on the sensitive feature `gender`
+  /// (0 = unbiased lender; > 0 reproduces the discrimination scenarios in
+  /// the tutorial's Section 1 and the adversarial-attack experiment E4).
+  double gender_bias = 0.0;
+  /// Std of label noise in log-odds space.
+  double noise = 0.5;
+};
+
+/// Loan-approval classification data (label 1 = approved).
+/// Features: age, income, credit_score, debt, employment_years (numeric,
+/// correlated: income rises with age/employment; debt with income),
+/// education (4 categories), gender (2), married (2).
+Dataset MakeLoanDataset(size_t n, const LoanDataOptions& opts = {});
+
+/// German-credit-style risk scoring (label 1 = good credit).
+/// Heavier categorical mix for the rule-based explainers.
+Dataset MakeCreditDataset(size_t n, uint64_t seed = 7);
+
+/// Hiring decisions (label 1 = hired) driven by a crisp rule structure plus
+/// noise — ideal for Anchors / decision-set evaluation (E8): the generator's
+/// own rules are the ground truth the miners should recover.
+Dataset MakeHiringDataset(size_t n, uint64_t seed = 11);
+
+struct GaussianDataOptions {
+  uint64_t seed = 3;
+  size_t dims = 8;
+  /// Pairwise correlation of adjacent features via a chain dependence.
+  double rho = 0.0;
+  /// If true the label is a noisy linear threshold; otherwise a smooth
+  /// linear regression target.
+  bool classification = true;
+};
+
+/// Correlated Gaussian features with linear ground-truth weights
+/// 1, 1/2, ..., 1/d (so attribution magnitudes have a known ordering).
+Dataset MakeGaussianDataset(size_t n, const GaussianDataOptions& opts = {});
+
+/// Regression dataset y = sum_j w_j x_j + noise with returned-by-reference
+/// ground-truth weights; used by the incremental-maintenance (PrIU)
+/// experiments where exactness against the normal equations matters.
+Dataset MakeLinearRegressionDataset(size_t n, size_t d, uint64_t seed,
+                                    std::vector<double>* true_weights);
+
+}  // namespace xai
+
+#endif  // XAIDB_DATA_SYNTHETIC_H_

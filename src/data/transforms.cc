@@ -1,0 +1,195 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "math/stats.h"
+
+namespace xai {
+
+Standardizer Standardizer::Fit(const Dataset& ds) {
+  Standardizer s;
+  const size_t d = ds.d();
+  s.mean_.assign(d, 0.0);
+  s.std_.assign(d, 1.0);
+  s.is_numeric_.assign(d, false);
+  for (size_t j = 0; j < d; ++j) {
+    s.is_numeric_[j] = ds.schema().feature(j).is_numeric();
+    if (!s.is_numeric_[j]) continue;
+    std::vector<double> col = ds.x().Col(j);
+    s.mean_[j] = Mean(col);
+    const double sd = StdDev(col);
+    s.std_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+Dataset Standardizer::Transform(const Dataset& ds) const {
+  Matrix x = ds.x();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (is_numeric_[j]) x(i, j) = (x(i, j) - mean_[j]) / std_[j];
+    }
+  }
+  return Dataset(ds.schema(), std::move(x), ds.y());
+}
+
+std::vector<double> Standardizer::TransformRow(
+    const std::vector<double>& row) const {
+  std::vector<double> out = row;
+  for (size_t j = 0; j < out.size(); ++j)
+    if (is_numeric_[j]) out[j] = (out[j] - mean_[j]) / std_[j];
+  return out;
+}
+
+std::vector<double> Standardizer::InverseRow(
+    const std::vector<double>& row) const {
+  std::vector<double> out = row;
+  for (size_t j = 0; j < out.size(); ++j)
+    if (is_numeric_[j]) out[j] = out[j] * std_[j] + mean_[j];
+  return out;
+}
+
+Discretizer Discretizer::Fit(const Dataset& ds, int bins_per_feature) {
+  Discretizer disc;
+  const size_t d = ds.d();
+  disc.cut_points_.resize(d);
+  disc.num_bins_.resize(d);
+  disc.is_numeric_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    const FeatureSpec& spec = ds.schema().feature(j);
+    disc.is_numeric_[j] = spec.is_numeric();
+    if (!spec.is_numeric()) {
+      disc.num_bins_[j] = static_cast<int>(spec.cardinality());
+      continue;
+    }
+    std::vector<double> col = ds.x().Col(j);
+    std::set<double> cuts;
+    for (int b = 1; b < bins_per_feature; ++b) {
+      cuts.insert(Quantile(col, static_cast<double>(b) /
+                                    static_cast<double>(bins_per_feature)));
+    }
+    disc.cut_points_[j].assign(cuts.begin(), cuts.end());
+    disc.num_bins_[j] = static_cast<int>(disc.cut_points_[j].size()) + 1;
+  }
+  return disc;
+}
+
+int Discretizer::Bin(size_t feature, double value) const {
+  if (!is_numeric_[feature])
+    return static_cast<int>(std::lround(value));
+  const auto& cuts = cut_points_[feature];
+  return static_cast<int>(
+      std::upper_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+}
+
+int Discretizer::NumBins(size_t feature) const { return num_bins_[feature]; }
+
+std::pair<double, double> Discretizer::BinRange(size_t feature,
+                                                int bin) const {
+  const auto& cuts = cut_points_[feature];
+  const double lo = bin == 0 ? -std::numeric_limits<double>::infinity()
+                             : cuts[bin - 1];
+  const double hi = bin >= static_cast<int>(cuts.size())
+                        ? std::numeric_limits<double>::infinity()
+                        : cuts[bin];
+  return {lo, hi};
+}
+
+std::string Discretizer::BinLabel(const Schema& schema, size_t feature,
+                                  int bin) const {
+  const FeatureSpec& spec = schema.feature(feature);
+  std::ostringstream os;
+  os.precision(4);
+  if (!spec.is_numeric()) {
+    os << spec.name << "="
+       << (bin >= 0 && bin < static_cast<int>(spec.cardinality())
+               ? spec.categories[bin]
+               : "<?>");
+    return os.str();
+  }
+  auto [lo, hi] = BinRange(feature, bin);
+  if (std::isinf(lo)) {
+    os << spec.name << " <= " << hi;
+  } else if (std::isinf(hi)) {
+    os << spec.name << " > " << lo;
+  } else {
+    os << lo << " < " << spec.name << " <= " << hi;
+  }
+  return os.str();
+}
+
+std::vector<size_t> InjectLabelNoise(Dataset* ds, double fraction, Rng* rng) {
+  const size_t k =
+      static_cast<size_t>(fraction * static_cast<double>(ds->n()));
+  std::vector<size_t> idx = rng->SampleWithoutReplacement(ds->n(), k);
+  for (size_t i : idx) {
+    double& y = ds->mutable_y()[i];
+    y = y > 0.5 ? 0.0 : 1.0;
+  }
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+Dataset OneHotEncode(const Dataset& ds) {
+  std::vector<FeatureSpec> out_specs;
+  for (size_t j = 0; j < ds.d(); ++j) {
+    const FeatureSpec& spec = ds.schema().feature(j);
+    if (spec.is_numeric()) {
+      out_specs.push_back(spec);
+    } else {
+      for (const std::string& cat : spec.categories)
+        out_specs.push_back(FeatureSpec::Numeric(spec.name + "=" + cat));
+    }
+  }
+  Matrix x(ds.n(), out_specs.size());
+  for (size_t i = 0; i < ds.n(); ++i) {
+    size_t out_j = 0;
+    for (size_t j = 0; j < ds.d(); ++j) {
+      const FeatureSpec& spec = ds.schema().feature(j);
+      if (spec.is_numeric()) {
+        x(i, out_j++) = ds.x()(i, j);
+      } else {
+        const auto code = static_cast<size_t>(std::lround(ds.x()(i, j)));
+        for (size_t c = 0; c < spec.cardinality(); ++c)
+          x(i, out_j++) = (c == code) ? 1.0 : 0.0;
+      }
+    }
+  }
+  return Dataset(Schema(std::move(out_specs)), std::move(x), ds.y());
+}
+
+ColumnStats ComputeColumnStats(const Dataset& ds) {
+  ColumnStats cs;
+  const size_t d = ds.d();
+  cs.mean.resize(d);
+  cs.std.resize(d);
+  cs.values.resize(d);
+  cs.frequencies.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> col = ds.x().Col(j);
+    cs.mean[j] = Mean(col);
+    cs.std[j] = std::max(StdDev(col), 1e-9);
+    const FeatureSpec& spec = ds.schema().feature(j);
+    if (spec.is_numeric()) {
+      std::sort(col.begin(), col.end());
+      col.erase(std::unique(col.begin(), col.end()), col.end());
+      cs.values[j] = std::move(col);
+    } else {
+      const size_t card = spec.cardinality();
+      cs.values[j].resize(card);
+      cs.frequencies[j].assign(card, 0.0);
+      for (size_t c = 0; c < card; ++c)
+        cs.values[j][c] = static_cast<double>(c);
+      for (double v : col) {
+        const auto code = static_cast<size_t>(std::lround(v));
+        if (code < card) cs.frequencies[j][code] += 1.0;
+      }
+    }
+  }
+  return cs;
+}
+
+}  // namespace xai

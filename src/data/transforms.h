@@ -1,0 +1,77 @@
+#ifndef XAIDB_DATA_TRANSFORMS_H_
+#define XAIDB_DATA_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Z-score standardizer for numeric columns; categorical columns pass
+/// through unchanged. Fit on train, apply to train/test/instances.
+class Standardizer {
+ public:
+  /// Computes per-column mean/std over the dataset's numeric columns.
+  static Standardizer Fit(const Dataset& ds);
+
+  Dataset Transform(const Dataset& ds) const;
+  std::vector<double> TransformRow(const std::vector<double>& row) const;
+  std::vector<double> InverseRow(const std::vector<double>& row) const;
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stds() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;           // 1.0 for categorical / constant cols.
+  std::vector<bool> is_numeric_;
+};
+
+/// Equal-frequency (quantile) discretizer for numeric columns — the
+/// substrate Anchors and rule mining need to turn tabular rows into
+/// predicates ("income in [42k, 61k)").
+class Discretizer {
+ public:
+  static Discretizer Fit(const Dataset& ds, int bins_per_feature = 4);
+
+  /// Bin index for a feature value (categorical values map to their code).
+  int Bin(size_t feature, double value) const;
+  /// Number of bins for the feature.
+  int NumBins(size_t feature) const;
+  /// Human-readable description of a bin, e.g. "income in [42.1, 61.7)".
+  std::string BinLabel(const Schema& schema, size_t feature, int bin) const;
+  /// Lower/upper edges of a numeric bin (±inf at extremes).
+  std::pair<double, double> BinRange(size_t feature, int bin) const;
+  bool is_numeric(size_t feature) const { return is_numeric_[feature]; }
+
+ private:
+  std::vector<std::vector<double>> cut_points_;  // Per numeric feature.
+  std::vector<int> num_bins_;
+  std::vector<bool> is_numeric_;
+};
+
+/// Flips the binary label of a `fraction` of rows chosen uniformly at
+/// random. Returns the indices of corrupted rows (ground truth for the
+/// data-debugging experiments E5/E6).
+std::vector<size_t> InjectLabelNoise(Dataset* ds, double fraction, Rng* rng);
+
+/// One-hot expansion of categorical columns (numeric columns pass through).
+/// Returns the expanded dataset with an all-numeric schema.
+Dataset OneHotEncode(const Dataset& ds);
+
+/// Per-column empirical distribution summary used by perturbation-based
+/// explainers (LIME, Anchors) to sample realistic feature values.
+struct ColumnStats {
+  std::vector<double> mean;
+  std::vector<double> std;
+  // For every feature: sorted distinct observed values (numeric) or
+  // category frequencies (categorical).
+  std::vector<std::vector<double>> values;
+  std::vector<std::vector<double>> frequencies;  // Categorical only.
+};
+ColumnStats ComputeColumnStats(const Dataset& ds);
+
+}  // namespace xai
+
+#endif  // XAIDB_DATA_TRANSFORMS_H_

@@ -1,0 +1,72 @@
+#include "db/bias_explain.h"
+
+#include <cmath>
+#include <map>
+
+namespace xai {
+
+Result<BiasReport> DetectQueryBias(
+    const Relation& r, const std::string& treatment,
+    const std::string& outcome,
+    const std::vector<std::string>& confounders) {
+  XAI_ASSIGN_OR_RETURN(size_t t_idx, r.ColumnIndex(treatment));
+  XAI_ASSIGN_OR_RETURN(size_t o_idx, r.ColumnIndex(outcome));
+  std::vector<size_t> c_idx;
+  for (const std::string& c : confounders) {
+    XAI_ASSIGN_OR_RETURN(size_t j, r.ColumnIndex(c));
+    c_idx.push_back(j);
+  }
+  if (r.num_rows() == 0) return Status::InvalidArgument("empty relation");
+
+  // Unadjusted contrast.
+  double sum[2] = {0, 0};
+  double n[2] = {0, 0};
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    const int t = r.value(i, t_idx) >= 0.5 ? 1 : 0;
+    sum[t] += r.value(i, o_idx);
+    n[t] += 1.0;
+  }
+  if (n[0] == 0.0 || n[1] == 0.0)
+    return Status::InvalidArgument("a treatment arm is empty");
+  BiasReport report;
+  report.unadjusted_effect = sum[1] / n[1] - sum[0] / n[0];
+
+  // Stratified (adjusted) contrast.
+  struct Cell {
+    double sum[2] = {0, 0};
+    double n[2] = {0, 0};
+  };
+  std::map<std::vector<double>, Cell> strata;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    std::vector<double> key(c_idx.size());
+    for (size_t k = 0; k < c_idx.size(); ++k) key[k] = r.value(i, c_idx[k]);
+    Cell& cell = strata[key];
+    const int t = r.value(i, t_idx) >= 0.5 ? 1 : 0;
+    cell.sum[t] += r.value(i, o_idx);
+    cell.n[t] += 1.0;
+  }
+  double total_weight = 0.0;
+  double weighted_effect = 0.0;
+  for (const auto& [key, cell] : strata) {
+    if (cell.n[0] == 0.0 || cell.n[1] == 0.0) continue;  // No contrast.
+    BiasReport::Stratum s;
+    s.key = key;
+    s.weight = cell.n[0] + cell.n[1];
+    s.effect = cell.sum[1] / cell.n[1] - cell.sum[0] / cell.n[0];
+    weighted_effect += s.weight * s.effect;
+    total_weight += s.weight;
+    report.strata.push_back(std::move(s));
+  }
+  if (total_weight == 0.0)
+    return Status::FailedPrecondition(
+        "no stratum contains both treatment arms");
+  report.adjusted_effect = weighted_effect / total_weight;
+  for (auto& s : report.strata) s.weight /= total_weight;
+  report.simpson_reversal =
+      report.unadjusted_effect * report.adjusted_effect < 0.0 &&
+      std::abs(report.unadjusted_effect) > 1e-9 &&
+      std::abs(report.adjusted_effect) > 1e-9;
+  return report;
+}
+
+}  // namespace xai

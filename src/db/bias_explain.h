@@ -1,0 +1,47 @@
+#ifndef XAIDB_DB_BIAS_EXPLAIN_H_
+#define XAIDB_DB_BIAS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace xai {
+
+/// HypDB-style bias detection in OLAP queries (Salimi et al. 2018, cited
+/// by the tutorial's presenter bios and Section 3's "Explanations in
+/// Databases"): a GROUP BY average over a treatment column can reverse
+/// sign once a confounder is controlled for (Simpson's paradox). This
+/// module computes the unadjusted effect and the confounder-adjusted
+/// effect and flags reversals — the query-answer analogue of the
+/// correlation-vs-causation distinction the causal explainers draw.
+struct BiasReport {
+  /// avg(outcome | treatment=1) - avg(outcome | treatment=0), unadjusted.
+  double unadjusted_effect = 0.0;
+  /// The same contrast averaged within confounder strata, weighted by
+  /// stratum size (the back-door adjustment over the given confounders).
+  double adjusted_effect = 0.0;
+  /// Per-stratum detail: (confounder value(s) key, stratum weight,
+  /// stratum effect).
+  struct Stratum {
+    std::vector<double> key;
+    double weight = 0.0;
+    double effect = 0.0;
+  };
+  std::vector<Stratum> strata;
+  /// True when adjustment flips the sign (Simpson's paradox).
+  bool simpson_reversal = false;
+};
+
+/// `treatment` must be a 0/1 column; `outcome` numeric; `confounders`
+/// categorical-ish columns to stratify on. Strata with only one treatment
+/// arm are skipped (and excluded from the weights).
+Result<BiasReport> DetectQueryBias(const Relation& r,
+                                   const std::string& treatment,
+                                   const std::string& outcome,
+                                   const std::vector<std::string>& confounders);
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_BIAS_EXPLAIN_H_

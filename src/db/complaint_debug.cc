@@ -1,0 +1,46 @@
+#include "db/complaint_debug.h"
+
+#include <algorithm>
+
+#include "math/stats.h"
+
+namespace xai {
+
+Result<std::vector<ComplaintSuspect>> RankComplaintSuspects(
+    const LogisticRegression& model, const Dataset& train,
+    const Dataset& serving, const Complaint& complaint,
+    const InfluenceOptions& opts) {
+  if (complaint.serving_rows.empty())
+    return Status::InvalidArgument("Complaint: no serving rows");
+  XAI_ASSIGN_OR_RETURN(InfluenceCalculator calc,
+                       InfluenceCalculator::Create(model, train, opts));
+
+  // Relaxed aggregate: sum over complained rows of p(x_v). Its gradient
+  // w.r.t. each training point's removal is
+  //   sum_v p_v (1 - p_v) * d margin_v / d removal_i.
+  std::vector<double> total(train.n(), 0.0);
+  for (size_t v : complaint.serving_rows) {
+    if (v >= serving.n())
+      return Status::OutOfRange("Complaint: serving row out of range");
+    const std::vector<double> xv = serving.row(v);
+    const double p = model.Predict(xv);
+    const double sensitivity = p * (1.0 - p);
+    const std::vector<double> dmargin = calc.InfluenceOnPrediction(xv);
+    for (size_t i = 0; i < train.n(); ++i)
+      total[i] += sensitivity * dmargin[i];
+  }
+
+  std::vector<ComplaintSuspect> out(train.n());
+  for (size_t i = 0; i < train.n(); ++i) {
+    out[i].train_row = i;
+    // direction=+1 wants the count to rise after the repair (removal).
+    out[i].score = static_cast<double>(complaint.direction) * total[i];
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ComplaintSuspect& a, const ComplaintSuspect& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+}  // namespace xai

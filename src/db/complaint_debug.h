@@ -1,0 +1,42 @@
+#ifndef XAIDB_DB_COMPLAINT_DEBUG_H_
+#define XAIDB_DB_COMPLAINT_DEBUG_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/logistic_regression.h"
+#include "valuation/influence.h"
+
+namespace xai {
+
+/// A user complaint about an aggregate computed over model predictions
+/// ("Query 2.0"): the COUNT of predicted-positive rows among
+/// `serving_rows` should move in `direction` (+1: the count is too low,
+/// -1: too high).
+struct Complaint {
+  std::vector<size_t> serving_rows;  // Row indices into the serving set.
+  int direction = -1;
+};
+
+struct ComplaintSuspect {
+  size_t train_row = 0;
+  /// How much removing this training point moves the complained-about
+  /// aggregate in the desired direction (higher = stronger suspect).
+  double score = 0.0;
+};
+
+/// Rain-lite complaint-driven training-data debugging (Wu, Flokas, Wu &
+/// Wang 2020; tutorial Section 3 "Data-Based Explanations"): relaxes the
+/// predicted-positive COUNT to a sum of probabilities, then ranks training
+/// points by the influence-function estimate of how much their removal
+/// moves that relaxed aggregate in the complaint's direction. The top
+/// suspects are the training tuples to inspect/repair.
+Result<std::vector<ComplaintSuspect>> RankComplaintSuspects(
+    const LogisticRegression& model, const Dataset& train,
+    const Dataset& serving, const Complaint& complaint,
+    const InfluenceOptions& opts = InfluenceOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_COMPLAINT_DEBUG_H_

@@ -1,0 +1,104 @@
+#include "db/incremental.h"
+
+#include "math/linalg.h"
+
+namespace xai {
+
+Result<IncrementalLinearRegression> IncrementalLinearRegression::Fit(
+    const Dataset& ds, const Options& opts) {
+  if (ds.n() == 0)
+    return Status::InvalidArgument("IncrementalLinReg: empty data");
+  const size_t d = ds.d();
+  IncrementalLinearRegression m;
+  m.d_ = d;
+  m.n_ = ds.n();
+
+  Matrix a(d + 1, d + 1);
+  m.b_.assign(d + 1, 0.0);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const double* r = ds.x().RowPtr(i);
+    for (size_t p = 0; p <= d; ++p) {
+      const double xp = p < d ? r[p] : 1.0;
+      for (size_t q = 0; q <= d; ++q) {
+        const double xq = q < d ? r[q] : 1.0;
+        a(p, q) += xp * xq;
+      }
+      m.b_[p] += xp * ds.y()[i];
+    }
+  }
+  for (size_t j = 0; j < d; ++j) a(j, j) += opts.lambda;
+  a(d, d) += 1e-12;
+  XAI_ASSIGN_OR_RETURN(m.a_inv_, InverseSpd(a));
+  return m;
+}
+
+Status IncrementalLinearRegression::RemoveRow(const std::vector<double>& x,
+                                              double y) {
+  if (x.size() != d_)
+    return Status::InvalidArgument("IncrementalLinReg: arity mismatch");
+  if (n_ == 0)
+    return Status::FailedPrecondition("IncrementalLinReg: no rows left");
+  std::vector<double> xa = x;
+  xa.push_back(1.0);
+  // A <- A - x x^T is Sherman-Morrison with u = -x, v = x.
+  std::vector<double> neg = xa;
+  for (double& v : neg) v = -v;
+  XAI_RETURN_NOT_OK(ShermanMorrisonUpdate(&a_inv_, neg, xa));
+  for (size_t p = 0; p <= d_; ++p) b_[p] -= xa[p] * y;
+  --n_;
+  return Status::OK();
+}
+
+Status IncrementalLinearRegression::RemoveRows(const Matrix& x,
+                                               const std::vector<double>& y) {
+  if (x.rows() != y.size())
+    return Status::InvalidArgument("IncrementalLinReg: batch mismatch");
+  for (size_t i = 0; i < x.rows(); ++i)
+    XAI_RETURN_NOT_OK(RemoveRow(x.Row(i), y[i]));
+  return Status::OK();
+}
+
+Status IncrementalLinearRegression::AddRow(const std::vector<double>& x,
+                                           double y) {
+  if (x.size() != d_)
+    return Status::InvalidArgument("IncrementalLinReg: arity mismatch");
+  std::vector<double> xa = x;
+  xa.push_back(1.0);
+  XAI_RETURN_NOT_OK(ShermanMorrisonUpdate(&a_inv_, xa, xa));
+  for (size_t p = 0; p <= d_; ++p) b_[p] += xa[p] * y;
+  ++n_;
+  return Status::OK();
+}
+
+std::vector<double> IncrementalLinearRegression::Theta() const {
+  return a_inv_ * b_;
+}
+
+double IncrementalLinearRegression::Predict(
+    const std::vector<double>& x) const {
+  const std::vector<double> theta = Theta();
+  double s = theta[d_];
+  for (size_t j = 0; j < d_; ++j) s += theta[j] * x[j];
+  return s;
+}
+
+Result<IncrementalLogisticRegression> IncrementalLogisticRegression::Fit(
+    const Dataset& ds, const LogisticRegression::Options& opts) {
+  XAI_ASSIGN_OR_RETURN(LogisticRegression model,
+                       LogisticRegression::Fit(ds, opts));
+  return IncrementalLogisticRegression(ds, std::move(model), opts);
+}
+
+Result<std::vector<double>> IncrementalLogisticRegression::ThetaAfterRemoval(
+    const std::vector<size_t>& rows, int newton_steps) const {
+  Dataset reduced = ds_.RemoveRows(rows);
+  LogisticRegression::Options o = opts_;
+  o.max_iter = newton_steps;
+  XAI_ASSIGN_OR_RETURN(
+      LogisticRegression refreshed,
+      LogisticRegression::FitFrom(reduced.x(), reduced.y(), model_.theta(),
+                                  o));
+  return refreshed.theta();
+}
+
+}  // namespace xai

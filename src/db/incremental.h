@@ -1,0 +1,87 @@
+#ifndef XAIDB_DB_INCREMENTAL_H_
+#define XAIDB_DB_INCREMENTAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "math/matrix.h"
+#include "model/logistic_regression.h"
+
+namespace xai {
+
+/// PrIU-style incremental maintenance of a ridge linear-regression model
+/// (Wu, Tannen & Davidson 2020; tutorial Section 3 "Data-Based
+/// Explanations"): the model's sufficient statistics A = X~^T X~ + reg and
+/// b = X~^T y are maintained like a materialized view. Deleting a training
+/// row is a rank-1 *downdate* applied to A^{-1} with Sherman-Morrison in
+/// O(d^2), versus O(n d^2) for retraining from scratch — the speedup
+/// experiment E9 measures, and the enabler of deletion-based data
+/// debugging at interactive latency.
+class IncrementalLinearRegression {
+ public:
+  struct Options {
+    double lambda = 1e-6;
+  };
+
+  static Result<IncrementalLinearRegression> Fit(const Dataset& ds,
+                                                 const Options& opts);
+
+  /// Removes one training row (given explicitly; the class does not store
+  /// the dataset). O(d^2).
+  Status RemoveRow(const std::vector<double>& x, double y);
+
+  /// Removes a batch of rows. O(k d^2).
+  Status RemoveRows(const Matrix& x, const std::vector<double>& y);
+
+  /// Inserts one training row (rank-1 update — the other direction of the
+  /// view maintenance). O(d^2).
+  Status AddRow(const std::vector<double>& x, double y);
+
+  /// Current parameters [w; b], recomputed from the maintained statistics
+  /// in O(d^2).
+  std::vector<double> Theta() const;
+
+  double Predict(const std::vector<double>& x) const;
+
+  size_t remaining_rows() const { return n_; }
+
+ private:
+  IncrementalLinearRegression() = default;
+
+  Matrix a_inv_;            // (X~^T X~ + reg)^{-1}, maintained incrementally.
+  std::vector<double> b_;   // X~^T y.
+  size_t n_ = 0;
+  size_t d_ = 0;            // Features (without intercept).
+};
+
+/// Incremental refresh for logistic regression: warm-started Newton from
+/// the current parameters on the reduced data. Not a closed-form view
+/// update (logistic MLE has none), but 1-2 Newton steps from a warm start
+/// converge orders of magnitude faster than cold retraining — the
+/// HedgeCut/PrIU-flavoured practical recipe.
+class IncrementalLogisticRegression {
+ public:
+  static Result<IncrementalLogisticRegression> Fit(
+      const Dataset& ds, const LogisticRegression::Options& opts);
+
+  /// Returns parameters after removing `rows` (indices into the original
+  /// dataset), using `newton_steps` warm-started iterations.
+  Result<std::vector<double>> ThetaAfterRemoval(const std::vector<size_t>& rows,
+                                                int newton_steps = 2) const;
+
+  const LogisticRegression& model() const { return model_; }
+
+ private:
+  IncrementalLogisticRegression(Dataset ds, LogisticRegression model,
+                                LogisticRegression::Options opts)
+      : ds_(std::move(ds)), model_(std::move(model)), opts_(opts) {}
+
+  Dataset ds_;
+  LogisticRegression model_;
+  LogisticRegression::Options opts_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_INCREMENTAL_H_

@@ -1,0 +1,147 @@
+#include "db/provenance_explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace xai {
+namespace {
+
+/// Minimum hitting set over `sets` (each must be hit by >= 1 chosen
+/// element). Exact branch-and-bound for small instances; greedy fallback.
+std::vector<TupleId> MinimumHittingSet(
+    const std::vector<std::vector<TupleId>>& sets, size_t exact_limit) {
+  if (sets.empty()) return {};
+
+  // Greedy solution (also the upper bound for the exact search): pick the
+  // element hitting the most unhit sets.
+  auto greedy = [&]() {
+    std::vector<TupleId> chosen;
+    std::vector<bool> hit(sets.size(), false);
+    for (;;) {
+      std::map<TupleId, size_t> gain;
+      bool any_unhit = false;
+      for (size_t s = 0; s < sets.size(); ++s) {
+        if (hit[s]) continue;
+        any_unhit = true;
+        for (TupleId t : sets[s]) ++gain[t];
+      }
+      if (!any_unhit) break;
+      TupleId best = 0;
+      size_t best_gain = 0;
+      for (const auto& [t, g] : gain) {
+        if (g > best_gain) {
+          best_gain = g;
+          best = t;
+        }
+      }
+      chosen.push_back(best);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        if (hit[s]) continue;
+        if (std::find(sets[s].begin(), sets[s].end(), best) != sets[s].end())
+          hit[s] = true;
+      }
+    }
+    return chosen;
+  };
+
+  std::vector<TupleId> best = greedy();
+  if (sets.size() > exact_limit) return best;
+
+  // Exact DFS: repeatedly branch on the elements of the first unhit set.
+  std::vector<TupleId> current;
+  std::function<void(size_t)> dfs = [&](size_t /*depth*/) {
+    if (current.size() + 1 >= best.size() + 1 &&
+        current.size() >= best.size())
+      return;  // Prune: cannot beat the incumbent.
+    // First unhit set.
+    const std::vector<TupleId>* unhit = nullptr;
+    for (const auto& s : sets) {
+      bool is_hit = false;
+      for (TupleId t : s)
+        if (std::find(current.begin(), current.end(), t) != current.end()) {
+          is_hit = true;
+          break;
+        }
+      if (!is_hit) {
+        unhit = &s;
+        break;
+      }
+    }
+    if (!unhit) {
+      if (current.size() < best.size()) best = current;
+      return;
+    }
+    for (TupleId t : *unhit) {
+      current.push_back(t);
+      dfs(current.size());
+      current.pop_back();
+    }
+  };
+  dfs(0);
+  return best;
+}
+
+}  // namespace
+
+std::vector<TupleResponsibility> ComputeResponsibilities(
+    const WhyProvenance& provenance, size_t exact_limit) {
+  std::set<TupleId> all;
+  for (const Witness& w : provenance) all.insert(w.begin(), w.end());
+
+  std::vector<TupleResponsibility> out;
+  for (TupleId t : all) {
+    // Witnesses that survive without t must all be killed by the
+    // contingency; witnesses containing t die with t.
+    std::vector<std::vector<TupleId>> to_kill;
+    bool in_some_witness = false;
+    for (const Witness& w : provenance) {
+      if (std::find(w.begin(), w.end(), t) != w.end()) {
+        in_some_witness = true;
+      } else {
+        to_kill.push_back(w);
+      }
+    }
+    TupleResponsibility r;
+    r.tuple = t;
+    if (!in_some_witness) {
+      r.responsibility = 0.0;
+    } else {
+      // The contingency must not delete t itself; witnesses never contain
+      // t here by construction, so any hitting set is valid.
+      r.contingency = MinimumHittingSet(to_kill, exact_limit);
+      r.responsibility =
+          1.0 / (1.0 + static_cast<double>(r.contingency.size()));
+    }
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TupleResponsibility& a, const TupleResponsibility& b) {
+              return a.responsibility > b.responsibility;
+            });
+  return out;
+}
+
+std::vector<TupleSensitivity> RankByDeletionImpact(
+    const std::vector<TupleId>& lineage,
+    const std::function<double(const std::vector<TupleId>& deleted)>&
+        reevaluate) {
+  const double baseline = reevaluate({});
+  std::vector<TupleSensitivity> out;
+  out.reserve(lineage.size());
+  for (TupleId t : lineage) {
+    TupleSensitivity s;
+    s.tuple = t;
+    s.delta = reevaluate({t}) - baseline;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TupleSensitivity& a, const TupleSensitivity& b) {
+              return std::fabs(a.delta) > std::fabs(b.delta);
+            });
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,48 @@
+#ifndef XAIDB_DB_PROVENANCE_EXPLAIN_H_
+#define XAIDB_DB_PROVENANCE_EXPLAIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace xai {
+
+/// Causal responsibility of a base tuple for a (Boolean) query answer
+/// (Meliou et al. 2010, "WHY SO?"; tutorial Section 3
+/// "Provenance-Based Explanations"). Given the answer's why-provenance
+/// (a monotone DNF over base tuples), tuple t is a *counterfactual cause
+/// with contingency Gamma* if after deleting Gamma the answer still holds
+/// but deleting t too makes it false. Responsibility = 1 / (1 + |Gamma|)
+/// for the minimum contingency; 0 if t is not a cause.
+struct TupleResponsibility {
+  TupleId tuple = 0;
+  double responsibility = 0.0;
+  /// A minimum contingency set achieving it.
+  std::vector<TupleId> contingency;
+};
+
+/// Computes responsibility for every tuple appearing in the provenance.
+/// The minimum contingency problem is a minimum hitting set over the
+/// witnesses not containing t (NP-hard in general); exact via bounded
+/// search when the provenance is small, greedy otherwise.
+std::vector<TupleResponsibility> ComputeResponsibilities(
+    const WhyProvenance& provenance, size_t exact_limit = 20);
+
+/// For aggregate answers: ranks the lineage tuples of `row` in relation
+/// `r` by their *sensitivity* — the answer change when the tuple is
+/// deleted — given a re-evaluation callback. A simple but effective
+/// intervention-based explanation for outlier aggregate results.
+struct TupleSensitivity {
+  TupleId tuple = 0;
+  double delta = 0.0;  // answer(without tuple) - answer(with all).
+};
+std::vector<TupleSensitivity> RankByDeletionImpact(
+    const std::vector<TupleId>& lineage,
+    const std::function<double(const std::vector<TupleId>& deleted)>&
+        reevaluate);
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_PROVENANCE_EXPLAIN_H_

@@ -1,0 +1,30 @@
+#include "db/query_shapley.h"
+
+#include "core/game.h"
+#include "feature/shapley.h"
+
+namespace xai {
+
+Result<std::vector<double>> TupleShapley(size_t num_tuples,
+                                         const SubDatabaseQueryFn& query,
+                                         const QueryShapleyOptions& opts) {
+  if (num_tuples == 0)
+    return Status::InvalidArgument("TupleShapley: no tuples");
+  LambdaGame game(num_tuples, query);
+  if (num_tuples <= static_cast<size_t>(opts.exact_up_to))
+    return ExactShapley(game, opts.exact_up_to);
+  Rng rng(opts.seed);
+  return PermutationShapley(game, opts.num_permutations, &rng);
+}
+
+SubDatabaseQueryFn MakeRelationQueryFn(
+    const Relation& base, TupleId first_tid,
+    std::function<double(const Relation&)> query) {
+  return [&base, first_tid, query = std::move(query)](
+             const std::vector<bool>& keep) {
+    Relation sub = base.FilterByTupleId(keep, first_tid);
+    return query(sub);
+  };
+}
+
+}  // namespace xai

@@ -1,0 +1,46 @@
+#ifndef XAIDB_DB_QUERY_SHAPLEY_H_
+#define XAIDB_DB_QUERY_SHAPLEY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relational/relation.h"
+
+namespace xai {
+
+/// Evaluates the query of interest on the sub-database containing exactly
+/// the endogenous tuples with keep[i] = true; returns the (numeric) query
+/// answer. The caller closes over the database and the query plan.
+using SubDatabaseQueryFn = std::function<double(const std::vector<bool>& keep)>;
+
+struct QueryShapleyOptions {
+  /// Exact subset enumeration up to this many endogenous tuples.
+  int exact_up_to = 16;
+  /// Permutation samples otherwise.
+  int num_permutations = 200;
+  uint64_t seed = 4242;
+};
+
+/// Shapley value of tuples in query answering (Livshits, Bertossi,
+/// Kimelfeld & Sebag 2021; tutorial Section 3 "Explanations in
+/// Databases"): the players are the endogenous base tuples, the game value
+/// of a coalition S is the query answer on the sub-database with exactly S
+/// present. phi_i quantifies tuple i's contribution to the answer; for
+/// fully additive aggregates (SUM with no joins) it degenerates to the
+/// tuple's own contribution — a property the tests exploit.
+Result<std::vector<double>> TupleShapley(size_t num_tuples,
+                                         const SubDatabaseQueryFn& query,
+                                         const QueryShapleyOptions& opts = QueryShapleyOptions());
+
+/// Convenience: builds the keep-mask evaluator for an aggregate over a
+/// single base relation given a tuple-id offset (ids are assigned
+/// sequentially by Relation::Insert).
+SubDatabaseQueryFn MakeRelationQueryFn(
+    const Relation& base, TupleId first_tid,
+    std::function<double(const Relation&)> query);
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_QUERY_SHAPLEY_H_

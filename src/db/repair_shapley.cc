@@ -1,0 +1,75 @@
+#include "db/repair_shapley.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xai {
+
+Result<std::vector<FdViolation>> FindFdViolations(
+    const Relation& r, const FunctionalDependency& fd) {
+  std::vector<size_t> lhs_idx;
+  for (const std::string& c : fd.lhs) {
+    XAI_ASSIGN_OR_RETURN(size_t j, r.ColumnIndex(c));
+    lhs_idx.push_back(j);
+  }
+  XAI_ASSIGN_OR_RETURN(size_t rhs_idx, r.ColumnIndex(fd.rhs));
+
+  // Group rows by lhs key; violations are cross-products of differing rhs
+  // values within a group.
+  std::map<std::vector<double>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    std::vector<double> key(lhs_idx.size());
+    for (size_t k = 0; k < lhs_idx.size(); ++k) key[k] = r.row(i)[lhs_idx[k]];
+    groups[key].push_back(i);
+  }
+  std::vector<FdViolation> out;
+  for (const auto& [key, rows] : groups) {
+    for (size_t a = 0; a < rows.size(); ++a) {
+      for (size_t b = a + 1; b < rows.size(); ++b) {
+        if (r.value(rows[a], rhs_idx) != r.value(rows[b], rhs_idx))
+          out.push_back({rows[a], rows[b]});
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> FdRepairShapley(const Relation& r,
+                                            const FunctionalDependency& fd) {
+  XAI_ASSIGN_OR_RETURN(std::vector<FdViolation> violations,
+                       FindFdViolations(r, fd));
+  std::vector<double> phi(r.num_rows(), 0.0);
+  for (const FdViolation& v : violations) {
+    // A pair's unit of inconsistency materializes exactly when both
+    // members are present; by symmetry each gets half.
+    phi[v.row_a] += 0.5;
+    phi[v.row_b] += 0.5;
+  }
+  return phi;
+}
+
+Result<std::vector<size_t>> GreedyFdRepair(const Relation& r,
+                                           const FunctionalDependency& fd) {
+  XAI_ASSIGN_OR_RETURN(std::vector<FdViolation> violations,
+                       FindFdViolations(r, fd));
+  std::vector<bool> deleted(r.num_rows(), false);
+  std::vector<size_t> order;
+  for (;;) {
+    std::vector<size_t> count(r.num_rows(), 0);
+    bool any = false;
+    for (const FdViolation& v : violations) {
+      if (deleted[v.row_a] || deleted[v.row_b]) continue;
+      ++count[v.row_a];
+      ++count[v.row_b];
+      any = true;
+    }
+    if (!any) break;
+    const size_t worst = static_cast<size_t>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    deleted[worst] = true;
+    order.push_back(worst);
+  }
+  return order;
+}
+
+}  // namespace xai

@@ -1,0 +1,51 @@
+#ifndef XAIDB_DB_REPAIR_SHAPLEY_H_
+#define XAIDB_DB_REPAIR_SHAPLEY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace xai {
+
+/// A functional dependency lhs -> rhs over a relation's columns.
+struct FunctionalDependency {
+  std::vector<std::string> lhs;
+  std::string rhs;
+};
+
+/// A violating pair of tuples (by row index within the relation): they
+/// agree on every lhs attribute but differ on rhs.
+struct FdViolation {
+  size_t row_a = 0;
+  size_t row_b = 0;
+};
+
+/// All violating pairs of `fd` in `r`.
+Result<std::vector<FdViolation>> FindFdViolations(
+    const Relation& r, const FunctionalDependency& fd);
+
+/// Shapley-based inconsistency attribution (Deutch, Frost, Gilad & Sheffer
+/// 2021; tutorial Section 3 "Explanations in Databases": Shapley values
+/// for database repairs). The game's players are the tuples and
+///   v(S) = #violating pairs inside S;
+/// a tuple's Shapley value is its share of the database's inconsistency —
+/// the tuples to repair/delete first. Because v is a sum over pairs, the
+/// value has the closed form
+///   phi_t = (1/2) * #violating pairs containing t,
+/// which this function returns in O(violations); the game-based route
+/// exists for testing (see tests) and for non-additive extensions.
+Result<std::vector<double>> FdRepairShapley(const Relation& r,
+                                            const FunctionalDependency& fd);
+
+/// Greedy minimum-repair suggestion: repeatedly delete the tuple with the
+/// highest remaining violation count until no violations remain. Returns
+/// row indices in deletion order. (Optimal vertex cover is NP-hard; the
+/// greedy is the standard 2-ish approximation baseline.)
+Result<std::vector<size_t>> GreedyFdRepair(const Relation& r,
+                                           const FunctionalDependency& fd);
+
+}  // namespace xai
+
+#endif  // XAIDB_DB_REPAIR_SHAPLEY_H_

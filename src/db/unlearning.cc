@@ -1,0 +1,42 @@
+#include "db/unlearning.h"
+
+namespace xai {
+
+Result<UnlearnResult> UnlearnFromTree(Tree* tree,
+                                      const std::vector<double>& x, double y,
+                                      double refit_threshold) {
+  if (tree->nodes.empty())
+    return Status::InvalidArgument("UnlearnFromTree: empty tree");
+  UnlearnResult result;
+  int node = 0;
+  for (;;) {
+    TreeNode& nd = tree->nodes[static_cast<size_t>(node)];
+    if (nd.cover <= 1.0)
+      return Status::FailedPrecondition(
+          "UnlearnFromTree: node support exhausted; refit required");
+    // Mean downdate: value' = (value * cover - y) / (cover - 1).
+    nd.value = (nd.value * nd.cover - y) / (nd.cover - 1.0);
+    nd.cover -= 1.0;
+    ++result.updated_nodes;
+    if (nd.cover < refit_threshold) result.structure_risk = true;
+    if (nd.is_leaf()) break;
+    node = x[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                              : nd.right;
+  }
+  return result;
+}
+
+Result<UnlearnResult> UnlearnFromForest(std::vector<Tree>* trees,
+                                        const std::vector<double>& x,
+                                        double y, double refit_threshold) {
+  UnlearnResult total;
+  for (Tree& t : *trees) {
+    XAI_ASSIGN_OR_RETURN(UnlearnResult r,
+                         UnlearnFromTree(&t, x, y, refit_threshold));
+    total.updated_nodes += r.updated_nodes;
+    total.structure_risk = total.structure_risk || r.structure_risk;
+  }
+  return total;
+}
+
+}  // namespace xai

@@ -1,0 +1,71 @@
+#include "eval/adversarial.h"
+
+#include "core/perturb.h"
+
+namespace xai {
+
+Result<AdversarialScaffold> AdversarialScaffold::Create(
+    const Dataset& reference, const Model& biased, const Model& innocuous,
+    const Options& opts) {
+  if (biased.num_features() != reference.d() ||
+      innocuous.num_features() != reference.d())
+    return Status::InvalidArgument("AdversarialScaffold: arity mismatch");
+
+  // Training data for the OOD detector: real rows (label 0) vs LIME-style
+  // perturbations of random real rows (label 1).
+  Rng rng(opts.seed);
+  const size_t n_real = reference.n();
+  const int n_fake = opts.num_perturbations;
+  Matrix x(n_real + static_cast<size_t>(n_fake), reference.d());
+  std::vector<double> y(n_real + static_cast<size_t>(n_fake));
+  for (size_t i = 0; i < n_real; ++i) {
+    x.SetRow(i, reference.row(i));
+    y[i] = 0.0;
+  }
+  for (int f = 0; f < n_fake; ++f) {
+    const size_t base = static_cast<size_t>(rng.NextInt(n_real));
+    TabularPerturber perturber(reference, reference.row(base));
+    TabularPerturber::Sample s = perturber.Draw(&rng);
+    x.SetRow(n_real + static_cast<size_t>(f), s.x);
+    y[n_real + static_cast<size_t>(f)] = 1.0;
+  }
+  Dataset detector_data(reference.schema(), std::move(x), std::move(y));
+  Rng split_rng(opts.seed + 1);
+  auto [train, test] = detector_data.Split(0.8, &split_rng);
+
+  AdversarialScaffold scaffold(biased, innocuous);
+  RandomForestOptions fo = opts.detector;
+  XAI_ASSIGN_OR_RETURN(scaffold.detector_, RandomForest::Fit(train, fo));
+  size_t correct = 0;
+  for (size_t i = 0; i < test.n(); ++i)
+    if ((scaffold.detector_.Predict(test.row(i)) >= 0.5) ==
+        (test.y()[i] >= 0.5))
+      ++correct;
+  scaffold.detector_accuracy_ =
+      test.n() ? static_cast<double>(correct) / static_cast<double>(test.n())
+               : 0.0;
+  return scaffold;
+}
+
+double AdversarialScaffold::Predict(const std::vector<double>& x) const {
+  const bool off_manifold = detector_.Predict(x) >= 0.5;
+  return off_manifold ? innocuous_->Predict(x) : biased_->Predict(x);
+}
+
+Result<double> TopFeatureIsSensitiveRate(AttributionExplainer* explainer,
+                                         const Dataset& instances,
+                                         size_t sensitive_feature,
+                                         size_t max_rows) {
+  const size_t n = std::min(instances.n(), max_rows);
+  if (n == 0) return Status::InvalidArgument("no instances");
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         explainer->Explain(instances.row(i)));
+    const std::vector<size_t> top = attr.TopFeatures(1);
+    if (!top.empty() && top[0] == sensitive_feature) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace xai

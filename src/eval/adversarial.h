@@ -1,0 +1,75 @@
+#ifndef XAIDB_EVAL_ADVERSARIAL_H_
+#define XAIDB_EVAL_ADVERSARIAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "model/decision_tree.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// The scaffolding attack on post-hoc explainers (Slack, Hilgard, Jia,
+/// Singh & Lakkaraju 2020), tutorial Section 2.1.1: LIME and KernelSHAP
+/// query the model on *off-manifold* perturbations, so an adversary can
+/// pair a discriminatory in-distribution model with an innocuous
+/// off-distribution model, fooling the explainer into reporting the
+/// innocuous behaviour while real decisions stay biased.
+struct AdversarialScaffoldOptions {
+  /// Perturbation rows generated to train the OOD detector.
+  int num_perturbations = 3000;
+  /// High-capacity forest: the detector must pick up the broken feature
+  /// correlations that distinguish LIME/SHAP perturbations from data.
+  RandomForestOptions detector = {
+      .num_trees = 100,
+      .tree = {.max_depth = 12, .min_samples_leaf = 2, .max_features = 0},
+      .seed = 17};
+  uint64_t seed = 666;
+};
+
+class AdversarialScaffold : public Model {
+ public:
+  using Options = AdversarialScaffoldOptions;
+
+  /// `biased` is applied to in-distribution inputs, `innocuous` to
+  /// detected perturbations. Both must share the reference schema.
+  static Result<AdversarialScaffold> Create(const Dataset& reference,
+                                            const Model& biased,
+                                            const Model& innocuous,
+                                            const Options& opts = Options());
+
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return biased_->num_features(); }
+
+  /// Detector accuracy on held-out real vs perturbed rows (diagnostic:
+  /// the attack works iff this is high).
+  double detector_accuracy() const { return detector_accuracy_; }
+
+  /// Fraction of queries routed to the innocuous model so far would need
+  /// state; instead expose the detector for inspection.
+  const RandomForest& detector() const { return detector_; }
+
+ private:
+  AdversarialScaffold(const Model& biased, const Model& innocuous)
+      : biased_(&biased), innocuous_(&innocuous) {}
+
+  const Model* biased_;
+  const Model* innocuous_;
+  RandomForest detector_;
+  double detector_accuracy_ = 0.0;
+};
+
+/// Attack success metric: the fraction of explained instances whose top
+/// attributed feature is `sensitive_feature`. Compare on the raw biased
+/// model (should be ~1) vs the scaffold (drops if the attack succeeds).
+Result<double> TopFeatureIsSensitiveRate(AttributionExplainer* explainer,
+                                         const Dataset& instances,
+                                         size_t sensitive_feature,
+                                         size_t max_rows = 30);
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_ADVERSARIAL_H_

@@ -1,0 +1,73 @@
+#include "eval/fairness.h"
+
+#include <cmath>
+
+namespace xai {
+
+Result<GroupFairnessReport> AuditGroupFairness(const Model& model,
+                                               const Dataset& ds,
+                                               size_t sensitive_feature) {
+  if (sensitive_feature >= ds.d())
+    return Status::OutOfRange("AuditGroupFairness: bad feature");
+  GroupFairnessReport report;
+  // Confusion counts per group.
+  double pos[2] = {0, 0};
+  double n[2] = {0, 0};
+  double tp[2] = {0, 0};
+  double fp[2] = {0, 0};
+  double p_lab[2] = {0, 0};
+  double n_lab[2] = {0, 0};
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const int g = ds.x()(i, sensitive_feature) >= 0.5 ? 1 : 0;
+    const bool pred = model.Predict(ds.row(i)) >= 0.5;
+    const bool truth = ds.y()[i] >= 0.5;
+    n[g] += 1.0;
+    if (pred) pos[g] += 1.0;
+    if (truth) {
+      p_lab[g] += 1.0;
+      if (pred) tp[g] += 1.0;
+    } else {
+      n_lab[g] += 1.0;
+      if (pred) fp[g] += 1.0;
+    }
+  }
+  if (n[0] == 0.0 || n[1] == 0.0)
+    return Status::InvalidArgument(
+        "AuditGroupFairness: a group is empty (is the feature binary?)");
+  report.positive_rate_group0 = pos[0] / n[0];
+  report.positive_rate_group1 = pos[1] / n[1];
+  report.demographic_parity_gap =
+      report.positive_rate_group1 - report.positive_rate_group0;
+  const double tpr0 = p_lab[0] > 0 ? tp[0] / p_lab[0] : 0.0;
+  const double tpr1 = p_lab[1] > 0 ? tp[1] / p_lab[1] : 0.0;
+  const double fpr0 = n_lab[0] > 0 ? fp[0] / n_lab[0] : 0.0;
+  const double fpr1 = n_lab[1] > 0 ? fp[1] / n_lab[1] : 0.0;
+  report.tpr_gap = tpr1 - tpr0;
+  report.fpr_gap = fpr1 - fpr0;
+  return report;
+}
+
+Result<double> InterventionalFairnessGap(
+    const Model& model, const Scm& scm,
+    const std::vector<size_t>& feature_nodes, size_t sensitive,
+    int num_samples, uint64_t seed) {
+  if (sensitive >= feature_nodes.size())
+    return Status::OutOfRange("InterventionalFairnessGap: bad feature");
+  auto decision_rate = [&](double value, uint64_t s) {
+    Rng rng(s);
+    double total = 0.0;
+    std::vector<double> x(feature_nodes.size());
+    for (int i = 0; i < num_samples; ++i) {
+      std::vector<double> sample =
+          scm.SampleDo({{feature_nodes[sensitive], value}}, &rng);
+      for (size_t j = 0; j < feature_nodes.size(); ++j)
+        x[j] = sample[feature_nodes[j]];
+      total += model.Predict(x) >= 0.5 ? 1.0 : 0.0;
+    }
+    return total / static_cast<double>(num_samples);
+  };
+  // Common random numbers across the two arms.
+  return decision_rate(1.0, seed) - decision_rate(0.0, seed);
+}
+
+}  // namespace xai

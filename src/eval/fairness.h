@@ -1,0 +1,46 @@
+#ifndef XAIDB_EVAL_FAIRNESS_H_
+#define XAIDB_EVAL_FAIRNESS_H_
+
+#include <vector>
+
+#include "causal/scm.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Fairness auditing — tutorial Section 1's motivation (3): XAI should
+/// "facilitate the identification of sources of harms such as bias and
+/// discrimination". These metrics quantify the harm a feature-attribution
+/// audit (bench E14) then localizes.
+
+/// Groupwise decision rates and the standard associational metrics for a
+/// binary sensitive feature (codes 0/1).
+struct GroupFairnessReport {
+  double positive_rate_group0 = 0.0;
+  double positive_rate_group1 = 0.0;
+  /// Demographic parity difference: rate(g1) - rate(g0).
+  double demographic_parity_gap = 0.0;
+  /// Equalized-odds gaps: TPR and FPR differences between the groups.
+  double tpr_gap = 0.0;
+  double fpr_gap = 0.0;
+};
+Result<GroupFairnessReport> AuditGroupFairness(const Model& model,
+                                               const Dataset& ds,
+                                               size_t sensitive_feature);
+
+/// *Interventional* (causal) fairness in the sense of Salimi et al. 2019:
+/// the difference E[f(X) | do(S=1)] - E[f(X) | do(S=0)] under the SCM —
+/// what actually changes if the sensitive attribute is intervened on,
+/// rather than conditioned on (which is confounded by correlates).
+/// `feature_nodes[j]` maps model feature j to its SCM node; `sensitive`
+/// is a model-feature index.
+Result<double> InterventionalFairnessGap(
+    const Model& model, const Scm& scm,
+    const std::vector<size_t>& feature_nodes, size_t sensitive,
+    int num_samples = 4000, uint64_t seed = 90210);
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_FAIRNESS_H_

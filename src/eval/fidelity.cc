@@ -1,0 +1,53 @@
+#include "eval/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/transforms.h"
+#include "math/stats.h"
+
+namespace xai {
+
+Result<double> DeletionFaithfulness(const Model& model,
+                                    AttributionExplainer* explainer,
+                                    const Dataset& ds, size_t k,
+                                    size_t max_rows) {
+  const ColumnStats stats = ComputeColumnStats(ds);
+  const size_t n = std::min(ds.n(), max_rows);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x = ds.row(i);
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr, explainer->Explain(x));
+    const double before = model.Predict(x);
+    for (size_t j : attr.TopFeatures(k)) x[j] = stats.mean[j];
+    total += std::fabs(before - model.Predict(x));
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<double> AttributionCorrelation(const Model& model,
+                                      AttributionExplainer* explainer,
+                                      const Dataset& ds, size_t max_rows) {
+  const ColumnStats stats = ComputeColumnStats(ds);
+  const size_t n = std::min(ds.n(), max_rows);
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> x = ds.row(i);
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr, explainer->Explain(x));
+    const double before = model.Predict(x);
+    std::vector<double> deltas(ds.d());
+    std::vector<double> magnitudes(ds.d());
+    for (size_t j = 0; j < ds.d(); ++j) {
+      std::vector<double> xm = x;
+      xm[j] = stats.mean[j];
+      deltas[j] = std::fabs(before - model.Predict(xm));
+      magnitudes[j] = std::fabs(attr.values[j]);
+    }
+    total += PearsonCorrelation(magnitudes, deltas);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace xai

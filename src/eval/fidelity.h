@@ -1,0 +1,36 @@
+#ifndef XAIDB_EVAL_FIDELITY_H_
+#define XAIDB_EVAL_FIDELITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Faithfulness metrics for feature attributions (tutorial Section 3,
+/// "User study and evaluation": user studies cannot be simulated, so the
+/// measurable surrogates the literature itself uses are implemented).
+
+/// Deletion-style faithfulness: remove (mean-impute) the top-k features by
+/// attribution and measure how much the prediction moves. Faithful
+/// explanations produce large drops for small k. Returns the mean absolute
+/// prediction change over the dataset rows.
+Result<double> DeletionFaithfulness(const Model& model,
+                                    AttributionExplainer* explainer,
+                                    const Dataset& ds, size_t k,
+                                    size_t max_rows = 50);
+
+/// Correlation-based faithfulness (Bhatt et al. style): Pearson
+/// correlation between attribution values and the actual single-feature
+/// imputation deltas, averaged over rows.
+Result<double> AttributionCorrelation(const Model& model,
+                                      AttributionExplainer* explainer,
+                                      const Dataset& ds,
+                                      size_t max_rows = 50);
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_FIDELITY_H_

@@ -1,0 +1,41 @@
+#include "eval/robustness.h"
+
+#include "math/stats.h"
+
+namespace xai {
+
+Result<RobustnessReport> MeasureRetrainingRobustness(
+    const std::function<Result<std::vector<FeatureAttribution>>(uint64_t seed)>&
+        explain_instances,
+    int resamples, size_t top_k) {
+  std::vector<std::vector<FeatureAttribution>> runs;
+  for (int r = 0; r < resamples; ++r) {
+    XAI_ASSIGN_OR_RETURN(
+        std::vector<FeatureAttribution> attrs,
+        explain_instances(7919ULL * static_cast<uint64_t>(r + 1)));
+    runs.push_back(std::move(attrs));
+  }
+  if (runs.size() < 2 || runs[0].empty())
+    return Status::InvalidArgument("Robustness: need >= 2 resamples");
+  const size_t n_inst = runs[0].size();
+
+  RobustnessReport report;
+  double overlap = 0.0;
+  double corr = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < runs.size(); ++a) {
+    for (size_t b = a + 1; b < runs.size(); ++b) {
+      for (size_t i = 0; i < n_inst; ++i) {
+        overlap += Jaccard(runs[a][i].TopFeatures(top_k),
+                           runs[b][i].TopFeatures(top_k));
+        corr += PearsonCorrelation(runs[a][i].values, runs[b][i].values);
+        ++pairs;
+      }
+    }
+  }
+  report.topk_overlap = overlap / static_cast<double>(pairs);
+  report.value_correlation = corr / static_cast<double>(pairs);
+  return report;
+}
+
+}  // namespace xai

@@ -1,0 +1,32 @@
+#ifndef XAIDB_EVAL_ROBUSTNESS_H_
+#define XAIDB_EVAL_ROBUSTNESS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Explanation robustness under small changes of the data distribution
+/// (tutorial Section 3, GeCo discussion): retrain on a bootstrap resample
+/// and measure how much the explanations move. `make_explainer(seed)`
+/// must train a model on a seed-dependent resample and return an explainer
+/// bound to it.
+struct RobustnessReport {
+  /// Mean top-k Jaccard overlap of attributions across resamples.
+  double topk_overlap = 0.0;
+  /// Mean Pearson correlation of full attribution vectors.
+  double value_correlation = 0.0;
+};
+
+Result<RobustnessReport> MeasureRetrainingRobustness(
+    const std::function<Result<std::vector<FeatureAttribution>>(uint64_t seed)>&
+        explain_instances,
+    int resamples, size_t top_k);
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_ROBUSTNESS_H_

@@ -1,0 +1,69 @@
+#include "eval/stability.h"
+
+#include <cmath>
+#include <set>
+
+#include "math/stats.h"
+
+namespace xai {
+
+Result<StabilityReport> MeasureStability(
+    const std::function<Result<FeatureAttribution>(uint64_t seed)>& explain,
+    int repetitions, size_t top_k) {
+  std::vector<FeatureAttribution> runs;
+  runs.reserve(static_cast<size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         explain(1000003ULL * static_cast<uint64_t>(r + 1)));
+    runs.push_back(std::move(attr));
+  }
+  if (runs.size() < 2)
+    return Status::InvalidArgument("MeasureStability: need >= 2 repetitions");
+  const size_t d = runs[0].values.size();
+
+  StabilityReport report;
+
+  // VSI: pairwise Jaccard of top-k sets.
+  std::vector<std::vector<size_t>> tops;
+  for (const auto& run : runs) tops.push_back(run.TopFeatures(top_k));
+  double vsi = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < runs.size(); ++a) {
+    for (size_t b = a + 1; b < runs.size(); ++b) {
+      vsi += Jaccard(tops[a], tops[b]);
+      ++pairs;
+    }
+  }
+  report.vsi = vsi / static_cast<double>(pairs);
+
+  // CSI: sign agreement over the union of selected features.
+  std::set<size_t> union_features;
+  for (const auto& t : tops) union_features.insert(t.begin(), t.end());
+  double csi = 0.0;
+  pairs = 0;
+  for (size_t a = 0; a < runs.size(); ++a) {
+    for (size_t b = a + 1; b < runs.size(); ++b) {
+      size_t agree = 0;
+      for (size_t j : union_features) {
+        const double va = runs[a].values[j];
+        const double vb = runs[b].values[j];
+        if ((va >= 0) == (vb >= 0)) ++agree;
+      }
+      csi += static_cast<double>(agree) /
+             static_cast<double>(union_features.size());
+      ++pairs;
+    }
+  }
+  report.csi = csi / static_cast<double>(pairs);
+
+  report.coefficient_std.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> coefs;
+    coefs.reserve(runs.size());
+    for (const auto& run : runs) coefs.push_back(run.values[j]);
+    report.coefficient_std[j] = StdDev(coefs);
+  }
+  return report;
+}
+
+}  // namespace xai

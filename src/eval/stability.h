@@ -1,0 +1,36 @@
+#ifndef XAIDB_EVAL_STABILITY_H_
+#define XAIDB_EVAL_STABILITY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/explanation.h"
+
+namespace xai {
+
+/// LIME stability indices (Visani et al. 2020), tutorial Section 2.1.1:
+/// repeated explanations of the *same* instance differ because of
+/// perturbation sampling. VSI measures agreement of the selected feature
+/// sets; CSI measures agreement of the coefficients themselves.
+struct StabilityReport {
+  /// Variables Stability Index: mean pairwise Jaccard similarity of the
+  /// top-k feature sets across repetitions, in [0, 1].
+  double vsi = 0.0;
+  /// Coefficients Stability Index: mean pairwise agreement of coefficient
+  /// signs on the union of selected features, in [0, 1].
+  double csi = 0.0;
+  /// Per-feature coefficient standard deviation across repetitions.
+  std::vector<double> coefficient_std;
+};
+
+/// Runs `explain(seed)` `repetitions` times (the callback must build a
+/// fresh explainer from the given seed) and computes the indices on the
+/// top-k features.
+Result<StabilityReport> MeasureStability(
+    const std::function<Result<FeatureAttribution>(uint64_t seed)>& explain,
+    int repetitions, size_t top_k);
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_STABILITY_H_

@@ -1,0 +1,151 @@
+#include "feature/causal_shapley.h"
+
+#include <algorithm>
+
+#include "feature/shapley.h"
+
+namespace xai {
+
+ScmInterventionalGame::ScmInterventionalGame(
+    const Model& model, const Scm& scm, std::vector<size_t> feature_nodes,
+    std::vector<double> instance, int samples_per_eval, uint64_t seed)
+    : model_(model), scm_(scm), feature_nodes_(std::move(feature_nodes)),
+      instance_(std::move(instance)), samples_(samples_per_eval),
+      seed_(seed) {}
+
+double ScmInterventionalGame::Value(
+    const std::vector<bool>& in_coalition) const {
+  std::vector<Intervention> dos;
+  for (size_t j = 0; j < instance_.size(); ++j)
+    if (in_coalition[j]) dos.push_back({feature_nodes_[j], instance_[j]});
+  // Deterministic per-coalition stream: Value must be a pure function.
+  uint64_t h = seed_;
+  for (size_t j = 0; j < instance_.size(); ++j)
+    h = h * 1099511628211ULL + (in_coalition[j] ? 2 : 1);
+  Rng rng(h);
+  double total = 0.0;
+  std::vector<double> x(instance_.size());
+  for (int s = 0; s < samples_; ++s) {
+    std::vector<double> sample = scm_.SampleDo(dos, &rng);
+    for (size_t j = 0; j < instance_.size(); ++j)
+      x[j] = sample[feature_nodes_[j]];
+    total += model_.Predict(x);
+  }
+  return total / static_cast<double>(samples_);
+}
+
+Result<std::vector<double>> CausalShapley(
+    const Model& model, const Scm& scm,
+    const std::vector<size_t>& feature_nodes,
+    const std::vector<double>& instance, const CausalShapleyOptions& opts) {
+  if (feature_nodes.size() != instance.size())
+    return Status::InvalidArgument("CausalShapley: node/instance mismatch");
+  ScmInterventionalGame game(model, scm, feature_nodes, instance,
+                             opts.samples_per_eval, opts.seed);
+  if (static_cast<int>(instance.size()) <= opts.exact_up_to)
+    return ExactShapley(game);
+  Rng rng(opts.seed + 13);
+  return PermutationShapley(game, opts.num_permutations, &rng);
+}
+
+std::vector<double> AsymmetricShapley(const CoalitionGame& game,
+                                      const Dag& dag,
+                                      const std::vector<size_t>& feature_nodes,
+                                      int num_orderings, Rng* rng) {
+  const size_t d = game.num_players();
+  std::vector<double> phi(d, 0.0);
+  std::vector<bool> coalition(d);
+
+  // Precompute the ancestor relation among the mapped nodes: feature a must
+  // precede feature b when node(a) is a strict ancestor of node(b).
+  std::vector<std::vector<bool>> must_precede(d, std::vector<bool>(d, false));
+  for (size_t a = 0; a < d; ++a)
+    for (size_t b = 0; b < d; ++b)
+      if (a != b && feature_nodes[a] != feature_nodes[b] &&
+          dag.IsAncestor(feature_nodes[a], feature_nodes[b]))
+        must_precede[a][b] = true;
+
+  for (int o = 0; o < num_orderings; ++o) {
+    // Random topological order of the features: repeatedly pick uniformly
+    // among features whose required predecessors are all placed.
+    std::vector<bool> placed(d, false);
+    std::vector<size_t> order;
+    order.reserve(d);
+    while (order.size() < d) {
+      std::vector<size_t> ready;
+      for (size_t j = 0; j < d; ++j) {
+        if (placed[j]) continue;
+        bool ok = true;
+        for (size_t a = 0; a < d; ++a) {
+          if (must_precede[a][j] && !placed[a]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) ready.push_back(j);
+      }
+      const size_t pick = ready[rng->NextInt(ready.size())];
+      placed[pick] = true;
+      order.push_back(pick);
+    }
+    std::fill(coalition.begin(), coalition.end(), false);
+    double prev = game.Value(coalition);
+    for (size_t j : order) {
+      coalition[j] = true;
+      const double cur = game.Value(coalition);
+      phi[j] += cur - prev;
+      prev = cur;
+    }
+  }
+  for (double& v : phi) v /= static_cast<double>(num_orderings);
+  return phi;
+}
+
+namespace {
+
+void ExtendExtensions(const std::vector<std::vector<bool>>& must_precede,
+                      std::vector<bool>* placed, std::vector<size_t>* cur,
+                      std::vector<std::vector<size_t>>* out, size_t limit) {
+  if (out->size() >= limit) return;
+  const size_t d = placed->size();
+  if (cur->size() == d) {
+    out->push_back(*cur);
+    return;
+  }
+  for (size_t j = 0; j < d; ++j) {
+    if ((*placed)[j]) continue;
+    bool ok = true;
+    for (size_t a = 0; a < d; ++a) {
+      if (must_precede[a][j] && !(*placed)[a]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*placed)[j] = true;
+    cur->push_back(j);
+    ExtendExtensions(must_precede, placed, cur, out, limit);
+    cur->pop_back();
+    (*placed)[j] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> TopologicalExtensions(
+    const Dag& dag, const std::vector<size_t>& nodes, size_t limit) {
+  const size_t d = nodes.size();
+  std::vector<std::vector<bool>> must_precede(d, std::vector<bool>(d, false));
+  for (size_t a = 0; a < d; ++a)
+    for (size_t b = 0; b < d; ++b)
+      if (a != b && nodes[a] != nodes[b] &&
+          dag.IsAncestor(nodes[a], nodes[b]))
+        must_precede[a][b] = true;
+  std::vector<std::vector<size_t>> out;
+  std::vector<bool> placed(d, false);
+  std::vector<size_t> cur;
+  ExtendExtensions(must_precede, &placed, &cur, &out, limit);
+  return out;
+}
+
+}  // namespace xai

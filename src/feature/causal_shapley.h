@@ -1,0 +1,77 @@
+#ifndef XAIDB_FEATURE_CAUSAL_SHAPLEY_H_
+#define XAIDB_FEATURE_CAUSAL_SHAPLEY_H_
+
+#include <vector>
+
+#include "causal/scm.h"
+#include "common/result.h"
+#include "core/explainer.h"
+#include "core/game.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// The interventional coalition game behind *causal Shapley values*
+/// (Heskes et al. 2020), tutorial Section 2.1.3:
+///   v(S) = E[f(X) | do(X_S = x_S)]
+/// estimated by Monte-Carlo sampling from the SCM under intervention.
+/// Unlike the marginal game, downstream features respond to the
+/// intervention, so indirect causal influence is credited to the cause.
+class ScmInterventionalGame : public CoalitionGame {
+ public:
+  /// `feature_nodes[j]` maps model feature j to its SCM node.
+  ScmInterventionalGame(const Model& model, const Scm& scm,
+                        std::vector<size_t> feature_nodes,
+                        std::vector<double> instance,
+                        int samples_per_eval = 256, uint64_t seed = 55);
+
+  size_t num_players() const override { return instance_.size(); }
+  double Value(const std::vector<bool>& in_coalition) const override;
+
+ private:
+  const Model& model_;
+  const Scm& scm_;
+  std::vector<size_t> feature_nodes_;
+  std::vector<double> instance_;
+  int samples_;
+  uint64_t seed_;
+};
+
+struct CausalShapleyOptions {
+  int samples_per_eval = 256;
+  /// Use exact subset enumeration up to this many features, else
+  /// permutation sampling.
+  int exact_up_to = 12;
+  int num_permutations = 50;
+  uint64_t seed = 55;
+};
+
+/// Causal Shapley values: symmetric Shapley over the interventional game.
+/// All four classic axioms hold (in particular efficiency:
+/// sum(phi) = f(x) - E[f]), yet credit flows along causal paths.
+Result<std::vector<double>> CausalShapley(const Model& model, const Scm& scm,
+                                          const std::vector<size_t>& feature_nodes,
+                                          const std::vector<double>& instance,
+                                          const CausalShapleyOptions& opts);
+
+/// Asymmetric Shapley values (Frye, Rowat & Feige 2019): marginal
+/// contributions averaged only over permutations consistent with the causal
+/// partial order (ancestors enter before descendants). Sacrifices the
+/// symmetry axiom; distal causes absorb their downstream influence.
+/// Works over any CoalitionGame — pass the same interventional or
+/// conditional game used for symmetric values to isolate the ordering
+/// effect.
+std::vector<double> AsymmetricShapley(const CoalitionGame& game,
+                                      const Dag& dag,
+                                      const std::vector<size_t>& feature_nodes,
+                                      int num_orderings, Rng* rng);
+
+/// Enumerates (up to `limit`) topological linear extensions of the DAG
+/// restricted to the given nodes; used for exact small-case asymmetric
+/// values and tested against the sampler.
+std::vector<std::vector<size_t>> TopologicalExtensions(
+    const Dag& dag, const std::vector<size_t>& nodes, size_t limit = 5000);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_CAUSAL_SHAPLEY_H_

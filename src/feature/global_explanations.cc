@@ -1,0 +1,160 @@
+#include "feature/global_explanations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.h"
+#include "model/metrics.h"
+
+namespace xai {
+
+std::vector<double> PermutationImportance(
+    const Model& model, const Dataset& ds,
+    const PermutationImportanceOptions& opts) {
+  Rng rng(opts.seed);
+  const double base = EvaluateAccuracy(model, ds);
+  std::vector<double> importance(ds.d(), 0.0);
+  for (size_t j = 0; j < ds.d(); ++j) {
+    double drop = 0.0;
+    for (int r = 0; r < opts.repetitions; ++r) {
+      Matrix x = ds.x();
+      // Shuffle column j.
+      std::vector<size_t> perm = rng.Permutation(ds.n());
+      for (size_t i = 0; i < ds.n(); ++i) x(i, j) = ds.x()(perm[i], j);
+      Dataset shuffled(ds.schema(), std::move(x), ds.y());
+      drop += base - EvaluateAccuracy(model, shuffled);
+    }
+    importance[j] = drop / static_cast<double>(opts.repetitions);
+  }
+  return importance;
+}
+
+Result<PartialDependence> ComputePartialDependence(const Model& model,
+                                                   const Dataset& ds,
+                                                   size_t feature,
+                                                   int grid_points,
+                                                   size_t max_rows) {
+  if (feature >= ds.d())
+    return Status::OutOfRange("PartialDependence: bad feature");
+  PartialDependence pd;
+  const FeatureSpec& spec = ds.schema().feature(feature);
+  if (spec.is_numeric()) {
+    std::vector<double> col = ds.x().Col(feature);
+    const double lo = Quantile(col, 0.02);
+    const double hi = Quantile(col, 0.98);
+    for (int g = 0; g < grid_points; ++g) {
+      pd.grid.push_back(lo + (hi - lo) * static_cast<double>(g) /
+                                 static_cast<double>(grid_points - 1));
+    }
+  } else {
+    for (size_t c = 0; c < spec.cardinality(); ++c)
+      pd.grid.push_back(static_cast<double>(c));
+  }
+  const size_t n = std::min(ds.n(), max_rows);
+  for (double v : pd.grid) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> x = ds.row(i);
+      x[feature] = v;
+      total += model.Predict(x);
+    }
+    pd.average_prediction.push_back(total / static_cast<double>(n));
+  }
+  return pd;
+}
+
+Result<IceCurves> ComputeIceCurves(const Model& model, const Dataset& ds,
+                                   size_t feature, int grid_points,
+                                   size_t max_rows) {
+  XAI_ASSIGN_OR_RETURN(
+      PartialDependence pd,
+      ComputePartialDependence(model, ds, feature, grid_points, 1));
+  IceCurves ice;
+  ice.grid = pd.grid;
+  const size_t n = std::min(ds.n(), max_rows);
+  ice.curves.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x = ds.row(i);
+    for (double v : ice.grid) {
+      x[feature] = v;
+      ice.curves[i].push_back(model.Predict(x));
+    }
+  }
+  return ice;
+}
+
+Result<ShapSummary> SummarizeAttributions(AttributionExplainer* explainer,
+                                          const Dataset& ds,
+                                          size_t max_rows) {
+  const size_t n = std::min(ds.n(), max_rows);
+  if (n == 0) return Status::InvalidArgument("SummarizeAttributions: empty");
+  const size_t d = ds.d();
+  Matrix phi(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         explainer->Explain(ds.row(i)));
+    phi.SetRow(i, attr.values);
+  }
+  ShapSummary summary;
+  summary.mean_abs_attribution.resize(d);
+  summary.direction.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> phij = phi.Col(j);
+    double mean_abs = 0.0;
+    for (double v : phij) mean_abs += std::fabs(v);
+    summary.mean_abs_attribution[j] = mean_abs / static_cast<double>(n);
+    std::vector<double> xj(n);
+    for (size_t i = 0; i < n; ++i) xj[i] = ds.x()(i, j);
+    summary.direction[j] = PearsonCorrelation(xj, phij);
+  }
+  return summary;
+}
+
+Result<std::vector<size_t>> SubmodularPick(AttributionExplainer* explainer,
+                                           const Dataset& ds, size_t budget,
+                                           size_t max_rows) {
+  const size_t n = std::min(ds.n(), max_rows);
+  if (n == 0) return Status::InvalidArgument("SubmodularPick: empty");
+  const size_t d = ds.d();
+  Matrix w(n, d);  // |phi| per instance.
+  for (size_t i = 0; i < n; ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         explainer->Explain(ds.row(i)));
+    for (size_t j = 0; j < d; ++j) w(i, j) = std::fabs(attr.values[j]);
+  }
+  // Global feature importance I_j = sqrt(sum_i |w_ij|), per the paper.
+  std::vector<double> gi(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += w(i, j);
+    gi[j] = std::sqrt(s);
+  }
+  // Greedy: maximize sum over covered features of I_j, where a feature is
+  // covered if any picked instance uses it (|w_ij| above a small floor).
+  std::vector<bool> picked(n, false);
+  std::vector<bool> covered(d, false);
+  std::vector<size_t> order;
+  budget = std::min(budget, n);
+  for (size_t b = 0; b < budget; ++b) {
+    double best_gain = -1.0;
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (picked[i]) continue;
+      double gain = 0.0;
+      for (size_t j = 0; j < d; ++j)
+        if (!covered[j] && w(i, j) > 1e-9) gain += gi[j];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    picked[best] = true;
+    for (size_t j = 0; j < d; ++j)
+      if (w(best, j) > 1e-9) covered[j] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace xai

@@ -1,0 +1,76 @@
+#ifndef XAIDB_FEATURE_GLOBAL_EXPLANATIONS_H_
+#define XAIDB_FEATURE_GLOBAL_EXPLANATIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Global explanation methods — the "explains the overall behavior of the
+/// model" end of the tutorial's local/global axis (Section 1's taxonomy
+/// dimension (c)).
+
+/// Permutation feature importance: the drop in a performance metric when
+/// one feature's column is shuffled (Breiman-style). Returns one
+/// importance per feature (positive = the model relies on it).
+struct PermutationImportanceOptions {
+  int repetitions = 3;
+  uint64_t seed = 321;
+};
+std::vector<double> PermutationImportance(
+    const Model& model, const Dataset& ds,
+    const PermutationImportanceOptions& opts = PermutationImportanceOptions());
+
+/// Partial dependence of the model on one feature: the average prediction
+/// when the feature is clamped to each grid value and all other features
+/// keep their observed joint distribution.
+struct PartialDependence {
+  std::vector<double> grid;
+  std::vector<double> average_prediction;
+};
+Result<PartialDependence> ComputePartialDependence(const Model& model,
+                                                   const Dataset& ds,
+                                                   size_t feature,
+                                                   int grid_points = 20,
+                                                   size_t max_rows = 200);
+
+/// Individual conditional expectation curves: one per-row curve of
+/// prediction vs clamped feature value (the disaggregation of PDP that
+/// reveals heterogeneous effects PDP averages away).
+struct IceCurves {
+  std::vector<double> grid;
+  /// curves[r][g] = prediction of row r at grid value g.
+  std::vector<std::vector<double>> curves;
+};
+Result<IceCurves> ComputeIceCurves(const Model& model, const Dataset& ds,
+                                   size_t feature, int grid_points = 20,
+                                   size_t max_rows = 50);
+
+/// Per-feature global SHAP summary ("from local explanations to global
+/// understanding", Lundberg et al. 2020): mean |phi|, and the direction
+/// of the feature's effect (correlation between feature value and its
+/// attribution across rows).
+struct ShapSummary {
+  std::vector<double> mean_abs_attribution;
+  std::vector<double> direction;  // corr(x_j, phi_j) in [-1, 1].
+};
+Result<ShapSummary> SummarizeAttributions(AttributionExplainer* explainer,
+                                          const Dataset& ds,
+                                          size_t max_rows = 100);
+
+/// Submodular pick (SP-LIME, Ribeiro et al. 2016): choose a budget of
+/// instances whose explanations jointly cover the globally important
+/// features — the representative gallery shown to a human auditor.
+/// Returns row indices in pick order.
+Result<std::vector<size_t>> SubmodularPick(AttributionExplainer* explainer,
+                                           const Dataset& ds, size_t budget,
+                                           size_t max_rows = 60);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_GLOBAL_EXPLANATIONS_H_

@@ -1,0 +1,128 @@
+#include "feature/kernel_shap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/combinatorics.h"
+#include "math/linalg.h"
+
+namespace xai {
+
+double ShapleyKernelWeight(int d, int s) {
+  if (s <= 0 || s >= d) return 0.0;  // Infinite weights handled as constraints.
+  return static_cast<double>(d - 1) /
+         (BinomialCoefficient(d, s) * static_cast<double>(s) *
+          static_cast<double>(d - s));
+}
+
+Result<std::vector<double>> SolveKernelShap(
+    const std::vector<std::vector<uint8_t>>& masks,
+    const std::vector<double>& values, const std::vector<double>& weights,
+    double base, double full, double lambda) {
+  if (masks.empty()) return Status::InvalidArgument("KernelShap: no samples");
+  const size_t d = masks[0].size();
+  const double delta = full - base;
+  if (d == 1) return std::vector<double>{delta};
+
+  // Eliminate phi_{d-1} via the efficiency constraint.
+  const size_t m = masks.size();
+  Matrix a(m, d - 1);
+  std::vector<double> y(m);
+  for (size_t r = 0; r < m; ++r) {
+    const double zd = masks[r][d - 1] ? 1.0 : 0.0;
+    for (size_t j = 0; j + 1 < d; ++j)
+      a(r, j) = (masks[r][j] ? 1.0 : 0.0) - zd;
+    y[r] = values[r] - base - zd * delta;
+  }
+  XAI_ASSIGN_OR_RETURN(std::vector<double> head,
+                       RidgeRegression(a, y, lambda, &weights));
+  std::vector<double> phi(d);
+  double sum_head = 0.0;
+  for (size_t j = 0; j + 1 < d; ++j) {
+    phi[j] = head[j];
+    sum_head += head[j];
+  }
+  phi[d - 1] = delta - sum_head;
+  return phi;
+}
+
+KernelShapExplainer::KernelShapExplainer(const Model& model,
+                                         const Dataset& background,
+                                         KernelShapOptions opts)
+    : model_(model), background_(background), opts_(opts) {}
+
+Result<FeatureAttribution> KernelShapExplainer::Explain(
+    const std::vector<double>& instance) {
+  const int d = static_cast<int>(instance.size());
+  MarginalFeatureGame game(model_, background_.x(), instance,
+                           opts_.max_background);
+  std::vector<bool> coalition(d, false);
+  const double base = game.Value(coalition);
+  std::fill(coalition.begin(), coalition.end(), true);
+  const double full = game.Value(coalition);
+
+  // d == 1 has no proper coalitions: efficiency fixes phi directly.
+  if (d == 1) {
+    FeatureAttribution out;
+    out.feature_names.push_back(background_.schema().feature(0).name);
+    out.values = {full - base};
+    out.base_value = base;
+    out.prediction = model_.Predict(instance);
+    return out;
+  }
+
+  std::vector<std::vector<uint8_t>> masks;
+  std::vector<double> values;
+  std::vector<double> weights;
+
+  auto eval_mask = [&](const std::vector<uint8_t>& mask, double w) {
+    for (int j = 0; j < d; ++j) coalition[j] = mask[j];
+    masks.push_back(mask);
+    values.push_back(game.Value(coalition));
+    weights.push_back(w);
+  };
+
+  if (d <= opts_.exact_up_to) {
+    // Enumerate every proper non-empty coalition with its exact kernel
+    // weight: the regression then recovers exact marginal-game Shapley
+    // values.
+    for (uint32_t m = 1; m + 1 < (1u << d); ++m) {
+      std::vector<uint8_t> mask(d);
+      for (int j = 0; j < d; ++j) mask[j] = (m >> j) & 1u;
+      eval_mask(mask, ShapleyKernelWeight(d, PopCount(m)));
+    }
+  } else {
+    Rng rng(opts_.seed);
+    // Sample sizes proportional to total kernel mass per size, paired
+    // (z, complement) for variance reduction.
+    std::vector<double> size_mass(d, 0.0);
+    for (int s = 1; s < d; ++s)
+      size_mass[s] = ShapleyKernelWeight(d, s) * BinomialCoefficient(d, s);
+    for (int k = 0; k < opts_.num_samples / 2; ++k) {
+      const int s = static_cast<int>(rng.Categorical(size_mass));
+      std::vector<size_t> chosen =
+          rng.SampleWithoutReplacement(static_cast<size_t>(d),
+                                       static_cast<size_t>(std::max(1, s)));
+      std::vector<uint8_t> mask(d, 0);
+      for (size_t j : chosen) mask[j] = 1;
+      eval_mask(mask, 1.0);
+      std::vector<uint8_t> comp(d);
+      for (int j = 0; j < d; ++j) comp[j] = 1 - mask[j];
+      eval_mask(comp, 1.0);
+    }
+  }
+
+  XAI_ASSIGN_OR_RETURN(
+      std::vector<double> phi,
+      SolveKernelShap(masks, values, weights, base, full, opts_.lambda));
+
+  FeatureAttribution out;
+  for (size_t j = 0; j < instance.size(); ++j)
+    out.feature_names.push_back(background_.schema().feature(j).name);
+  out.values = std::move(phi);
+  out.base_value = base;
+  out.prediction = model_.Predict(instance);
+  return out;
+}
+
+}  // namespace xai

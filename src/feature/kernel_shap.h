@@ -1,0 +1,61 @@
+#ifndef XAIDB_FEATURE_KERNEL_SHAP_H_
+#define XAIDB_FEATURE_KERNEL_SHAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "core/game.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct KernelShapOptions {
+  /// Coalition samples (ignored when exact enumeration is feasible).
+  int num_samples = 2048;
+  /// Enumerate all coalitions when d <= this (gives the exact Shapley
+  /// values of the marginal game).
+  int exact_up_to = 13;
+  /// Background rows used by the marginal value function.
+  size_t max_background = 50;
+  /// Ridge stabilizer for the weighted regression.
+  double lambda = 1e-9;
+  uint64_t seed = 1234;
+};
+
+/// KernelSHAP (Lundberg & Lee 2017): recovers Shapley values of the
+/// marginal feature game as the solution of a weighted linear regression
+/// with the Shapley kernel
+///   k(z) = (d-1) / (C(d,|z|) |z| (d-|z|)),
+/// subject to the efficiency constraint sum(phi) = f(x) - E[f]. The
+/// model-agnostic workhorse of tutorial Section 2.1.2.
+class KernelShapExplainer : public AttributionExplainer {
+ public:
+  KernelShapExplainer(const Model& model, const Dataset& background,
+                      KernelShapOptions opts = {});
+
+  Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) override;
+
+ private:
+  const Model& model_;
+  const Dataset& background_;
+  KernelShapOptions opts_;
+};
+
+/// Shapley kernel weight for coalition size s of d players.
+double ShapleyKernelWeight(int d, int s);
+
+/// Solves the constrained Shapley-kernel weighted regression given
+/// evaluated coalitions. Exposed for testing and for the adversarial
+/// module. `masks` are coalition indicators, `values` the game values,
+/// `base` = v(empty), `full` = v(all).
+Result<std::vector<double>> SolveKernelShap(
+    const std::vector<std::vector<uint8_t>>& masks,
+    const std::vector<double>& values, const std::vector<double>& weights,
+    double base, double full, double lambda);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_KERNEL_SHAP_H_

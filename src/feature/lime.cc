@@ -1,0 +1,82 @@
+#include "feature/lime.h"
+
+#include <cmath>
+
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace xai {
+
+LimeExplainer::LimeExplainer(const Model& model, const Dataset& background,
+                             LimeOptions opts)
+    : model_(model), background_(background), opts_(opts) {}
+
+Result<FeatureAttribution> LimeExplainer::Explain(
+    const std::vector<double>& instance) {
+  const size_t d = instance.size();
+  if (d != background_.d())
+    return Status::InvalidArgument("Lime: instance arity != background");
+  Rng rng(opts_.seed);
+  TabularPerturber perturber(background_, instance);
+
+  const double width = opts_.kernel_width > 0
+                           ? opts_.kernel_width
+                           : 0.75 * std::sqrt(static_cast<double>(d));
+  const int n = opts_.num_samples;
+
+  // Design matrix over the binary representation, plus intercept column.
+  Matrix z(n, d + 1);
+  std::vector<double> y(n);
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    TabularPerturber::Sample s = perturber.Draw(&rng);
+    double dist2 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      z(i, j) = s.z[j];
+      if (!s.z[j]) dist2 += 1.0;
+    }
+    z(i, d) = 1.0;
+    y[i] = model_.Predict(s.x);
+    w[i] = std::exp(-dist2 / (width * width));
+  }
+
+  XAI_ASSIGN_OR_RETURN(std::vector<double> coef,
+                       RidgeRegression(z, y, opts_.lambda, &w));
+
+  // Weighted local R^2.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double wsum = 0.0;
+  double wmean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    wmean += w[i] * y[i];
+    wsum += w[i];
+  }
+  wmean /= std::max(wsum, 1e-12);
+  for (int i = 0; i < n; ++i) {
+    double pred = coef[d];
+    for (size_t j = 0; j < d; ++j) pred += coef[j] * z(i, j);
+    ss_res += w[i] * (y[i] - pred) * (y[i] - pred);
+    ss_tot += w[i] * (y[i] - wmean) * (y[i] - wmean);
+  }
+  last_local_r2_ = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 0.0;
+
+  FeatureAttribution out;
+  out.values.assign(coef.begin(), coef.begin() + static_cast<long>(d));
+  if (opts_.num_features > 0 &&
+      static_cast<size_t>(opts_.num_features) < d) {
+    // Zero all but the top-k coefficients (LIME's feature selection).
+    std::vector<size_t> keep =
+        TopKByMagnitude(out.values, static_cast<size_t>(opts_.num_features));
+    std::vector<double> selected(d, 0.0);
+    for (size_t j : keep) selected[j] = out.values[j];
+    out.values = std::move(selected);
+  }
+  for (size_t j = 0; j < d; ++j)
+    out.feature_names.push_back(background_.schema().feature(j).name);
+  out.base_value = coef[d];
+  out.prediction = model_.Predict(instance);
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,54 @@
+#ifndef XAIDB_FEATURE_LIME_H_
+#define XAIDB_FEATURE_LIME_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "core/perturb.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct LimeOptions {
+  int num_samples = 1000;
+  /// Exponential kernel width over the binary representation distance;
+  /// <= 0 means the LIME default 0.75 * sqrt(d).
+  double kernel_width = -1.0;
+  /// Ridge regularization of the local surrogate.
+  double lambda = 1e-3;
+  /// Keep only the top-k features (0 = all): LIME's feature selection.
+  int num_features = 0;
+  uint64_t seed = 99;
+};
+
+/// LIME for tabular data (Ribeiro et al. 2016), tutorial Section 2.1.1:
+/// samples perturbations of the instance, weights them by proximity with
+/// an exponential kernel over the binary "interpretable representation",
+/// and fits a weighted ridge regression whose coefficients are the
+/// explanation. The sampling step is exactly the component the tutorial
+/// flags as unreliable (Visani stability, Slack adversarial attacks);
+/// experiments E3/E4 probe it.
+class LimeExplainer : public AttributionExplainer {
+ public:
+  LimeExplainer(const Model& model, const Dataset& background,
+                LimeOptions opts = {});
+
+  Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) override;
+
+  /// Local weighted R^2 of the last surrogate fit — LIME's own fidelity
+  /// diagnostic.
+  double last_local_r2() const { return last_local_r2_; }
+
+ private:
+  const Model& model_;
+  const Dataset& background_;
+  LimeOptions opts_;
+  double last_local_r2_ = 0.0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_LIME_H_

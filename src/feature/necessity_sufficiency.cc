@@ -1,0 +1,126 @@
+#include "feature/necessity_sufficiency.h"
+
+#include <algorithm>
+
+namespace xai {
+
+NecessitySufficiency::NecessitySufficiency(const Model& model, const Scm& scm,
+                                           std::vector<size_t> feature_nodes,
+                                           uint64_t seed)
+    : model_(model), scm_(scm), feature_nodes_(std::move(feature_nodes)),
+      rng_(seed) {}
+
+std::vector<double> NecessitySufficiency::RecoverNoise(
+    const std::vector<double>& node_values) const {
+  const size_t n = scm_.num_nodes();
+  std::vector<double> noise(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    const auto& parents = scm_.dag().parents(v);
+    std::vector<double> pv(parents.size());
+    for (size_t k = 0; k < parents.size(); ++k)
+      pv[k] = node_values[parents[k]];
+    noise[v] = node_values[v] - scm_.EvaluateEquation(v, pv);
+  }
+  return noise;
+}
+
+std::vector<double> NecessitySufficiency::Propagate(
+    const std::vector<double>& noise, const std::vector<size_t>& do_nodes,
+    const std::vector<double>& do_values) const {
+  const size_t n = scm_.num_nodes();
+  std::vector<double> x(n, 0.0);
+  std::vector<bool> clamped(n, false);
+  for (size_t k = 0; k < do_nodes.size(); ++k) {
+    x[do_nodes[k]] = do_values[k];
+    clamped[do_nodes[k]] = true;
+  }
+  for (size_t v : scm_.dag().TopologicalOrder()) {
+    if (clamped[v]) continue;
+    const auto& parents = scm_.dag().parents(v);
+    std::vector<double> pv(parents.size());
+    for (size_t k = 0; k < parents.size(); ++k) pv[k] = x[parents[k]];
+    x[v] = scm_.EvaluateEquation(v, pv) + noise[v];
+  }
+  return x;
+}
+
+double NecessitySufficiency::PredictNodes(
+    const std::vector<double>& node_values) const {
+  std::vector<double> features(feature_nodes_.size());
+  for (size_t j = 0; j < feature_nodes_.size(); ++j)
+    features[j] = node_values[feature_nodes_[j]];
+  return model_.Predict(features);
+}
+
+std::vector<double> NecessitySufficiency::Counterfactual(
+    const std::vector<double>& node_values,
+    const std::vector<size_t>& features,
+    const std::vector<double>& values) const {
+  std::vector<double> noise = RecoverNoise(node_values);
+  std::vector<size_t> do_nodes(features.size());
+  for (size_t k = 0; k < features.size(); ++k)
+    do_nodes[k] = feature_nodes_[features[k]];
+  std::vector<double> cf = Propagate(noise, do_nodes, values);
+  std::vector<double> out(feature_nodes_.size());
+  for (size_t j = 0; j < feature_nodes_.size(); ++j)
+    out[j] = cf[feature_nodes_[j]];
+  return out;
+}
+
+Result<double> NecessitySufficiency::NecessityScore(
+    const std::vector<double>& node_values,
+    const std::vector<size_t>& features, int num_samples) const {
+  if (node_values.size() != scm_.num_nodes())
+    return Status::InvalidArgument("NecessityScore: need full node values");
+  if (PredictNodes(node_values) < 0.5)
+    return Status::FailedPrecondition(
+        "NecessityScore: instance must be positively classified");
+  std::vector<double> noise = RecoverNoise(node_values);
+  std::vector<size_t> do_nodes(features.size());
+  for (size_t k = 0; k < features.size(); ++k)
+    do_nodes[k] = feature_nodes_[features[k]];
+
+  int flipped = 0;
+  for (int s = 0; s < num_samples; ++s) {
+    // Alternative values for S drawn from the observational distribution.
+    std::vector<double> alt = scm_.Sample(&rng_);
+    std::vector<double> do_values(do_nodes.size());
+    for (size_t k = 0; k < do_nodes.size(); ++k)
+      do_values[k] = alt[do_nodes[k]];
+    std::vector<double> cf = Propagate(noise, do_nodes, do_values);
+    if (PredictNodes(cf) < 0.5) ++flipped;
+  }
+  return static_cast<double>(flipped) / static_cast<double>(num_samples);
+}
+
+Result<double> NecessitySufficiency::SufficiencyScore(
+    const std::vector<double>& node_values,
+    const std::vector<size_t>& features, int num_samples) const {
+  if (node_values.size() != scm_.num_nodes())
+    return Status::InvalidArgument("SufficiencyScore: need full node values");
+  std::vector<size_t> do_nodes(features.size());
+  std::vector<double> do_values(features.size());
+  for (size_t k = 0; k < features.size(); ++k) {
+    do_nodes[k] = feature_nodes_[features[k]];
+    do_values[k] = node_values[do_nodes[k]];
+  }
+
+  int flipped = 0;
+  int negatives = 0;
+  int guard = 0;
+  while (negatives < num_samples && guard < 50 * num_samples) {
+    ++guard;
+    std::vector<double> other = scm_.Sample(&rng_);
+    if (PredictNodes(other) >= 0.5) continue;  // Want negative individuals.
+    ++negatives;
+    std::vector<double> other_noise = RecoverNoise(other);
+    std::vector<double> cf = Propagate(other_noise, do_nodes, do_values);
+    if (PredictNodes(cf) >= 0.5) ++flipped;
+  }
+  if (negatives == 0)
+    return Status::FailedPrecondition(
+        "SufficiencyScore: no negatively-classified samples found");
+  return static_cast<double>(flipped) / static_cast<double>(negatives);
+}
+
+}  // namespace xai

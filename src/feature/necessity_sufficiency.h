@@ -1,0 +1,67 @@
+#ifndef XAIDB_FEATURE_NECESSITY_SUFFICIENCY_H_
+#define XAIDB_FEATURE_NECESSITY_SUFFICIENCY_H_
+
+#include <vector>
+
+#include "causal/scm.h"
+#include "common/result.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// LEWIS-style probabilistic contrastive counterfactual scores (Galhotra,
+/// Pradhan & Salimi 2021), tutorial Section 2.1.3/2.1.4. Counterfactual
+/// reasoning is performed properly over an additive-noise SCM:
+/// (1) *abduction* — recover each node's exogenous noise from the observed
+///     full instance; (2) *action* — clamp the chosen features;
+/// (3) *prediction* — propagate deterministically with the recovered noise.
+class NecessitySufficiency {
+ public:
+  /// `feature_nodes[j]` maps model feature j to its SCM node. The SCM must
+  /// be complete and its equations evaluable noise-free (linear or custom).
+  NecessitySufficiency(const Model& model, const Scm& scm,
+                       std::vector<size_t> feature_nodes,
+                       uint64_t seed = 404);
+
+  /// Counterfactual instance: given observed `instance` (values for every
+  /// SCM node), intervene do(nodes in `features` := `values`) and return
+  /// the resulting feature vector under recovered noise.
+  std::vector<double> Counterfactual(const std::vector<double>& node_values,
+                                     const std::vector<size_t>& features,
+                                     const std::vector<double>& values) const;
+
+  /// Necessity of S = `features` with the instance's values, for a
+  /// positively-classified instance x: the probability (over alternative
+  /// values of S drawn from the observational distribution) that
+  /// counterfactually replacing x_S flips the prediction to negative.
+  /// "Had S not taken these values, the outcome would not have occurred."
+  Result<double> NecessityScore(const std::vector<double>& node_values,
+                                const std::vector<size_t>& features,
+                                int num_samples = 500) const;
+
+  /// Sufficiency of S with values from x: the probability over
+  /// negatively-classified individuals x' that counterfactually setting
+  /// x'_S <- x_S makes the prediction positive.
+  /// "Setting S to these values produces the outcome."
+  Result<double> SufficiencyScore(const std::vector<double>& node_values,
+                                  const std::vector<size_t>& features,
+                                  int num_samples = 500) const;
+
+ private:
+  /// Abduction: per-node additive noise implied by a full assignment.
+  std::vector<double> RecoverNoise(const std::vector<double>& node_values) const;
+  /// Deterministic propagation with explicit noise and interventions.
+  std::vector<double> Propagate(const std::vector<double>& noise,
+                                const std::vector<size_t>& do_nodes,
+                                const std::vector<double>& do_values) const;
+  double PredictNodes(const std::vector<double>& node_values) const;
+
+  const Model& model_;
+  const Scm& scm_;
+  std::vector<size_t> feature_nodes_;
+  mutable Rng rng_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_NECESSITY_SUFFICIENCY_H_

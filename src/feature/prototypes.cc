@@ -1,0 +1,123 @@
+#include "feature/prototypes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+/// Squared Euclidean distance between rows a and b of x.
+double Dist2(const Matrix& x, size_t a, size_t b) {
+  double s = 0.0;
+  for (size_t j = 0; j < x.cols(); ++j) {
+    const double d = x(a, j) - x(b, j);
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<PrototypeReport> SelectPrototypes(const Dataset& ds,
+                                         const PrototypeOptions& opts) {
+  const size_t n = std::min(ds.n(), opts.max_rows);
+  if (n == 0) return Status::InvalidArgument("SelectPrototypes: empty data");
+  if (opts.num_prototypes == 0 || opts.num_prototypes > n)
+    return Status::InvalidArgument("SelectPrototypes: bad prototype count");
+
+  // Kernel matrix with the median heuristic over *random* pairs (near-
+  // index pairs would be biased toward within-cluster distances when the
+  // data arrives cluster-ordered), shrunk by 2 so distinct modes stay
+  // distinguishable under the kernel.
+  double bw = opts.bandwidth;
+  if (bw <= 0.0) {
+    Rng rng(0xBADDCAFE);
+    std::vector<double> d2s;
+    d2s.reserve(512);
+    for (int s = 0; s < 512; ++s) {
+      const size_t a = static_cast<size_t>(rng.NextInt(n));
+      const size_t b = static_cast<size_t>(rng.NextInt(n));
+      if (a != b) d2s.push_back(Dist2(ds.x(), a, b));
+    }
+    bw = std::sqrt(std::max(Median(d2s), 1e-12)) / 2.0;
+  }
+  const double gamma = 1.0 / (2.0 * bw * bw);
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = std::exp(-gamma * Dist2(ds.x(), i, j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  // mean_k[i] = (1/n) sum_j K(i, j): the data term of the witness.
+  std::vector<double> mean_k(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += k(i, j);
+    mean_k[i] = s / static_cast<double>(n);
+  }
+
+  PrototypeReport report;
+  std::vector<bool> chosen(n, false);
+  // Greedy MMD^2 minimization. With m prototypes P:
+  //   MMD^2 = const(data) - (2/m) sum_{p in P} mean_k[p]
+  //           + (1/m^2) sum_{p,q in P} K(p,q).
+  // Maintained incrementally: pp_sum = sum over P x P of K, and
+  // mean_sum = sum over P of mean_k.
+  double pp_sum = 0.0;
+  double mean_sum = 0.0;
+  for (size_t pick = 0; pick < opts.num_prototypes; ++pick) {
+    const double m1 = static_cast<double>(pick + 1);
+    double best_obj = 1e300;
+    size_t best = n;
+    double best_cross = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (chosen[c]) continue;
+      double cross = 0.0;
+      for (size_t p : report.prototypes) cross += k(c, p);
+      const double new_pp = pp_sum + 2.0 * cross + k(c, c);
+      const double obj =
+          new_pp / (m1 * m1) - 2.0 / m1 * (mean_sum + mean_k[c]);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = c;
+        best_cross = cross;
+      }
+    }
+    if (best == n) break;
+    chosen[best] = true;
+    pp_sum += 2.0 * best_cross + k(best, best);
+    mean_sum += mean_k[best];
+    report.prototypes.push_back(best);
+    report.mmd2 = best_obj;  // Up to the constant (1/n^2) sum K term.
+  }
+  // Add the data constant so mmd2 is a true squared MMD (>= 0).
+  double data_const = 0.0;
+  for (size_t i = 0; i < n; ++i) data_const += mean_k[i];
+  report.mmd2 += data_const / static_cast<double>(n);
+
+  // Witness function at each point: w(i) = mean_k[i] - (1/m) sum_p K(i,p).
+  const double m = static_cast<double>(report.prototypes.size());
+  std::vector<double> witness(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t p : report.prototypes) s += k(i, p);
+    witness[i] = std::fabs(mean_k[i] - s / m);
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return witness[a] > witness[b]; });
+  for (size_t i = 0; i < n && report.criticisms.size() < opts.num_criticisms;
+       ++i) {
+    if (!chosen[order[i]]) report.criticisms.push_back(order[i]);
+  }
+  return report;
+}
+
+}  // namespace xai

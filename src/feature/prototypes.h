@@ -1,0 +1,41 @@
+#ifndef XAIDB_FEATURE_PROTOTYPES_H_
+#define XAIDB_FEATURE_PROTOTYPES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Example-based explanations (tutorial Section 2's taxonomy: "some
+/// return data points to make the model interpretable"): MMD-critic
+/// style prototypes and criticisms (Kim, Khanna & Koyejo 2016).
+/// *Prototypes* are data points whose empirical distribution matches the
+/// dataset's (greedy maximum-mean-discrepancy minimization under an RBF
+/// kernel); *criticisms* are the points the prototypes explain worst
+/// (largest |MMD witness function|), surfacing the regions a
+/// prototype-based mental model misses.
+struct PrototypeReport {
+  std::vector<size_t> prototypes;   // Row indices, in selection order.
+  std::vector<size_t> criticisms;   // Row indices, in selection order.
+  /// Final squared MMD between prototype set and data (lower = better).
+  double mmd2 = 0.0;
+};
+
+struct PrototypeOptions {
+  size_t num_prototypes = 5;
+  size_t num_criticisms = 3;
+  /// RBF kernel bandwidth; <= 0 selects the median pairwise distance
+  /// heuristic.
+  double bandwidth = -1.0;
+  /// Cap on rows considered (kernel matrix is O(n^2)).
+  size_t max_rows = 400;
+};
+
+Result<PrototypeReport> SelectPrototypes(const Dataset& ds,
+                                         const PrototypeOptions& opts = PrototypeOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_PROTOTYPES_H_

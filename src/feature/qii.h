@@ -1,0 +1,47 @@
+#ifndef XAIDB_FEATURE_QII_H_
+#define XAIDB_FEATURE_QII_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct QiiOptions {
+  /// Monte-Carlo resampling draws per evaluation.
+  int num_samples = 200;
+  /// Permutations for the Shapley aggregation of set influence.
+  int num_permutations = 30;
+  uint64_t seed = 77;
+};
+
+/// Quantitative Input Influence (Datta, Sen & Zick 2016), tutorial Section
+/// 2.1.2. Unary QII of feature i on an instance:
+///   iota(i) = E[f(x)] - E[f(x with X_i resampled from the data marginal)]
+/// Set QII aggregates marginal influence across feature sets with the
+/// Shapley value (implemented by permutation sampling over the
+/// resample-based game).
+class QiiExplainer : public AttributionExplainer {
+ public:
+  QiiExplainer(const Model& model, const Dataset& background,
+               QiiOptions opts = {});
+
+  /// Shapley-aggregated set QII.
+  Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) override;
+
+  /// Unary QII per feature (cheaper; no interaction accounting).
+  std::vector<double> UnaryInfluence(const std::vector<double>& instance);
+
+ private:
+  const Model& model_;
+  const Dataset& background_;
+  QiiOptions opts_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_QII_H_

@@ -1,0 +1,171 @@
+#include "feature/shapley.h"
+
+#include "math/combinatorics.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
+                                         int max_players) {
+  const int n = static_cast<int>(game.num_players());
+  if (n > max_players)
+    return Status::InvalidArgument(
+        "ExactShapley: too many players for exact enumeration");
+  if (n == 0) return std::vector<double>{};
+
+  // Cache v(S) for every mask.
+  const uint32_t full = n >= 32 ? 0xFFFFFFFFu : ((1u << n) - 1);
+  std::vector<double> value(static_cast<size_t>(full) + 1);
+  std::vector<bool> coalition(n);
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    for (int j = 0; j < n; ++j) coalition[j] = (mask >> j) & 1u;
+    value[mask] = game.Value(coalition);
+  }
+
+  std::vector<double> phi(n, 0.0);
+  // Precompute weights by coalition size.
+  std::vector<double> w(n);
+  for (int s = 0; s < n; ++s) w[s] = ShapleyWeight(n, s);
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    const int s = PopCount(mask);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) continue;
+      phi[i] += w[s] * (value[mask | (1u << i)] - value[mask]);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> PermutationShapley(const CoalitionGame& game,
+                                       int num_permutations, Rng* rng) {
+  const size_t n = game.num_players();
+  std::vector<double> phi(n, 0.0);
+  std::vector<bool> coalition(n);
+  for (int p = 0; p < num_permutations; ++p) {
+    std::vector<size_t> perm = rng->Permutation(n);
+    std::fill(coalition.begin(), coalition.end(), false);
+    double prev = game.Value(coalition);
+    for (size_t k = 0; k < n; ++k) {
+      coalition[perm[k]] = true;
+      const double cur = game.Value(coalition);
+      phi[perm[k]] += cur - prev;
+      prev = cur;
+    }
+  }
+  for (double& v : phi) v /= static_cast<double>(num_permutations);
+  return phi;
+}
+
+Result<std::vector<double>> OwenValues(
+    const CoalitionGame& game, const std::vector<std::vector<size_t>>& groups,
+    int num_permutations, Rng* rng) {
+  const size_t n = game.num_players();
+  std::vector<int> owner(n, -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t p : groups[g]) {
+      if (p >= n || owner[p] != -1)
+        return Status::InvalidArgument(
+            "OwenValues: groups must partition the players");
+      owner[p] = static_cast<int>(g);
+    }
+  }
+  for (size_t p = 0; p < n; ++p)
+    if (owner[p] == -1)
+      return Status::InvalidArgument("OwenValues: player missing a group");
+
+  std::vector<double> phi(n, 0.0);
+  std::vector<bool> coalition(n);
+  for (int t = 0; t < num_permutations; ++t) {
+    // Group-respecting permutation: shuffle groups and members.
+    std::vector<size_t> group_order = rng->Permutation(groups.size());
+    std::fill(coalition.begin(), coalition.end(), false);
+    double prev = game.Value(coalition);
+    for (size_t gi : group_order) {
+      std::vector<size_t> members = groups[gi];
+      rng->Shuffle(&members);
+      for (size_t p : members) {
+        coalition[p] = true;
+        const double cur = game.Value(coalition);
+        phi[p] += cur - prev;
+        prev = cur;
+      }
+    }
+  }
+  for (double& v : phi) v /= static_cast<double>(num_permutations);
+  return phi;
+}
+
+Result<Matrix> ExactShapleyInteractions(const CoalitionGame& game,
+                                        int max_players) {
+  const int n = static_cast<int>(game.num_players());
+  if (n > max_players)
+    return Status::InvalidArgument(
+        "ExactShapleyInteractions: too many players");
+  if (n == 0) return Matrix();
+
+  const uint32_t full = (n >= 32) ? 0xFFFFFFFFu : ((1u << n) - 1);
+  std::vector<double> value(static_cast<size_t>(full) + 1);
+  std::vector<bool> coalition(static_cast<size_t>(n));
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    for (int j = 0; j < n; ++j) coalition[static_cast<size_t>(j)] = (mask >> j) & 1u;
+    value[mask] = game.Value(coalition);
+  }
+
+  // Interaction weights by |S| (over N \ {i,j}).
+  std::vector<double> w(static_cast<size_t>(std::max(1, n - 1)));
+  for (int s = 0; s <= n - 2; ++s) {
+    w[static_cast<size_t>(s)] =
+        Factorial(s) * Factorial(n - s - 2) / (2.0 * Factorial(n - 1));
+  }
+
+  Matrix inter(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const uint32_t bij = (1u << i) | (1u << j);
+      double total = 0.0;
+      for (uint32_t mask = 0; mask <= full; ++mask) {
+        if (mask & bij) continue;
+        const double delta = value[mask | bij] - value[mask | (1u << i)] -
+                             value[mask | (1u << j)] + value[mask];
+        total += w[static_cast<size_t>(PopCount(mask))] * delta;
+      }
+      inter(static_cast<size_t>(i), static_cast<size_t>(j)) = total;
+      inter(static_cast<size_t>(j), static_cast<size_t>(i)) = total;
+    }
+  }
+
+  // Diagonal: phi_i minus the off-diagonal interactions (SHAP convention).
+  XAI_ASSIGN_OR_RETURN(std::vector<double> phi,
+                       ExactShapley(game, max_players));
+  for (int i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) off += inter(static_cast<size_t>(i), static_cast<size_t>(j));
+    inter(static_cast<size_t>(i), static_cast<size_t>(i)) =
+        phi[static_cast<size_t>(i)] - off;
+  }
+  return inter;
+}
+
+std::vector<double> SampledBanzhaf(const CoalitionGame& game, int num_samples,
+                                   Rng* rng) {
+  const size_t n = game.num_players();
+  std::vector<double> phi(n, 0.0);
+  std::vector<int> counts(n, 0);
+  std::vector<bool> coalition(n);
+  for (int s = 0; s < num_samples; ++s) {
+    for (size_t j = 0; j < n; ++j) coalition[j] = rng->Bernoulli(0.5);
+    const size_t i = static_cast<size_t>(rng->NextInt(n));
+    coalition[i] = false;
+    const double without = game.Value(coalition);
+    coalition[i] = true;
+    const double with = game.Value(coalition);
+    phi[i] += with - without;
+    ++counts[i];
+  }
+  for (size_t i = 0; i < n; ++i)
+    if (counts[i] > 0) phi[i] /= static_cast<double>(counts[i]);
+  return phi;
+}
+
+}  // namespace xai

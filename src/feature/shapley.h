@@ -1,0 +1,56 @@
+#ifndef XAIDB_FEATURE_SHAPLEY_H_
+#define XAIDB_FEATURE_SHAPLEY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/game.h"
+
+namespace xai {
+
+/// Exact Shapley values by subset enumeration:
+///   phi_i = sum_{S ⊆ N\{i}} |S|!(n-|S|-1)!/n! (v(S ∪ {i}) - v(S)).
+/// Exponential (2^n evaluations of v) — the intractability the tutorial
+/// highlights in Section 2.1.2 and experiment E1 measures. Rejects games
+/// with more than `max_players` (default 20) players.
+Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
+                                         int max_players = 20);
+
+/// Monte-Carlo Shapley by permutation sampling: for each sampled
+/// permutation, walk players in order and credit each with its marginal
+/// contribution. Unbiased; error ~ O(1/sqrt(num_permutations)).
+std::vector<double> PermutationShapley(const CoalitionGame& game,
+                                       int num_permutations, Rng* rng);
+
+/// Banzhaf values by subset sampling (each player's expected marginal
+/// contribution to a uniformly random coalition of the others) — the
+/// other classic semivalue, used by QII's set influence.
+std::vector<double> SampledBanzhaf(const CoalitionGame& game,
+                                   int num_samples, Rng* rng);
+
+/// Owen values — Shapley with a coalition structure (Monte-Carlo over
+/// group-respecting permutations: groups are shuffled, members stay
+/// contiguous). The right attribution when players come in a priori
+/// bundles, e.g. the one-hot columns of one categorical feature: the
+/// bundle's total credit equals the group-level Shapley value, split
+/// among members by within-group marginals. `groups[g]` lists player
+/// indices; every player must appear in exactly one group.
+Result<std::vector<double>> OwenValues(
+    const CoalitionGame& game, const std::vector<std::vector<size_t>>& groups,
+    int num_permutations, Rng* rng);
+
+/// Exact Shapley *interaction* index (Grabisch & Roubens; the quantity
+/// behind SHAP interaction values). Off-diagonal entries:
+///   I_ij = sum_{S ⊆ N\{i,j}} |S|!(n-|S|-2)!/(2(n-1)!) * delta_ij(S),
+///   delta_ij(S) = v(S∪{i,j}) - v(S∪{i}) - v(S∪{j}) + v(S),
+/// symmetric and zero for additive games. Diagonal entries follow the
+/// SHAP convention I_ii = phi_i - sum_{j != i} I_ij, so each row sums to
+/// the Shapley value and the whole matrix sums to v(N) - v(empty).
+/// Exponential in n (2^n evaluations); rejects n > max_players.
+Result<Matrix> ExactShapleyInteractions(const CoalitionGame& game,
+                                        int max_players = 16);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_SHAPLEY_H_

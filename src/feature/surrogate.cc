@@ -1,0 +1,40 @@
+#include "feature/surrogate.h"
+
+#include "model/metrics.h"
+
+namespace xai {
+namespace {
+
+/// Black-box outputs as the regression target.
+Dataset Distill(const Model& model, const Dataset& reference) {
+  return Dataset(reference.schema(), reference.x(),
+                 model.PredictBatch(reference.x()));
+}
+
+}  // namespace
+
+Result<TreeSurrogate> FitTreeSurrogate(const Model& model,
+                                       const Dataset& reference,
+                                       const TreeConfig& config) {
+  Dataset distilled = Distill(model, reference);
+  XAI_ASSIGN_OR_RETURN(DecisionTree tree, DecisionTree::Fit(distilled, config));
+  TreeSurrogate out;
+  out.tree = std::move(tree);
+  out.fidelity_r2 =
+      R2Score(out.tree.PredictBatch(reference.x()), distilled.y());
+  return out;
+}
+
+Result<LinearSurrogate> FitLinearSurrogate(const Model& model,
+                                           const Dataset& reference) {
+  Dataset distilled = Distill(model, reference);
+  XAI_ASSIGN_OR_RETURN(LinearRegression linear,
+                       LinearRegression::Fit(distilled));
+  LinearSurrogate out;
+  out.linear = std::move(linear);
+  out.fidelity_r2 =
+      R2Score(out.linear.PredictBatch(reference.x()), distilled.y());
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,41 @@
+#ifndef XAIDB_FEATURE_SURROGATE_H_
+#define XAIDB_FEATURE_SURROGATE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/decision_tree.h"
+#include "model/linear_regression.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Global surrogate models (tutorial Section 2.1.1): fit an inherently
+/// interpretable model to the *black box's predictions* and read the
+/// surrogate as the explanation. Fidelity quantifies how much of the black
+/// box the surrogate actually captures.
+struct GlobalSurrogate {
+  /// R^2 of the surrogate against the black-box outputs on held-out rows
+  /// (how faithful the explanation is).
+  double fidelity_r2 = 0.0;
+};
+
+/// Distills the model into a single decision tree over `reference` rows.
+struct TreeSurrogate : GlobalSurrogate {
+  DecisionTree tree;
+};
+Result<TreeSurrogate> FitTreeSurrogate(const Model& model,
+                                       const Dataset& reference,
+                                       const TreeConfig& config = {});
+
+/// Distills the model into a global linear approximation.
+struct LinearSurrogate : GlobalSurrogate {
+  LinearRegression linear;
+};
+Result<LinearSurrogate> FitLinearSurrogate(const Model& model,
+                                           const Dataset& reference);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_SURROGATE_H_

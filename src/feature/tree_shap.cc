@@ -1,0 +1,335 @@
+#include "feature/tree_shap.h"
+
+#include <cmath>
+
+#include "math/combinatorics.h"
+
+namespace xai {
+namespace {
+
+/// One element of the unique-feature path maintained by the algorithm.
+struct PathElement {
+  int feature;  // -1 for the root placeholder.
+  double zero;  // Fraction of paths flowing through when feature absent.
+  double one;   // 1 if the instance's value goes this way, else 0.
+  double w;     // Permutation weight accumulated so far.
+};
+
+/// Grows the path by one split, updating permutation weights.
+void Extend(std::vector<PathElement>* m, double pz, double po, int pi) {
+  const int l = static_cast<int>(m->size());
+  m->push_back({pi, pz, po, l == 0 ? 1.0 : 0.0});
+  auto& p = *m;
+  for (int i = l - 1; i >= 0; --i) {
+    p[i + 1].w += po * p[i].w * static_cast<double>(i + 1) /
+                  static_cast<double>(l + 1);
+    p[i].w = pz * p[i].w * static_cast<double>(l - i) /
+             static_cast<double>(l + 1);
+  }
+}
+
+/// Total permutation weight if element `idx` were removed (without
+/// mutating the path).
+double UnwoundSum(const std::vector<PathElement>& m, size_t idx) {
+  const int l = static_cast<int>(m.size()) - 1;
+  const double one = m[idx].one;
+  const double zero = m[idx].zero;
+  double next = m[static_cast<size_t>(l)].w;
+  double total = 0.0;
+  for (int i = l - 1; i >= 0; --i) {
+    if (one != 0.0) {
+      const double tmp = next * static_cast<double>(l + 1) /
+                         (static_cast<double>(i + 1) * one);
+      total += tmp;
+      next = m[static_cast<size_t>(i)].w -
+             tmp * zero * static_cast<double>(l - i) /
+                 static_cast<double>(l + 1);
+    } else {
+      total += m[static_cast<size_t>(i)].w / zero *
+               static_cast<double>(l + 1) / static_cast<double>(l - i);
+    }
+  }
+  return total;
+}
+
+/// Removes element `idx` from the path, restoring weights.
+void Unwind(std::vector<PathElement>* m, size_t idx) {
+  auto& p = *m;
+  const int l = static_cast<int>(p.size()) - 1;
+  const double one = p[idx].one;
+  const double zero = p[idx].zero;
+  double next = p[static_cast<size_t>(l)].w;
+  for (int i = l - 1; i >= 0; --i) {
+    if (one != 0.0) {
+      const double tmp = p[static_cast<size_t>(i)].w;
+      p[static_cast<size_t>(i)].w = next * static_cast<double>(l + 1) /
+                                    (static_cast<double>(i + 1) * one);
+      next = tmp - p[static_cast<size_t>(i)].w * zero *
+                       static_cast<double>(l - i) /
+                       static_cast<double>(l + 1);
+    } else {
+      p[static_cast<size_t>(i)].w = p[static_cast<size_t>(i)].w *
+                                    static_cast<double>(l + 1) /
+                                    (zero * static_cast<double>(l - i));
+    }
+  }
+  for (size_t i = idx; i < static_cast<size_t>(l); ++i) {
+    p[i].feature = p[i + 1].feature;
+    p[i].zero = p[i + 1].zero;
+    p[i].one = p[i + 1].one;
+  }
+  p.pop_back();
+}
+
+void Recurse(const Tree& tree, const std::vector<double>& x,
+             std::vector<double>* phi, int node,
+             std::vector<PathElement> path,  // By value: one copy per call.
+             double pz, double po, int pi) {
+  Extend(&path, pz, po, pi);
+  const TreeNode& nd = tree.nodes[static_cast<size_t>(node)];
+  if (nd.is_leaf()) {
+    for (size_t i = 1; i < path.size(); ++i) {
+      const double w = UnwoundSum(path, i);
+      (*phi)[static_cast<size_t>(path[i].feature)] +=
+          w * (path[i].one - path[i].zero) * nd.value;
+    }
+    return;
+  }
+  const bool go_left = x[static_cast<size_t>(nd.feature)] <= nd.threshold;
+  const int hot = go_left ? nd.left : nd.right;
+  const int cold = go_left ? nd.right : nd.left;
+  const double hot_z =
+      tree.nodes[static_cast<size_t>(hot)].cover / nd.cover;
+  const double cold_z =
+      tree.nodes[static_cast<size_t>(cold)].cover / nd.cover;
+  double iz = 1.0;
+  double io = 1.0;
+  size_t k = 1;
+  while (k < path.size() && path[k].feature != nd.feature) ++k;
+  if (k < path.size()) {
+    iz = path[k].zero;
+    io = path[k].one;
+    Unwind(&path, k);
+  }
+  Recurse(tree, x, phi, hot, path, iz * hot_z, io, nd.feature);
+  Recurse(tree, x, phi, cold, path, iz * cold_z, 0.0, nd.feature);
+}
+
+}  // namespace
+
+void TreeShapValues(const Tree& tree, const std::vector<double>& x,
+                    std::vector<double>* phi) {
+  Recurse(tree, x, phi, 0, {}, 1.0, 1.0, -1);
+}
+
+std::vector<double> EnsembleTreeShap(const std::vector<Tree>& trees,
+                                     double scale, size_t num_features,
+                                     const std::vector<double>& x) {
+  std::vector<double> phi(num_features, 0.0);
+  std::vector<double> tree_phi(num_features, 0.0);
+  for (const Tree& t : trees) {
+    std::fill(tree_phi.begin(), tree_phi.end(), 0.0);
+    TreeShapValues(t, x, &tree_phi);
+    for (size_t j = 0; j < num_features; ++j) phi[j] += scale * tree_phi[j];
+  }
+  return phi;
+}
+
+TreePathGame::TreePathGame(const std::vector<Tree>& trees, double scale,
+                           size_t num_features, std::vector<double> instance)
+    : trees_(trees), scale_(scale), instance_(std::move(instance)) {
+  (void)num_features;
+}
+
+double TreePathGame::NodeExpectation(const Tree& tree, int node,
+                                     const std::vector<bool>& s) const {
+  const TreeNode& nd = tree.nodes[static_cast<size_t>(node)];
+  if (nd.is_leaf()) return nd.value;
+  if (s[static_cast<size_t>(nd.feature)]) {
+    const int next =
+        instance_[static_cast<size_t>(nd.feature)] <= nd.threshold
+            ? nd.left
+            : nd.right;
+    return NodeExpectation(tree, next, s);
+  }
+  const double cl = tree.nodes[static_cast<size_t>(nd.left)].cover;
+  const double cr = tree.nodes[static_cast<size_t>(nd.right)].cover;
+  return (cl * NodeExpectation(tree, nd.left, s) +
+          cr * NodeExpectation(tree, nd.right, s)) /
+         (cl + cr);
+}
+
+double TreePathGame::Value(const std::vector<bool>& in_coalition) const {
+  double total = 0.0;
+  for (const Tree& t : trees_)
+    total += scale_ * NodeExpectation(t, 0, in_coalition);
+  return total;
+}
+
+TreeShapExplainer::TreeShapExplainer(const GradientBoostedTrees& gbdt,
+                                     const Schema& schema)
+    : scale_(gbdt.learning_rate()), num_features_(gbdt.num_features()),
+      schema_(schema) {
+  for (const Tree& t : gbdt.trees()) trees_.push_back(&t);
+  base_ = gbdt.base_score();
+  for (const Tree& t : gbdt.trees())
+    base_ += gbdt.learning_rate() * t.ExpectedValue();
+}
+
+TreeShapExplainer::TreeShapExplainer(const DecisionTree& tree,
+                                     const Schema& schema)
+    : scale_(1.0), num_features_(tree.num_features()), schema_(schema) {
+  trees_.push_back(&tree.tree());
+  base_ = tree.tree().ExpectedValue();
+}
+
+TreeShapExplainer::TreeShapExplainer(const RandomForest& forest,
+                                     const Schema& schema)
+    : scale_(1.0 / static_cast<double>(forest.trees().size())),
+      num_features_(forest.num_features()), schema_(schema) {
+  for (const Tree& t : forest.trees()) trees_.push_back(&t);
+  base_ = 0.0;
+  for (const Tree& t : forest.trees())
+    base_ += scale_ * t.ExpectedValue();
+}
+
+Result<FeatureAttribution> TreeShapExplainer::Explain(
+    const std::vector<double>& instance) {
+  if (instance.size() != num_features_)
+    return Status::InvalidArgument("TreeShap: instance arity mismatch");
+  FeatureAttribution out;
+  out.values.assign(num_features_, 0.0);
+  std::vector<double> tree_phi(num_features_, 0.0);
+  double margin = base_;
+  for (const Tree* t : trees_) {
+    std::fill(tree_phi.begin(), tree_phi.end(), 0.0);
+    TreeShapValues(*t, instance, &tree_phi);
+    for (size_t j = 0; j < num_features_; ++j)
+      out.values[j] += scale_ * tree_phi[j];
+    margin += scale_ * (t->Predict(instance) - t->ExpectedValue());
+  }
+  for (size_t j = 0; j < num_features_; ++j)
+    out.feature_names.push_back(schema_.feature(j).name);
+  out.base_value = base_;
+  out.prediction = margin;
+  return out;
+}
+
+namespace {
+
+/// DFS state for interventional TreeSHAP: which unique path features were
+/// resolved toward the instance (X) or the reference (B).
+struct InterventionalWalker {
+  const Tree& tree;
+  const std::vector<double>& x;
+  const std::vector<double>& ref;
+  std::vector<double>* phi;
+  // assignment[f]: 0 = unseen, 1 = instance side, 2 = reference side.
+  std::vector<uint8_t> assignment;
+  std::vector<int> x_features;
+  std::vector<int> b_features;
+
+  void Walk(int node) {
+    const TreeNode& nd = tree.nodes[static_cast<size_t>(node)];
+    if (nd.is_leaf()) {
+      const double nx = static_cast<double>(x_features.size());
+      const double nb = static_cast<double>(b_features.size());
+      if (nx + nb == 0.0) return;  // Same leaf for x and ref: no credit.
+      // (|X|-1)! |B|! / (|X|+|B|)! and the mirrored term, computed via
+      // the binomial form to stay in range.
+      if (!x_features.empty()) {
+        const double w_pos =
+            1.0 / (nx * BinomialCoefficient(static_cast<int>(nx + nb),
+                                            static_cast<int>(nb)));
+        for (int f : x_features)
+          (*phi)[static_cast<size_t>(f)] += w_pos * nd.value;
+      }
+      if (!b_features.empty()) {
+        const double w_neg =
+            1.0 / (nb * BinomialCoefficient(static_cast<int>(nx + nb),
+                                            static_cast<int>(nx)));
+        for (int f : b_features)
+          (*phi)[static_cast<size_t>(f)] -= w_neg * nd.value;
+      }
+      return;
+    }
+    const size_t f = static_cast<size_t>(nd.feature);
+    const int x_child = x[f] <= nd.threshold ? nd.left : nd.right;
+    const int b_child = ref[f] <= nd.threshold ? nd.left : nd.right;
+    if (x_child == b_child) {
+      Walk(x_child);  // Feature neutral at this node.
+      return;
+    }
+    switch (assignment[f]) {
+      case 1:
+        Walk(x_child);
+        return;
+      case 2:
+        Walk(b_child);
+        return;
+      default:
+        break;
+    }
+    // Unseen: branch both ways, assigning the feature each side.
+    assignment[f] = 1;
+    x_features.push_back(nd.feature);
+    Walk(x_child);
+    x_features.pop_back();
+    assignment[f] = 2;
+    b_features.push_back(nd.feature);
+    Walk(b_child);
+    b_features.pop_back();
+    assignment[f] = 0;
+  }
+};
+
+}  // namespace
+
+void InterventionalTreeShap(const Tree& tree, const std::vector<double>& x,
+                            const std::vector<double>& reference,
+                            std::vector<double>* phi) {
+  InterventionalWalker walker{tree, x, reference, phi,
+                              std::vector<uint8_t>(x.size(), 0),
+                              {},
+                              {}};
+  walker.Walk(0);
+}
+
+std::vector<double> InterventionalEnsembleShap(
+    const std::vector<Tree>& trees, double scale, size_t num_features,
+    const std::vector<double>& x, const Matrix& background,
+    size_t max_background) {
+  std::vector<double> phi(num_features, 0.0);
+  const size_t m = std::min(background.rows(), max_background);
+  const size_t stride = std::max<size_t>(1, background.rows() / m);
+  std::vector<double> ref(num_features);
+  std::vector<double> phi_one(num_features);
+  size_t used = 0;
+  for (size_t b = 0; b < m; ++b) {
+    const size_t src = std::min(b * stride, background.rows() - 1);
+    ref.assign(background.RowPtr(src),
+               background.RowPtr(src) + background.cols());
+    std::fill(phi_one.begin(), phi_one.end(), 0.0);
+    for (const Tree& t : trees) InterventionalTreeShap(t, x, ref, &phi_one);
+    for (size_t j = 0; j < num_features; ++j) phi[j] += scale * phi_one[j];
+    ++used;
+  }
+  for (double& v : phi) v /= static_cast<double>(used);
+  return phi;
+}
+
+std::vector<double> GlobalMeanAbsShap(TreeShapExplainer* explainer,
+                                      const Dataset& ds, size_t max_rows) {
+  const size_t n = std::min(ds.n(), max_rows);
+  std::vector<double> importance(ds.d(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto attr = explainer->Explain(ds.row(i));
+    if (!attr.ok()) continue;
+    for (size_t j = 0; j < ds.d(); ++j)
+      importance[j] += std::fabs(attr->values[j]);
+  }
+  for (double& v : importance) v /= static_cast<double>(n);
+  return importance;
+}
+
+}  // namespace xai

@@ -1,0 +1,103 @@
+#ifndef XAIDB_FEATURE_TREE_SHAP_H_
+#define XAIDB_FEATURE_TREE_SHAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "core/game.h"
+#include "data/dataset.h"
+#include "model/decision_tree.h"
+#include "model/gbdt.h"
+#include "model/tree.h"
+
+namespace xai {
+
+/// Path-dependent TreeSHAP (Lundberg, Erion, Lee et al., Nature MI 2020):
+/// exact Shapley values of the tree's conditional-expectation game in
+/// O(L D^2) per instance instead of O(2^d) — the polynomial-time headline
+/// the tutorial highlights in Section 2.1.2 (experiments E1/E2).
+///
+/// `phi` receives one value per feature; the values satisfy
+///   sum(phi) = tree(x) - tree.ExpectedValue().
+void TreeShapValues(const Tree& tree, const std::vector<double>& x,
+                    std::vector<double>* phi);
+
+/// SHAP values for an additive tree ensemble sum_t scale * tree_t(x) (+
+/// base). Returns one value per feature.
+std::vector<double> EnsembleTreeShap(const std::vector<Tree>& trees,
+                                     double scale, size_t num_features,
+                                     const std::vector<double>& x);
+
+/// The cover-weighted conditional-expectation game TreeSHAP solves:
+///   v(S) = E[tree(x) | x_S]  (descend on S-features, cover-average others).
+/// Exponential when fed to ExactShapley — used to verify TreeSHAP's
+/// exactness and to measure the exact-vs-polynomial runtime gap.
+class TreePathGame : public CoalitionGame {
+ public:
+  TreePathGame(const std::vector<Tree>& trees, double scale,
+               size_t num_features, std::vector<double> instance);
+
+  size_t num_players() const override { return instance_.size(); }
+  double Value(const std::vector<bool>& in_coalition) const override;
+
+ private:
+  double NodeExpectation(const Tree& tree, int node,
+                         const std::vector<bool>& s) const;
+
+  const std::vector<Tree>& trees_;
+  double scale_;
+  std::vector<double> instance_;
+};
+
+/// AttributionExplainer facade over a GBDT (explains the raw margin — the
+/// standard choice, attributions in log-odds space) or a single decision
+/// tree / random forest (explains the probability).
+class TreeShapExplainer : public AttributionExplainer {
+ public:
+  explicit TreeShapExplainer(const GradientBoostedTrees& gbdt,
+                             const Schema& schema);
+  explicit TreeShapExplainer(const DecisionTree& tree, const Schema& schema);
+  explicit TreeShapExplainer(const RandomForest& forest, const Schema& schema);
+
+  Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) override;
+
+ private:
+  std::vector<const Tree*> trees_;
+  double scale_ = 1.0;
+  double base_ = 0.0;
+  size_t num_features_ = 0;
+  const Schema& schema_;
+};
+
+/// Global importance as the tutorial's "local explanations to global
+/// understanding": mean |SHAP value| per feature over a dataset.
+std::vector<double> GlobalMeanAbsShap(TreeShapExplainer* explainer,
+                                      const Dataset& ds, size_t max_rows = 200);
+
+/// *Interventional* TreeSHAP against a single reference row (Lundberg et
+/// al. 2020, "true to the model" variant): exact Shapley values of the
+/// cube game v(S) = tree(x_S combined with reference on ~S), computed in
+/// one tree walk instead of 2^d evaluations. Each root-to-leaf path
+/// partitions its unique split features into X (instance-satisfied) and B
+/// (reference-satisfied); the leaf is a unanimity-minus-blockers game with
+/// closed-form Shapley contribution
+///   +v * (|X|-1)! |B|! / (|X|+|B|)!  for i in X,
+///   -v * |X)! (|B|-1)! / (|X|+|B|)!  for i in B.
+/// Accumulates into `phi`; sum(phi) = tree(x) - tree(reference).
+void InterventionalTreeShap(const Tree& tree, const std::vector<double>& x,
+                            const std::vector<double>& reference,
+                            std::vector<double>* phi);
+
+/// Interventional SHAP averaged over a background dataset for an additive
+/// ensemble: equals the exact Shapley values of MarginalFeatureGame over
+/// the same background (tests verify the equality).
+std::vector<double> InterventionalEnsembleShap(
+    const std::vector<Tree>& trees, double scale, size_t num_features,
+    const std::vector<double>& x, const Matrix& background,
+    size_t max_background = 100);
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_TREE_SHAP_H_

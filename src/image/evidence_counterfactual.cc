@@ -1,0 +1,109 @@
+#include "image/evidence_counterfactual.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xai {
+namespace {
+
+/// Tile geometry helper: pixel indices of tile `t` in a grid segmented
+/// into tile_size x tile_size squares (ragged edges included).
+std::vector<size_t> TilePixels(const GridImage& img, size_t tile,
+                               size_t tile_size) {
+  const size_t tiles_per_row = (img.width + tile_size - 1) / tile_size;
+  const size_t tr = tile / tiles_per_row;
+  const size_t tc = tile % tiles_per_row;
+  std::vector<size_t> pixels;
+  for (size_t r = tr * tile_size;
+       r < std::min(img.height, (tr + 1) * tile_size); ++r) {
+    for (size_t c = tc * tile_size;
+         c < std::min(img.width, (tc + 1) * tile_size); ++c) {
+      pixels.push_back(r * img.width + c);
+    }
+  }
+  return pixels;
+}
+
+}  // namespace
+
+Result<EvidenceRegion> FindEvidenceCounterfactual(
+    const Model& model, const GridImage& image,
+    const EvidenceCounterfactualOptions& opts) {
+  if (image.pixels.size() != model.num_features())
+    return Status::InvalidArgument(
+        "EvidenceCounterfactual: image size != model features");
+  if (opts.tile_size == 0)
+    return Status::InvalidArgument("EvidenceCounterfactual: tile_size 0");
+  const size_t tiles_per_row =
+      (image.width + opts.tile_size - 1) / opts.tile_size;
+  const size_t tiles_per_col =
+      (image.height + opts.tile_size - 1) / opts.tile_size;
+  const size_t num_tiles = tiles_per_row * tiles_per_col;
+
+  EvidenceRegion region;
+  region.original_prediction = model.Predict(image.pixels);
+  const bool positive = region.original_prediction >= 0.5;
+
+  std::vector<double> current = image.pixels;
+  std::vector<bool> erased(num_tiles, false);
+  auto erase_tile = [&](std::vector<double>* px, size_t tile) {
+    for (size_t p : TilePixels(image, tile, opts.tile_size))
+      (*px)[p] = opts.background_value;
+  };
+  auto is_flipped = [&](double pred) {
+    return positive ? pred < 0.5 : pred >= 0.5;
+  };
+
+  // Greedy best-first erasure.
+  double current_pred = region.original_prediction;
+  while (region.tiles.size() < std::min(opts.max_tiles, num_tiles)) {
+    double best_pred = current_pred;
+    size_t best_tile = num_tiles;
+    for (size_t t = 0; t < num_tiles; ++t) {
+      if (erased[t]) continue;
+      std::vector<double> probe = current;
+      erase_tile(&probe, t);
+      const double pred = model.Predict(probe);
+      const bool better =
+          positive ? pred < best_pred : pred > best_pred;
+      if (better) {
+        best_pred = pred;
+        best_tile = t;
+      }
+    }
+    if (best_tile == num_tiles) break;  // No tile moves us further.
+    erased[best_tile] = true;
+    erase_tile(&current, best_tile);
+    region.tiles.push_back(best_tile);
+    current_pred = best_pred;
+    if (is_flipped(current_pred)) break;
+  }
+
+  if (is_flipped(current_pred)) {
+    // Pruning pass: drop tiles whose restoration keeps the flip.
+    for (size_t k = 0; k < region.tiles.size();) {
+      const size_t tile = region.tiles[k];
+      std::vector<double> probe = current;
+      for (size_t p : TilePixels(image, tile, opts.tile_size))
+        probe[p] = image.pixels[p];
+      if (is_flipped(model.Predict(probe))) {
+        current = std::move(probe);
+        erased[tile] = false;
+        region.tiles.erase(region.tiles.begin() + static_cast<long>(k));
+      } else {
+        ++k;
+      }
+    }
+    current_pred = model.Predict(current);
+  }
+
+  region.counterfactual_prediction = current_pred;
+  region.flipped = is_flipped(current_pred);
+  region.pixel_mask.assign(image.pixels.size(), 0);
+  for (size_t t : region.tiles)
+    for (size_t p : TilePixels(image, t, opts.tile_size))
+      region.pixel_mask[p] = 1;
+  return region;
+}
+
+}  // namespace xai

@@ -1,0 +1,89 @@
+#include "image/grid_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace xai {
+
+std::string GridImage::ToAscii() const {
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (size_t r = 0; r < height; ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const double v = std::clamp(at(r, c), 0.0, 1.0);
+      out += v < 0.25 ? ' ' : v < 0.5 ? '.' : v < 0.75 ? 'o' : '#';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderSignedMap(const std::vector<double>& values, size_t width,
+                            size_t height) {
+  double max_abs = 1e-12;
+  for (double v : values) max_abs = std::max(max_abs, std::fabs(v));
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (size_t r = 0; r < height; ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const double v = values[r * width + c] / max_abs;
+      char ch = '.';
+      if (v > 0.66) {
+        ch = '#';
+      } else if (v > 0.25) {
+        ch = '+';
+      } else if (v < -0.66) {
+        ch = '=';
+      } else if (v < -0.25) {
+        ch = '-';
+      }
+      out += ch;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ShapeImageCorpus MakeShapeImages(size_t n, const ShapeImageOptions& opts) {
+  Rng rng(opts.seed);
+  ShapeImageCorpus corpus;
+  corpus.images.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GridImage img;
+    img.width = opts.width;
+    img.height = opts.height;
+    img.pixels.assign(opts.width * opts.height, 0.0);
+    const bool has_bar = rng.Bernoulli(0.5);
+    size_t pos = static_cast<size_t>(-1);
+    if (has_bar) {
+      const double intensity = rng.Uniform(0.7, 1.0);
+      pos = static_cast<size_t>(rng.NextInt(opts.width));
+      for (size_t r = 0; r < opts.height; ++r) img.at(r, pos) = intensity;
+    }
+    for (double& p : img.pixels)
+      p = std::clamp(p + rng.Gaussian(0.0, opts.noise), 0.0, 1.0);
+    corpus.images.push_back(std::move(img));
+    corpus.labels.push_back(has_bar ? 1.0 : 0.0);
+    corpus.bar_position.push_back(pos);
+  }
+  return corpus;
+}
+
+Dataset ToPixelDataset(const ShapeImageCorpus& corpus) {
+  const size_t w = corpus.images.empty() ? 0 : corpus.images[0].width;
+  const size_t h = corpus.images.empty() ? 0 : corpus.images[0].height;
+  std::vector<FeatureSpec> specs;
+  specs.reserve(w * h);
+  for (size_t r = 0; r < h; ++r)
+    for (size_t c = 0; c < w; ++c)
+      specs.push_back(FeatureSpec::Numeric(
+          "px_" + std::to_string(r) + "_" + std::to_string(c)));
+  Matrix x(corpus.images.size(), w * h);
+  for (size_t i = 0; i < corpus.images.size(); ++i)
+    x.SetRow(i, corpus.images[i].pixels);
+  return Dataset(Schema(std::move(specs)), std::move(x), corpus.labels);
+}
+
+}  // namespace xai

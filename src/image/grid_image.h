@@ -1,0 +1,63 @@
+#ifndef XAIDB_IMAGE_GRID_IMAGE_H_
+#define XAIDB_IMAGE_GRID_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Tiny grayscale images as pixel grids — the minimal substrate for the
+/// image-explanation methods of tutorial Section 2.4 (saliency / pixel
+/// attribution maps, counterfactual region explanations). Pixels map to
+/// tabular features, so every tabular model and explainer in the library
+/// applies directly (as the saliency literature does with flattened
+/// inputs).
+struct GridImage {
+  size_t width = 0;
+  size_t height = 0;
+  std::vector<double> pixels;  // Row-major, intensity in [0, 1].
+
+  double at(size_t row, size_t col) const {
+    return pixels[row * width + col];
+  }
+  double& at(size_t row, size_t col) { return pixels[row * width + col]; }
+
+  /// ASCII rendering (' ', '.', 'o', '#') for terminal output; values are
+  /// clamped to [0, 1].
+  std::string ToAscii() const;
+};
+
+/// Renders per-pixel scores (any sign) as ASCII: '+'/'-' intensity buckets.
+std::string RenderSignedMap(const std::vector<double>& values, size_t width,
+                            size_t height);
+
+struct ShapeImageOptions {
+  uint64_t seed = 99;
+  size_t width = 8;
+  size_t height = 8;
+  /// Additive pixel noise std.
+  double noise = 0.15;
+};
+
+/// Synthetic shape-detection corpus: label 1 images contain a vertical
+/// bar at a random column; label 0 images are background noise only. The
+/// signal pixels are known, so tests can check that saliency maps and
+/// counterfactual regions land exactly on the bar — and erasure-based
+/// evidence counterfactuals can flip the decision by removing it.
+struct ShapeImageCorpus {
+  std::vector<GridImage> images;
+  std::vector<double> labels;
+  /// For each image: the bar's column, or SIZE_MAX for blank images.
+  std::vector<size_t> bar_position;
+};
+ShapeImageCorpus MakeShapeImages(size_t n, const ShapeImageOptions& opts = ShapeImageOptions());
+
+/// Flattens the corpus into a tabular dataset (features "px_r_c").
+Dataset ToPixelDataset(const ShapeImageCorpus& corpus);
+
+}  // namespace xai
+
+#endif  // XAIDB_IMAGE_GRID_IMAGE_H_

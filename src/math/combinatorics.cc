@@ -1,0 +1,48 @@
+#include "math/combinatorics.h"
+
+#include <bit>
+#include <cassert>
+
+namespace xai {
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i);
+    r /= static_cast<double>(i);
+  }
+  return r;
+}
+
+double Factorial(int n) {
+  double r = 1.0;
+  for (int i = 2; i <= n; ++i) r *= static_cast<double>(i);
+  return r;
+}
+
+double ShapleyWeight(int n, int s) {
+  assert(s >= 0 && s < n);
+  // s!(n-s-1)!/n! = 1 / (n * C(n-1, s)).
+  return 1.0 / (static_cast<double>(n) * BinomialCoefficient(n - 1, s));
+}
+
+std::vector<uint32_t> AllSubsets(int n) {
+  assert(n >= 0 && n <= 30);
+  std::vector<uint32_t> out;
+  out.reserve(1u << n);
+  for (uint32_t m = 0; m < (1u << n); ++m) out.push_back(m);
+  return out;
+}
+
+std::vector<int> MaskToIndices(uint32_t mask, int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i)
+    if (mask & (1u << i)) out.push_back(i);
+  return out;
+}
+
+int PopCount(uint32_t mask) { return std::popcount(mask); }
+
+}  // namespace xai

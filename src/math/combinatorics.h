@@ -1,0 +1,32 @@
+#ifndef XAIDB_MATH_COMBINATORICS_H_
+#define XAIDB_MATH_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xai {
+
+/// Binomial coefficient as double (exact for the small n used in exact
+/// Shapley enumeration; overflow-free for n <= 60 or so).
+double BinomialCoefficient(int n, int k);
+
+/// n! as double.
+double Factorial(int n);
+
+/// Shapley coalition weight |S|!(n-|S|-1)!/n! for a coalition of size s
+/// out of n players.
+double ShapleyWeight(int n, int s);
+
+/// Enumerates all subsets of {0..n-1} as bitmasks, 0 .. 2^n-1.
+/// Requires n <= 30.
+std::vector<uint32_t> AllSubsets(int n);
+
+/// Decodes a bitmask into the sorted list of set-bit indices.
+std::vector<int> MaskToIndices(uint32_t mask, int n);
+
+/// Number of set bits.
+int PopCount(uint32_t mask);
+
+}  // namespace xai
+
+#endif  // XAIDB_MATH_COMBINATORICS_H_

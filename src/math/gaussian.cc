@@ -1,0 +1,105 @@
+#include "math/gaussian.h"
+
+#include <algorithm>
+
+#include "math/linalg.h"
+
+namespace xai {
+
+Result<MultivariateGaussian> MultivariateGaussian::Create(
+    std::vector<double> mean, Matrix cov) {
+  if (cov.rows() != mean.size() || cov.cols() != mean.size())
+    return Status::InvalidArgument("MultivariateGaussian: shape mismatch");
+  XAI_ASSIGN_OR_RETURN(Matrix chol, Cholesky(cov));
+  return MultivariateGaussian(std::move(mean), std::move(cov),
+                              std::move(chol));
+}
+
+Result<MultivariateGaussian> MultivariateGaussian::Fit(const Matrix& rows,
+                                                       double jitter) {
+  if (rows.rows() < 2)
+    return Status::InvalidArgument("MultivariateGaussian::Fit: need >= 2 rows");
+  const size_t n = rows.rows();
+  const size_t d = rows.cols();
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) mean[j] += rows(i, j);
+  for (double& m : mean) m /= static_cast<double>(n);
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      const double da = rows(i, a) - mean[a];
+      for (size_t b = 0; b < d; ++b)
+        cov(a, b) += da * (rows(i, b) - mean[b]);
+    }
+  }
+  cov *= 1.0 / static_cast<double>(n - 1);
+  for (size_t a = 0; a < d; ++a) cov(a, a) += jitter;
+  return Create(std::move(mean), std::move(cov));
+}
+
+std::vector<double> MultivariateGaussian::Sample(Rng* rng) const {
+  const size_t d = dim();
+  std::vector<double> z(d);
+  for (double& v : z) v = rng->Gaussian();
+  std::vector<double> out = mean_;
+  for (size_t i = 0; i < d; ++i)
+    for (size_t j = 0; j <= i; ++j) out[i] += chol_(i, j) * z[j];
+  return out;
+}
+
+Result<MultivariateGaussian> MultivariateGaussian::Condition(
+    const std::vector<size_t>& given_idx,
+    const std::vector<double>& given_values) const {
+  if (given_idx.size() != given_values.size())
+    return Status::InvalidArgument("Condition: index/value size mismatch");
+  const size_t d = dim();
+  std::vector<bool> is_given(d, false);
+  for (size_t g : given_idx) {
+    if (g >= d) return Status::OutOfRange("Condition: index out of range");
+    is_given[g] = true;
+  }
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < d; ++i)
+    if (!is_given[i]) rest.push_back(i);
+  if (rest.empty())
+    return Status::InvalidArgument("Condition: nothing left to condition");
+
+  const size_t g = given_idx.size();
+  const size_t r = rest.size();
+  // Partition: S_rr, S_rg, S_gg.
+  Matrix s_gg(g, g);
+  Matrix s_rg(r, g);
+  Matrix s_rr(r, r);
+  for (size_t i = 0; i < g; ++i)
+    for (size_t j = 0; j < g; ++j) s_gg(i, j) = cov_(given_idx[i], given_idx[j]);
+  for (size_t i = 0; i < r; ++i)
+    for (size_t j = 0; j < g; ++j) s_rg(i, j) = cov_(rest[i], given_idx[j]);
+  for (size_t i = 0; i < r; ++i)
+    for (size_t j = 0; j < r; ++j) s_rr(i, j) = cov_(rest[i], rest[j]);
+
+  // K = S_rg * S_gg^{-1}: solve S_gg K^T = S_rg^T.
+  XAI_ASSIGN_OR_RETURN(Matrix kt, SolveSpd(s_gg, s_rg.Transpose()));
+  Matrix k = kt.Transpose();
+
+  std::vector<double> delta(g);
+  for (size_t j = 0; j < g; ++j)
+    delta[j] = given_values[j] - mean_[given_idx[j]];
+  std::vector<double> cond_mean(r);
+  std::vector<double> adj = k * delta;
+  for (size_t i = 0; i < r; ++i) cond_mean[i] = mean_[rest[i]] + adj[i];
+
+  Matrix cond_cov = s_rr - k * s_rg.Transpose();
+  // Symmetrize + jitter against round-off.
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = i + 1; j < r; ++j) {
+      const double avg = 0.5 * (cond_cov(i, j) + cond_cov(j, i));
+      cond_cov(i, j) = avg;
+      cond_cov(j, i) = avg;
+    }
+    cond_cov(i, i) = std::max(cond_cov(i, i), 0.0) + 1e-9;
+  }
+  return Create(std::move(cond_mean), std::move(cond_cov));
+}
+
+}  // namespace xai

@@ -1,0 +1,51 @@
+#ifndef XAIDB_MATH_GAUSSIAN_H_
+#define XAIDB_MATH_GAUSSIAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+/// Multivariate Gaussian N(mean, cov) with exact conditioning — the
+/// substrate for *conditional* Shapley value functions E[f(X) | X_S = x_S]
+/// on linear-Gaussian data (experiment E12).
+class MultivariateGaussian {
+ public:
+  /// Fails if cov is not symmetric positive definite (after jitter).
+  static Result<MultivariateGaussian> Create(std::vector<double> mean,
+                                             Matrix cov);
+
+  /// Maximum-likelihood fit from data rows, with diagonal jitter for
+  /// numerical stability.
+  static Result<MultivariateGaussian> Fit(const Matrix& rows,
+                                          double jitter = 1e-6);
+
+  size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const Matrix& cov() const { return cov_; }
+
+  /// One sample.
+  std::vector<double> Sample(Rng* rng) const;
+
+  /// Conditional distribution of the complement variables given
+  /// X[given_idx] = given_values. The returned Gaussian is over the
+  /// complement indices in ascending order.
+  Result<MultivariateGaussian> Condition(
+      const std::vector<size_t>& given_idx,
+      const std::vector<double>& given_values) const;
+
+ private:
+  MultivariateGaussian(std::vector<double> mean, Matrix cov, Matrix chol)
+      : mean_(std::move(mean)), cov_(std::move(cov)), chol_(std::move(chol)) {}
+
+  std::vector<double> mean_;
+  Matrix cov_;
+  Matrix chol_;  // Lower Cholesky factor of cov_.
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MATH_GAUSSIAN_H_

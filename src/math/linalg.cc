@@ -1,0 +1,182 @@
+#include "math/linalg.h"
+
+#include <cmath>
+
+namespace xai {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("Cholesky: matrix not square");
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0)
+          return Status::InvalidArgument(
+              "Cholesky: matrix not positive definite");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+namespace {
+
+// Solves L y = b (forward) then L^T x = y (backward).
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  const size_t n = l.rows();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  if (b.size() != a.rows())
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  XAI_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  return CholeskySolve(l, b);
+}
+
+Result<Matrix> SolveSpd(const Matrix& a, const Matrix& b) {
+  if (b.rows() != a.rows())
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  XAI_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  Matrix x(b.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    std::vector<double> col = b.Col(j);
+    std::vector<double> sol = CholeskySolve(l, col);
+    for (size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  return SolveSpd(a, Matrix::Identity(a.rows()));
+}
+
+Result<std::vector<double>> SolveLu(const Matrix& a,
+                                    const std::vector<double>& b) {
+  if (a.rows() != a.cols() || b.size() != a.rows())
+    return Status::InvalidArgument("SolveLu: dimension mismatch");
+  const size_t n = a.rows();
+  Matrix m = a;
+  std::vector<double> x = b;
+  std::vector<size_t> piv(n);
+  for (size_t i = 0; i < n; ++i) piv[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t best = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::fabs(m(r, col)) > std::fabs(m(best, col))) best = r;
+    if (std::fabs(m(best, col)) < 1e-14)
+      return Status::InvalidArgument("SolveLu: singular matrix");
+    if (best != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(m(col, j), m(best, j));
+      std::swap(x[col], x[best]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = m(r, col) / m(col, col);
+      if (f == 0.0) continue;
+      for (size_t j = col; j < n; ++j) m(r, j) -= f * m(col, j);
+      x[r] -= f * x[col];
+    }
+  }
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= m(ii, j) * x[j];
+    x[ii] = s / m(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ConjugateGradient(const Matrix& a,
+                                      const std::vector<double>& b,
+                                      int max_iter, double tol) {
+  const size_t n = b.size();
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  double rs_old = Dot(r, r);
+  if (std::sqrt(rs_old) < tol) return x;
+  for (int it = 0; it < max_iter; ++it) {
+    std::vector<double> ap = a * p;
+    const double denom = Dot(p, ap);
+    if (std::fabs(denom) < 1e-300) break;
+    const double alpha = rs_old / denom;
+    AxpyInPlace(&x, alpha, p);
+    AxpyInPlace(&r, -alpha, ap);
+    const double rs_new = Dot(r, r);
+    if (std::sqrt(rs_new) < tol) break;
+    const double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return x;
+}
+
+Result<std::vector<double>> RidgeRegression(
+    const Matrix& x, const std::vector<double>& y, double lambda,
+    const std::vector<double>* sample_weights) {
+  if (y.size() != x.rows())
+    return Status::InvalidArgument("RidgeRegression: dimension mismatch");
+  const size_t d = x.cols();
+  Matrix gram(d, d);
+  std::vector<double> xty(d, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double w = sample_weights ? (*sample_weights)[r] : 1.0;
+    if (w == 0.0) continue;
+    const double* row = x.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double wi = w * row[i];
+      if (wi == 0.0) continue;
+      double* g = gram.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) g[j] += wi * row[j];
+      xty[i] += wi * y[r];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) gram(i, i) += lambda;
+  return SolveSpd(gram, xty);
+}
+
+Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
+                             const std::vector<double>& v) {
+  const size_t n = ainv->rows();
+  if (u.size() != n || v.size() != n)
+    return Status::InvalidArgument("ShermanMorrison: dimension mismatch");
+  std::vector<double> ainv_u = (*ainv) * u;
+  std::vector<double> vt_ainv = ainv->TransposeTimes(v);
+  const double denom = 1.0 + Dot(v, ainv_u);
+  if (std::fabs(denom) < 1e-12)
+    return Status::FailedPrecondition(
+        "ShermanMorrison: singular update (denominator ~ 0)");
+  const double f = 1.0 / denom;
+  for (size_t i = 0; i < n; ++i) {
+    const double ui = ainv_u[i] * f;
+    if (ui == 0.0) continue;
+    double* row = ainv->RowPtr(i);
+    for (size_t j = 0; j < n; ++j) row[j] -= ui * vt_ainv[j];
+  }
+  return Status::OK();
+}
+
+}  // namespace xai

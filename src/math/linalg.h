@@ -1,0 +1,54 @@
+#ifndef XAIDB_MATH_LINALG_H_
+#define XAIDB_MATH_LINALG_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+/// Cholesky factor L (lower-triangular, A = L L^T) of a symmetric
+/// positive-definite matrix. Fails with InvalidArgument if A is not SPD.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// Solves A X = B (multiple right-hand sides) for SPD A.
+Result<Matrix> SolveSpd(const Matrix& a, const Matrix& b);
+
+/// Inverse of an SPD matrix via Cholesky.
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// Solves a general square system A x = b via partial-pivot LU.
+Result<std::vector<double>> SolveLu(const Matrix& a,
+                                    const std::vector<double>& b);
+
+/// Conjugate gradient for SPD systems: solves A x = b iteratively.
+/// Useful as an inverse-Hessian-vector-product (Koh & Liang influence
+/// functions) without forming the inverse. Returns the iterate after
+/// max_iter or when the residual norm drops below tol.
+std::vector<double> ConjugateGradient(const Matrix& a,
+                                      const std::vector<double>& b,
+                                      int max_iter = 200, double tol = 1e-10);
+
+/// Ridge regression: argmin_w ||X w - y||^2 + lambda ||w||^2 with optional
+/// per-row weights (weighted least squares). The intercept, if desired,
+/// must be an explicit all-ones column in X (it is regularized too unless
+/// penalize_intercept_col is set to its index and excluded by the caller).
+Result<std::vector<double>> RidgeRegression(
+    const Matrix& x, const std::vector<double>& y, double lambda,
+    const std::vector<double>* sample_weights = nullptr);
+
+/// Sherman-Morrison rank-1 *update* of an inverse:
+///   (A + u v^T)^{-1} = A^{-1} - (A^{-1} u v^T A^{-1}) / (1 + v^T A^{-1} u).
+/// `ainv` is updated in place. Fails if the denominator is ~0 (singular
+/// update), which for downdates means the removed row made A rank-deficient.
+Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
+                             const std::vector<double>& v);
+
+}  // namespace xai
+
+#endif  // XAIDB_MATH_LINALG_H_

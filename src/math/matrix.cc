@@ -1,0 +1,215 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xai {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    assert(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(size_t rows, size_t cols, std::vector<double> data) {
+  assert(data.size() == rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  assert(i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  assert(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& v) {
+  assert(i < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowPtr(i));
+}
+
+void Matrix::AppendRow(const std::vector<double>& v) {
+  if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+  assert(v.size() == cols_);
+  data_.insert(data_.end(), v.begin(), v.end());
+  ++rows_;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] < rows_);
+    std::copy(RowPtr(idx[i]), RowPtr(idx[i]) + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& idx) const {
+  Matrix out(rows_, idx.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < idx.size(); ++j) {
+      assert(idx[j] < cols_);
+      out(i, j) = (*this)(i, idx[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order for row-major locality.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = rhs.RowPtr(k);
+      for (size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += a[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* x = RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      double* o = out.RowPtr(i);
+      for (size_t j = 0; j < cols_; ++j) o[j] += xi * x[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) out[j] += a[j] * vi;
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - rhs.data_[i]));
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (size_t i = 0; i < rows_; ++i) {
+    os << "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+std::vector<double> Axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+void AxpyInPlace(std::vector<double>* a, double s,
+                 const std::vector<double>& b) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += s * b[i];
+}
+
+std::vector<double> Scale(const std::vector<double>& a, double s) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+}  // namespace xai

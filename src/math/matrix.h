@@ -1,0 +1,98 @@
+#ifndef XAIDB_MATH_MATRIX_H_
+#define XAIDB_MATH_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace xai {
+
+/// Dense row-major matrix of doubles. Deliberately small: the library's
+/// models are low-dimensional tabular models, so a cache-friendly dense
+/// representation with explicit solvers (see linalg.h) is all we need.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Builds from nested initializer lists: Matrix m = {{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(size_t n);
+  /// Builds a matrix from a flat row-major buffer.
+  static Matrix FromRows(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i.
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies row i into a vector.
+  std::vector<double> Row(size_t i) const;
+  /// Copies column j into a vector.
+  std::vector<double> Col(size_t j) const;
+  /// Overwrites row i.
+  void SetRow(size_t i, const std::vector<double>& v);
+
+  /// Appends a row (cols must match; sets cols on first append).
+  void AppendRow(const std::vector<double>& v);
+
+  /// Returns the matrix restricted to the given row indices.
+  Matrix SelectRows(const std::vector<size_t>& idx) const;
+  /// Returns the matrix restricted to the given column indices.
+  Matrix SelectCols(const std::vector<size_t>& idx) const;
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// A^T * A (Gram matrix), computed without materializing the transpose.
+  Matrix Gram() const;
+  /// A^T * v.
+  std::vector<double> TransposeTimes(const std::vector<double>& v) const;
+
+  /// Frobenius-norm comparison helper for tests.
+  double MaxAbsDiff(const Matrix& rhs) const;
+
+  std::string ToString(int precision = 4) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// ---- free vector helpers (used pervasively) ----
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Norm2(const std::vector<double>& a);
+/// a + s*b
+std::vector<double> Axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b);
+void AxpyInPlace(std::vector<double>* a, double s,
+                 const std::vector<double>& b);
+std::vector<double> Scale(const std::vector<double>& a, double s);
+
+}  // namespace xai
+
+#endif  // XAIDB_MATH_MATRIX_H_

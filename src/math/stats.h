@@ -1,0 +1,55 @@
+#ifndef XAIDB_MATH_STATS_H_
+#define XAIDB_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xai {
+
+double Mean(const std::vector<double>& v);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+double Median(std::vector<double> v);
+/// Empirical quantile with linear interpolation, q in [0,1].
+double Quantile(std::vector<double> v, double q);
+
+/// Pearson correlation; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+/// Ranks with ties averaged (1-based ranks).
+std::vector<double> Ranks(const std::vector<double>& v);
+
+/// Jaccard similarity of two index sets.
+double Jaccard(const std::vector<size_t>& a, const std::vector<size_t>& b);
+
+/// Indices of the k largest |v[i]| (descending by magnitude).
+std::vector<size_t> TopKByMagnitude(const std::vector<double>& v, size_t k);
+
+/// Incremental mean/variance accumulator (Welford).
+class OnlineMoments {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased variance; 0 for n < 2.
+  double variance() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Logistic sigmoid, numerically stable for large |z|.
+double Sigmoid(double z);
+
+/// log(1 + exp(z)), numerically stable.
+double Log1pExp(double z);
+
+}  // namespace xai
+
+#endif  // XAIDB_MATH_STATS_H_

@@ -1,0 +1,50 @@
+#include "model/decision_tree.h"
+
+#include <cmath>
+
+namespace xai {
+
+Result<DecisionTree> DecisionTree::Fit(const Dataset& ds,
+                                       const TreeConfig& config) {
+  if (ds.n() == 0) return Status::InvalidArgument("DecisionTree: empty data");
+  DecisionTree m;
+  m.tree_ = FitRegressionTree(ds.x(), ds.y(), config);
+  m.num_features_ = ds.d();
+  return m;
+}
+
+double DecisionTree::Predict(const std::vector<double>& x) const {
+  return tree_.Predict(x);
+}
+
+Result<RandomForest> RandomForest::Fit(const Dataset& ds,
+                                       const Options& opts) {
+  if (ds.n() == 0) return Status::InvalidArgument("RandomForest: empty data");
+  RandomForest m;
+  m.num_features_ = ds.d();
+  Rng rng(opts.seed);
+  TreeConfig cfg = opts.tree;
+  if (cfg.max_features == 0) {
+    cfg.max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(ds.d()))));
+  }
+  m.trees_.reserve(opts.num_trees);
+  for (int t = 0; t < opts.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> rows(ds.n());
+    for (size_t i = 0; i < ds.n(); ++i)
+      rows[i] = static_cast<size_t>(rng.NextInt(ds.n()));
+    Rng tree_rng = rng.Fork();
+    m.trees_.push_back(
+        FitRegressionTree(ds.x(), ds.y(), cfg, nullptr, &rows, &tree_rng));
+  }
+  return m;
+}
+
+double RandomForest::Predict(const std::vector<double>& x) const {
+  double s = 0.0;
+  for (const Tree& t : trees_) s += t.Predict(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace xai

@@ -1,0 +1,56 @@
+#ifndef XAIDB_MODEL_DECISION_TREE_H_
+#define XAIDB_MODEL_DECISION_TREE_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/model.h"
+#include "model/tree.h"
+
+namespace xai {
+
+/// Single CART tree. For classification the leaf value is the positive-class
+/// fraction (so Predict returns a probability); for regression the mean
+/// target. Binary-split variance reduction is used for both — for {0,1}
+/// targets this is equivalent to the Gini gain.
+class DecisionTree : public Model {
+ public:
+  static Result<DecisionTree> Fit(const Dataset& ds,
+                                  const TreeConfig& config = {});
+
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return num_features_; }
+
+  const Tree& tree() const { return tree_; }
+
+ private:
+  Tree tree_;
+  size_t num_features_ = 0;
+};
+
+/// Bagged random forest of CART trees (bootstrap rows + per-node feature
+/// subsampling); Predict averages tree outputs.
+struct RandomForestOptions {
+  int num_trees = 50;
+  TreeConfig tree;
+  uint64_t seed = 17;
+};
+
+class RandomForest : public Model {
+ public:
+  using Options = RandomForestOptions;
+
+  static Result<RandomForest> Fit(const Dataset& ds, const Options& opts = Options());
+
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return num_features_; }
+
+  const std::vector<Tree>& trees() const { return trees_; }
+
+ private:
+  std::vector<Tree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_DECISION_TREE_H_

@@ -1,0 +1,93 @@
+#include "model/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/stats.h"
+
+namespace xai {
+
+Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
+                                                       const Options& opts) {
+  if (ds.n() == 0) return Status::InvalidArgument("GBDT: empty data");
+  const size_t n = ds.n();
+  GradientBoostedTrees m;
+  m.loss_ = opts.loss;
+  m.learning_rate_ = opts.learning_rate;
+  m.num_features_ = ds.d();
+  Rng rng(opts.seed);
+
+  if (opts.loss == Loss::kLogistic) {
+    const double pos =
+        std::accumulate(ds.y().begin(), ds.y().end(), 0.0) /
+        static_cast<double>(n);
+    const double p = std::clamp(pos, 1e-6, 1.0 - 1e-6);
+    m.base_score_ = std::log(p / (1.0 - p));
+  } else {
+    m.base_score_ = Mean(ds.y());
+  }
+
+  std::vector<double> margin(n, m.base_score_);
+  std::vector<double> residual(n);
+  std::vector<double> hessian(n);
+
+  m.trees_.reserve(opts.num_rounds);
+  for (int round = 0; round < opts.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      if (opts.loss == Loss::kLogistic) {
+        const double p = Sigmoid(margin[i]);
+        residual[i] = ds.y()[i] - p;
+        hessian[i] = std::max(p * (1.0 - p), 1e-6);
+      } else {
+        residual[i] = ds.y()[i] - margin[i];
+        hessian[i] = 1.0;
+      }
+    }
+    const std::vector<double>* hess =
+        opts.loss == Loss::kLogistic ? &hessian : nullptr;
+
+    std::vector<size_t> rows;
+    const std::vector<size_t>* rows_ptr = nullptr;
+    if (opts.subsample < 1.0) {
+      const size_t k = std::max<size_t>(
+          1, static_cast<size_t>(opts.subsample * static_cast<double>(n)));
+      rows = rng.SampleWithoutReplacement(n, k);
+      rows_ptr = &rows;
+    }
+    Rng tree_rng = rng.Fork();
+    Tree tree = FitRegressionTree(ds.x(), residual, opts.tree, hess, rows_ptr,
+                                  opts.tree.max_features > 0 ? &tree_rng
+                                                             : nullptr);
+    for (size_t i = 0; i < n; ++i)
+      margin[i] += opts.learning_rate * tree.Predict(ds.x().Row(i));
+    m.trees_.push_back(std::move(tree));
+  }
+  return m;
+}
+
+GradientBoostedTrees GradientBoostedTrees::FromParts(
+    std::vector<Tree> trees, double base_score, double learning_rate,
+    Loss loss, size_t num_features) {
+  GradientBoostedTrees m;
+  m.trees_ = std::move(trees);
+  m.base_score_ = base_score;
+  m.learning_rate_ = learning_rate;
+  m.loss_ = loss;
+  m.num_features_ = num_features;
+  return m;
+}
+
+double GradientBoostedTrees::PredictMargin(
+    const std::vector<double>& x) const {
+  double f = base_score_;
+  for (const Tree& t : trees_) f += learning_rate_ * t.Predict(x);
+  return f;
+}
+
+double GradientBoostedTrees::Predict(const std::vector<double>& x) const {
+  const double f = PredictMargin(x);
+  return loss_ == Loss::kLogistic ? Sigmoid(f) : f;
+}
+
+}  // namespace xai

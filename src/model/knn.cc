@@ -1,0 +1,45 @@
+#include "model/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xai {
+
+Result<KnnClassifier> KnnClassifier::Fit(const Dataset& ds, int k) {
+  if (ds.n() == 0) return Status::InvalidArgument("Knn: empty data");
+  if (k <= 0) return Status::InvalidArgument("Knn: k must be positive");
+  KnnClassifier m;
+  m.train_ = ds;
+  m.k_ = k;
+  return m;
+}
+
+std::vector<size_t> KnnClassifier::NeighborsByDistance(
+    const std::vector<double>& x) const {
+  const size_t n = train_.n();
+  std::vector<double> dist(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = train_.x().RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < train_.d(); ++j) {
+      const double dxy = r[j] - x[j];
+      s += dxy * dxy;
+    }
+    dist[i] = s;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return dist[a] < dist[b]; });
+  return order;
+}
+
+double KnnClassifier::Predict(const std::vector<double>& x) const {
+  std::vector<size_t> order = NeighborsByDistance(x);
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k_), order.size());
+  double pos = 0.0;
+  for (size_t i = 0; i < kk; ++i) pos += train_.y()[order[i]];
+  return pos / static_cast<double>(kk);
+}
+
+}  // namespace xai

@@ -1,0 +1,35 @@
+#ifndef XAIDB_MODEL_KNN_H_
+#define XAIDB_MODEL_KNN_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// k-nearest-neighbor classifier (Euclidean distance; callers should
+/// standardize features). Predict returns the fraction of the k nearest
+/// training points with label 1. The stored training set is exposed because
+/// the exact KNN-Shapley data-valuation recurrence (Jia et al.) operates on
+/// the same distance ordering.
+class KnnClassifier : public Model {
+ public:
+  static Result<KnnClassifier> Fit(const Dataset& ds, int k = 5);
+
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return train_.d(); }
+
+  int k() const { return k_; }
+  const Dataset& train() const { return train_; }
+
+  /// Indices of training points sorted by ascending distance to x.
+  std::vector<size_t> NeighborsByDistance(const std::vector<double>& x) const;
+
+ private:
+  Dataset train_;
+  int k_ = 5;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_KNN_H_

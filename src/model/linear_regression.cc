@@ -1,0 +1,59 @@
+#include "model/linear_regression.h"
+
+#include "math/linalg.h"
+
+namespace xai {
+
+Result<LinearRegression> LinearRegression::Fit(const Dataset& ds,
+                                               const Options& opts) {
+  return Fit(ds.x(), ds.y(), opts);
+}
+
+Result<LinearRegression> LinearRegression::Fit(const Matrix& x,
+                                               const std::vector<double>& y,
+                                               const Options& opts) {
+  if (x.rows() != y.size())
+    return Status::InvalidArgument("LinearRegression: X rows != y size");
+  if (x.rows() == 0)
+    return Status::InvalidArgument("LinearRegression: empty data");
+  const size_t d = x.cols();
+  // Augment with intercept column.
+  Matrix xa(x.rows(), d + 1);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* r = x.RowPtr(i);
+    double* o = xa.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) o[j] = r[j];
+    o[d] = 1.0;
+  }
+  Matrix gram = xa.Gram();
+  for (size_t j = 0; j < d; ++j) gram(j, j) += opts.lambda;
+  gram(d, d) += 1e-12;  // Numerical guard; intercept unregularized.
+  std::vector<double> xty = xa.TransposeTimes(y);
+  XAI_ASSIGN_OR_RETURN(std::vector<double> theta, SolveSpd(gram, xty));
+  LinearRegression m;
+  m.weights_.assign(theta.begin(), theta.begin() + static_cast<long>(d));
+  m.intercept_ = theta[d];
+  m.lambda_ = opts.lambda;
+  return m;
+}
+
+LinearRegression LinearRegression::FromParameters(
+    std::vector<double> weights, double intercept, double lambda) {
+  LinearRegression m;
+  m.weights_ = std::move(weights);
+  m.intercept_ = intercept;
+  m.lambda_ = lambda;
+  return m;
+}
+
+double LinearRegression::Predict(const std::vector<double>& x) const {
+  return Dot(weights_, x) + intercept_;
+}
+
+std::vector<double> LinearRegression::Theta() const {
+  std::vector<double> t = weights_;
+  t.push_back(intercept_);
+  return t;
+}
+
+}  // namespace xai

@@ -1,0 +1,52 @@
+#ifndef XAIDB_MODEL_LINEAR_REGRESSION_H_
+#define XAIDB_MODEL_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Ridge linear regression fit by the normal equations
+///   theta = (X~^T X~ + lambda I)^(-1) X~^T y,
+/// where X~ is X with an appended all-ones intercept column (the intercept
+/// is not regularized). Exposes the sufficient statistics (X^T X, X^T y)
+/// so the PrIU-style incremental maintenance module can downdate them.
+struct LinearRegressionOptions {
+  double lambda = 1e-6;
+};
+
+class LinearRegression : public Model {
+ public:
+  using Options = LinearRegressionOptions;
+
+  static Result<LinearRegression> Fit(const Dataset& ds,
+                                      const Options& opts = Options());
+  static Result<LinearRegression> Fit(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      const Options& opts = Options());
+  /// Reconstructs a fitted model from its parameters (deserialization).
+  static LinearRegression FromParameters(std::vector<double> weights,
+                                         double intercept, double lambda);
+
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return weights_.size(); }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  double lambda() const { return lambda_; }
+
+  /// Full parameter vector [w_0..w_{d-1}, b].
+  std::vector<double> Theta() const;
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  double lambda_ = 0.0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_LINEAR_REGRESSION_H_

@@ -1,0 +1,155 @@
+#include "model/logistic_regression.h"
+
+#include <cmath>
+
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+double MarginAt(const double* x, size_t d, const std::vector<double>& theta) {
+  double z = theta[d];
+  for (size_t j = 0; j < d; ++j) z += theta[j] * x[j];
+  return z;
+}
+
+}  // namespace
+
+Result<LogisticRegression> LogisticRegression::Fit(const Dataset& ds,
+                                                   const Options& opts) {
+  return Fit(ds.x(), ds.y(), opts);
+}
+
+Result<LogisticRegression> LogisticRegression::Fit(
+    const Matrix& x, const std::vector<double>& y, const Options& opts) {
+  std::vector<double> zero(x.cols() + 1, 0.0);
+  return FitFrom(x, y, zero, opts);
+}
+
+Result<LogisticRegression> LogisticRegression::FitFrom(
+    const Matrix& x, const std::vector<double>& y,
+    const std::vector<double>& init_theta, const Options& opts) {
+  if (x.rows() != y.size())
+    return Status::InvalidArgument("LogisticRegression: X rows != y size");
+  if (x.rows() == 0)
+    return Status::InvalidArgument("LogisticRegression: empty data");
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (init_theta.size() != d + 1)
+    return Status::InvalidArgument("LogisticRegression: bad init size");
+
+  std::vector<double> theta = init_theta;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int it = 0; it < opts.max_iter; ++it) {
+    // Gradient and Hessian of J at theta.
+    std::vector<double> grad(d + 1, 0.0);
+    Matrix hess(d + 1, d + 1);
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.RowPtr(i);
+      const double p = Sigmoid(MarginAt(xi, d, theta));
+      const double err = (p - y[i]) * inv_n;
+      const double w = std::max(p * (1.0 - p), 1e-10) * inv_n;
+      for (size_t a = 0; a < d; ++a) {
+        grad[a] += err * xi[a];
+        const double wxa = w * xi[a];
+        double* hrow = hess.RowPtr(a);
+        for (size_t b = 0; b < d; ++b) hrow[b] += wxa * xi[b];
+        hess(a, d) += wxa;
+        hess(d, a) += wxa;
+      }
+      grad[d] += err;
+      hess(d, d) += w;
+    }
+    for (size_t a = 0; a < d + 1; ++a) {
+      grad[a] += opts.lambda * theta[a];
+      hess(a, a) += opts.lambda;
+    }
+    XAI_ASSIGN_OR_RETURN(std::vector<double> step, SolveSpd(hess, grad));
+    double step_norm = 0.0;
+    for (size_t a = 0; a < d + 1; ++a) {
+      theta[a] -= step[a];
+      step_norm += step[a] * step[a];
+    }
+    if (std::sqrt(step_norm) < opts.tol) break;
+  }
+
+  LogisticRegression m;
+  m.theta_ = std::move(theta);
+  m.lambda_ = opts.lambda;
+  return m;
+}
+
+LogisticRegression LogisticRegression::FromParameters(
+    std::vector<double> theta, double lambda) {
+  LogisticRegression m;
+  m.theta_ = std::move(theta);
+  m.lambda_ = lambda;
+  return m;
+}
+
+double LogisticRegression::Predict(const std::vector<double>& x) const {
+  return Sigmoid(Margin(x));
+}
+
+double LogisticRegression::Margin(const std::vector<double>& x) const {
+  return MarginAt(x.data(), theta_.size() - 1, theta_);
+}
+
+std::vector<double> LogisticRegression::SampleGradient(
+    const std::vector<double>& x, double y) const {
+  return SampleGradientAt(x, y, theta_);
+}
+
+std::vector<double> LogisticRegression::SampleGradientAt(
+    const std::vector<double>& x, double y,
+    const std::vector<double>& theta) {
+  const size_t d = theta.size() - 1;
+  const double p = Sigmoid(MarginAt(x.data(), d, theta));
+  const double err = p - y;
+  std::vector<double> g(d + 1);
+  for (size_t j = 0; j < d; ++j) g[j] = err * x[j];
+  g[d] = err;
+  return g;
+}
+
+Matrix LogisticRegression::ObjectiveHessian(const Matrix& x) const {
+  const size_t n = x.rows();
+  const size_t d = theta_.size() - 1;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  Matrix hess(d + 1, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* xi = x.RowPtr(i);
+    const double p = Sigmoid(MarginAt(xi, d, theta_));
+    const double w = std::max(p * (1.0 - p), 1e-10) * inv_n;
+    for (size_t a = 0; a < d; ++a) {
+      const double wxa = w * xi[a];
+      double* hrow = hess.RowPtr(a);
+      for (size_t b = 0; b < d; ++b) hrow[b] += wxa * xi[b];
+      hess(a, d) += wxa;
+      hess(d, a) += wxa;
+    }
+    hess(d, d) += w;
+  }
+  for (size_t a = 0; a < d + 1; ++a) hess(a, a) += lambda_;
+  return hess;
+}
+
+double LogisticRegression::Objective(const Matrix& x,
+                                     const std::vector<double>& y) const {
+  const size_t n = x.rows();
+  const size_t d = theta_.size() - 1;
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double z = MarginAt(x.RowPtr(i), d, theta_);
+    // CE = log(1+exp(z)) - y z  (stable form).
+    loss += Log1pExp(z) - y[i] * z;
+  }
+  loss /= static_cast<double>(n);
+  double reg = 0.0;
+  for (double t : theta_) reg += t * t;
+  return loss + 0.5 * lambda_ * reg;
+}
+
+}  // namespace xai

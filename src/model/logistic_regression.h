@@ -1,0 +1,83 @@
+#ifndef XAIDB_MODEL_LOGISTIC_REGRESSION_H_
+#define XAIDB_MODEL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "math/matrix.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// L2-regularized logistic regression fit by Newton / IRLS.
+///
+/// Objective (theta = [w; b], the intercept is regularized too so the
+/// Hessian used by influence functions is exactly the objective's Hessian):
+///   J(theta) = (1/n) sum_i CE(y_i, sigmoid(theta . x~_i)) +
+///              (lambda/2) ||theta||^2
+/// where x~ appends a constant 1. Per-sample gradients and the full Hessian
+/// are exposed because influence-function explanations (Koh & Liang) and
+/// the PrIU-style incremental refresh need them.
+struct LogisticRegressionOptions {
+  double lambda = 1e-3;
+  int max_iter = 50;
+  double tol = 1e-9;
+};
+
+class LogisticRegression : public Model {
+ public:
+  using Options = LogisticRegressionOptions;
+
+  static Result<LogisticRegression> Fit(const Dataset& ds,
+                                        const Options& opts = Options());
+  static Result<LogisticRegression> Fit(const Matrix& x,
+                                        const std::vector<double>& y,
+                                        const Options& opts = Options());
+  /// Warm-started fit (used by incremental maintenance): runs Newton from
+  /// `init_theta` instead of zero.
+  static Result<LogisticRegression> FitFrom(
+      const Matrix& x, const std::vector<double>& y,
+      const std::vector<double>& init_theta, const Options& opts);
+  /// Reconstructs a fitted model from its parameters (deserialization).
+  static LogisticRegression FromParameters(std::vector<double> theta,
+                                           double lambda);
+
+  /// P(y=1|x).
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return theta_.size() - 1; }
+
+  /// Raw log-odds.
+  double Margin(const std::vector<double>& x) const;
+
+  /// Full parameter vector [w; b].
+  const std::vector<double>& theta() const { return theta_; }
+  double lambda() const { return lambda_; }
+
+  /// Gradient of the *per-sample* regularized objective contribution
+  /// nabla_theta [ CE(y, p(x)) ] evaluated at the fitted parameters
+  /// (regularization excluded — it cancels in influence computations that
+  /// use the objective Hessian below).
+  std::vector<double> SampleGradient(const std::vector<double>& x,
+                                     double y) const;
+  /// Same, at arbitrary parameters.
+  static std::vector<double> SampleGradientAt(const std::vector<double>& x,
+                                              double y,
+                                              const std::vector<double>& theta);
+
+  /// Hessian of the objective J over the dataset at the fitted parameters:
+  /// (1/n) sum_i p_i (1-p_i) x~_i x~_i^T + lambda I.
+  Matrix ObjectiveHessian(const Matrix& x) const;
+
+  /// Total objective value over (x, y) — used by tests to verify Newton
+  /// convergence and by data-valuation utilities.
+  double Objective(const Matrix& x, const std::vector<double>& y) const;
+
+ private:
+  std::vector<double> theta_;  // [w_0..w_{d-1}, b]
+  double lambda_ = 0.0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_LOGISTIC_REGRESSION_H_

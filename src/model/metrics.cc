@@ -1,0 +1,98 @@
+#include "model/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace xai {
+
+double Accuracy(const std::vector<double>& probs,
+                const std::vector<double>& labels) {
+  assert(probs.size() == labels.size());
+  if (probs.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < probs.size(); ++i)
+    if ((probs[i] >= 0.5) == (labels[i] >= 0.5)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(probs.size());
+}
+
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<double>& labels) {
+  assert(probs.size() == labels.size());
+  if (probs.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(probs[i], 1e-12, 1.0 - 1e-12);
+    loss += labels[i] >= 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(probs.size());
+}
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<double>& labels) {
+  assert(scores.size() == labels.size());
+  const std::vector<double> ranks = Ranks(scores);
+  double rank_sum_pos = 0.0;
+  size_t n_pos = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0.5) {
+      rank_sum_pos += ranks[i];
+      ++n_pos;
+    }
+  }
+  const size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double np = static_cast<double>(n_pos);
+  const double nn = static_cast<double>(n_neg);
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double F1Score(const std::vector<double>& probs,
+               const std::vector<double>& labels) {
+  assert(probs.size() == labels.size());
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const bool pred = probs[i] >= 0.5;
+    const bool truth = labels[i] >= 0.5;
+    if (pred && truth) ++tp;
+    if (pred && !truth) ++fp;
+    if (!pred && truth) ++fn;
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+double MeanSquaredError(const std::vector<double>& pred,
+                        const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double R2Score(const std::vector<double>& pred,
+               const std::vector<double>& truth) {
+  const double mse = MeanSquaredError(pred, truth);
+  const double var = Variance(truth) * static_cast<double>(truth.size() - 1) /
+                     static_cast<double>(truth.size());
+  if (var <= 0.0) return 0.0;
+  return 1.0 - mse / var;
+}
+
+double EvaluateAccuracy(const Model& m, const Dataset& ds) {
+  return Accuracy(m.PredictBatch(ds.x()), ds.y());
+}
+
+double EvaluateAuc(const Model& m, const Dataset& ds) {
+  return Auc(m.PredictBatch(ds.x()), ds.y());
+}
+
+}  // namespace xai

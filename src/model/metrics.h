@@ -1,0 +1,35 @@
+#ifndef XAIDB_MODEL_METRICS_H_
+#define XAIDB_MODEL_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Fraction of thresholded predictions matching {0,1} labels.
+double Accuracy(const std::vector<double>& probs,
+                const std::vector<double>& labels);
+/// Mean binary cross-entropy; probabilities are clamped away from {0,1}.
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<double>& labels);
+/// Area under the ROC curve via the rank statistic (ties averaged).
+double Auc(const std::vector<double>& scores,
+           const std::vector<double>& labels);
+/// F1 of the positive class at threshold 0.5.
+double F1Score(const std::vector<double>& probs,
+               const std::vector<double>& labels);
+double MeanSquaredError(const std::vector<double>& pred,
+                        const std::vector<double>& truth);
+/// Coefficient of determination.
+double R2Score(const std::vector<double>& pred,
+               const std::vector<double>& truth);
+
+/// Convenience: model accuracy over a dataset.
+double EvaluateAccuracy(const Model& m, const Dataset& ds);
+double EvaluateAuc(const Model& m, const Dataset& ds);
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_METRICS_H_

@@ -1,0 +1,62 @@
+#ifndef XAIDB_MODEL_MODEL_H_
+#define XAIDB_MODEL_MODEL_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace xai {
+
+/// The black-box interface every explainer consumes. For classifiers,
+/// Predict returns P(y = 1 | x); for regressors, the predicted value.
+/// Model-agnostic explainers (LIME, KernelSHAP, Anchors, counterfactual
+/// search, ...) use nothing beyond this interface — mirroring the tutorial's
+/// "model agnostic" axis of the XAI taxonomy.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual double Predict(const std::vector<double>& x) const = 0;
+
+  /// Batched prediction; the default loops over rows. Overridden where a
+  /// faster path exists.
+  virtual std::vector<double> PredictBatch(const Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+    return out;
+  }
+
+  virtual size_t num_features() const = 0;
+};
+
+/// Hard 0/1 label from a probability-producing model.
+inline double PredictLabel(const Model& m, const std::vector<double>& x) {
+  return m.Predict(x) >= 0.5 ? 1.0 : 0.0;
+}
+
+/// Adapts an arbitrary callable into a Model — handy for tests and for the
+/// adversarial-attack scaffolding, which swaps behaviour based on an OOD
+/// detector.
+template <typename Fn>
+class LambdaModel : public Model {
+ public:
+  LambdaModel(size_t num_features, Fn fn)
+      : num_features_(num_features), fn_(std::move(fn)) {}
+  double Predict(const std::vector<double>& x) const override {
+    return fn_(x);
+  }
+  size_t num_features() const override { return num_features_; }
+
+ private:
+  size_t num_features_;
+  Fn fn_;
+};
+
+template <typename Fn>
+LambdaModel<Fn> MakeLambdaModel(size_t num_features, Fn fn) {
+  return LambdaModel<Fn>(num_features, std::move(fn));
+}
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_MODEL_H_

@@ -1,0 +1,56 @@
+#include "model/naive_bayes.h"
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace xai {
+
+Result<MultinomialNaiveBayes> MultinomialNaiveBayes::Fit(
+    const Dataset& ds, const Options& opts) {
+  if (ds.n() == 0) return Status::InvalidArgument("NaiveBayes: empty data");
+  const size_t d = ds.d();
+  std::vector<double> count1(d, opts.alpha);
+  std::vector<double> count0(d, opts.alpha);
+  double total1 = opts.alpha * static_cast<double>(d);
+  double total0 = opts.alpha * static_cast<double>(d);
+  double n1 = 0.0;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const bool pos = ds.y()[i] >= 0.5;
+    if (pos) n1 += 1.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double c = ds.x()(i, j);
+      if (c < 0.0)
+        return Status::InvalidArgument(
+            "NaiveBayes: count features must be non-negative");
+      if (pos) {
+        count1[j] += c;
+        total1 += c;
+      } else {
+        count0[j] += c;
+        total0 += c;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(ds.n()) - n1;
+  if (n1 == 0.0 || n0 == 0.0)
+    return Status::InvalidArgument("NaiveBayes: need both classes");
+  MultinomialNaiveBayes m;
+  m.prior_llr_ = std::log(n1 / n0);
+  m.llr_.resize(d);
+  for (size_t j = 0; j < d; ++j)
+    m.llr_[j] = std::log(count1[j] / total1) - std::log(count0[j] / total0);
+  return m;
+}
+
+double MultinomialNaiveBayes::Margin(const std::vector<double>& x) const {
+  double z = prior_llr_;
+  for (size_t j = 0; j < llr_.size(); ++j) z += x[j] * llr_[j];
+  return z;
+}
+
+double MultinomialNaiveBayes::Predict(const std::vector<double>& x) const {
+  return Sigmoid(Margin(x));
+}
+
+}  // namespace xai

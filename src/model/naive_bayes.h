@@ -1,0 +1,49 @@
+#ifndef XAIDB_MODEL_NAIVE_BAYES_H_
+#define XAIDB_MODEL_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Multinomial naive Bayes over count features (the classic bag-of-words
+/// text classifier). Besides being a fast baseline, it is *self-
+/// explanatory*: each feature's log-likelihood-ratio is an exact additive
+/// attribution of the log-odds — a useful ground truth to compare
+/// model-agnostic explainers against (tests do exactly that with
+/// LIME-for-text).
+struct NaiveBayesOptions {
+  /// Laplace smoothing pseudo-count.
+  double alpha = 1.0;
+};
+
+class MultinomialNaiveBayes : public Model {
+ public:
+  using Options = NaiveBayesOptions;
+
+  static Result<MultinomialNaiveBayes> Fit(const Dataset& ds,
+                                           const Options& opts = Options());
+
+  /// P(y=1 | x).
+  double Predict(const std::vector<double>& x) const override;
+  size_t num_features() const override { return llr_.size(); }
+
+  /// Log-odds margin: prior_llr + sum_j x_j * llr_j.
+  double Margin(const std::vector<double>& x) const;
+
+  /// Per-feature log-likelihood ratio log P(j|1) - log P(j|0): the exact
+  /// additive contribution of one count of feature j.
+  const std::vector<double>& log_likelihood_ratios() const { return llr_; }
+  double prior_log_odds() const { return prior_llr_; }
+
+ private:
+  std::vector<double> llr_;
+  double prior_llr_ = 0.0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_NAIVE_BAYES_H_

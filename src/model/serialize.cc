@@ -1,0 +1,171 @@
+#include "model/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace xai {
+namespace {
+
+constexpr char kMagic[] = "xaidb_model v1";
+
+Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path);
+  if (!*out) return Status::IOError("cannot open for write: " + path);
+  *out << std::setprecision(17);
+  *out << kMagic << "\n";
+  return Status::OK();
+}
+
+Result<std::ifstream> OpenForRead(const std::string& path,
+                                  const std::string& expected_type) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    return Status::InvalidArgument("bad magic in " + path);
+  std::string kw;
+  std::string type;
+  in >> kw >> type;
+  if (kw != "type" || type != expected_type)
+    return Status::InvalidArgument("expected type " + expected_type +
+                                   ", found " + type);
+  return in;
+}
+
+void WriteTree(std::ofstream& out, const Tree& tree) {
+  out << "tree " << tree.nodes.size() << "\n";
+  for (const TreeNode& n : tree.nodes) {
+    out << n.feature << " " << n.threshold << " " << n.left << " "
+        << n.right << " " << n.value << " " << n.cover << "\n";
+  }
+}
+
+Result<Tree> ReadTree(std::ifstream& in) {
+  std::string kw;
+  size_t n_nodes = 0;
+  in >> kw >> n_nodes;
+  if (kw != "tree" || !in)
+    return Status::InvalidArgument("malformed tree header");
+  if (n_nodes > 10'000'000)
+    return Status::InvalidArgument("implausible tree size");
+  Tree tree;
+  tree.nodes.resize(n_nodes);
+  for (TreeNode& node : tree.nodes) {
+    in >> node.feature >> node.threshold >> node.left >> node.right >>
+        node.value >> node.cover;
+    if (!in) return Status::InvalidArgument("malformed tree node");
+  }
+  return tree;
+}
+
+}  // namespace
+
+Status SaveModel(const LinearRegression& model, const std::string& path) {
+  std::ofstream out;
+  XAI_RETURN_NOT_OK(OpenForWrite(path, &out));
+  out << "type linear\n";
+  out << "lambda " << model.lambda() << "\n";
+  out << "intercept " << model.intercept() << "\n";
+  out << "weights " << model.weights().size();
+  for (double w : model.weights()) out << " " << w;
+  out << "\n";
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveModel(const LogisticRegression& model, const std::string& path) {
+  std::ofstream out;
+  XAI_RETURN_NOT_OK(OpenForWrite(path, &out));
+  out << "type logistic\n";
+  out << "lambda " << model.lambda() << "\n";
+  out << "theta " << model.theta().size();
+  for (double t : model.theta()) out << " " << t;
+  out << "\n";
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveModel(const GradientBoostedTrees& model,
+                 const std::string& path) {
+  std::ofstream out;
+  XAI_RETURN_NOT_OK(OpenForWrite(path, &out));
+  out << "type gbdt\n";
+  out << "loss "
+      << (model.loss() == GbdtLoss::kLogistic ? "logistic" : "squared")
+      << "\n";
+  out << "base_score " << model.base_score() << "\n";
+  out << "learning_rate " << model.learning_rate() << "\n";
+  out << "num_features " << model.num_features() << "\n";
+  out << "num_trees " << model.trees().size() << "\n";
+  for (const Tree& t : model.trees()) WriteTree(out, t);
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<LinearRegression> LoadLinearRegression(const std::string& path) {
+  XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "linear"));
+  std::string kw;
+  double lambda = 0.0;
+  double intercept = 0.0;
+  size_t n = 0;
+  in >> kw >> lambda >> kw >> intercept >> kw >> n;
+  if (!in || n > 10'000'000)
+    return Status::InvalidArgument("malformed linear model");
+  std::vector<double> weights(n);
+  for (double& w : weights) in >> w;
+  if (!in) return Status::InvalidArgument("malformed weights");
+  return LinearRegression::FromParameters(std::move(weights), intercept,
+                                          lambda);
+}
+
+Result<LogisticRegression> LoadLogisticRegression(const std::string& path) {
+  XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "logistic"));
+  std::string kw;
+  double lambda = 0.0;
+  size_t n = 0;
+  in >> kw >> lambda >> kw >> n;
+  if (!in || n == 0 || n > 10'000'000)
+    return Status::InvalidArgument("malformed logistic model");
+  std::vector<double> theta(n);
+  for (double& t : theta) in >> t;
+  if (!in) return Status::InvalidArgument("malformed theta");
+  return LogisticRegression::FromParameters(std::move(theta), lambda);
+}
+
+Result<GradientBoostedTrees> LoadGbdt(const std::string& path) {
+  XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "gbdt"));
+  std::string kw;
+  std::string loss_name;
+  double base = 0.0;
+  double lr = 0.0;
+  size_t num_features = 0;
+  size_t num_trees = 0;
+  in >> kw >> loss_name >> kw >> base >> kw >> lr >> kw >> num_features >>
+      kw >> num_trees;
+  if (!in || num_trees > 1'000'000)
+    return Status::InvalidArgument("malformed gbdt header");
+  std::vector<Tree> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    XAI_ASSIGN_OR_RETURN(Tree tree, ReadTree(in));
+    trees.push_back(std::move(tree));
+  }
+  const GbdtLoss loss =
+      loss_name == "logistic" ? GbdtLoss::kLogistic : GbdtLoss::kSquared;
+  return GradientBoostedTrees::FromParts(std::move(trees), base, lr, loss,
+                                         num_features);
+}
+
+Result<std::string> PeekModelType(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    return Status::InvalidArgument("bad magic in " + path);
+  std::string kw;
+  std::string type;
+  in >> kw >> type;
+  if (kw != "type" || type.empty())
+    return Status::InvalidArgument("missing type in " + path);
+  return type;
+}
+
+}  // namespace xai

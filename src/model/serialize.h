@@ -1,0 +1,32 @@
+#ifndef XAIDB_MODEL_SERIALIZE_H_
+#define XAIDB_MODEL_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/gbdt.h"
+#include "model/linear_regression.h"
+#include "model/logistic_regression.h"
+
+namespace xai {
+
+/// Plain-text model persistence ("xaidb_model v1" format): line-oriented,
+/// whitespace-separated, full double precision. Lets a trained model move
+/// between processes (train once, explain elsewhere) without any binary
+/// compatibility concerns.
+
+Status SaveModel(const LinearRegression& model, const std::string& path);
+Status SaveModel(const LogisticRegression& model, const std::string& path);
+Status SaveModel(const GradientBoostedTrees& model, const std::string& path);
+
+Result<LinearRegression> LoadLinearRegression(const std::string& path);
+Result<LogisticRegression> LoadLogisticRegression(const std::string& path);
+Result<GradientBoostedTrees> LoadGbdt(const std::string& path);
+
+/// The `type` field of a saved model file ("linear", "logistic", "gbdt")
+/// without loading it — for dispatch.
+Result<std::string> PeekModelType(const std::string& path);
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_SERIALIZE_H_

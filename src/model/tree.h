@@ -1,0 +1,66 @@
+#ifndef XAIDB_MODEL_TREE_H_
+#define XAIDB_MODEL_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+
+namespace xai {
+
+/// A node of a binary decision tree. Internal nodes route `x[feature] <=
+/// threshold` to `left`, else `right`. Leaves carry `value`. Every node
+/// carries `cover` (the training-sample weight that reached it), which is
+/// exactly what the TreeSHAP path algorithm consumes.
+struct TreeNode {
+  int feature = -1;  // -1 marks a leaf.
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;
+  double cover = 0.0;
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+/// A plain binary regression/score tree: nodes in a flat vector, node 0 is
+/// the root. This is the shared representation behind DecisionTree,
+/// RandomForest and GradientBoostedTrees, and the input to TreeShap.
+struct Tree {
+  std::vector<TreeNode> nodes;
+
+  double Predict(const std::vector<double>& x) const;
+  /// Index of the leaf that x lands in.
+  int LeafIndex(const std::vector<double>& x) const;
+  int MaxDepth() const;
+  size_t NumLeaves() const;
+
+  /// Expected prediction under the tree's own training distribution
+  /// (cover-weighted average of leaf values) — the "background" value
+  /// TreeSHAP attribues against.
+  double ExpectedValue() const;
+};
+
+/// CART configuration.
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 5;
+  /// Number of candidate features per split; 0 = all (deterministic CART),
+  /// otherwise sampled per node (random forest mode).
+  int max_features = 0;
+};
+
+/// Fits a regression tree minimizing squared error on (X, targets) with
+/// optional per-sample `hessian_weights`: when provided, leaf values are
+/// sum(target_i)/sum(weight_i) — the Newton leaf step used by gradient
+/// boosting with logistic loss. Without weights, leaf value = mean target.
+Tree FitRegressionTree(const Matrix& x, const std::vector<double>& targets,
+                       const TreeConfig& config,
+                       const std::vector<double>* hessian_weights = nullptr,
+                       const std::vector<size_t>* row_subset = nullptr,
+                       Rng* rng = nullptr);
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_TREE_H_

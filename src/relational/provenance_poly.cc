@@ -1,0 +1,146 @@
+#include "relational/provenance_poly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xai {
+
+ProvenancePolynomial ProvenancePolynomial::Zero() {
+  return ProvenancePolynomial();
+}
+
+ProvenancePolynomial ProvenancePolynomial::One() {
+  ProvenancePolynomial p;
+  p.terms_[{}] = 1;
+  return p;
+}
+
+ProvenancePolynomial ProvenancePolynomial::Var(TupleId t) {
+  ProvenancePolynomial p;
+  p.terms_[{{t, 1}}] = 1;
+  return p;
+}
+
+ProvenancePolynomial ProvenancePolynomial::operator+(
+    const ProvenancePolynomial& o) const {
+  ProvenancePolynomial out = *this;
+  for (const auto& [mono, coeff] : o.terms_) {
+    auto [it, inserted] = out.terms_.emplace(mono, coeff);
+    if (!inserted) {
+      it->second += coeff;
+      if (it->second == 0) out.terms_.erase(it);
+    }
+  }
+  return out;
+}
+
+ProvenancePolynomial ProvenancePolynomial::operator*(
+    const ProvenancePolynomial& o) const {
+  ProvenancePolynomial out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : o.terms_) {
+      Monomial prod = ma;
+      for (const auto& [var, exp] : mb) prod[var] += exp;
+      out.terms_[prod] += ca * cb;
+    }
+  }
+  return out;
+}
+
+long long ProvenancePolynomial::EvaluateCounting(
+    const std::map<TupleId, long long>& assignment) const {
+  long long total = 0;
+  for (const auto& [mono, coeff] : terms_) {
+    long long prod = coeff;
+    for (const auto& [var, exp] : mono) {
+      auto it = assignment.find(var);
+      const long long v = it == assignment.end() ? 0 : it->second;
+      for (int e = 0; e < exp; ++e) prod *= v;
+    }
+    total += prod;
+  }
+  return total;
+}
+
+bool ProvenancePolynomial::EvaluateBoolean(
+    const std::set<TupleId>& present) const {
+  for (const auto& [mono, coeff] : terms_) {
+    if (coeff == 0) continue;
+    bool alive = true;
+    for (const auto& [var, exp] : mono) {
+      (void)exp;
+      if (!present.count(var)) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) return true;
+  }
+  return false;
+}
+
+double ProvenancePolynomial::EvaluateTropical(
+    const std::map<TupleId, double>& costs, double missing_cost) const {
+  double best = 1e18;
+  for (const auto& [mono, coeff] : terms_) {
+    if (coeff == 0) continue;
+    double c = 0.0;
+    for (const auto& [var, exp] : mono) {
+      auto it = costs.find(var);
+      const double unit = it == costs.end() ? missing_cost : it->second;
+      c += unit * static_cast<double>(exp);
+    }
+    best = std::min(best, c);
+  }
+  return best;
+}
+
+ProvenancePolynomial ProvenancePolynomial::FromWhyProvenance(
+    const WhyProvenance& prov) {
+  ProvenancePolynomial out = Zero();
+  for (const Witness& w : prov) {
+    ProvenancePolynomial m = One();
+    for (TupleId t : w) m = m * Var(t);
+    out = out + m;
+  }
+  return out;
+}
+
+WhyProvenance ProvenancePolynomial::ToWhyProvenance() const {
+  WhyProvenance prov;
+  for (const auto& [mono, coeff] : terms_) {
+    if (coeff == 0) continue;
+    Witness w;
+    for (const auto& [var, exp] : mono) {
+      (void)exp;
+      w.push_back(var);
+    }
+    prov.push_back(std::move(w));
+  }
+  return NormalizeProvenance(std::move(prov));
+}
+
+std::string ProvenancePolynomial::ToString() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [mono, coeff] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    bool printed = false;
+    if (coeff != 1 || mono.empty()) {
+      os << coeff;
+      printed = true;
+    }
+    for (const auto& [var, exp] : mono) {
+      if (printed) os << "*";
+      os << "t" << var;
+      if (exp > 1) os << "^" << exp;
+      printed = true;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace xai

@@ -1,0 +1,68 @@
+#ifndef XAIDB_RELATIONAL_PROVENANCE_POLY_H_
+#define XAIDB_RELATIONAL_PROVENANCE_POLY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace xai {
+
+/// Provenance polynomials (Green, Karvounarakis & Tannen's N[X] semiring —
+/// the "what form?" answer of the provenance survey the tutorial cites in
+/// Section 3): each base tuple is a variable, join multiplies, union/
+/// projection adds. Specializing the semiring answers different questions
+/// about the same query result:
+///   * counting (N):   how many derivations are there?
+///   * Boolean:        does the answer survive these deletions?
+///   * tropical (min-plus): what is the cheapest derivation?
+/// The engine's WhyProvenance is the polynomial's support (each witness a
+/// monomial with exponents/coefficients dropped); ToPolynomial lifts it
+/// back with unit multiplicities.
+class ProvenancePolynomial {
+ public:
+  /// Monomial = product of variables with exponents; the polynomial maps
+  /// monomials to natural coefficients.
+  using Monomial = std::map<TupleId, int>;
+
+  static ProvenancePolynomial Zero();
+  static ProvenancePolynomial One();
+  static ProvenancePolynomial Var(TupleId t);
+
+  ProvenancePolynomial operator+(const ProvenancePolynomial& o) const;
+  ProvenancePolynomial operator*(const ProvenancePolynomial& o) const;
+  bool operator==(const ProvenancePolynomial& o) const {
+    return terms_ == o.terms_;
+  }
+
+  bool is_zero() const { return terms_.empty(); }
+  size_t num_terms() const { return terms_.size(); }
+  const std::map<Monomial, long long>& terms() const { return terms_; }
+
+  /// Counting semiring: substitute each variable's multiplicity.
+  long long EvaluateCounting(
+      const std::map<TupleId, long long>& assignment) const;
+  /// Boolean semiring: true iff some monomial's variables all survive.
+  bool EvaluateBoolean(const std::set<TupleId>& present) const;
+  /// Tropical (min, +): cheapest derivation cost; missing variables cost
+  /// `missing_cost`. Returns +inf (as represented) for the zero poly.
+  double EvaluateTropical(const std::map<TupleId, double>& costs,
+                          double missing_cost = 1e18) const;
+
+  /// Lifts why-provenance (set of witnesses) to a polynomial with unit
+  /// coefficients/exponents.
+  static ProvenancePolynomial FromWhyProvenance(const WhyProvenance& prov);
+  /// Drops coefficients/exponents back to the support.
+  WhyProvenance ToWhyProvenance() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<Monomial, long long> terms_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_RELATIONAL_PROVENANCE_POLY_H_

@@ -1,0 +1,213 @@
+#include "relational/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace xai {
+
+Result<RowPredicate> ColumnPredicate(const Relation& r,
+                                     const std::string& col,
+                                     const std::string& op, double constant) {
+  XAI_ASSIGN_OR_RETURN(size_t idx, r.ColumnIndex(col));
+  if (op == "<")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] < constant;
+    });
+  if (op == "<=")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] <= constant;
+    });
+  if (op == ">")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] > constant;
+    });
+  if (op == ">=")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] >= constant;
+    });
+  if (op == "==")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] == constant;
+    });
+  if (op == "!=")
+    return RowPredicate([idx, constant](const std::vector<double>& row) {
+      return row[idx] != constant;
+    });
+  return Status::InvalidArgument("unknown operator: " + op);
+}
+
+Relation Select(const Relation& r, const RowPredicate& pred) {
+  Relation out("select(" + r.name() + ")", r.columns());
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (!pred(r.row(i))) continue;
+    (void)out.InsertDerived(r.row(i), r.provenance(i));
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& cols) {
+  std::vector<size_t> idx;
+  for (const std::string& c : cols) {
+    XAI_ASSIGN_OR_RETURN(size_t j, r.ColumnIndex(c));
+    idx.push_back(j);
+  }
+  Relation out("project(" + r.name() + ")", cols);
+  std::map<std::vector<double>, WhyProvenance> grouped;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    std::vector<double> key(idx.size());
+    for (size_t k = 0; k < idx.size(); ++k) key[k] = r.row(i)[idx[k]];
+    WhyProvenance& p = grouped[key];
+    const WhyProvenance& rp = r.provenance(i);
+    p.insert(p.end(), rp.begin(), rp.end());
+  }
+  for (auto& [key, prov] : grouped)
+    XAI_RETURN_NOT_OK(out.InsertDerived(key, std::move(prov)));
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  // Shared columns.
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> b_extra;
+  for (size_t j = 0; j < b.num_columns(); ++j) {
+    bool found = false;
+    for (size_t i = 0; i < a.num_columns(); ++i) {
+      if (a.columns()[i] == b.columns()[j]) {
+        shared.emplace_back(i, j);
+        found = true;
+        break;
+      }
+    }
+    if (!found) b_extra.push_back(j);
+  }
+  if (shared.empty())
+    return Status::InvalidArgument("NaturalJoin: no shared columns");
+
+  std::vector<std::string> out_cols = a.columns();
+  for (size_t j : b_extra) out_cols.push_back(b.columns()[j]);
+  Relation out("join(" + a.name() + "," + b.name() + ")",
+               std::move(out_cols));
+
+  // Hash b rows by join key.
+  std::map<std::vector<double>, std::vector<size_t>> index;
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    std::vector<double> key(shared.size());
+    for (size_t k = 0; k < shared.size(); ++k)
+      key[k] = b.row(i)[shared[k].second];
+    index[key].push_back(i);
+  }
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    std::vector<double> key(shared.size());
+    for (size_t k = 0; k < shared.size(); ++k)
+      key[k] = a.row(i)[shared[k].first];
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t bi : it->second) {
+      std::vector<double> row = a.row(i);
+      for (size_t j : b_extra) row.push_back(b.row(bi)[j]);
+      WhyProvenance prov;
+      for (const Witness& wa : a.provenance(i))
+        for (const Witness& wb : b.provenance(bi))
+          prov.push_back(MergeWitnesses(wa, wb));
+      XAI_RETURN_NOT_OK(out.InsertDerived(row, std::move(prov)));
+    }
+  }
+  return out;
+}
+
+Result<AggregateResult> Aggregate(const Relation& r, AggKind kind,
+                                  const std::string& col) {
+  size_t idx = 0;
+  if (kind != AggKind::kCount) {
+    XAI_ASSIGN_OR_RETURN(idx, r.ColumnIndex(col));
+  }
+  AggregateResult res;
+  std::set<TupleId> lineage;
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    const double v = kind == AggKind::kCount ? 1.0 : r.value(i, idx);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    const Witness lin = r.Lineage(i);
+    lineage.insert(lin.begin(), lin.end());
+  }
+  const double n = static_cast<double>(r.num_rows());
+  switch (kind) {
+    case AggKind::kCount:
+      res.value = n;
+      break;
+    case AggKind::kSum:
+      res.value = sum;
+      break;
+    case AggKind::kAvg:
+      res.value = n > 0 ? sum / n : 0.0;
+      break;
+    case AggKind::kMin:
+      res.value = r.num_rows() ? mn : 0.0;
+      break;
+    case AggKind::kMax:
+      res.value = r.num_rows() ? mx : 0.0;
+      break;
+  }
+  res.lineage.assign(lineage.begin(), lineage.end());
+  return res;
+}
+
+Result<Relation> GroupAggregate(const Relation& r,
+                                const std::vector<std::string>& keys,
+                                AggKind kind, const std::string& col) {
+  std::vector<size_t> key_idx;
+  for (const std::string& k : keys) {
+    XAI_ASSIGN_OR_RETURN(size_t j, r.ColumnIndex(k));
+    key_idx.push_back(j);
+  }
+  size_t agg_idx = 0;
+  if (kind != AggKind::kCount) {
+    XAI_ASSIGN_OR_RETURN(agg_idx, r.ColumnIndex(col));
+  }
+  std::vector<std::string> out_cols = keys;
+  out_cols.push_back("agg");
+  Relation out("groupby(" + r.name() + ")", std::move(out_cols));
+
+  std::map<std::vector<double>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    std::vector<double> key(key_idx.size());
+    for (size_t k = 0; k < key_idx.size(); ++k) key[k] = r.row(i)[key_idx[k]];
+    groups[key].push_back(i);
+  }
+  for (const auto& [key, members] : groups) {
+    double sum = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    WhyProvenance prov;
+    for (size_t i : members) {
+      const double v = kind == AggKind::kCount ? 1.0 : r.value(i, agg_idx);
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      const WhyProvenance& rp = r.provenance(i);
+      prov.insert(prov.end(), rp.begin(), rp.end());
+    }
+    const double n = static_cast<double>(members.size());
+    double value = 0.0;
+    switch (kind) {
+      case AggKind::kCount: value = n; break;
+      case AggKind::kSum: value = sum; break;
+      case AggKind::kAvg: value = sum / n; break;
+      case AggKind::kMin: value = mn; break;
+      case AggKind::kMax: value = mx; break;
+    }
+    std::vector<double> row = key;
+    row.push_back(value);
+    XAI_RETURN_NOT_OK(out.InsertDerived(row, std::move(prov)));
+  }
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,53 @@
+#ifndef XAIDB_RELATIONAL_QUERY_H_
+#define XAIDB_RELATIONAL_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace xai {
+
+/// Row predicate with named-column access resolved at build time.
+using RowPredicate = std::function<bool(const std::vector<double>&)>;
+
+/// Builds a predicate `col <op> constant`; ops: "<", "<=", ">", ">=",
+/// "==", "!=".
+Result<RowPredicate> ColumnPredicate(const Relation& r,
+                                     const std::string& col,
+                                     const std::string& op, double constant);
+
+/// sigma_pred(r): provenance passes through.
+Relation Select(const Relation& r, const RowPredicate& pred);
+
+/// pi_cols(r) with duplicate elimination; duplicate rows' witnesses union.
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& cols);
+
+/// Natural equi-join on all shared column names (at least one required).
+/// Witness sets combine pairwise (cross product of derivations).
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b);
+
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// Scalar aggregate over a column. `lineage` (optional out) receives the
+/// base tuples contributing to the result.
+struct AggregateResult {
+  double value = 0.0;
+  /// Base tuples whose presence affects the answer.
+  Witness lineage;
+};
+Result<AggregateResult> Aggregate(const Relation& r, AggKind kind,
+                                  const std::string& col);
+
+/// GROUP BY keys with one aggregate; output columns = keys + "agg".
+/// Each group row's provenance is the set of witnesses of its members.
+Result<Relation> GroupAggregate(const Relation& r,
+                                const std::vector<std::string>& keys,
+                                AggKind kind, const std::string& col);
+
+}  // namespace xai
+
+#endif  // XAIDB_RELATIONAL_QUERY_H_

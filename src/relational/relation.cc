@@ -1,0 +1,107 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace xai {
+
+TupleId Relation::next_tid_ = 1;
+
+Result<size_t> Relation::ColumnIndex(const std::string& col) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == col) return i;
+  return Status::NotFound("column not found: " + col);
+}
+
+Result<TupleId> Relation::Insert(const std::vector<double>& values) {
+  if (values.size() != columns_.size())
+    return Status::InvalidArgument("Insert: arity mismatch");
+  const TupleId tid = next_tid_++;
+  rows_.push_back(values);
+  prov_.push_back({{tid}});
+  tids_.push_back(tid);
+  return tid;
+}
+
+Status Relation::InsertDerived(const std::vector<double>& values,
+                               WhyProvenance prov) {
+  if (values.size() != columns_.size())
+    return Status::InvalidArgument("InsertDerived: arity mismatch");
+  rows_.push_back(values);
+  prov_.push_back(NormalizeProvenance(std::move(prov)));
+  tids_.push_back(0);
+  return Status::OK();
+}
+
+Witness Relation::Lineage(size_t i) const {
+  std::set<TupleId> all;
+  for (const Witness& w : prov_[i]) all.insert(w.begin(), w.end());
+  return Witness(all.begin(), all.end());
+}
+
+Relation Relation::FilterByTupleId(const std::vector<bool>& keep,
+                                   TupleId id_offset) const {
+  Relation out(name_, columns_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const TupleId tid = tids_[i];
+    const size_t slot = static_cast<size_t>(tid - id_offset);
+    if (tid != 0 && slot < keep.size() && !keep[slot]) continue;
+    out.rows_.push_back(rows_[i]);
+    out.prov_.push_back(prov_[i]);
+    out.tids_.push_back(tid);
+  }
+  return out;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i];
+  }
+  os << ") [" << rows_.size() << " rows]\n";
+  for (size_t i = 0; i < std::min(rows_.size(), max_rows); ++i) {
+    os << "  ";
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j) os << " | ";
+      os << rows_[i][j];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+WhyProvenance NormalizeProvenance(WhyProvenance prov) {
+  for (Witness& w : prov) {
+    std::sort(w.begin(), w.end());
+    w.erase(std::unique(w.begin(), w.end()), w.end());
+  }
+  std::sort(prov.begin(), prov.end());
+  prov.erase(std::unique(prov.begin(), prov.end()), prov.end());
+  // Drop witnesses that strictly include another witness.
+  WhyProvenance minimal;
+  for (const Witness& w : prov) {
+    bool dominated = false;
+    for (const Witness& other : prov) {
+      if (&w == &other || other.size() >= w.size()) continue;
+      if (std::includes(w.begin(), w.end(), other.begin(), other.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(w);
+  }
+  return minimal;
+}
+
+Witness MergeWitnesses(const Witness& a, const Witness& b) {
+  Witness out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace xai

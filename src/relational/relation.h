@@ -1,0 +1,83 @@
+#ifndef XAIDB_RELATIONAL_RELATION_H_
+#define XAIDB_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xai {
+
+/// Globally unique id of a base tuple (assigned when rows are inserted into
+/// a base relation). Provenance is expressed in terms of these ids.
+using TupleId = uint64_t;
+
+/// A witness (one derivation of an output tuple): the set of base-tuple ids
+/// jointly sufficient to produce it. Stored sorted.
+using Witness = std::vector<TupleId>;
+
+/// Why-provenance: the set of witnesses of an output tuple.
+using WhyProvenance = std::vector<Witness>;
+
+/// In-memory relation with named double-valued columns. Every row carries
+/// why-provenance over base tuples, maintained through the operators in
+/// query.h — the substrate for Section 3's provenance-based explanations
+/// and Shapley values of tuples in query answering.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  Result<size_t> ColumnIndex(const std::string& col) const;
+
+  /// Inserts a base tuple with a fresh singleton provenance {{tid}}.
+  /// Returns the assigned TupleId.
+  Result<TupleId> Insert(const std::vector<double>& values);
+
+  /// Inserts a derived tuple with explicit provenance (used by operators).
+  Status InsertDerived(const std::vector<double>& values, WhyProvenance prov);
+
+  const std::vector<double>& row(size_t i) const { return rows_[i]; }
+  double value(size_t i, size_t col) const { return rows_[i][col]; }
+  const WhyProvenance& provenance(size_t i) const { return prov_[i]; }
+  TupleId tuple_id(size_t i) const { return tids_[i]; }
+
+  /// All base tuple ids appearing in any witness of row i (its lineage).
+  Witness Lineage(size_t i) const;
+
+  /// Relation restricted to base tuples whose id passes `keep` — the
+  /// sub-database operator that tuple-Shapley evaluation intervenes with.
+  /// Only meaningful on base relations (provenance = singleton witnesses).
+  Relation FilterByTupleId(const std::vector<bool>& keep,
+                           TupleId id_offset = 0) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  friend class Database;
+
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<WhyProvenance> prov_;
+  std::vector<TupleId> tids_;  // 0 for derived tuples.
+  static TupleId next_tid_;
+};
+
+/// Normalizes a why-provenance: sorts witnesses, deduplicates, and removes
+/// non-minimal witnesses (supersets of another witness).
+WhyProvenance NormalizeProvenance(WhyProvenance prov);
+
+/// Witness union (for joins): w1 ∪ w2, sorted, deduplicated.
+Witness MergeWitnesses(const Witness& a, const Witness& b);
+
+}  // namespace xai
+
+#endif  // XAIDB_RELATIONAL_RELATION_H_

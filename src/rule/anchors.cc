@@ -1,0 +1,231 @@
+#include "rule/anchors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+
+namespace xai {
+
+double BernoulliKl(double p, double q) {
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  q = std::clamp(q, 1e-12, 1.0 - 1e-12);
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+double KlUpperBound(double p_hat, double beta_over_n) {
+  double lo = p_hat;
+  double hi = 1.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (BernoulliKl(p_hat, mid) > beta_over_n) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double KlLowerBound(double p_hat, double beta_over_n) {
+  double lo = 0.0;
+  double hi = p_hat;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (BernoulliKl(p_hat, mid) > beta_over_n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// A candidate anchor: the set of features fixed to the instance's bins,
+/// with running precision statistics.
+struct Candidate {
+  std::vector<size_t> features;  // Sorted.
+  size_t n = 0;                  // Samples drawn.
+  size_t hits = 0;               // Samples where model agreed.
+
+  double precision() const {
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+}  // namespace
+
+AnchorsExplainer::AnchorsExplainer(const Model& model,
+                                   const Dataset& reference,
+                                   AnchorsOptions opts)
+    : model_(model), reference_(reference), opts_(opts),
+      disc_(Discretizer::Fit(reference, opts.bins)) {
+  // Precompute per (feature, bin) observed values for conditional draws.
+  const size_t d = reference.d();
+  bin_values_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    bin_values_[j].resize(static_cast<size_t>(disc_.NumBins(j)));
+    for (size_t i = 0; i < reference.n(); ++i) {
+      const double v = reference.x()(i, j);
+      const int b = disc_.Bin(j, v);
+      bin_values_[j][static_cast<size_t>(b)].push_back(v);
+    }
+  }
+}
+
+Result<RuleExplanation> AnchorsExplainer::Explain(
+    const std::vector<double>& instance) {
+  const size_t d = reference_.d();
+  if (instance.size() != d)
+    return Status::InvalidArgument("Anchors: instance arity mismatch");
+  Rng rng(opts_.seed);
+  const double target = PredictLabel(model_, instance);
+
+  // Instance bins.
+  std::vector<int> inst_bin(d);
+  for (size_t j = 0; j < d; ++j) inst_bin[j] = disc_.Bin(j, instance[j]);
+
+  // Draws one perturbation consistent with the candidate's fixed features
+  // and returns whether the model agrees with the anchored prediction.
+  auto sample_hit = [&](const Candidate& cand) {
+    const size_t row = static_cast<size_t>(rng.NextInt(reference_.n()));
+    std::vector<double> x = reference_.row(row);
+    for (size_t j : cand.features) {
+      const auto& vals = bin_values_[j][static_cast<size_t>(inst_bin[j])];
+      x[j] = vals.empty() ? instance[j] : vals[rng.NextInt(vals.size())];
+    }
+    return PredictLabel(model_, x) == target;
+  };
+  auto draw_batch = [&](Candidate* cand, int k) {
+    for (int i = 0; i < k; ++i)
+      if (sample_hit(*cand)) ++cand->hits;
+    cand->n += static_cast<size_t>(k);
+  };
+
+  // Coverage over the reference data: fraction of rows in all fixed bins.
+  auto coverage_of = [&](const Candidate& cand) {
+    size_t cnt = 0;
+    for (size_t i = 0; i < reference_.n(); ++i) {
+      bool match = true;
+      for (size_t j : cand.features) {
+        if (disc_.Bin(j, reference_.x()(i, j)) != inst_bin[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++cnt;
+    }
+    return static_cast<double>(cnt) / static_cast<double>(reference_.n());
+  };
+
+  const double beta = std::log(1.0 / opts_.delta) +
+                      std::log(static_cast<double>(d) + 1.0);
+
+  std::vector<Candidate> beam = {Candidate{}};  // Empty anchor.
+  Candidate best_found;
+  double best_found_coverage = -1.0;
+  bool have_anchor = false;
+
+  for (int size = 1; size <= opts_.max_anchor_size; ++size) {
+    // Extend every beam candidate by every unused feature.
+    std::vector<Candidate> cands;
+    std::set<std::vector<size_t>> seen;
+    for (const Candidate& b : beam) {
+      for (size_t j = 0; j < d; ++j) {
+        if (std::find(b.features.begin(), b.features.end(), j) !=
+            b.features.end())
+          continue;
+        Candidate c;
+        c.features = b.features;
+        c.features.push_back(j);
+        std::sort(c.features.begin(), c.features.end());
+        if (seen.insert(c.features).second) cands.push_back(std::move(c));
+      }
+    }
+    if (cands.empty()) break;
+
+    // KL-LUCB-style refinement: initial batch for everyone, then keep
+    // sampling the most promising until budget or separation.
+    for (Candidate& c : cands) draw_batch(&c, opts_.batch_size);
+    for (int round = 0; round < 16; ++round) {
+      // Most promising candidate by upper bound.
+      size_t best = 0;
+      double best_ucb = -1.0;
+      for (size_t i = 0; i < cands.size(); ++i) {
+        const double ucb = KlUpperBound(
+            cands[i].precision(), beta / static_cast<double>(cands[i].n));
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          best = i;
+        }
+      }
+      Candidate& c = cands[best];
+      if (static_cast<int>(c.n) >= opts_.max_samples_per_candidate) break;
+      const double lcb =
+          KlLowerBound(c.precision(), beta / static_cast<double>(c.n));
+      if (lcb >= opts_.precision_threshold ||
+          best_ucb < opts_.precision_threshold)
+        break;  // Resolved: anchor certified or hopeless.
+      draw_batch(&c, opts_.batch_size);
+    }
+
+    // Check for certified anchors; among them keep the best coverage.
+    for (const Candidate& c : cands) {
+      const double lcb =
+          KlLowerBound(c.precision(), beta / static_cast<double>(c.n));
+      if (lcb >= opts_.precision_threshold) {
+        const double cov = coverage_of(c);
+        if (cov > best_found_coverage) {
+          best_found = c;
+          best_found_coverage = cov;
+          have_anchor = true;
+        }
+      }
+    }
+    if (have_anchor) break;
+
+    // Keep top beam_width by precision point estimate for the next level.
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.precision() > b.precision();
+              });
+    if (cands.size() > static_cast<size_t>(opts_.beam_width))
+      cands.resize(static_cast<size_t>(opts_.beam_width));
+    beam = std::move(cands);
+  }
+
+  if (!have_anchor) {
+    // Fall back to the best beam candidate (precision below threshold);
+    // callers can inspect `precision` to see the anchor is soft.
+    if (beam.empty())
+      return Status::NotFound("Anchors: no candidate rules generated");
+    best_found = beam.front();
+    best_found_coverage = coverage_of(best_found);
+  }
+
+  RuleExplanation rule;
+  rule.outcome = target;
+  rule.precision = best_found.precision();
+  rule.coverage = best_found_coverage;
+  for (size_t j : best_found.features) {
+    RulePredicate pred;
+    pred.feature = j;
+    if (reference_.schema().feature(j).is_numeric()) {
+      auto [lo, hi] = disc_.BinRange(j, inst_bin[j]);
+      pred.is_categorical = false;
+      pred.lower = lo;
+      pred.upper = hi;
+    } else {
+      pred.is_categorical = true;
+      pred.category = instance[j];
+    }
+    rule.predicates.push_back(pred);
+  }
+  return rule;
+}
+
+}  // namespace xai

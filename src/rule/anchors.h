@@ -1,0 +1,67 @@
+#ifndef XAIDB_RULE_ANCHORS_H_
+#define XAIDB_RULE_ANCHORS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explanation.h"
+#include "data/dataset.h"
+#include "data/transforms.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct AnchorsOptions {
+  /// Target precision tau: P(model agrees with the anchored prediction |
+  /// rule holds) must exceed this.
+  double precision_threshold = 0.95;
+  /// Bandit confidence parameter.
+  double delta = 0.05;
+  /// Beam width.
+  int beam_width = 4;
+  /// Maximum rule length (the tutorial: rules beyond ~5 clauses are
+  /// incomprehensible).
+  int max_anchor_size = 5;
+  /// Perturbation samples per bandit pull batch.
+  int batch_size = 64;
+  /// Maximum total samples per candidate (budget cap).
+  int max_samples_per_candidate = 2048;
+  /// Quantile bins used to discretize numeric features into predicates.
+  int bins = 4;
+  uint64_t seed = 7777;
+};
+
+/// Anchors (Ribeiro, Singh & Guestrin 2018), tutorial Section 2.2:
+/// searches for a short conjunctive rule over discretized features that
+/// "anchors" the prediction — whenever the rule holds, the model almost
+/// always (precision >= tau) predicts the same class as on the explained
+/// instance. Candidate rules are grown by beam search; precision is
+/// estimated adaptively with a KL-LUCB best-arm bandit over
+/// perturbation-and-requery samples.
+class AnchorsExplainer {
+ public:
+  AnchorsExplainer(const Model& model, const Dataset& reference,
+                   AnchorsOptions opts = {});
+
+  /// Finds an anchor rule for the given instance. The returned rule's
+  /// predicates are the instance's bins; precision/coverage are estimates.
+  Result<RuleExplanation> Explain(const std::vector<double>& instance);
+
+ private:
+  const Model& model_;
+  const Dataset& reference_;
+  AnchorsOptions opts_;
+  Discretizer disc_;
+  /// Observed values per (feature, bin), for conditional sampling.
+  std::vector<std::vector<std::vector<double>>> bin_values_;
+};
+
+/// Bernoulli KL divergence and KL confidence bounds (used by the bandit;
+/// exposed for tests).
+double BernoulliKl(double p, double q);
+double KlUpperBound(double p_hat, double beta_over_n);
+double KlLowerBound(double p_hat, double beta_over_n);
+
+}  // namespace xai
+
+#endif  // XAIDB_RULE_ANCHORS_H_

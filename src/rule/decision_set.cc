@@ -1,0 +1,160 @@
+#include "rule/decision_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "rule/itemset.h"
+
+namespace xai {
+
+double DecisionSet::Predict(const std::vector<double>& x) const {
+  double votes_pos = 0.0;
+  double votes_neg = 0.0;
+  for (const RuleExplanation& r : rules_) {
+    if (!r.Matches(x)) continue;
+    if (r.outcome >= 0.5) {
+      votes_pos += r.precision;
+    } else {
+      votes_neg += r.precision;
+    }
+  }
+  if (votes_pos == 0.0 && votes_neg == 0.0) return default_class_;
+  return votes_pos >= votes_neg ? 1.0 : 0.0;
+}
+
+double DecisionSet::Accuracy(const Dataset& ds) const {
+  size_t correct = 0;
+  for (size_t i = 0; i < ds.n(); ++i)
+    if ((Predict(ds.row(i)) >= 0.5) == (ds.y()[i] >= 0.5)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(ds.n());
+}
+
+double DecisionSet::Coverage(const Dataset& ds) const {
+  size_t covered = 0;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    for (const RuleExplanation& r : rules_) {
+      if (r.Matches(ds.row(i))) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(ds.n());
+}
+
+std::string DecisionSet::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const RuleExplanation& r : rules_) os << r.ToString(schema) << "\n";
+  os << "ELSE predict " << default_class_ << "\n";
+  return os.str();
+}
+
+Result<DecisionSet> FitDecisionSet(const Dataset& ds, const Model* model,
+                                   const DecisionSetOptions& opts) {
+  if (ds.n() == 0) return Status::InvalidArgument("DecisionSet: empty data");
+  const size_t n = ds.n();
+
+  // Target labels: model predictions (surrogate mode) or ground truth.
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i)
+    target[i] = model ? (model->Predict(ds.row(i)) >= 0.5 ? 1.0 : 0.0)
+                      : (ds.y()[i] >= 0.5 ? 1.0 : 0.0);
+
+  Discretizer disc = Discretizer::Fit(ds, opts.bins);
+  std::vector<Transaction> tx = ToTransactions(ds, disc);
+  const auto min_support_count = static_cast<size_t>(
+      opts.min_support * static_cast<double>(n));
+  std::vector<FrequentItemset> itemsets =
+      AprioriMine(tx, std::max<size_t>(min_support_count, 2),
+                  static_cast<size_t>(opts.max_rule_length));
+
+  // Candidate rules with per-rule cover and class stats.
+  struct CandRule {
+    RuleExplanation rule;
+    std::vector<size_t> cover;  // Row indices matched.
+  };
+  std::vector<CandRule> candidates;
+  for (const FrequentItemset& fi : itemsets) {
+    RuleExplanation rule;
+    for (Item it : fi.items) {
+      RulePredicate pred;
+      pred.feature = ItemFeature(it);
+      const int bin = static_cast<int>(ItemBin(it));
+      if (ds.schema().feature(pred.feature).is_numeric()) {
+        auto [lo, hi] = disc.BinRange(pred.feature, bin);
+        pred.is_categorical = false;
+        pred.lower = lo;
+        pred.upper = hi;
+      } else {
+        pred.is_categorical = true;
+        pred.category = static_cast<double>(bin);
+      }
+      rule.predicates.push_back(pred);
+    }
+    CandRule cand;
+    size_t pos = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rule.Matches(ds.row(i))) {
+        cand.cover.push_back(i);
+        if (target[i] >= 0.5) ++pos;
+      }
+    }
+    if (cand.cover.empty()) continue;
+    const double frac_pos =
+        static_cast<double>(pos) / static_cast<double>(cand.cover.size());
+    rule.outcome = frac_pos >= 0.5 ? 1.0 : 0.0;
+    rule.precision = rule.outcome >= 0.5 ? frac_pos : 1.0 - frac_pos;
+    rule.coverage =
+        static_cast<double>(cand.cover.size()) / static_cast<double>(n);
+    if (rule.precision < opts.min_precision) continue;
+    cand.rule = std::move(rule);
+    candidates.push_back(std::move(cand));
+  }
+
+  // Greedy selection on the smooth objective: marginal gain in correctly
+  // covered rows, minus length and overlap penalties.
+  DecisionSet out;
+  size_t n_pos = 0;
+  for (double t : target) n_pos += t >= 0.5 ? 1 : 0;
+  out.default_class_ = n_pos * 2 >= n ? 1.0 : 0.0;
+
+  std::vector<bool> covered(n, false);
+  std::vector<bool> used(candidates.size(), false);
+  for (int pick = 0; pick < opts.max_rules; ++pick) {
+    double best_gain = 1e-9;
+    int best = -1;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      const CandRule& cand = candidates[c];
+      double gain = 0.0;
+      for (size_t i : cand.cover) {
+        const bool correct =
+            (cand.rule.outcome >= 0.5) == (target[i] >= 0.5);
+        const bool default_correct =
+            (out.default_class_ >= 0.5) == (target[i] >= 0.5);
+        if (covered[i]) {
+          gain -= opts.overlap_penalty;
+        } else if (correct && !default_correct) {
+          gain += 1.0;
+        } else if (!correct && default_correct) {
+          gain -= 1.0;
+        }
+      }
+      gain -= opts.length_penalty *
+              static_cast<double>(cand.rule.predicates.size());
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<size_t>(best)] = true;
+    const CandRule& chosen = candidates[static_cast<size_t>(best)];
+    for (size_t i : chosen.cover) covered[i] = true;
+    out.rules_.push_back(chosen.rule);
+  }
+  return out;
+}
+
+}  // namespace xai

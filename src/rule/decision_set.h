@@ -1,0 +1,67 @@
+#ifndef XAIDB_RULE_DECISION_SET_H_
+#define XAIDB_RULE_DECISION_SET_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explanation.h"
+#include "data/dataset.h"
+#include "data/transforms.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct DecisionSetOptions {
+  /// Minimum support (fraction of rows) of mined candidate rules.
+  double min_support = 0.05;
+  /// Minimum precision of a candidate rule on its own cover.
+  double min_precision = 0.7;
+  /// Maximum predicates per rule.
+  int max_rule_length = 3;
+  /// Maximum rules selected.
+  int max_rules = 8;
+  /// Penalty per predicate (interpretability term of the objective).
+  double length_penalty = 0.2;
+  /// Penalty per overlapping covered row (encourages disjoint rules).
+  double overlap_penalty = 0.1;
+  /// Quantile bins for numeric features.
+  int bins = 4;
+};
+
+/// An interpretable decision set (Lakkaraju, Bach & Leskovec 2016),
+/// tutorial Section 2.2: an unordered set of independent IF-THEN rules
+/// plus a default class. Prediction = majority over matching rules (the
+/// default class when none match).
+class DecisionSet {
+ public:
+  const std::vector<RuleExplanation>& rules() const { return rules_; }
+  double default_class() const { return default_class_; }
+
+  double Predict(const std::vector<double>& x) const;
+  /// Fraction of rows where the decision set matches the labels.
+  double Accuracy(const Dataset& ds) const;
+  /// Fraction of rows covered by at least one rule.
+  double Coverage(const Dataset& ds) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  friend Result<DecisionSet> FitDecisionSet(const Dataset&, const Model*,
+                                            const DecisionSetOptions&);
+  std::vector<RuleExplanation> rules_;
+  double default_class_ = 0.0;
+};
+
+/// Learns a decision set that explains `model`'s predictions over `ds`
+/// (model != nullptr: rules target model labels — a global rule-based
+/// surrogate) or the raw labels (model == nullptr: an interpretable
+/// classifier in its own right). Candidate rules come from frequent
+/// itemset mining over discretized features (the data-management
+/// connection of Section 2.2.1); selection is greedy on a
+/// coverage/precision/interpretability objective.
+Result<DecisionSet> FitDecisionSet(const Dataset& ds, const Model* model,
+                                   const DecisionSetOptions& opts = DecisionSetOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_RULE_DECISION_SET_H_

@@ -1,0 +1,236 @@
+#include "rule/itemset.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+namespace xai {
+
+std::vector<Transaction> ToTransactions(const Dataset& ds,
+                                        const Discretizer& disc) {
+  std::vector<Transaction> out(ds.n());
+  for (size_t i = 0; i < ds.n(); ++i) {
+    Transaction t;
+    t.reserve(ds.d());
+    for (size_t j = 0; j < ds.d(); ++j) {
+      t.push_back(MakeItem(static_cast<uint32_t>(j),
+                           static_cast<uint32_t>(
+                               disc.Bin(j, ds.x()(i, j)))));
+    }
+    std::sort(t.begin(), t.end());
+    out[i] = std::move(t);
+  }
+  return out;
+}
+
+namespace {
+
+bool ContainsAll(const Transaction& t, const std::vector<Item>& items) {
+  return std::includes(t.begin(), t.end(), items.begin(), items.end());
+}
+
+size_t CountSupport(const std::vector<Transaction>& transactions,
+                    const std::vector<Item>& items) {
+  size_t s = 0;
+  for (const Transaction& t : transactions)
+    if (ContainsAll(t, items)) ++s;
+  return s;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> AprioriMine(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    size_t max_length) {
+  std::vector<FrequentItemset> result;
+
+  // L1.
+  std::map<Item, size_t> counts;
+  for (const Transaction& t : transactions)
+    for (Item it : t) ++counts[it];
+  std::vector<std::vector<Item>> level;
+  for (const auto& [item, cnt] : counts) {
+    if (cnt >= min_support) {
+      level.push_back({item});
+      result.push_back({{item}, cnt});
+    }
+  }
+
+  size_t k = 1;
+  while (!level.empty() && k < max_length) {
+    ++k;
+    // Candidate generation: join itemsets sharing the first k-2 items.
+    std::vector<std::vector<Item>> candidates;
+    for (size_t a = 0; a < level.size(); ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const auto& ia = level[a];
+        const auto& ib = level[b];
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) continue;
+        std::vector<Item> cand = ia;
+        cand.push_back(ib.back());
+        if (cand[cand.size() - 2] > cand.back())
+          std::swap(cand[cand.size() - 2], cand.back());
+        // Prune: every (k-1)-subset must be frequent.
+        bool ok = true;
+        for (size_t drop = 0; drop + 2 < cand.size() && ok; ++drop) {
+          std::vector<Item> sub = cand;
+          sub.erase(sub.begin() + static_cast<long>(drop));
+          ok = std::binary_search(level.begin(), level.end(), sub);
+        }
+        if (ok) candidates.push_back(std::move(cand));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    std::vector<std::vector<Item>> next;
+    for (const auto& cand : candidates) {
+      const size_t s = CountSupport(transactions, cand);
+      if (s >= min_support) {
+        next.push_back(cand);
+        result.push_back({cand, s});
+      }
+    }
+    level = std::move(next);
+  }
+  return result;
+}
+
+namespace {
+
+/// FP-tree node.
+struct FpNode {
+  Item item = 0;
+  size_t count = 0;
+  FpNode* parent = nullptr;
+  std::map<Item, std::unique_ptr<FpNode>> children;
+};
+
+struct FpTree {
+  FpNode root;
+  std::unordered_map<Item, std::vector<FpNode*>> header;
+
+  void Insert(const std::vector<Item>& items, size_t count) {
+    FpNode* cur = &root;
+    for (Item it : items) {
+      auto& child = cur->children[it];
+      if (!child) {
+        child = std::make_unique<FpNode>();
+        child->item = it;
+        child->parent = cur;
+        header[it].push_back(child.get());
+      }
+      child->count += count;
+      cur = child.get();
+    }
+  }
+};
+
+void FpGrowth(const FpTree& tree, const std::vector<Item>& suffix,
+              size_t min_support, size_t max_length,
+              std::vector<FrequentItemset>* out) {
+  // Items in this (conditional) tree with their total counts.
+  std::vector<std::pair<Item, size_t>> items;
+  for (const auto& [item, nodes] : tree.header) {
+    size_t total = 0;
+    for (const FpNode* n : nodes) total += n->count;
+    if (total >= min_support) items.emplace_back(item, total);
+  }
+  std::sort(items.begin(), items.end());
+  for (const auto& [item, total] : items) {
+    std::vector<Item> itemset = suffix;
+    itemset.push_back(item);
+    std::sort(itemset.begin(), itemset.end());
+    out->push_back({itemset, total});
+    if (itemset.size() >= max_length) continue;
+    // Conditional pattern base for `item`.
+    FpTree cond;
+    for (const FpNode* leaf : tree.header.at(item)) {
+      std::vector<Item> path;
+      for (const FpNode* n = leaf->parent; n && n->parent; n = n->parent)
+        path.push_back(n->item);
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) cond.Insert(path, leaf->count);
+    }
+    FpGrowth(cond, itemset, min_support, max_length, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FpGrowthMine(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    size_t max_length) {
+  // Count single items and keep frequent ones, ordered by count desc.
+  std::map<Item, size_t> counts;
+  for (const Transaction& t : transactions)
+    for (Item it : t) ++counts[it];
+  std::vector<std::pair<Item, size_t>> freq;
+  for (const auto& [item, c] : counts)
+    if (c >= min_support) freq.emplace_back(item, c);
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::unordered_map<Item, size_t> rank;
+  for (size_t i = 0; i < freq.size(); ++i) rank[freq[i].first] = i;
+
+  FpTree tree;
+  for (const Transaction& t : transactions) {
+    std::vector<Item> filtered;
+    for (Item it : t)
+      if (rank.count(it)) filtered.push_back(it);
+    std::sort(filtered.begin(), filtered.end(),
+              [&](Item a, Item b) { return rank[a] < rank[b]; });
+    if (!filtered.empty()) tree.Insert(filtered, 1);
+  }
+  std::vector<FrequentItemset> out;
+  FpGrowth(tree, {}, min_support, max_length, &out);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+std::vector<AssociationRule> MineAssociationRules(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    double min_confidence, size_t max_length) {
+  std::vector<FrequentItemset> itemsets =
+      AprioriMine(transactions, min_support, max_length);
+  // Index supports.
+  std::map<std::vector<Item>, size_t> support;
+  for (const FrequentItemset& fi : itemsets) support[fi.items] = fi.support;
+
+  const double n = static_cast<double>(transactions.size());
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() < 2) continue;
+    for (size_t c = 0; c < fi.items.size(); ++c) {
+      std::vector<Item> ante = fi.items;
+      const Item cons = ante[c];
+      ante.erase(ante.begin() + static_cast<long>(c));
+      auto it = support.find(ante);
+      if (it == support.end()) continue;
+      const double conf = static_cast<double>(fi.support) /
+                          static_cast<double>(it->second);
+      if (conf < min_confidence) continue;
+      auto cons_it = support.find(std::vector<Item>{cons});
+      const double p_cons =
+          cons_it != support.end()
+              ? static_cast<double>(cons_it->second) / n
+              : 0.0;
+      AssociationRule rule;
+      rule.antecedent = std::move(ante);
+      rule.consequent = cons;
+      rule.support = static_cast<double>(fi.support) / n;
+      rule.confidence = conf;
+      rule.lift = p_cons > 0 ? conf / p_cons : 0.0;
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace xai

@@ -1,0 +1,65 @@
+#ifndef XAIDB_RULE_ITEMSET_H_
+#define XAIDB_RULE_ITEMSET_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transforms.h"
+
+namespace xai {
+
+/// An item: one discretized feature condition "feature j falls in bin b".
+/// Encoded compactly for fast set operations.
+using Item = uint32_t;
+inline Item MakeItem(uint32_t feature, uint32_t bin) {
+  return (feature << 8) | (bin & 0xFF);
+}
+inline uint32_t ItemFeature(Item it) { return it >> 8; }
+inline uint32_t ItemBin(Item it) { return it & 0xFF; }
+
+/// A transaction database: one sorted item list per row.
+using Transaction = std::vector<Item>;
+
+/// Discretizes a dataset's rows into transactions (one item per feature).
+std::vector<Transaction> ToTransactions(const Dataset& ds,
+                                        const Discretizer& disc);
+
+/// A mined frequent itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<Item> items;  // Sorted.
+  size_t support = 0;
+};
+
+/// Apriori (Agrawal & Srikant 1994) — the classic level-wise candidate
+/// generation algorithm, tutorial Section 2.2.1's archetype of rule mining
+/// in data management.
+std::vector<FrequentItemset> AprioriMine(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    size_t max_length = 4);
+
+/// FP-Growth (Han, Pei & Yin 2000) — pattern growth over an FP-tree,
+/// avoiding candidate generation. Produces the same itemsets as Apriori
+/// (the property tests assert this).
+std::vector<FrequentItemset> FpGrowthMine(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    size_t max_length = 4);
+
+/// An association rule antecedent -> consequent with standard measures.
+struct AssociationRule {
+  std::vector<Item> antecedent;
+  Item consequent;
+  double support = 0.0;     // P(antecedent ∧ consequent).
+  double confidence = 0.0;  // P(consequent | antecedent).
+  double lift = 0.0;        // confidence / P(consequent).
+};
+
+/// Derives rules from frequent itemsets (single-item consequents).
+std::vector<AssociationRule> MineAssociationRules(
+    const std::vector<Transaction>& transactions, size_t min_support,
+    double min_confidence, size_t max_length = 4);
+
+}  // namespace xai
+
+#endif  // XAIDB_RULE_ITEMSET_H_

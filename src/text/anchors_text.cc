@@ -1,0 +1,152 @@
+#include "text/anchors_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "rule/anchors.h"  // KL confidence bounds.
+
+namespace xai {
+
+std::string TextAnchor::ToString() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "IF document contains {";
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i) os << ", ";
+    os << words[i];
+  }
+  os << "} THEN predict " << outcome << " (precision=" << precision << ")";
+  return os.str();
+}
+
+namespace {
+
+struct Candidate {
+  std::vector<size_t> word_ids;  // Indices into the document's word list.
+  size_t n = 0;
+  size_t hits = 0;
+  double precision() const {
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+}  // namespace
+
+Result<TextAnchor> ExplainTextWithAnchor(const Model& model,
+                                         const BowVectorizer& vectorizer,
+                                         const std::string& document,
+                                         const TextAnchorsOptions& opts) {
+  std::vector<std::string> tokens = Tokenize(document);
+  std::vector<std::string> words;
+  std::set<std::string> seen;
+  for (const std::string& tok : tokens) {
+    if (vectorizer.vocab().WordId(tok) < 0) continue;
+    if (seen.insert(tok).second) words.push_back(tok);
+  }
+  if (words.empty())
+    return Status::InvalidArgument("TextAnchors: no in-vocabulary words");
+  const size_t d = words.size();
+  Rng rng(opts.seed);
+  const double target =
+      model.Predict(vectorizer.Transform(document)) >= 0.5 ? 1.0 : 0.0;
+
+  auto sample_hit = [&](const Candidate& cand) {
+    std::vector<bool> keep(d, false);
+    for (size_t w : cand.word_ids) keep[w] = true;
+    for (size_t j = 0; j < d; ++j)
+      if (!keep[j] && rng.Bernoulli(opts.keep_probability)) keep[j] = true;
+    std::string perturbed;
+    for (const std::string& tok : tokens) {
+      bool keep_tok = true;
+      for (size_t j = 0; j < d; ++j) {
+        if (!keep[j] && words[j] == tok) {
+          keep_tok = false;
+          break;
+        }
+      }
+      if (!keep_tok) continue;
+      if (!perturbed.empty()) perturbed += " ";
+      perturbed += tok;
+    }
+    const double p = model.Predict(vectorizer.Transform(perturbed));
+    return (p >= 0.5 ? 1.0 : 0.0) == target;
+  };
+  auto draw = [&](Candidate* cand, int k) {
+    for (int i = 0; i < k; ++i)
+      if (sample_hit(*cand)) ++cand->hits;
+    cand->n += static_cast<size_t>(k);
+  };
+
+  const double beta = std::log(1.0 / opts.delta) +
+                      std::log(static_cast<double>(d) + 1.0);
+  std::vector<Candidate> beam = {Candidate{}};
+  Candidate best;
+  bool found = false;
+  for (int size = 1; size <= opts.max_anchor_size && !found; ++size) {
+    std::vector<Candidate> cands;
+    std::set<std::vector<size_t>> dedup;
+    for (const Candidate& b : beam) {
+      for (size_t j = 0; j < d; ++j) {
+        if (std::find(b.word_ids.begin(), b.word_ids.end(), j) !=
+            b.word_ids.end())
+          continue;
+        Candidate c;
+        c.word_ids = b.word_ids;
+        c.word_ids.push_back(j);
+        std::sort(c.word_ids.begin(), c.word_ids.end());
+        if (dedup.insert(c.word_ids).second) cands.push_back(std::move(c));
+      }
+    }
+    for (Candidate& c : cands) draw(&c, opts.batch_size);
+    for (int round = 0; round < 12; ++round) {
+      size_t best_i = 0;
+      double best_ucb = -1.0;
+      for (size_t i = 0; i < cands.size(); ++i) {
+        const double ucb = KlUpperBound(
+            cands[i].precision(), beta / static_cast<double>(cands[i].n));
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          best_i = i;
+        }
+      }
+      Candidate& c = cands[best_i];
+      if (static_cast<int>(c.n) >= opts.max_samples_per_candidate) break;
+      const double lcb =
+          KlLowerBound(c.precision(), beta / static_cast<double>(c.n));
+      if (lcb >= opts.precision_threshold ||
+          best_ucb < opts.precision_threshold)
+        break;
+      draw(&c, opts.batch_size);
+    }
+    for (const Candidate& c : cands) {
+      const double lcb =
+          KlLowerBound(c.precision(), beta / static_cast<double>(c.n));
+      if (lcb >= opts.precision_threshold &&
+          (!found || c.precision() > best.precision())) {
+        best = c;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.precision() > b.precision();
+                });
+      if (cands.size() > static_cast<size_t>(opts.beam_width))
+        cands.resize(static_cast<size_t>(opts.beam_width));
+      beam = std::move(cands);
+    }
+  }
+  if (!found && !beam.empty()) best = beam.front();  // Soft anchor.
+
+  TextAnchor anchor;
+  anchor.outcome = target;
+  anchor.precision = best.precision();
+  for (size_t w : best.word_ids) anchor.words.push_back(words[w]);
+  return anchor;
+}
+
+}  // namespace xai

@@ -1,0 +1,49 @@
+#ifndef XAIDB_TEXT_ANCHORS_TEXT_H_
+#define XAIDB_TEXT_ANCHORS_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/model.h"
+#include "text/text_data.h"
+
+namespace xai {
+
+/// A word-presence anchor: whenever all `words` appear in a document, the
+/// model predicts `outcome` with estimated `precision` (over random
+/// deletions of the other words).
+struct TextAnchor {
+  std::vector<std::string> words;
+  double outcome = 1.0;
+  double precision = 0.0;
+
+  std::string ToString() const;
+};
+
+struct TextAnchorsOptions {
+  double precision_threshold = 0.95;
+  double delta = 0.05;
+  int beam_width = 4;
+  int max_anchor_size = 3;
+  int batch_size = 32;
+  int max_samples_per_candidate = 1024;
+  /// Probability each non-anchored word survives a perturbation.
+  double keep_probability = 0.5;
+  uint64_t seed = 555;
+};
+
+/// Anchors for text (Ribeiro et al. 2018 applied the method to text and
+/// tabular alike; tutorial Sections 2.2 + 2.4): beam search over word
+/// subsets of the document, with precision estimated by the same KL-LUCB
+/// bandit as the tabular AnchorsExplainer — perturbations delete random
+/// subsets of the non-anchored words and requery the model on the
+/// bag-of-words encoding.
+Result<TextAnchor> ExplainTextWithAnchor(const Model& model,
+                                         const BowVectorizer& vectorizer,
+                                         const std::string& document,
+                                         const TextAnchorsOptions& opts = TextAnchorsOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_TEXT_ANCHORS_TEXT_H_

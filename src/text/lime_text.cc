@@ -1,0 +1,100 @@
+#include "text/lime_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace xai {
+
+std::vector<size_t> WordAttribution::TopWords(size_t k) const {
+  return TopKByMagnitude(weights, k);
+}
+
+std::string WordAttribution::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "prediction=" << prediction << "\n";
+  for (size_t i : TopWords(weights.size()))
+    os << "  " << words[i] << ": " << weights[i] << "\n";
+  return os.str();
+}
+
+LimeTextExplainer::LimeTextExplainer(const Model& model,
+                                     const BowVectorizer& vectorizer,
+                                     LimeTextOptions opts)
+    : model_(model), vectorizer_(vectorizer), opts_(opts) {}
+
+Result<WordAttribution> LimeTextExplainer::Explain(
+    const std::string& document) {
+  // Distinct in-vocabulary words of the document, in first-appearance
+  // order (out-of-vocabulary words cannot influence the model).
+  std::vector<std::string> tokens = Tokenize(document);
+  std::vector<std::string> words;
+  std::set<std::string> seen;
+  for (const std::string& tok : tokens) {
+    if (vectorizer_.vocab().WordId(tok) < 0) continue;
+    if (seen.insert(tok).second) words.push_back(tok);
+  }
+  if (words.empty())
+    return Status::InvalidArgument(
+        "LimeText: document has no in-vocabulary words");
+  const size_t d = words.size();
+
+  Rng rng(opts_.seed);
+  const double width =
+      opts_.kernel_width > 0 ? opts_.kernel_width : 0.25;
+  const int n = opts_.num_samples;
+
+  Matrix z(static_cast<size_t>(n), d + 1);
+  std::vector<double> y(static_cast<size_t>(n));
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    // Delete a random subset of distinct words.
+    std::vector<bool> keep(d, true);
+    size_t removed = 0;
+    for (size_t j = 0; j < d; ++j) {
+      if (rng.Bernoulli(0.5) && removed + 1 < d) {
+        keep[j] = false;
+        ++removed;
+      }
+    }
+    // Rebuild the document without the deleted words.
+    std::string perturbed;
+    for (const std::string& tok : tokens) {
+      bool keep_tok = true;
+      for (size_t j = 0; j < d; ++j) {
+        if (!keep[j] && words[j] == tok) {
+          keep_tok = false;
+          break;
+        }
+      }
+      if (!keep_tok) continue;
+      if (!perturbed.empty()) perturbed += " ";
+      perturbed += tok;
+    }
+    for (size_t j = 0; j < d; ++j) z(static_cast<size_t>(s), j) = keep[j];
+    z(static_cast<size_t>(s), d) = 1.0;
+    y[static_cast<size_t>(s)] =
+        model_.Predict(vectorizer_.Transform(perturbed));
+    const double frac_removed =
+        static_cast<double>(removed) / static_cast<double>(d);
+    w[static_cast<size_t>(s)] =
+        std::exp(-frac_removed * frac_removed / (width * width));
+  }
+
+  XAI_ASSIGN_OR_RETURN(std::vector<double> coef,
+                       RidgeRegression(z, y, opts_.lambda, &w));
+  WordAttribution out;
+  out.words = std::move(words);
+  out.weights.assign(coef.begin(), coef.begin() + static_cast<long>(d));
+  out.intercept = coef[d];
+  out.prediction = model_.Predict(vectorizer_.Transform(document));
+  return out;
+}
+
+}  // namespace xai

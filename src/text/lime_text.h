@@ -1,0 +1,56 @@
+#ifndef XAIDB_TEXT_LIME_TEXT_H_
+#define XAIDB_TEXT_LIME_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/model.h"
+#include "text/text_data.h"
+
+namespace xai {
+
+/// A per-word attribution for one document.
+struct WordAttribution {
+  std::vector<std::string> words;   // The document's distinct known words.
+  std::vector<double> weights;      // Same order; sign = direction.
+  double prediction = 0.0;
+  double intercept = 0.0;
+
+  /// Indices of the k most influential words by |weight|.
+  std::vector<size_t> TopWords(size_t k) const;
+  std::string ToString() const;
+};
+
+struct LimeTextOptions {
+  int num_samples = 800;
+  /// Exponential kernel width over cosine-ish distance (fraction of words
+  /// removed); <= 0 means the LIME default 0.25.
+  double kernel_width = -1.0;
+  double lambda = 1e-3;
+  uint64_t seed = 2024;
+};
+
+/// LIME for text (tutorial Section 2.4: "LIME can be applied to textual
+/// data to identify specific words that explain the outcome of a text
+/// classification model"): perturbations delete random word subsets, the
+/// interpretable representation is the word-presence bit vector, and a
+/// weighted ridge regression on it yields per-word influence on the
+/// classifier (which consumes the bag-of-words encoding of each perturbed
+/// document — fully model-agnostic).
+class LimeTextExplainer {
+ public:
+  LimeTextExplainer(const Model& model, const BowVectorizer& vectorizer,
+                    LimeTextOptions opts = {});
+
+  Result<WordAttribution> Explain(const std::string& document);
+
+ private:
+  const Model& model_;
+  const BowVectorizer& vectorizer_;
+  LimeTextOptions opts_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_TEXT_LIME_TEXT_H_

@@ -1,0 +1,84 @@
+#include "text/text_data.h"
+
+#include "common/rng.h"
+
+namespace xai {
+
+std::vector<double> BowVectorizer::Transform(
+    const std::string& document) const {
+  std::vector<double> x(vocab_.size(), 0.0);
+  for (const std::string& tok : Tokenize(document)) {
+    const int id = vocab_.WordId(tok);
+    if (id >= 0) x[static_cast<size_t>(id)] += 1.0;
+  }
+  return x;
+}
+
+Dataset BowVectorizer::ToDataset(const TextCorpus& corpus) const {
+  std::vector<FeatureSpec> specs;
+  specs.reserve(vocab_.size());
+  for (size_t j = 0; j < vocab_.size(); ++j)
+    specs.push_back(FeatureSpec::Numeric(vocab_.word(j)));
+  Matrix x(corpus.size(), vocab_.size());
+  for (size_t i = 0; i < corpus.size(); ++i)
+    x.SetRow(i, Transform(corpus.documents[i]));
+  return Dataset(Schema(std::move(specs)), std::move(x), corpus.labels);
+}
+
+const std::vector<std::string>& PositiveSignalWords() {
+  static const std::vector<std::string>& words = *new std::vector<std::string>{
+      "excellent", "amazing", "wonderful", "great", "love",
+      "perfect",   "fantastic"};
+  return words;
+}
+
+const std::vector<std::string>& NegativeSignalWords() {
+  static const std::vector<std::string>& words = *new std::vector<std::string>{
+      "terrible", "awful", "broken", "waste", "horrible",
+      "refund",   "disappointing"};
+  return words;
+}
+
+TextCorpus MakeReviewCorpus(size_t n, const ReviewCorpusOptions& opts) {
+  static const char* kFiller[] = {
+      "the", "product", "arrived", "on", "time",  "box",    "color",
+      "i",   "bought",  "this",    "it", "was",   "for",    "my",
+      "use", "daily",   "price",   "is", "store", "online", "shipping",
+      "and", "with",    "a",       "to", "of"};
+  const size_t n_filler = sizeof(kFiller) / sizeof(kFiller[0]);
+  Rng rng(opts.seed);
+  TextCorpus corpus;
+  corpus.documents.reserve(n);
+  corpus.labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    const auto& signal =
+        positive ? PositiveSignalWords() : NegativeSignalWords();
+    const auto& other =
+        positive ? NegativeSignalWords() : PositiveSignalWords();
+    std::string doc;
+    const int len = 8 + static_cast<int>(rng.NextInt(10));
+    int n_signal = 1 + static_cast<int>(rng.NextInt(3));
+    for (int w = 0; w < len; ++w) {
+      if (!doc.empty()) doc += " ";
+      if (n_signal > 0 && rng.Bernoulli(0.3)) {
+        doc += signal[rng.NextInt(signal.size())];
+        --n_signal;
+      } else if (rng.Bernoulli(0.04)) {
+        // Occasional opposite-sentiment word keeps it non-trivial.
+        doc += other[rng.NextInt(other.size())];
+      } else {
+        doc += kFiller[rng.NextInt(n_filler)];
+      }
+    }
+    // Guarantee at least one signal word.
+    if (n_signal == 3) doc += " " + signal[rng.NextInt(signal.size())];
+    double label = positive ? 1.0 : 0.0;
+    if (rng.Bernoulli(opts.label_noise)) label = 1.0 - label;
+    corpus.documents.push_back(std::move(doc));
+    corpus.labels.push_back(label);
+  }
+  return corpus;
+}
+
+}  // namespace xai

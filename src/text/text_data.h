@@ -1,0 +1,58 @@
+#ifndef XAIDB_TEXT_TEXT_DATA_H_
+#define XAIDB_TEXT_TEXT_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/vocab.h"
+
+namespace xai {
+
+/// A labeled text corpus (binary labels).
+struct TextCorpus {
+  std::vector<std::string> documents;
+  std::vector<double> labels;
+
+  size_t size() const { return documents.size(); }
+};
+
+/// Bag-of-words vectorizer over a fixed vocabulary: document -> dense
+/// count vector (one numeric feature per vocabulary word). Dense is fine
+/// at the vocabulary sizes of the synthetic corpus; the resulting Dataset
+/// plugs into every tabular model and explainer in the library — which is
+/// precisely how LIME treats text (tutorial Section 2.4).
+class BowVectorizer {
+ public:
+  explicit BowVectorizer(Vocabulary vocab) : vocab_(std::move(vocab)) {}
+
+  const Vocabulary& vocab() const { return vocab_; }
+
+  std::vector<double> Transform(const std::string& document) const;
+  /// Whole corpus -> tabular dataset (feature names = words).
+  Dataset ToDataset(const TextCorpus& corpus) const;
+
+ private:
+  Vocabulary vocab_;
+};
+
+struct ReviewCorpusOptions {
+  uint64_t seed = 1234;
+  /// Probability a generated review's label is flipped (noise).
+  double label_noise = 0.05;
+};
+
+/// Synthetic product-review corpus (the substitution for real text data;
+/// see DESIGN.md): reviews mix sentiment-bearing words ("excellent",
+/// "terrible", ...) with neutral filler; the label follows the sentiment
+/// balance. Signal words are known, so tests can check that text
+/// explainers recover exactly them.
+TextCorpus MakeReviewCorpus(size_t n, const ReviewCorpusOptions& opts = ReviewCorpusOptions());
+
+/// The generator's ground-truth signal words (positive, negative).
+const std::vector<std::string>& PositiveSignalWords();
+const std::vector<std::string>& NegativeSignalWords();
+
+}  // namespace xai
+
+#endif  // XAIDB_TEXT_TEXT_DATA_H_

@@ -1,0 +1,44 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace xai {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Vocabulary Vocabulary::Build(const std::vector<std::string>& documents,
+                             size_t min_count) {
+  std::map<std::string, size_t> counts;
+  for (const std::string& doc : documents)
+    for (const std::string& tok : Tokenize(doc)) ++counts[tok];
+  Vocabulary v;
+  for (const auto& [word, count] : counts) {
+    if (count < min_count) continue;
+    v.ids_[word] = v.words_.size();
+    v.words_.push_back(word);
+  }
+  return v;
+}
+
+int Vocabulary::WordId(const std::string& word) const {
+  auto it = ids_.find(word);
+  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace xai

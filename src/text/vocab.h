@@ -1,0 +1,31 @@
+#ifndef XAIDB_TEXT_VOCAB_H_
+#define XAIDB_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xai {
+
+/// Lowercased alphanumeric tokens of a document.
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Word <-> id mapping built from a corpus, with a minimum-count filter.
+class Vocabulary {
+ public:
+  static Vocabulary Build(const std::vector<std::string>& documents,
+                          size_t min_count = 2);
+
+  size_t size() const { return words_.size(); }
+  const std::string& word(size_t id) const { return words_[id]; }
+  /// -1 when out of vocabulary.
+  int WordId(const std::string& word) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, size_t> ids_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_TEXT_VOCAB_H_

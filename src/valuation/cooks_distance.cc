@@ -1,0 +1,59 @@
+#include "valuation/cooks_distance.h"
+
+#include <cmath>
+
+#include "math/linalg.h"
+
+namespace xai {
+
+Result<CooksDistanceReport> ComputeCooksDistance(
+    const LinearRegression& model, const Dataset& ds) {
+  const size_t n = ds.n();
+  const size_t d = ds.d();
+  if (n <= d + 1)
+    return Status::InvalidArgument("CooksDistance: need n > d + 1");
+
+  // Augmented design and its inverse Gram.
+  Matrix gram(d + 1, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> xa = ds.row(i);
+    xa.push_back(1.0);
+    for (size_t a = 0; a <= d; ++a)
+      for (size_t b = 0; b <= d; ++b) gram(a, b) += xa[a] * xa[b];
+  }
+  for (size_t a = 0; a <= d; ++a) gram(a, a) += 1e-10;  // Numeric guard.
+  XAI_ASSIGN_OR_RETURN(Matrix gram_inv, InverseSpd(gram));
+
+  CooksDistanceReport report;
+  report.leverage.resize(n);
+  report.loo_residual.resize(n);
+  report.cooks_distance.resize(n);
+  report.param_change.resize(n);
+
+  // Residuals and s^2 (p = d+1 parameters).
+  std::vector<double> residual(n);
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    residual[i] = ds.y()[i] - model.Predict(ds.row(i));
+    sse += residual[i] * residual[i];
+  }
+  const double p = static_cast<double>(d + 1);
+  const double s2 = sse / (static_cast<double>(n) - p);
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> xa = ds.row(i);
+    xa.push_back(1.0);
+    const std::vector<double> ginv_x = gram_inv * xa;
+    const double h = Dot(xa, ginv_x);
+    report.leverage[i] = h;
+    const double denom = std::max(1.0 - h, 1e-12);
+    report.loo_residual[i] = residual[i] / denom;
+    report.cooks_distance[i] =
+        residual[i] * residual[i] * h / (p * s2 * denom * denom);
+    // theta_(i) - theta = -(X^T X)^{-1} x_i e_i / (1 - h_i).
+    report.param_change[i] = Scale(ginv_x, -residual[i] / denom);
+  }
+  return report;
+}
+
+}  // namespace xai

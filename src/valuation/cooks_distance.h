@@ -1,0 +1,37 @@
+#ifndef XAIDB_VALUATION_COOKS_DISTANCE_H_
+#define XAIDB_VALUATION_COOKS_DISTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "model/linear_regression.h"
+
+namespace xai {
+
+/// Cook & Weisberg (1980) — the tutorial's citation [11] and the origin of
+/// influence functions: for least squares, the effect of deleting point i
+/// is available in *closed form* through the hat matrix, no approximation
+/// and no retraining:
+///   h_i   = x~_i^T (X~^T X~)^{-1} x~_i              (leverage)
+///   e_(i) = e_i / (1 - h_i)                          (LOO residual)
+///   delta_theta_i = -(X~^T X~)^{-1} x~_i e_(i)       (exact param change)
+///   D_i   = e_i^2 h_i / (p s^2 (1 - h_i)^2)          (Cook's distance)
+/// This is the exact counterpart the first-order influence functions of
+/// Section 2.3.2 approximate for non-linear losses.
+struct CooksDistanceReport {
+  std::vector<double> leverage;        // h_i in [0, 1].
+  std::vector<double> loo_residual;    // e_(i).
+  std::vector<double> cooks_distance;  // D_i >= 0.
+  /// Exact parameter change [w; b] caused by deleting point i.
+  std::vector<std::vector<double>> param_change;
+};
+
+/// `model` must be an (effectively unregularized) least-squares fit of
+/// `ds`; pass lambda <= 1e-8 fits for exactness.
+Result<CooksDistanceReport> ComputeCooksDistance(const LinearRegression& model,
+                                                 const Dataset& ds);
+
+}  // namespace xai
+
+#endif  // XAIDB_VALUATION_COOKS_DISTANCE_H_

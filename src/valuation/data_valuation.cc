@@ -1,0 +1,109 @@
+#include "valuation/data_valuation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace xai {
+
+std::vector<double> LeaveOneOutValues(const Dataset& train,
+                                      const TrainEvalFn& train_eval) {
+  const size_t n = train.n();
+  const double full = train_eval(train);
+  std::vector<double> values(n, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    values[i] = full - train_eval(train.RemoveRow(i));
+  return values;
+}
+
+std::vector<double> TmcDataShapley(const Dataset& train,
+                                   const TrainEvalFn& train_eval,
+                                   const DataShapleyOptions& opts) {
+  const size_t n = train.n();
+  Rng rng(opts.seed);
+  const double full_perf = train_eval(train);
+  std::vector<double> values(n, 0.0);
+
+  for (int t = 0; t < opts.num_permutations; ++t) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    double prev_perf = opts.empty_value;
+    std::vector<size_t> prefix;
+    prefix.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      prefix.push_back(perm[k]);
+      double cur_perf;
+      if (std::fabs(full_perf - prev_perf) < opts.truncation_tol) {
+        // Truncation: remaining marginals are ~0.
+        cur_perf = prev_perf;
+      } else {
+        cur_perf = train_eval(train.Select(prefix));
+      }
+      values[perm[k]] += cur_perf - prev_perf;
+      prev_perf = cur_perf;
+    }
+  }
+  for (double& v : values) v /= static_cast<double>(opts.num_permutations);
+  return values;
+}
+
+std::vector<double> ExactKnnShapley(const Dataset& train,
+                                    const Dataset& validation, int k) {
+  const size_t n = train.n();
+  std::vector<double> values(n, 0.0);
+  const double kk = static_cast<double>(k);
+
+  std::vector<double> dist(n);
+  std::vector<size_t> order(n);
+  std::vector<double> s(n);
+  for (size_t v = 0; v < validation.n(); ++v) {
+    const std::vector<double> xv = validation.row(v);
+    const double yv = validation.y()[v];
+    for (size_t i = 0; i < n; ++i) {
+      const double* r = train.x().RowPtr(i);
+      double d2 = 0.0;
+      for (size_t j = 0; j < train.d(); ++j) {
+        const double dd = r[j] - xv[j];
+        d2 += dd * dd;
+      }
+      dist[i] = d2;
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return dist[a] < dist[b]; });
+
+    // Jia et al. recurrence, farthest to nearest (1-indexed positions).
+    auto match = [&](size_t pos) {
+      return (train.y()[order[pos]] >= 0.5) == (yv >= 0.5) ? 1.0 : 0.0;
+    };
+    s[order[n - 1]] = match(n - 1) / static_cast<double>(n);
+    for (size_t pos = n - 1; pos-- > 0;) {
+      const double i1 = static_cast<double>(pos + 1);  // 1-based index.
+      s[order[pos]] =
+          s[order[pos + 1]] +
+          (match(pos) - match(pos + 1)) / kk *
+              std::min(kk, i1) / i1;
+    }
+    for (size_t i = 0; i < n; ++i) values[i] += s[i];
+  }
+  for (double& v : values) v /= static_cast<double>(validation.n());
+  return values;
+}
+
+double CorruptionDetectionRate(const std::vector<double>& values,
+                               const std::vector<size_t>& corrupted,
+                               size_t inspect_count) {
+  if (corrupted.empty()) return 0.0;
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  inspect_count = std::min(inspect_count, order.size());
+  const std::set<size_t> truth(corrupted.begin(), corrupted.end());
+  size_t found = 0;
+  for (size_t i = 0; i < inspect_count; ++i)
+    if (truth.count(order[i])) ++found;
+  return static_cast<double>(found) / static_cast<double>(truth.size());
+}
+
+}  // namespace xai

@@ -1,0 +1,64 @@
+#ifndef XAIDB_VALUATION_DATA_VALUATION_H_
+#define XAIDB_VALUATION_DATA_VALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace xai {
+
+/// Trains a model on `train` and returns a validation performance score
+/// (higher = better); the validation set is closed over by the caller.
+/// The abstraction all retraining-based data-valuation methods share.
+using TrainEvalFn = std::function<double(const Dataset& train)>;
+
+/// Leave-one-out values: value_i = perf(full) - perf(full \ {i}).
+/// n retrainings — the naive baseline tutorial Section 2.3.2 starts from.
+std::vector<double> LeaveOneOutValues(const Dataset& train,
+                                      const TrainEvalFn& train_eval);
+
+struct DataShapleyOptions {
+  /// Monte-Carlo permutations (each costs up to n retrainings before
+  /// truncation).
+  int num_permutations = 30;
+  /// Truncation: stop scanning a permutation once the running performance
+  /// is within this tolerance of the full-data performance ("TMC").
+  double truncation_tol = 0.005;
+  /// Performance assigned to the empty training set.
+  double empty_value = 0.5;
+  uint64_t seed = 808;
+};
+
+/// Truncated Monte-Carlo Data Shapley (Ghorbani & Zou 2019), tutorial
+/// Section 2.3.1: the Shapley value of each training point in the game
+/// whose players are training points and whose value is validation
+/// performance of the model trained on the coalition.
+std::vector<double> TmcDataShapley(const Dataset& train,
+                                   const TrainEvalFn& train_eval,
+                                   const DataShapleyOptions& opts = DataShapleyOptions());
+
+/// Exact KNN-Shapley (Jia et al. 2019): for a K-NN classifier the Shapley
+/// value of every training point w.r.t. the validation accuracy admits a
+/// closed-form O(n log n) recurrence per validation point — the
+/// model-specific efficiency result experiment E11 reproduces.
+///
+/// Returns one value per training row; values sum (over train points) to
+/// accuracy(validation) - 1/num_classes ... (efficiency up to the empty-set
+/// convention; the tests check pairwise consistency against TMC instead).
+std::vector<double> ExactKnnShapley(const Dataset& train,
+                                    const Dataset& validation, int k);
+
+/// Ranking quality of valuation scores at detecting corrupted points:
+/// fraction of the true corrupted indices found among the `inspect_count`
+/// lowest-valued points (the standard noisy-label detection protocol of
+/// the Data Shapley paper).
+double CorruptionDetectionRate(const std::vector<double>& values,
+                               const std::vector<size_t>& corrupted,
+                               size_t inspect_count);
+
+}  // namespace xai
+
+#endif  // XAIDB_VALUATION_DATA_VALUATION_H_

@@ -1,0 +1,50 @@
+#include "valuation/distributional_shapley.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/stats.h"
+
+namespace xai {
+
+DistributionalValue DistributionalShapleyValue(
+    const Dataset& pool, const Dataset& points, size_t point_index,
+    const TrainEvalFn& train_eval,
+    const DistributionalShapleyOptions& opts) {
+  Rng rng(opts.seed + 7919 * point_index);
+  OnlineMoments moments;
+  const size_t m1 = opts.cardinality > 0 ? opts.cardinality - 1 : 0;
+  for (int draw = 0; draw < opts.num_draws; ++draw) {
+    // S ~ D^(m-1): sample with replacement from the pool.
+    std::vector<size_t> idx(m1);
+    for (size_t k = 0; k < m1; ++k)
+      idx[k] = static_cast<size_t>(rng.NextInt(pool.n()));
+    Dataset coalition = pool.Select(idx);
+    const double without = train_eval(coalition);
+    // S ∪ {z}.
+    Matrix with_x = coalition.x();
+    with_x.AppendRow(points.row(point_index));
+    std::vector<double> with_y = coalition.y();
+    with_y.push_back(points.y()[point_index]);
+    Dataset with(coalition.schema(), std::move(with_x), std::move(with_y));
+    moments.Add(train_eval(with) - without);
+  }
+  DistributionalValue out;
+  out.value = moments.mean();
+  out.stderr_ = moments.count() > 1
+                    ? std::sqrt(moments.variance() /
+                                static_cast<double>(moments.count()))
+                    : 0.0;
+  return out;
+}
+
+std::vector<DistributionalValue> DistributionalShapleyValues(
+    const Dataset& pool, const Dataset& points, const TrainEvalFn& train_eval,
+    const DistributionalShapleyOptions& opts) {
+  std::vector<DistributionalValue> out(points.n());
+  for (size_t i = 0; i < points.n(); ++i)
+    out[i] = DistributionalShapleyValue(pool, points, i, train_eval, opts);
+  return out;
+}
+
+}  // namespace xai

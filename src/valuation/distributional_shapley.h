@@ -1,0 +1,48 @@
+#ifndef XAIDB_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_
+#define XAIDB_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "valuation/data_valuation.h"
+
+namespace xai {
+
+/// Distributional Shapley values (Ghorbani, Kim & Zou 2020; Kwon, Rivas &
+/// Zou 2021), tutorial Section 2.3.1: Data Shapley values are tied to one
+/// fixed dataset; the *distributional* value of a point z at cardinality m
+/// is
+///   nu(z; m) = E_{S ~ D^(m-1)} [ U(S ∪ {z}) - U(S) ],
+/// the expected marginal contribution to a fresh size-(m-1) sample from
+/// the underlying distribution D, so values transfer to new datasets of
+/// the same provenance. Estimated by Monte-Carlo with `pool` standing in
+/// for D (sampling with replacement).
+struct DistributionalShapleyOptions {
+  /// Coalition cardinality m; draws use m-1 pool points plus z.
+  size_t cardinality = 50;
+  /// Monte-Carlo draws per evaluated point.
+  int num_draws = 30;
+  uint64_t seed = 515;
+};
+
+struct DistributionalValue {
+  double value = 0.0;
+  /// Monte-Carlo standard error of the estimate.
+  double stderr_ = 0.0;
+};
+
+/// Distributional value of one point (given by its row in `points`).
+/// `train_eval` must accept any dataset drawn from the pool.
+DistributionalValue DistributionalShapleyValue(
+    const Dataset& pool, const Dataset& points, size_t point_index,
+    const TrainEvalFn& train_eval,
+    const DistributionalShapleyOptions& opts = DistributionalShapleyOptions());
+
+/// Values of all `points` rows against the same pool and options.
+std::vector<DistributionalValue> DistributionalShapleyValues(
+    const Dataset& pool, const Dataset& points, const TrainEvalFn& train_eval,
+    const DistributionalShapleyOptions& opts = DistributionalShapleyOptions());
+
+}  // namespace xai
+
+#endif  // XAIDB_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_

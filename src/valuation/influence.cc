@@ -1,0 +1,148 @@
+#include "valuation/influence.h"
+
+#include <cmath>
+
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace xai {
+
+Result<InfluenceCalculator> InfluenceCalculator::Create(
+    const LogisticRegression& model, const Dataset& train,
+    const InfluenceOptions& opts) {
+  InfluenceCalculator calc(model, train, opts);
+  calc.hessian_ = model.ObjectiveHessian(train.x());
+  if (opts.solver == HessianSolver::kCholesky) {
+    XAI_ASSIGN_OR_RETURN(calc.hessian_inv_, InverseSpd(calc.hessian_));
+  }
+  return calc;
+}
+
+std::vector<double> InfluenceCalculator::InverseHvp(
+    const std::vector<double>& v) const {
+  if (opts_.solver == HessianSolver::kCholesky) return hessian_inv_ * v;
+  return ConjugateGradient(hessian_, v, opts_.cg_max_iter, opts_.cg_tol);
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnValidationLoss(
+    const Dataset& validation) const {
+  const size_t d1 = model_.theta().size();
+  // grad of total validation loss (mean CE) at theta-hat.
+  std::vector<double> grad_val(d1, 0.0);
+  for (size_t i = 0; i < validation.n(); ++i) {
+    std::vector<double> g =
+        model_.SampleGradient(validation.row(i), validation.y()[i]);
+    AxpyInPlace(&grad_val, 1.0 / static_cast<double>(validation.n()), g);
+  }
+  const std::vector<double> s = InverseHvp(grad_val);
+
+  const double inv_n = 1.0 / static_cast<double>(train_.n());
+  std::vector<double> out(train_.n());
+  for (size_t i = 0; i < train_.n(); ++i) {
+    std::vector<double> gi =
+        model_.SampleGradient(train_.row(i), train_.y()[i]);
+    out[i] = Dot(s, gi) * inv_n;
+  }
+  return out;
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnPrediction(
+    const std::vector<double>& x) const {
+  // d margin / d theta = [x; 1].
+  std::vector<double> gx = x;
+  gx.push_back(1.0);
+  const std::vector<double> s = InverseHvp(gx);
+  const double inv_n = 1.0 / static_cast<double>(train_.n());
+  std::vector<double> out(train_.n());
+  for (size_t i = 0; i < train_.n(); ++i) {
+    std::vector<double> gi =
+        model_.SampleGradient(train_.row(i), train_.y()[i]);
+    out[i] = Dot(s, gi) * inv_n;
+  }
+  return out;
+}
+
+std::vector<double> InfluenceCalculator::GroupParamChangeFirstOrder(
+    const std::vector<size_t>& group) const {
+  const size_t d1 = model_.theta().size();
+  std::vector<double> g_sum(d1, 0.0);
+  for (size_t i : group) {
+    std::vector<double> gi =
+        model_.SampleGradient(train_.row(i), train_.y()[i]);
+    AxpyInPlace(&g_sum, 1.0, gi);
+  }
+  std::vector<double> delta = InverseHvp(g_sum);
+  for (double& v : delta) v /= static_cast<double>(train_.n());
+  return delta;
+}
+
+Result<std::vector<double>> InfluenceCalculator::GroupParamChangeSecondOrder(
+    const std::vector<size_t>& group) const {
+  const size_t n = train_.n();
+  const size_t u = group.size();
+  if (u >= n)
+    return Status::InvalidArgument("GroupInfluence: group too large");
+  const size_t d1 = model_.theta().size();
+  const size_t d = d1 - 1;
+  const std::vector<double>& theta = model_.theta();
+  const double lambda = model_.lambda();
+
+  // Gradient of the reduced objective at theta-hat:
+  //   g' = -(u/(n-u)) * lambda * theta - (1/(n-u)) * sum_{i in U} grad_i
+  // (uses stationarity of the full objective at theta-hat).
+  std::vector<double> g_sum(d1, 0.0);
+  std::vector<bool> in_group(n, false);
+  for (size_t i : group) {
+    in_group[i] = true;
+    std::vector<double> gi =
+        model_.SampleGradient(train_.row(i), train_.y()[i]);
+    AxpyInPlace(&g_sum, 1.0, gi);
+  }
+  const double nu = static_cast<double>(n - u);
+  std::vector<double> g_reduced(d1);
+  for (size_t a = 0; a < d1; ++a) {
+    g_reduced[a] = -(static_cast<double>(u) / nu) * lambda * theta[a] -
+                   g_sum[a] / nu;
+  }
+
+  // Hessian of the reduced objective: mean of per-sample Hessians over the
+  // kept points, plus the regularizer.
+  Matrix h(d1, d1);
+  for (size_t i = 0; i < n; ++i) {
+    if (in_group[i]) continue;
+    const std::vector<double> xi = train_.row(i);
+    double z = theta[d];
+    for (size_t j = 0; j < d; ++j) z += theta[j] * xi[j];
+    const double p = Sigmoid(z);
+    const double w = std::max(p * (1.0 - p), 1e-10) / nu;
+    for (size_t a = 0; a < d; ++a) {
+      const double wxa = w * xi[a];
+      double* hrow = h.RowPtr(a);
+      for (size_t b = 0; b < d; ++b) hrow[b] += wxa * xi[b];
+      h(a, d) += wxa;
+      h(d, a) += wxa;
+    }
+    h(d, d) += w;
+  }
+  for (size_t a = 0; a < d1; ++a) h(a, a) += lambda;
+
+  // One Newton step: delta = -H'^{-1} g'  (delta = theta_new - theta_hat).
+  XAI_ASSIGN_OR_RETURN(std::vector<double> step, SolveSpd(h, g_reduced));
+  for (double& v : step) v = -v;
+  return step;
+}
+
+Result<std::vector<double>> InfluenceCalculator::GroupParamChangeRetrain(
+    const std::vector<size_t>& group) const {
+  Dataset reduced = train_.RemoveRows(group);
+  LogisticRegression::Options o;
+  o.lambda = model_.lambda();
+  XAI_ASSIGN_OR_RETURN(LogisticRegression refit,
+                       LogisticRegression::Fit(reduced, o));
+  std::vector<double> delta(refit.theta().size());
+  for (size_t a = 0; a < delta.size(); ++a)
+    delta[a] = refit.theta()[a] - model_.theta()[a];
+  return delta;
+}
+
+}  // namespace xai

@@ -1,0 +1,97 @@
+#ifndef XAIDB_XAI_H_
+#define XAIDB_XAI_H_
+
+/// Umbrella header: pulls in the full public API of xaidb. Prefer the
+/// individual headers in production code; this is for quick starts,
+/// notebooks-style experimentation and the examples.
+
+// Substrates.
+#include "common/result.h"     // IWYU pragma: export
+#include "common/rng.h"        // IWYU pragma: export
+#include "common/status.h"     // IWYU pragma: export
+#include "data/csv.h"          // IWYU pragma: export
+#include "data/dataset.h"      // IWYU pragma: export
+#include "data/synthetic.h"    // IWYU pragma: export
+#include "data/transforms.h"   // IWYU pragma: export
+#include "math/gaussian.h"     // IWYU pragma: export
+#include "math/linalg.h"       // IWYU pragma: export
+#include "math/matrix.h"       // IWYU pragma: export
+#include "math/stats.h"        // IWYU pragma: export
+
+// Models.
+#include "model/decision_tree.h"        // IWYU pragma: export
+#include "model/gbdt.h"                 // IWYU pragma: export
+#include "model/knn.h"                  // IWYU pragma: export
+#include "model/linear_regression.h"    // IWYU pragma: export
+#include "model/logistic_regression.h"  // IWYU pragma: export
+#include "model/metrics.h"              // IWYU pragma: export
+#include "model/model.h"                // IWYU pragma: export
+#include "model/naive_bayes.h"          // IWYU pragma: export
+#include "model/serialize.h"            // IWYU pragma: export
+
+// Causal and relational substrates.
+#include "causal/dag.h"                    // IWYU pragma: export
+#include "causal/scm.h"                    // IWYU pragma: export
+#include "relational/provenance_poly.h"    // IWYU pragma: export
+#include "relational/query.h"              // IWYU pragma: export
+#include "relational/relation.h"           // IWYU pragma: export
+
+// Feature-based explanations (tutorial 2.1).
+#include "feature/causal_shapley.h"         // IWYU pragma: export
+#include "feature/cxplain.h"                // IWYU pragma: export
+#include "feature/global_explanations.h"    // IWYU pragma: export
+#include "feature/integrated_gradients.h"   // IWYU pragma: export
+#include "feature/kernel_shap.h"            // IWYU pragma: export
+#include "feature/lime.h"                   // IWYU pragma: export
+#include "feature/necessity_sufficiency.h"  // IWYU pragma: export
+#include "feature/prototypes.h"             // IWYU pragma: export
+#include "feature/qii.h"                    // IWYU pragma: export
+#include "feature/shapley.h"                // IWYU pragma: export
+#include "feature/shapley_flow.h"           // IWYU pragma: export
+#include "feature/surrogate.h"              // IWYU pragma: export
+#include "feature/tree_shap.h"              // IWYU pragma: export
+
+// Counterfactuals and recourse (2.1.4).
+#include "cf/cf_common.h"  // IWYU pragma: export
+#include "cf/dice.h"       // IWYU pragma: export
+#include "cf/geco.h"       // IWYU pragma: export
+#include "cf/recourse.h"   // IWYU pragma: export
+
+// Rule-based and logic-based explanations (2.2).
+#include "rule/anchors.h"            // IWYU pragma: export
+#include "rule/decision_set.h"       // IWYU pragma: export
+#include "rule/itemset.h"            // IWYU pragma: export
+#include "rule/sufficient_reason.h"  // IWYU pragma: export
+
+// Training-data-based explanations (2.3).
+#include "valuation/cooks_distance.h"          // IWYU pragma: export
+#include "valuation/data_valuation.h"          // IWYU pragma: export
+#include "valuation/distributional_shapley.h"  // IWYU pragma: export
+#include "valuation/gbdt_influence.h"          // IWYU pragma: export
+#include "valuation/influence.h"               // IWYU pragma: export
+
+// Data-management opportunities (Section 3).
+#include "db/bias_explain.h"        // IWYU pragma: export
+#include "db/complaint_debug.h"     // IWYU pragma: export
+#include "db/incremental.h"         // IWYU pragma: export
+#include "db/provenance_explain.h"  // IWYU pragma: export
+#include "db/query_shapley.h"       // IWYU pragma: export
+#include "db/repair_shapley.h"      // IWYU pragma: export
+#include "db/unlearning.h"          // IWYU pragma: export
+
+// Evaluation & vulnerabilities (Section 3).
+#include "eval/adversarial.h"  // IWYU pragma: export
+#include "eval/fairness.h"     // IWYU pragma: export
+#include "eval/fidelity.h"     // IWYU pragma: export
+#include "eval/robustness.h"   // IWYU pragma: export
+#include "eval/stability.h"    // IWYU pragma: export
+
+// Unstructured data (2.4).
+#include "image/evidence_counterfactual.h"  // IWYU pragma: export
+#include "image/grid_image.h"               // IWYU pragma: export
+#include "text/anchors_text.h"              // IWYU pragma: export
+#include "text/lime_text.h"                 // IWYU pragma: export
+#include "text/text_data.h"                 // IWYU pragma: export
+#include "text/vocab.h"                     // IWYU pragma: export
+
+#endif  // XAIDB_XAI_H_

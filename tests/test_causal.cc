@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "causal/dag.h"
+#include "causal/scm.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+Dag ChainDag() {
+  Dag dag;
+  (void)*dag.AddNode("a");
+  (void)*dag.AddNode("b");
+  (void)*dag.AddNode("c");
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+  return dag;
+}
+
+TEST(Dag, NodesAndEdges) {
+  Dag dag = ChainDag();
+  EXPECT_EQ(dag.num_nodes(), 3u);
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(0, 2));
+  EXPECT_EQ(*dag.NodeIndex("b"), 1u);
+  EXPECT_FALSE(dag.NodeIndex("zz").ok());
+  EXPECT_FALSE(dag.AddNode("a").ok());  // Duplicate.
+  EXPECT_FALSE(dag.AddEdge(1, 1).ok());  // Self.
+  EXPECT_FALSE(dag.AddEdge(0, 1).ok());  // Duplicate edge.
+}
+
+TEST(Dag, CycleRejection) {
+  Dag dag = ChainDag();
+  EXPECT_FALSE(dag.AddEdge(2, 0).ok());
+  EXPECT_FALSE(dag.AddEdge(1, 0).ok());
+  EXPECT_TRUE(dag.AddEdge(0, 2).ok());  // Forward edge fine.
+}
+
+TEST(Dag, TopologicalOrderAndAncestry) {
+  Dag dag;
+  (void)*dag.AddNode("x");
+  (void)*dag.AddNode("y");
+  (void)*dag.AddNode("z");
+  (void)*dag.AddNode("w");
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  auto order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < 4; ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+
+  EXPECT_TRUE(dag.IsAncestor(0, 3));
+  EXPECT_FALSE(dag.IsAncestor(3, 0));
+  auto anc = dag.Ancestors(3);
+  EXPECT_EQ(anc.size(), 3u);
+  auto desc = dag.Descendants(0);
+  ASSERT_EQ(desc.size(), 2u);
+  EXPECT_EQ(desc[0], 2u);
+  EXPECT_EQ(desc[1], 3u);
+}
+
+Scm ChainScm(double b01 = 2.0, double b12 = -1.5) {
+  Scm scm(ChainDag());
+  EXPECT_TRUE(scm.SetLinearEquation(0, {}, 1.0, 1.0).ok());
+  EXPECT_TRUE(scm.SetLinearEquation(1, {b01}, 0.5, 0.5).ok());
+  EXPECT_TRUE(scm.SetLinearEquation(2, {b12}, -0.25, 0.25).ok());
+  return scm;
+}
+
+TEST(Scm, ObservationalMeansMatchAnalytic) {
+  Scm scm = ChainScm();
+  std::vector<double> mean;
+  Matrix cov;
+  ASSERT_TRUE(scm.AnalyticMeanCov(&mean, &cov).ok());
+  // mean_a = 1; mean_b = 0.5 + 2*1 = 2.5; mean_c = -0.25 - 1.5*2.5 = -4.
+  EXPECT_NEAR(mean[0], 1.0, 1e-12);
+  EXPECT_NEAR(mean[1], 2.5, 1e-12);
+  EXPECT_NEAR(mean[2], -4.0, 1e-12);
+  // var_a = 1; var_b = 4*1 + 0.25 = 4.25.
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.25, 1e-12);
+  // cov(a, b) = 2.
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+
+  // Monte-Carlo agreement.
+  Rng rng(9);
+  OnlineMoments mb;
+  for (int i = 0; i < 20000; ++i) mb.Add(scm.Sample(&rng)[1]);
+  EXPECT_NEAR(mb.mean(), 2.5, 0.05);
+  EXPECT_NEAR(mb.variance(), 4.25, 0.15);
+}
+
+TEST(Scm, InterventionSeversParents) {
+  Scm scm = ChainScm();
+  Rng rng(11);
+  // do(b = 10): a unaffected, c responds to b = 10.
+  OnlineMoments ma;
+  OnlineMoments mc;
+  for (int i = 0; i < 20000; ++i) {
+    auto s = scm.SampleDo({{1, 10.0}}, &rng);
+    EXPECT_DOUBLE_EQ(s[1], 10.0);
+    ma.Add(s[0]);
+    mc.Add(s[2]);
+  }
+  EXPECT_NEAR(ma.mean(), 1.0, 0.05);  // Upstream unchanged.
+  EXPECT_NEAR(mc.mean(), -0.25 - 1.5 * 10.0, 0.05);  // Downstream responds.
+}
+
+TEST(Scm, InterventionVsConditioningDiffer) {
+  // Confounder: z -> x, z -> y. Intervening on x does NOT move y;
+  // conditioning on x would (they correlate through z).
+  Dag dag;
+  (void)*dag.AddNode("z");
+  (void)*dag.AddNode("x");
+  (void)*dag.AddNode("y");
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  Scm scm(std::move(dag));
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(1, {1.0}, 0.0, 0.1).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(2, {1.0}, 0.0, 0.1).ok());
+  Rng rng(13);
+  const double ey_do5 = scm.ExpectationDo(
+      {{1, 5.0}}, [](const std::vector<double>& s) { return s[2]; }, 20000,
+      &rng);
+  EXPECT_NEAR(ey_do5, 0.0, 0.05);  // do(x) severs the path: y ~ N(0, .).
+}
+
+TEST(Scm, NonLinearEquations) {
+  Dag dag;
+  (void)*dag.AddNode("a");
+  (void)*dag.AddNode("b");
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  Scm scm(std::move(dag));
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 2.0, 0.0).ok());
+  ASSERT_TRUE(scm.SetEquation(
+                     1,
+                     [](const std::vector<double>& p) {
+                       return p[0] * p[0];
+                     },
+                     0.0)
+                  .ok());
+  Rng rng(1);
+  auto s = scm.Sample(&rng);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 4.0);
+  // Analytic path must reject non-linear SCMs.
+  std::vector<double> mean;
+  Matrix cov;
+  EXPECT_FALSE(scm.AnalyticMeanCov(&mean, &cov).ok());
+  // Noise-free equation evaluation.
+  EXPECT_DOUBLE_EQ(scm.EvaluateEquation(1, {3.0}), 9.0);
+}
+
+TEST(Scm, CompletenessAndValidation) {
+  Scm scm(ChainDag());
+  EXPECT_FALSE(scm.IsComplete());
+  EXPECT_FALSE(scm.SetLinearEquation(0, {1.0}, 0, 1).ok());  // No parents.
+  EXPECT_FALSE(scm.SetLinearEquation(7, {}, 0, 1).ok());     // Bad node.
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 0, 1).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(1, {1.0}, 0, 1).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(2, {1.0}, 0, 1).ok());
+  EXPECT_TRUE(scm.IsComplete());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "feature/causal_shapley.h"
+#include "feature/necessity_sufficiency.h"
+#include "feature/shapley.h"
+#include "feature/shapley_flow.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+/// Chain SCM: x0 -> x1 (x1 = 2 x0 + noise); model f(x) = x1 only.
+struct ChainSetup {
+  Scm scm;
+  ChainSetup() : scm(BuildDag()) {
+    EXPECT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+    EXPECT_TRUE(scm.SetLinearEquation(1, {2.0}, 0.0, 0.3).ok());
+  }
+  static Dag BuildDag() {
+    Dag dag;
+    (void)*dag.AddNode("x0");
+    (void)*dag.AddNode("x1");
+    EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+    return dag;
+  }
+};
+
+TEST(CausalShapley, CreditsIndirectCauses) {
+  ChainSetup setup;
+  auto model = MakeLambdaModel(2, [](const std::vector<double>& x) {
+    return x[1];
+  });
+  // Instance consistent with the SCM: x0 = 1, x1 = 2.
+  const std::vector<double> x = {1.0, 2.0};
+  auto phi = CausalShapley(model, setup.scm, {0, 1}, x,
+                           {.samples_per_eval = 4000, .seed = 3});
+  ASSERT_TRUE(phi.ok());
+  // Under do(x0 = 1), E[x1] = 2, so x0 carries real (indirect) credit;
+  // the marginal game would give x0 exactly zero.
+  EXPECT_GT((*phi)[0], 0.3);
+  // Efficiency: sum = f(x) - E[f] = 2 - 0.
+  EXPECT_NEAR((*phi)[0] + (*phi)[1], 2.0, 0.1);
+}
+
+TEST(CausalShapley, MatchesMarginalOnIndependentFeatures) {
+  // Independent features: interventional and marginal games coincide.
+  Dag dag;
+  (void)*dag.AddNode("a");
+  (void)*dag.AddNode("b");
+  Scm scm(std::move(dag));
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(1, {}, 0.0, 1.0).ok());
+  auto model = MakeLambdaModel(2, [](const std::vector<double>& x) {
+    return 3.0 * x[0] - x[1];
+  });
+  const std::vector<double> x = {1.0, -1.0};
+  auto phi = CausalShapley(model, scm, {0, 1}, x,
+                           {.samples_per_eval = 5000, .seed = 7});
+  ASSERT_TRUE(phi.ok());
+  // Closed form: phi_j = w_j (x_j - E[x_j]) = 3*1, -1*(-1).
+  EXPECT_NEAR((*phi)[0], 3.0, 0.15);
+  EXPECT_NEAR((*phi)[1], 1.0, 0.15);
+}
+
+TEST(AsymmetricShapley, ShiftsCreditToRootCauses) {
+  ChainSetup setup;
+  auto model = MakeLambdaModel(2, [](const std::vector<double>& x) {
+    return x[1];
+  });
+  const std::vector<double> x = {1.0, 2.0};
+  ScmInterventionalGame game(model, setup.scm, {0, 1}, x, 4000, 11);
+  Rng rng(5);
+  std::vector<double> asym =
+      AsymmetricShapley(game, setup.scm.dag(), {0, 1}, 50, &rng);
+  // Only one topological order (x0 then x1): x0 absorbs the full
+  // interventional marginal v({x0}) - v(empty) = 2 - 0.
+  EXPECT_NEAR(asym[0], 2.0, 0.15);
+  EXPECT_NEAR(asym[1], 0.0, 0.15);
+  // Symmetric causal Shapley splits credit instead — asymmetry sacrificed
+  // the symmetry axiom to concentrate on the distal cause.
+  auto sym = ExactShapley(game);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_GT(asym[0], (*sym)[0] + 0.2);
+}
+
+TEST(AsymmetricShapley, TopologicalExtensionsEnumeration) {
+  Dag dag;
+  (void)*dag.AddNode("a");
+  (void)*dag.AddNode("b");
+  (void)*dag.AddNode("c");
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());  // a before b; c free.
+  auto exts = TopologicalExtensions(dag, {0, 1, 2});
+  // Linear extensions of a<b with free c: 3 positions for c => 3.
+  EXPECT_EQ(exts.size(), 3u);
+  for (const auto& ext : exts) {
+    size_t pos_a = 0;
+    size_t pos_b = 0;
+    for (size_t i = 0; i < ext.size(); ++i) {
+      if (ext[i] == 0) pos_a = i;
+      if (ext[i] == 1) pos_b = i;
+    }
+    EXPECT_LT(pos_a, pos_b);
+  }
+}
+
+TEST(ShapleyFlow, ChainConservationAndPathCredit) {
+  // x0 -> x1 -> x2 with coefficients 2 and -1.5, plus direct x0 -> x2
+  // with coefficient 0.5 (two paths from x0 to the sink).
+  Dag dag;
+  (void)*dag.AddNode("x0");
+  (void)*dag.AddNode("x1");
+  (void)*dag.AddNode("x2");
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  Scm scm(std::move(dag));
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+  ASSERT_TRUE(scm.SetLinearEquation(1, {2.0}, 0.0, 0.5).ok());
+  // Parents of node 2 are [1, 0] (edge insertion order).
+  ASSERT_TRUE(scm.SetLinearEquation(2, {-1.5, 0.5}, 0.0, 0.1).ok());
+
+  // Baseline all zeros; instance consistent with x0=1 (noise-free):
+  // x1 = 2, x2 = -1.5*2 + 0.5*1 = -2.5.
+  const std::vector<double> baseline = {0, 0, 0};
+  const std::vector<double> instance = {1.0, 2.0, -2.5};
+  auto flow = LinearShapleyFlow(scm, 2, baseline, instance);
+  ASSERT_TRUE(flow.ok());
+
+  // Edge credits: (0->1): delta_x0 * coeff(0,1) * gain(1) = 1*2*(-1.5)=-3.
+  EXPECT_NEAR(flow->edge_credit.at({0, 1}), -3.0, 1e-6);
+  // (1->2): delta_x1 * coeff * gain(sink) = 2 * -1.5 = -3.
+  EXPECT_NEAR(flow->edge_credit.at({1, 2}), -3.0, 1e-6);
+  // (0->2): 1 * 0.5 = 0.5.
+  EXPECT_NEAR(flow->edge_credit.at({0, 2}), 0.5, 1e-6);
+  // Conservation at the sink: in-flow = f(x) - f(baseline) = -2.5.
+  EXPECT_NEAR(flow->InFlow(2), -2.5, 1e-6);
+  // Out-flow of source = total attribution of x0 through all paths:
+  // 2*(-1.5)*1 + 0.5 = -2.5.
+  EXPECT_NEAR(flow->OutFlow(0), -2.5, 1e-6);
+}
+
+TEST(ShapleyFlow, RejectsNonLinear) {
+  Dag dag;
+  (void)*dag.AddNode("a");
+  (void)*dag.AddNode("b");
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  Scm scm(std::move(dag));
+  ASSERT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+  ASSERT_TRUE(
+      scm.SetEquation(1, [](const std::vector<double>& p) { return p[0] * p[0]; },
+                      0.0)
+          .ok());
+  EXPECT_FALSE(LinearShapleyFlow(scm, 1, {0, 0}, {1, 1}).ok());
+}
+
+/// SCM for nec/suf: two binary-ish drivers; model = threshold on their sum.
+struct NecSufSetup {
+  Scm scm;
+  NecSufSetup() : scm(BuildDag()) {
+    EXPECT_TRUE(scm.SetLinearEquation(0, {}, 0.0, 1.0).ok());
+    EXPECT_TRUE(scm.SetLinearEquation(1, {}, 0.0, 1.0).ok());
+    EXPECT_TRUE(scm.SetLinearEquation(2, {1.0, 1.0}, 0.0, 0.1).ok());
+  }
+  static Dag BuildDag() {
+    Dag dag;
+    (void)*dag.AddNode("a");
+    (void)*dag.AddNode("b");
+    (void)*dag.AddNode("s");
+    EXPECT_TRUE(dag.AddEdge(0, 2).ok());
+    EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+    return dag;
+  }
+};
+
+TEST(NecessitySufficiency, CounterfactualAbductionIsExact) {
+  NecSufSetup setup;
+  auto model = MakeLambdaModel(3, [](const std::vector<double>& x) {
+    return x[2] > 1.0 ? 1.0 : 0.0;
+  });
+  NecessitySufficiency ns(model, setup.scm, {0, 1, 2});
+  // Observed: a=2, b=0.5, s=2.7 (noise on s = 0.2).
+  const std::vector<double> obs = {2.0, 0.5, 2.7};
+  // Counterfactual do(a = 0): s should become 0 + 0.5 + 0.2 = 0.7.
+  auto cf = ns.Counterfactual(obs, {0}, {0.0});
+  EXPECT_DOUBLE_EQ(cf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cf[1], 0.5);
+  EXPECT_NEAR(cf[2], 0.7, 1e-12);
+}
+
+TEST(NecessitySufficiency, ScoresAreSensible) {
+  NecSufSetup setup;
+  auto model = MakeLambdaModel(3, [](const std::vector<double>& x) {
+    return x[2] > 1.0 ? 1.0 : 0.0;
+  });
+  NecessitySufficiency ns(model, setup.scm, {0, 1, 2});
+  // Strongly positive instance driven by a: a=3, b=0, s=3.
+  const std::vector<double> obs = {3.0, 0.0, 3.0};
+  auto nec_a = ns.NecessityScore(obs, {0}, 400);
+  ASSERT_TRUE(nec_a.ok());
+  // Replacing a with a random draw (mean 0) usually drops s below 1.
+  EXPECT_GT(*nec_a, 0.5);
+  auto suf_a = ns.SufficiencyScore(obs, {0}, 200);
+  ASSERT_TRUE(suf_a.ok());
+  // Setting a=3 on negative individuals usually pushes s over 1.
+  EXPECT_GT(*suf_a, 0.5);
+  // Necessity requires a positively-classified instance.
+  const std::vector<double> neg = {-3.0, 0.0, -3.0};
+  EXPECT_FALSE(ns.NecessityScore(neg, {0}, 50).ok());
+}
+
+}  // namespace
+}  // namespace xai

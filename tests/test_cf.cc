@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/cf_common.h"
+#include "cf/dice.h"
+#include "cf/geco.h"
+#include "cf/recourse.h"
+#include "data/synthetic.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+/// A denied loan applicant (model probability < 0.5).
+std::vector<double> FindDenied(const Model& model, const Dataset& ds) {
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (model.Predict(ds.row(i)) < 0.35) return ds.row(i);
+  }
+  ADD_FAILURE() << "no denied applicant found";
+  return ds.row(0);
+}
+
+TEST(FeatureSpace, DerivedFromData) {
+  Dataset ds = MakeLoanDataset(400);
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  EXPECT_EQ(space.num_features(), ds.d());
+  EXPECT_TRUE(space.is_numeric[1]);
+  EXPECT_FALSE(space.is_numeric[6]);
+  EXPECT_LT(space.min_value[1], space.max_value[1]);
+  EXPECT_TRUE(space.actionable[6]);
+  space.SetImmutable(6);
+  EXPECT_FALSE(space.actionable[6]);
+}
+
+TEST(FeatureSpace, DistanceAndSparsity) {
+  Dataset ds = MakeLoanDataset(400);
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  std::vector<double> a = ds.row(0);
+  std::vector<double> b = a;
+  EXPECT_DOUBLE_EQ(CounterfactualDistance(space, a, b), 0.0);
+  EXPECT_EQ(NumChanged(a, b), 0u);
+  b[1] += space.std[1];        // One std of income.
+  b[6] = 1.0 - b[6];           // Flip a categorical.
+  EXPECT_NEAR(CounterfactualDistance(space, a, b), 2.0, 1e-9);
+  EXPECT_EQ(NumChanged(a, b), 2u);
+}
+
+TEST(Dice, ProducesValidDiverseCounterfactuals) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  const std::vector<double> x = FindDenied(*model, ds);
+
+  auto cfs = DiceCounterfactuals(*model, space, x, 1,
+                                 {.num_counterfactuals = 4});
+  ASSERT_TRUE(cfs.ok());
+  EXPECT_GE(cfs->counterfactuals.size(), 2u);
+  for (const Counterfactual& cf : cfs->counterfactuals) {
+    EXPECT_TRUE(cf.valid);
+    EXPECT_GE(cf.prediction, 0.5);
+    EXPECT_GT(cf.num_changed, 0u);
+  }
+  EXPECT_GT(cfs->diversity, 0.0);
+}
+
+TEST(Dice, RespectsImmutableFeatures) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  space.SetImmutable(0);  // age
+  space.SetImmutable(6);  // gender
+  const std::vector<double> x = FindDenied(*model, ds);
+  auto cfs = DiceCounterfactuals(*model, space, x, 1, {});
+  ASSERT_TRUE(cfs.ok());
+  for (const Counterfactual& cf : cfs->counterfactuals) {
+    EXPECT_DOUBLE_EQ(cf.instance[0], x[0]);
+    EXPECT_DOUBLE_EQ(cf.instance[6], x[6]);
+  }
+}
+
+TEST(Dice, SparsificationKeepsValidity) {
+  Dataset ds = MakeLoanDataset(600);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  const std::vector<double> x = FindDenied(*model, ds);
+  DiceOptions sparse_opts;
+  sparse_opts.sparsify = true;
+  DiceOptions dense_opts;
+  dense_opts.sparsify = false;
+  auto sparse = DiceCounterfactuals(*model, space, x, 1, sparse_opts);
+  auto dense = DiceCounterfactuals(*model, space, x, 1, dense_opts);
+  ASSERT_TRUE(sparse.ok() && dense.ok());
+  double avg_sparse = 0;
+  for (const auto& cf : sparse->counterfactuals)
+    avg_sparse += cf.num_changed;
+  avg_sparse /= sparse->counterfactuals.size();
+  double avg_dense = 0;
+  for (const auto& cf : dense->counterfactuals) avg_dense += cf.num_changed;
+  avg_dense /= dense->counterfactuals.size();
+  EXPECT_LE(avg_sparse, avg_dense);
+}
+
+TEST(Geco, RespectsPlafConstraints) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  const std::vector<double> x = FindDenied(*model, ds);
+
+  std::vector<PlafConstraint> constraints = {
+      PlafConstraint::Immutable(6, "gender"),
+      PlafConstraint::Immutable(0, "age"),
+      PlafConstraint::MonotoneIncrease(5, "education"),
+  };
+  auto cfs = GecoCounterfactuals(*model, space, x, 1, constraints, {});
+  ASSERT_TRUE(cfs.ok());
+  ASSERT_FALSE(cfs->counterfactuals.empty());
+  for (const Counterfactual& cf : cfs->counterfactuals) {
+    EXPECT_TRUE(cf.valid);
+    EXPECT_DOUBLE_EQ(cf.instance[6], x[6]);
+    EXPECT_DOUBLE_EQ(cf.instance[0], x[0]);
+    EXPECT_GE(cf.instance[5], x[5]);
+  }
+}
+
+TEST(Geco, PrefersSparseChanges) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  const std::vector<double> x = FindDenied(*model, ds);
+  auto cfs = GecoCounterfactuals(*model, space, x, 1, {}, {});
+  ASSERT_TRUE(cfs.ok());
+  // Lexicographic fitness: the best counterfactual should change few
+  // features.
+  EXPECT_LE(cfs->counterfactuals[0].num_changed, 3u);
+}
+
+TEST(Geco, ChangeImpliesConstraint) {
+  PlafConstraint c = PlafConstraint::ChangeImplies(0, 1, "f0->f1");
+  EXPECT_TRUE(c.predicate({1, 1}, {1, 1}));    // Nothing changed.
+  EXPECT_TRUE(c.predicate({1, 1}, {2, 2}));    // Both changed.
+  EXPECT_FALSE(c.predicate({1, 1}, {2, 1}));   // f0 changed alone.
+  EXPECT_TRUE(c.predicate({1, 1}, {1, 2}));    // Only f1 changed: fine.
+}
+
+TEST(Recourse, FlipsLogisticDecision) {
+  Dataset ds = MakeLoanDataset(1500);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-3});
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  space.SetImmutable(0);  // Age not actionable.
+  space.SetImmutable(6);
+  const std::vector<double> x = FindDenied(*model, ds);
+
+  auto action = LinearRecourse(*model, space, x, {.target_probability = 0.6});
+  ASSERT_TRUE(action.ok());
+  ASSERT_TRUE(action->feasible);
+  EXPECT_GE(action->new_probability, 0.6 - 1e-9);
+  ASSERT_FALSE(action->steps.empty());
+  // Verify by applying the steps.
+  std::vector<double> moved = x;
+  for (const RecourseStep& s : action->steps) {
+    EXPECT_NE(s.feature, 0u);
+    EXPECT_NE(s.feature, 6u);
+    moved[s.feature] = s.to;
+  }
+  EXPECT_GE(model->Predict(moved), 0.6 - 1e-6);
+  EXPECT_NE(action->ToString(ds.schema()).find("recourse"),
+            std::string::npos);
+}
+
+TEST(Recourse, AlreadyPositiveNeedsNoSteps) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  // Find an approved applicant.
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (model->Predict(ds.row(i)) > 0.7) {
+      auto action =
+          LinearRecourse(*model, space, ds.row(i), {.target_probability = 0.55});
+      ASSERT_TRUE(action.ok());
+      EXPECT_TRUE(action->feasible);
+      EXPECT_TRUE(action->steps.empty());
+      return;
+    }
+  }
+  FAIL() << "no approved applicant";
+}
+
+TEST(Recourse, InfeasibleWhenEverythingImmutable) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  for (size_t j = 0; j < space.num_features(); ++j) space.SetImmutable(j);
+  const std::vector<double> x = FindDenied(*model, ds);
+  auto action = LinearRecourse(*model, space, x, {});
+  ASSERT_TRUE(action.ok());
+  EXPECT_FALSE(action->feasible);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+Dataset TinyDataset() {
+  Schema schema({FeatureSpec::Numeric("a"),
+                 FeatureSpec::Categorical("c", {"x", "y", "z"})});
+  Matrix x = {{1.0, 0}, {2.0, 1}, {3.0, 2}, {4.0, 0}};
+  return Dataset(schema, x, {0, 1, 1, 0});
+}
+
+TEST(Schema, LookupAndFormat) {
+  Dataset ds = TinyDataset();
+  auto idx = ds.schema().FeatureIndex("c");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(ds.schema().FeatureIndex("nope").ok());
+  EXPECT_EQ(ds.schema().FormatValue(1, 2.0), "c=z");
+  EXPECT_EQ(ds.schema().FormatValue(0, 1.5), "a=1.5");
+}
+
+TEST(Dataset, CreateValidates) {
+  Schema schema({FeatureSpec::Numeric("a")});
+  EXPECT_FALSE(Dataset::Create(schema, Matrix(3, 1), {1.0}).ok());
+  EXPECT_FALSE(Dataset::Create(schema, Matrix(2, 2), {1.0, 0.0}).ok());
+  EXPECT_TRUE(Dataset::Create(schema, Matrix(2, 1), {1.0, 0.0}).ok());
+}
+
+TEST(Dataset, SelectRemoveSplit) {
+  Dataset ds = TinyDataset();
+  Dataset sel = ds.Select({2, 0});
+  EXPECT_EQ(sel.n(), 2u);
+  EXPECT_DOUBLE_EQ(sel.x()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel.y()[1], 0.0);
+
+  Dataset rem = ds.RemoveRows({0, 3});
+  EXPECT_EQ(rem.n(), 2u);
+  EXPECT_DOUBLE_EQ(rem.x()(0, 0), 2.0);
+
+  Rng rng(1);
+  auto [train, test] = ds.Split(0.5, &rng);
+  EXPECT_EQ(train.n(), 2u);
+  EXPECT_EQ(test.n(), 2u);
+}
+
+TEST(Transforms, StandardizerRoundTrip) {
+  Dataset ds = MakeLoanDataset(500);
+  Standardizer st = Standardizer::Fit(ds);
+  Dataset z = st.Transform(ds);
+  // Numeric columns ~ mean 0 / std 1; categorical untouched.
+  std::vector<double> col0 = z.x().Col(0);
+  EXPECT_NEAR(Mean(col0), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(col0), 1.0, 1e-9);
+  std::vector<double> gender_before = ds.x().Col(6);
+  std::vector<double> gender_after = z.x().Col(6);
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(gender_before[i], gender_after[i]);
+  // Inverse round trip.
+  std::vector<double> row = ds.row(5);
+  std::vector<double> back = st.InverseRow(st.TransformRow(row));
+  for (size_t j = 0; j < row.size(); ++j) EXPECT_NEAR(back[j], row[j], 1e-9);
+}
+
+TEST(Transforms, DiscretizerBins) {
+  Dataset ds = MakeLoanDataset(1000);
+  Discretizer disc = Discretizer::Fit(ds, 4);
+  EXPECT_EQ(disc.NumBins(0), 4);
+  // Categorical feature "education" has 4 categories.
+  EXPECT_EQ(disc.NumBins(5), 4);
+  EXPECT_EQ(disc.Bin(5, 2.0), 2);
+  // Bins partition: equal-frequency -> each bin ~25%.
+  int counts[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < ds.n(); ++i) ++counts[disc.Bin(1, ds.x()(i, 1))];
+  for (int b = 0; b < 4; ++b) EXPECT_NEAR(counts[b] / 1000.0, 0.25, 0.05);
+  // Label rendering.
+  EXPECT_NE(disc.BinLabel(ds.schema(), 1, 0).find("income"),
+            std::string::npos);
+}
+
+TEST(Transforms, LabelNoiseInjection) {
+  Dataset ds = MakeLoanDataset(400);
+  std::vector<double> orig = ds.y();
+  Rng rng(5);
+  std::vector<size_t> corrupted = InjectLabelNoise(&ds, 0.2, &rng);
+  EXPECT_EQ(corrupted.size(), 80u);
+  std::set<size_t> cset(corrupted.begin(), corrupted.end());
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (cset.count(i)) {
+      EXPECT_NE(ds.y()[i], orig[i]);
+    } else {
+      EXPECT_EQ(ds.y()[i], orig[i]);
+    }
+  }
+}
+
+TEST(Transforms, OneHotEncode) {
+  Dataset ds = TinyDataset();
+  Dataset oh = OneHotEncode(ds);
+  EXPECT_EQ(oh.d(), 4u);  // 1 numeric + 3 categories.
+  EXPECT_EQ(oh.schema().feature(1).name, "c=x");
+  EXPECT_DOUBLE_EQ(oh.x()(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(oh.x()(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(oh.x()(1, 1), 0.0);
+}
+
+TEST(Transforms, ColumnStats) {
+  Dataset ds = TinyDataset();
+  ColumnStats cs = ComputeColumnStats(ds);
+  EXPECT_NEAR(cs.mean[0], 2.5, 1e-12);
+  ASSERT_EQ(cs.frequencies[1].size(), 3u);
+  EXPECT_DOUBLE_EQ(cs.frequencies[1][0], 2.0);  // "x" appears twice.
+}
+
+TEST(Csv, RoundTrip) {
+  Dataset ds = MakeLoanDataset(50);
+  const std::string path = "/tmp/xai_test_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->n(), ds.n());
+  EXPECT_EQ(back->d(), ds.d());
+  // Categorical columns detected.
+  EXPECT_FALSE(back->schema().feature(6).is_numeric());
+  EXPECT_TRUE(back->schema().feature(1).is_numeric());
+  for (size_t i = 0; i < ds.n(); ++i) {
+    EXPECT_NEAR(back->x()(i, 1), ds.x()(i, 1), 1e-6);
+    EXPECT_DOUBLE_EQ(back->y()[i], ds.y()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, Errors) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/file.csv").ok());
+}
+
+TEST(Synthetic, LoanDatasetShapeAndCorrelations) {
+  Dataset ds = MakeLoanDataset(3000);
+  EXPECT_EQ(ds.n(), 3000u);
+  EXPECT_EQ(ds.d(), 8u);
+  // Label is mixed.
+  const double pos = Mean(ds.y());
+  EXPECT_GT(pos, 0.15);
+  EXPECT_LT(pos, 0.85);
+  // Income correlates positively with age and debt.
+  EXPECT_GT(PearsonCorrelation(ds.x().Col(0), ds.x().Col(1)), 0.1);
+  EXPECT_GT(PearsonCorrelation(ds.x().Col(1), ds.x().Col(3)), 0.3);
+  // Higher income -> more approvals.
+  std::vector<double> income = ds.x().Col(1);
+  EXPECT_GT(PearsonCorrelation(income, ds.y()), 0.1);
+}
+
+TEST(Synthetic, GenderBiasInjection) {
+  Dataset fair = MakeLoanDataset(4000, {.seed = 3, .gender_bias = 0.0});
+  Dataset biased = MakeLoanDataset(4000, {.seed = 3, .gender_bias = 3.0});
+  auto approval_gap = [](const Dataset& ds) {
+    double male = 0, female = 0, nm = 0, nf = 0;
+    for (size_t i = 0; i < ds.n(); ++i) {
+      if (ds.x()(i, 6) > 0.5) {
+        male += ds.y()[i];
+        ++nm;
+      } else {
+        female += ds.y()[i];
+        ++nf;
+      }
+    }
+    return male / nm - female / nf;
+  };
+  EXPECT_LT(std::fabs(approval_gap(fair)), 0.08);
+  EXPECT_GT(approval_gap(biased), 0.2);
+}
+
+TEST(Synthetic, GaussianChainCorrelation) {
+  Dataset ds = MakeGaussianDataset(20000, {.seed = 1, .dims = 4, .rho = 0.6});
+  EXPECT_NEAR(PearsonCorrelation(ds.x().Col(0), ds.x().Col(1)), 0.6, 0.05);
+  EXPECT_NEAR(PearsonCorrelation(ds.x().Col(1), ds.x().Col(2)), 0.6, 0.05);
+  // Chain: corr(x0, x2) ~ rho^2.
+  EXPECT_NEAR(PearsonCorrelation(ds.x().Col(0), ds.x().Col(2)), 0.36, 0.05);
+}
+
+TEST(Synthetic, LinearRegressionDatasetWeights) {
+  std::vector<double> w;
+  Dataset ds = MakeLinearRegressionDataset(100, 5, 9, &w);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(ds.d(), 5u);
+  EXPECT_EQ(ds.n(), 100u);
+}
+
+TEST(Synthetic, HiringRulesHold) {
+  Dataset ds = MakeHiringDataset(2000);
+  // Check the generative rule modulo 5% noise: referred + high interview.
+  size_t matching = 0;
+  size_t hired = 0;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (ds.x()(i, 3) == 1.0 && ds.x()(i, 1) >= 5.0) {
+      ++matching;
+      if (ds.y()[i] >= 0.5) ++hired;
+    }
+  }
+  ASSERT_GT(matching, 50u);
+  EXPECT_GT(static_cast<double>(hired) / matching, 0.85);
+}
+
+}  // namespace
+}  // namespace xai

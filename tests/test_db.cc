@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "db/complaint_debug.h"
+#include "db/incremental.h"
+#include "db/provenance_explain.h"
+#include "db/query_shapley.h"
+#include "model/linear_regression.h"
+#include "model/metrics.h"
+#include "relational/query.h"
+
+#include <set>
+
+namespace xai {
+namespace {
+
+TEST(TupleShapley, SumAggregateIsAdditive) {
+  // SUM over a single relation is an additive game: each tuple's Shapley
+  // value is exactly its own amount.
+  Relation r("sales", {"amount"});
+  const TupleId first = *r.Insert({10.0});
+  (void)*r.Insert({25.0});
+  (void)*r.Insert({-5.0});
+  auto query_fn = MakeRelationQueryFn(r, first, [](const Relation& sub) {
+    return Aggregate(sub, AggKind::kSum, "amount")->value;
+  });
+  auto phi = TupleShapley(3, query_fn);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR((*phi)[0], 10.0, 1e-12);
+  EXPECT_NEAR((*phi)[1], 25.0, 1e-12);
+  EXPECT_NEAR((*phi)[2], -5.0, 1e-12);
+}
+
+TEST(TupleShapley, MaxAggregateCreditsTheMaximum) {
+  Relation r("t", {"v"});
+  const TupleId first = *r.Insert({1.0});
+  (void)*r.Insert({3.0});
+  (void)*r.Insert({10.0});
+  auto query_fn = MakeRelationQueryFn(r, first, [](const Relation& sub) {
+    if (sub.num_rows() == 0) return 0.0;
+    return Aggregate(sub, AggKind::kMax, "v")->value;
+  });
+  auto phi = TupleShapley(3, query_fn);
+  ASSERT_TRUE(phi.ok());
+  // The max tuple dominates; efficiency: sum = max(all) - 0 = 10.
+  EXPECT_GT((*phi)[2], (*phi)[1]);
+  EXPECT_GT((*phi)[1], (*phi)[0]);
+  EXPECT_NEAR((*phi)[0] + (*phi)[1] + (*phi)[2], 10.0, 1e-12);
+}
+
+TEST(TupleShapley, JoinQueryCountsMatchingPairs) {
+  // Two relations; count of join results. Only tuple pairs that join
+  // carry value; Shapley splits each pair's unit evenly between the two
+  // sides (by symmetry).
+  Relation orders("orders", {"cust"});
+  const TupleId first_o = *orders.Insert({1});
+  (void)*orders.Insert({2});
+  Relation custs("custs", {"cust"});
+  const TupleId first_c = *custs.Insert({1});
+
+  // Game over all 3 endogenous tuples: first two slots are orders, the
+  // third the customer.
+  auto fn = [&](const std::vector<bool>& keep) {
+    std::vector<bool> keep_orders = {keep[0], keep[1]};
+    std::vector<bool> keep_custs = {keep[2]};
+    Relation sub_o = orders.FilterByTupleId(keep_orders, first_o);
+    Relation sub_c = custs.FilterByTupleId(keep_custs, first_c);
+    auto joined = NaturalJoin(sub_o, sub_c);
+    return joined.ok() ? static_cast<double>(joined->num_rows()) : 0.0;
+  };
+  auto phi = TupleShapley(3, fn);
+  ASSERT_TRUE(phi.ok());
+  // Join result: order(cust=1) x cust(1) = 1 row. Order(cust=2) is a
+  // dummy player.
+  EXPECT_NEAR((*phi)[1], 0.0, 1e-12);
+  EXPECT_NEAR((*phi)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*phi)[2], 0.5, 1e-12);
+}
+
+TEST(TupleShapley, SamplingModeApproximatesExact) {
+  Relation r("t", {"v"});
+  const TupleId first = *r.Insert({1.0});
+  for (int i = 1; i < 20; ++i) (void)*r.Insert({static_cast<double>(i + 1)});
+  auto query_fn = MakeRelationQueryFn(r, first, [](const Relation& sub) {
+    return Aggregate(sub, AggKind::kSum, "v")->value;
+  });
+  QueryShapleyOptions opts;
+  opts.exact_up_to = 5;  // Force sampling for 20 tuples.
+  opts.num_permutations = 400;
+  auto phi = TupleShapley(20, query_fn, opts);
+  ASSERT_TRUE(phi.ok());
+  for (int i = 0; i < 20; ++i)
+    EXPECT_NEAR((*phi)[static_cast<size_t>(i)], i + 1.0, 1e-9);
+}
+
+TEST(Responsibility, HandComputedCase) {
+  // Provenance: {{1}, {2,3}}. Tuple 1: removing nothing else, answer
+  // survives via {2,3}; contingency {2} (or {3}) kills it, so resp(1) =
+  // 1/2. Tuple 2: witnesses not containing 2 = {{1}}; contingency {1};
+  // resp = 1/2.
+  WhyProvenance prov = {{1}, {2, 3}};
+  auto resp = ComputeResponsibilities(prov);
+  ASSERT_EQ(resp.size(), 3u);
+  for (const auto& r : resp) {
+    EXPECT_NEAR(r.responsibility, 0.5, 1e-12);
+    EXPECT_EQ(r.contingency.size(), 1u);
+  }
+}
+
+TEST(Responsibility, CounterfactualCauseScoresOne) {
+  // Single witness {5, 6}: both tuples are counterfactual causes
+  // (removing either alone kills the answer): responsibility 1.
+  auto resp = ComputeResponsibilities({{5, 6}});
+  ASSERT_EQ(resp.size(), 2u);
+  EXPECT_DOUBLE_EQ(resp[0].responsibility, 1.0);
+  EXPECT_DOUBLE_EQ(resp[1].responsibility, 1.0);
+}
+
+TEST(Responsibility, ManyDisjointWitnessesDiluteResponsibility) {
+  // Witnesses {{1},{2},{3},{4}}: for tuple 1, contingency must kill the
+  // other three singleton witnesses -> |Gamma| = 3, resp = 1/4.
+  auto resp = ComputeResponsibilities({{1}, {2}, {3}, {4}});
+  for (const auto& r : resp) EXPECT_NEAR(r.responsibility, 0.25, 1e-12);
+}
+
+TEST(Responsibility, DeletionImpactRanking) {
+  std::vector<TupleId> lineage = {1, 2, 3};
+  auto reevaluate = [](const std::vector<TupleId>& deleted) {
+    double v = 100.0;
+    for (TupleId t : deleted) v -= static_cast<double>(t) * 10.0;
+    return v;
+  };
+  auto ranked = RankByDeletionImpact(lineage, reevaluate);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].tuple, 3u);
+  EXPECT_NEAR(ranked[0].delta, -30.0, 1e-12);
+  EXPECT_EQ(ranked[2].tuple, 1u);
+}
+
+TEST(IncrementalLinear, DowndatesMatchRetrainExactly) {
+  std::vector<double> w;
+  Dataset ds = MakeLinearRegressionDataset(400, 6, 7, &w);
+  IncrementalLinearRegression::Options opts{.lambda = 1e-4};
+  auto inc = IncrementalLinearRegression::Fit(ds, opts);
+  ASSERT_TRUE(inc.ok());
+
+  // Remove rows 5, 17, 99 incrementally.
+  std::vector<size_t> removed = {5, 17, 99};
+  for (size_t i : removed)
+    ASSERT_TRUE(inc->RemoveRow(ds.row(i), ds.y()[i]).ok());
+  EXPECT_EQ(inc->remaining_rows(), 397u);
+
+  Dataset reduced = ds.RemoveRows(removed);
+  auto full = LinearRegression::Fit(reduced, {.lambda = 1e-4});
+  ASSERT_TRUE(full.ok());
+  std::vector<double> inc_theta = inc->Theta();
+  for (size_t j = 0; j < 6; ++j)
+    EXPECT_NEAR(inc_theta[j], full->weights()[j], 1e-7) << "w" << j;
+  EXPECT_NEAR(inc_theta[6], full->intercept(), 1e-7);
+  // Predictions agree too.
+  EXPECT_NEAR(inc->Predict(ds.row(0)), full->Predict(ds.row(0)), 1e-7);
+}
+
+TEST(IncrementalLinear, BatchRemoval) {
+  std::vector<double> w;
+  Dataset ds = MakeLinearRegressionDataset(200, 4, 8, &w);
+  auto inc = IncrementalLinearRegression::Fit(ds, {.lambda = 1e-4});
+  ASSERT_TRUE(inc.ok());
+  std::vector<size_t> removed = {0, 1, 2, 3, 4, 5, 6, 7};
+  Matrix xr(removed.size(), ds.d());
+  std::vector<double> yr(removed.size());
+  for (size_t k = 0; k < removed.size(); ++k) {
+    xr.SetRow(k, ds.row(removed[k]));
+    yr[k] = ds.y()[removed[k]];
+  }
+  ASSERT_TRUE(inc->RemoveRows(xr, yr).ok());
+  auto full = LinearRegression::Fit(ds.RemoveRows(removed), {.lambda = 1e-4});
+  ASSERT_TRUE(full.ok());
+  for (size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(inc->Theta()[j], full->weights()[j], 1e-6);
+}
+
+TEST(IncrementalLogistic, WarmRefreshTracksRetrain) {
+  Dataset ds = MakeGaussianDataset(500, {.seed = 9, .dims = 4});
+  LogisticRegression::Options opts{.lambda = 1e-2, .max_iter = 50,
+                                   .tol = 1e-12};
+  auto inc = IncrementalLogisticRegression::Fit(ds, opts);
+  ASSERT_TRUE(inc.ok());
+  std::vector<size_t> removed = {1, 2, 3, 10, 20, 30, 40};
+  auto warm = inc->ThetaAfterRemoval(removed, 2);
+  ASSERT_TRUE(warm.ok());
+  auto cold = LogisticRegression::Fit(ds.RemoveRows(removed), opts);
+  ASSERT_TRUE(cold.ok());
+  for (size_t a = 0; a < warm->size(); ++a)
+    EXPECT_NEAR((*warm)[a], cold->theta()[a], 1e-4);
+}
+
+TEST(ComplaintDebug, FindsPoisonedTrainingRows) {
+  // Poison training rows of group x0 > 1 by flipping labels to 1; the
+  // complaint "predicted-positive count in that serving group is too
+  // high" should rank poisoned rows at the top.
+  Dataset train = MakeGaussianDataset(400, {.seed = 70, .dims = 3});
+  std::vector<size_t> poisoned;
+  for (size_t i = 0; i < train.n(); ++i) {
+    if (train.x()(i, 0) > 0.3 && train.y()[i] < 0.5) {
+      train.mutable_y()[i] = 1.0;
+      poisoned.push_back(i);
+    }
+  }
+  ASSERT_GT(poisoned.size(), 10u);
+  auto model = LogisticRegression::Fit(train, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+
+  Dataset serving = MakeGaussianDataset(300, {.seed = 71, .dims = 3});
+  Complaint complaint;
+  complaint.direction = -1;  // Count too high.
+  for (size_t v = 0; v < serving.n(); ++v)
+    if (serving.x()(v, 0) > 0.3) complaint.serving_rows.push_back(v);
+  ASSERT_FALSE(complaint.serving_rows.empty());
+
+  auto suspects = RankComplaintSuspects(*model, train, serving, complaint);
+  ASSERT_TRUE(suspects.ok());
+  // Precision@k: of the top |poisoned| suspects, most are poisoned.
+  std::set<size_t> truth(poisoned.begin(), poisoned.end());
+  size_t hits = 0;
+  for (size_t k = 0; k < poisoned.size(); ++k)
+    if (truth.count((*suspects)[k].train_row)) ++hits;
+  const double precision_at_k = static_cast<double>(hits) / poisoned.size();
+  const double random_baseline =
+      static_cast<double>(poisoned.size()) / static_cast<double>(train.n());
+  EXPECT_GT(precision_at_k, 4.0 * random_baseline);
+  EXPECT_GT(precision_at_k, 0.3);
+}
+
+}  // namespace
+}  // namespace xai

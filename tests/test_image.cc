@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "feature/integrated_gradients.h"
+#include "image/evidence_counterfactual.h"
+#include "image/grid_image.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+
+namespace xai {
+namespace {
+
+TEST(GridImage, AccessAndAscii) {
+  GridImage img;
+  img.width = 3;
+  img.height = 2;
+  img.pixels = {0.0, 0.9, 0.3, 0.6, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(img.at(0, 1), 0.9);
+  img.at(1, 1) = 0.5;
+  EXPECT_DOUBLE_EQ(img.pixels[4], 0.5);
+  const std::string art = img.ToAscii();
+  EXPECT_EQ(art, " #.\noo#\n");
+}
+
+TEST(ShapeImages, CorpusIsLearnable) {
+  ShapeImageCorpus corpus = MakeShapeImages(1200);
+  Dataset ds = ToPixelDataset(corpus);
+  EXPECT_EQ(ds.d(), 64u);
+  Rng rng(1);
+  auto [train, test] = ds.Split(0.8, &rng);
+  auto model = LogisticRegression::Fit(train, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(EvaluateAccuracy(*model, test), 0.9);
+}
+
+TEST(Saliency, HighlightsTheBar) {
+  ShapeImageCorpus corpus = MakeShapeImages(1200);
+  Dataset ds = ToPixelDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  IntegratedGradientsExplainer ig(*model, ds, {}, {.steps = 32});
+
+  // A clean vertical-bar image at column 3.
+  GridImage img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0.0);
+  for (size_t r = 0; r < 8; ++r) img.at(r, 3) = 1.0;
+  auto attr = ig.Explain(img.pixels);
+  ASSERT_TRUE(attr.ok());
+  // Mean |attribution| on the bar pixels dwarfs the off-bar mean.
+  double on_bar = 0.0;
+  double off_bar = 0.0;
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      const double a = std::fabs(attr->values[r * 8 + c]);
+      if (c == 3) {
+        on_bar += a / 8.0;
+      } else {
+        off_bar += a / 56.0;
+      }
+    }
+  }
+  EXPECT_GT(on_bar, 3.0 * off_bar);
+}
+
+TEST(EvidenceCounterfactual, ErasingTheBarFlipsTheClass) {
+  ShapeImageCorpus corpus = MakeShapeImages(1200);
+  Dataset ds = ToPixelDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+
+  // Clean vertical bar at column 5: positive class.
+  GridImage img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0.0);
+  for (size_t r = 0; r < 8; ++r) img.at(r, 5) = 1.0;
+  ASSERT_GE(model->Predict(img.pixels), 0.5);
+
+  auto region = FindEvidenceCounterfactual(*model, img, {.tile_size = 2});
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(region->flipped);
+  EXPECT_LT(region->counterfactual_prediction, 0.5);
+  EXPECT_FALSE(region->tiles.empty());
+  // The (subset-minimal, possibly single-tile) region must overlap the
+  // bar column — erasing background alone cannot flip a bar detector.
+  size_t on_bar_pixels = 0;
+  for (size_t r = 0; r < 8; ++r)
+    if (region->pixel_mask[r * 8 + 5]) ++on_bar_pixels;
+  EXPECT_GE(on_bar_pixels, 1u);
+}
+
+TEST(EvidenceCounterfactual, RegionIsSubsetMinimal) {
+  ShapeImageCorpus corpus = MakeShapeImages(1000);
+  Dataset ds = ToPixelDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  // Explain an actual corpus image that is confidently classified.
+  size_t who = corpus.images.size();
+  for (size_t i = 0; i < corpus.images.size(); ++i) {
+    const double p = model->Predict(corpus.images[i].pixels);
+    if (p > 0.85) {
+      who = i;
+      break;
+    }
+  }
+  ASSERT_LT(who, corpus.images.size());
+  const GridImage& img = corpus.images[who];
+  auto region = FindEvidenceCounterfactual(*model, img, {.tile_size = 2});
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(region->flipped);
+
+  // Minimality: restoring any single chosen tile un-flips the decision.
+  EvidenceCounterfactualOptions opts;
+  const size_t tiles_per_row = 4;  // 8 / 2.
+  for (size_t t : region->tiles) {
+    std::vector<double> probe = img.pixels;
+    // Erase all region tiles except t.
+    for (size_t other : region->tiles) {
+      if (other == t) continue;
+      const size_t tr = other / tiles_per_row;
+      const size_t tc = other % tiles_per_row;
+      for (size_t r = tr * 2; r < tr * 2 + 2; ++r)
+        for (size_t c = tc * 2; c < tc * 2 + 2; ++c)
+          probe[r * 8 + c] = 0.0;
+    }
+    const double pred = model->Predict(probe);
+    const bool still_flipped = region->original_prediction >= 0.5
+                                   ? pred < 0.5
+                                   : pred >= 0.5;
+    EXPECT_FALSE(still_flipped)
+        << "tile " << t << " was unnecessary: region not minimal";
+  }
+}
+
+TEST(RenderSignedMap, BucketsSigns) {
+  std::vector<double> v = {1.0, -1.0, 0.0, 0.4};
+  const std::string art = RenderSignedMap(v, 2, 2);
+  EXPECT_EQ(art, "#=\n.+\n");
+}
+
+}  // namespace
+}  // namespace xai

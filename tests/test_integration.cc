@@ -1,0 +1,184 @@
+// End-to-end integration tests: full pipelines crossing module
+// boundaries, the flows a downstream user would actually run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "cf/dice.h"
+#include "math/stats.h"
+#include "cf/recourse.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "db/incremental.h"
+#include "eval/fidelity.h"
+#include "feature/kernel_shap.h"
+#include "feature/lime.h"
+#include "feature/tree_shap.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+#include "rule/anchors.h"
+#include "valuation/data_valuation.h"
+#include "valuation/influence.h"
+
+namespace xai {
+namespace {
+
+TEST(Integration, CsvToModelToThreeExplainers) {
+  // The quickstart flow, through disk: generate -> CSV -> read -> train ->
+  // explain with three methods -> all agree on the dominant feature class.
+  const std::string path = "/tmp/xai_integration.csv";
+  ASSERT_TRUE(WriteCsv(MakeLoanDataset(1200), path).ok());
+  auto data = ReadCsv(path);
+  ASSERT_TRUE(data.ok());
+  Dataset ds = std::move(*data);
+  std::remove(path.c_str());
+
+  Rng rng(1);
+  auto [train, test] = ds.Split(0.8, &rng);
+  auto gbdt = GradientBoostedTrees::Fit(train, {.num_rounds = 50});
+  ASSERT_TRUE(gbdt.ok());
+  ASSERT_GT(EvaluateAuc(*gbdt, test), 0.7);
+
+  const std::vector<double> x = test.row(0);
+  TreeShapExplainer tshap(*gbdt, ds.schema());
+  KernelShapExplainer kshap(*gbdt, train, {.max_background = 40});
+  LimeExplainer lime(*gbdt, train, {.num_samples = 2000});
+  auto a1 = tshap.Explain(x);
+  auto a2 = kshap.Explain(x);
+  auto a3 = lime.Explain(x);
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  // TreeSHAP and KernelSHAP explain the same model with different value
+  // functions/scales; their rankings should still broadly agree: the top
+  // TreeSHAP feature appears in KernelSHAP's top 3.
+  const size_t top_ts = a1->TopFeatures(1)[0];
+  const std::vector<size_t> top_ks = a2->TopFeatures(3);
+  EXPECT_TRUE(std::find(top_ks.begin(), top_ks.end(), top_ts) !=
+              top_ks.end());
+}
+
+TEST(Integration, DebugRetrainRepairLoop) {
+  // The data-debugging loop: corrupt -> detect (influence) -> delete ->
+  // incremental refresh -> accuracy recovers most of the gap.
+  Dataset clean = MakeGaussianDataset(120, {.seed = 5, .dims = 4});
+  Dataset validation = MakeGaussianDataset(800, {.seed = 6, .dims = 4});
+  Dataset train = clean;
+  Rng rng(7);
+  std::vector<size_t> corrupted = InjectLabelNoise(&train, 0.3, &rng);
+
+  LogisticRegression::Options opts{.lambda = 1e-2, .max_iter = 50,
+                                   .tol = 1e-10};
+  auto clean_model = LogisticRegression::Fit(clean, opts);
+  auto dirty_model = LogisticRegression::Fit(train, opts);
+  ASSERT_TRUE(clean_model.ok() && dirty_model.ok());
+  const double clean_acc = EvaluateAccuracy(*clean_model, validation);
+  const double dirty_acc = EvaluateAccuracy(*dirty_model, validation);
+  ASSERT_GT(clean_acc, dirty_acc + 0.01);
+
+  auto calc = InfluenceCalculator::Create(*dirty_model, train);
+  ASSERT_TRUE(calc.ok());
+  std::vector<double> values = calc->InfluenceOnValidationLoss(validation);
+  std::vector<size_t> order(train.n());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<size_t> suspects(
+      order.begin(), order.begin() + static_cast<long>(corrupted.size()));
+
+  auto inc = IncrementalLogisticRegression::Fit(train, opts);
+  ASSERT_TRUE(inc.ok());
+  auto repaired_theta = inc->ThetaAfterRemoval(suspects, 3);
+  ASSERT_TRUE(repaired_theta.ok());
+  Dataset repaired_data = train.RemoveRows(suspects);
+  auto repaired = LogisticRegression::FitFrom(
+      repaired_data.x(), repaired_data.y(), *repaired_theta,
+      {.lambda = 1e-2, .max_iter = 0, .tol = 1e-10});
+  ASSERT_TRUE(repaired.ok());
+  const double repaired_acc = EvaluateAccuracy(*repaired, validation);
+  // Repair recovers at least half of the corruption-induced gap.
+  EXPECT_GT(repaired_acc, dirty_acc + 0.5 * (clean_acc - dirty_acc));
+}
+
+TEST(Integration, DenialExplanationPackage) {
+  // What a lender would ship for one denial: attribution + anchor +
+  // counterfactual + recourse, all consistent with the model.
+  Dataset ds = MakeLoanDataset(1500);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  auto logit = LogisticRegression::Fit(ds, {.lambda = 1e-3});
+  ASSERT_TRUE(gbdt.ok() && logit.ok());
+
+  size_t who = ds.n();
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (gbdt->Predict(ds.row(i)) < 0.3 && logit->Predict(ds.row(i)) < 0.45) {
+      who = i;
+      break;
+    }
+  }
+  ASSERT_LT(who, ds.n());
+  const std::vector<double> x = ds.row(who);
+
+  TreeShapExplainer tshap(*gbdt, ds.schema());
+  auto attr = tshap.Explain(x);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_NEAR(attr->Reconstruction(), attr->prediction, 1e-7);
+
+  AnchorsExplainer anchors(*gbdt, ds, {.precision_threshold = 0.85});
+  auto rule = anchors.Explain(x);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->Matches(x));
+  EXPECT_DOUBLE_EQ(rule->outcome, 0.0);  // Anchoring the denial.
+
+  FeatureSpace space = FeatureSpace::FromDataset(ds);
+  space.SetImmutable(0);
+  space.SetImmutable(6);
+  auto cfs = DiceCounterfactuals(*gbdt, space, x, 1, {});
+  ASSERT_TRUE(cfs.ok());
+  for (const auto& cf : cfs->counterfactuals)
+    EXPECT_GE(gbdt->Predict(cf.instance), 0.5);
+
+  auto action = LinearRecourse(*logit, space, x, {.target_probability = 0.55});
+  ASSERT_TRUE(action.ok());
+  if (action->feasible) {
+    std::vector<double> moved = x;
+    for (const RecourseStep& s : action->steps) moved[s.feature] = s.to;
+    EXPECT_GE(logit->Predict(moved), 0.55 - 1e-6);
+  }
+}
+
+TEST(Integration, ExplainerFaithfulnessOrdering) {
+  // Evaluation module over multiple explainers of one model: exact
+  // (TreeSHAP on the margin) should be at least as faithful as LIME.
+  Dataset ds = MakeLoanDataset(800);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  ASSERT_TRUE(gbdt.ok());
+  KernelShapExplainer kshap(*gbdt, ds, {.max_background = 40});
+  LimeExplainer lime(*gbdt, ds, {.num_samples = 500, .seed = 17});
+  auto corr_kshap = AttributionCorrelation(*gbdt, &kshap, ds, 12);
+  auto corr_lime = AttributionCorrelation(*gbdt, &lime, ds, 12);
+  ASSERT_TRUE(corr_kshap.ok() && corr_lime.ok());
+  EXPECT_GT(*corr_kshap, 0.5);
+  EXPECT_GE(*corr_kshap, *corr_lime - 0.1);
+}
+
+TEST(Integration, ValuationMethodsAgreeOnRanking) {
+  // Two independent valuation families should produce correlated
+  // rankings on the same corrupted dataset.
+  Dataset train = MakeGaussianDataset(150, {.seed = 31, .dims = 3});
+  Dataset validation = MakeGaussianDataset(400, {.seed = 32, .dims = 3});
+  Rng rng(33);
+  (void)InjectLabelNoise(&train, 0.2, &rng);
+
+  std::vector<double> knn = ExactKnnShapley(train, validation, 5);
+  auto model = LogisticRegression::Fit(train, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  auto calc = InfluenceCalculator::Create(*model, train);
+  ASSERT_TRUE(calc.ok());
+  std::vector<double> infl = calc->InfluenceOnValidationLoss(validation);
+  EXPECT_GT(SpearmanCorrelation(knn, infl), 0.3);
+}
+
+}  // namespace
+}  // namespace xai

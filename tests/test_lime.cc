@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explanation.h"
+#include "core/perturb.h"
+#include "data/synthetic.h"
+#include "feature/lime.h"
+#include "feature/qii.h"
+#include "feature/surrogate.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+TEST(Explanation, TopFeaturesAndReconstruction) {
+  FeatureAttribution attr;
+  attr.feature_names = {"a", "b", "c"};
+  attr.values = {0.1, -2.0, 1.0};
+  attr.base_value = 0.5;
+  attr.prediction = -0.4;
+  auto top = attr.TopFeatures(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_NEAR(attr.Reconstruction(), -0.4, 1e-12);
+  EXPECT_NE(attr.ToString().find("b"), std::string::npos);
+}
+
+TEST(Explanation, RulePredicatesAndMatching) {
+  Schema schema({FeatureSpec::Numeric("age"),
+                 FeatureSpec::Categorical("sex", {"f", "m"})});
+  RuleExplanation rule;
+  rule.predicates.push_back(
+      {.feature = 0, .is_categorical = false, .lower = 18, .upper = 65});
+  rule.predicates.push_back({.feature = 1, .is_categorical = true,
+                             .lower = 0, .upper = 0, .category = 1});
+  rule.outcome = 1.0;
+  EXPECT_TRUE(rule.Matches({30, 1}));
+  EXPECT_FALSE(rule.Matches({30, 0}));
+  EXPECT_FALSE(rule.Matches({80, 1}));
+  const std::string s = rule.ToString(schema);
+  EXPECT_NE(s.find("age"), std::string::npos);
+  EXPECT_NE(s.find("sex = m"), std::string::npos);
+}
+
+TEST(Perturber, ConditionalClampsFixedFeatures) {
+  Dataset ds = MakeLoanDataset(300);
+  const std::vector<double> x = ds.row(0);
+  TabularPerturber perturber(ds, x);
+  Rng rng(3);
+  std::vector<bool> fixed(ds.d(), false);
+  fixed[1] = true;
+  fixed[6] = true;
+  for (int i = 0; i < 50; ++i) {
+    auto s = perturber.DrawConditional(fixed, &rng);
+    EXPECT_DOUBLE_EQ(s.x[1], x[1]);
+    EXPECT_DOUBLE_EQ(s.x[6], x[6]);
+    EXPECT_EQ(s.z[1], 1);
+    // Categorical samples must be valid codes.
+    const auto code = static_cast<size_t>(std::lround(s.x[5]));
+    EXPECT_LT(code, ds.schema().feature(5).cardinality());
+  }
+}
+
+TEST(Lime, RecoversLinearModelStructure) {
+  // On a (standardized) linear model, LIME coefficients should rank
+  // features like |w| and match signs.
+  Dataset ds = MakeGaussianDataset(2000, {.seed = 7, .dims = 4});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  LimeExplainer lime(*model, ds, {.num_samples = 4000, .seed = 5});
+  auto attr = lime.Explain(ds.row(0));
+  ASSERT_TRUE(attr.ok());
+  // Ground-truth weights decay ~ 1/(j+1): LIME importance should too.
+  EXPECT_GT(attr->values[0], attr->values[2]);
+  EXPECT_GT(attr->values[0], attr->values[3]);
+  EXPECT_GT(attr->values[0], 0.0);
+  // The binary interpretable representation discards magnitudes, capping
+  // the local R^2 well below 1 even for a linear black box.
+  EXPECT_GT(lime.last_local_r2(), 0.02);
+}
+
+TEST(Lime, FeatureSelectionZeroesTail) {
+  Dataset ds = MakeGaussianDataset(500, {.seed = 9, .dims = 6});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  LimeExplainer lime(*model, ds, {.num_samples = 800, .num_features = 2});
+  auto attr = lime.Explain(ds.row(3));
+  ASSERT_TRUE(attr.ok());
+  size_t nonzero = 0;
+  for (double v : attr->values)
+    if (v != 0.0) ++nonzero;
+  EXPECT_EQ(nonzero, 2u);
+}
+
+TEST(Lime, SeedsChangeSamplingInstability) {
+  // Different seeds -> different attributions (the unreliability E3
+  // quantifies); same seed -> identical.
+  Dataset ds = MakeLoanDataset(600);
+  auto model = GradientBoostedTrees::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  LimeExplainer a(*model, ds, {.num_samples = 200, .seed = 1});
+  LimeExplainer b(*model, ds, {.num_samples = 200, .seed = 1});
+  LimeExplainer c(*model, ds, {.num_samples = 200, .seed = 2});
+  auto attr_a = a.Explain(ds.row(0));
+  auto attr_b = b.Explain(ds.row(0));
+  auto attr_c = c.Explain(ds.row(0));
+  ASSERT_TRUE(attr_a.ok() && attr_b.ok() && attr_c.ok());
+  for (size_t j = 0; j < ds.d(); ++j)
+    EXPECT_DOUBLE_EQ(attr_a->values[j], attr_b->values[j]);
+  double diff = 0.0;
+  for (size_t j = 0; j < ds.d(); ++j)
+    diff += std::fabs(attr_a->values[j] - attr_c->values[j]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Lime, RejectsArityMismatch) {
+  Dataset ds = MakeGaussianDataset(100, {.seed = 2, .dims = 3});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  LimeExplainer lime(*model, ds);
+  EXPECT_FALSE(lime.Explain({1.0}).ok());
+}
+
+TEST(Surrogate, TreeDistillsBlackBox) {
+  Dataset ds = MakeLoanDataset(1200);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  ASSERT_TRUE(gbdt.ok());
+  auto surrogate = FitTreeSurrogate(*gbdt, ds, {.max_depth = 6});
+  ASSERT_TRUE(surrogate.ok());
+  EXPECT_GT(surrogate->fidelity_r2, 0.5);
+  // Deeper surrogate => higher fidelity.
+  auto shallow = FitTreeSurrogate(*gbdt, ds, {.max_depth = 1});
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_GT(surrogate->fidelity_r2, shallow->fidelity_r2);
+}
+
+TEST(Surrogate, LinearFidelityOnLinearModel) {
+  std::vector<double> w;
+  Dataset ds = MakeLinearRegressionDataset(400, 4, 11, &w);
+  auto lin = LinearRegression::Fit(ds);
+  ASSERT_TRUE(lin.ok());
+  auto surrogate = FitLinearSurrogate(*lin, ds);
+  ASSERT_TRUE(surrogate.ok());
+  EXPECT_GT(surrogate->fidelity_r2, 0.999);  // Linear mimics linear exactly.
+}
+
+TEST(Qii, UnaryInfluenceFindsRelevantFeatures) {
+  Dataset ds = MakeGaussianDataset(1000, {.seed = 13, .dims = 4});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  QiiExplainer qii(*model, ds, {.num_samples = 400});
+  std::vector<double> unary = qii.UnaryInfluence(ds.row(0));
+  ASSERT_EQ(unary.size(), 4u);
+  // Feature 0 carries the most weight; its unary influence magnitude
+  // should dominate feature 3.
+  EXPECT_GT(std::fabs(unary[0]), std::fabs(unary[3]));
+}
+
+TEST(Qii, ShapleyAggregationEfficiency) {
+  Dataset ds = MakeGaussianDataset(600, {.seed = 15, .dims = 4});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  QiiExplainer qii(*model, ds,
+                   {.num_samples = 300, .num_permutations = 60});
+  auto attr = qii.Explain(ds.row(1));
+  ASSERT_TRUE(attr.ok());
+  // Shapley efficiency holds in expectation: sum phi ~ f(x) - v(empty).
+  double sum = 0.0;
+  for (double v : attr->values) sum += v;
+  EXPECT_NEAR(sum + attr->base_value, attr->prediction, 0.05);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/combinatorics.h"
+#include "math/gaussian.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace xai {
+namespace {
+
+TEST(Matrix, BasicOps) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+
+  Matrix t = a.Transpose();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3);
+  std::vector<double> v = a * std::vector<double>{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(v[0], -1);
+  EXPECT_DOUBLE_EQ(v[1], -1);
+
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4);
+}
+
+TEST(Matrix, GramAndTransposeTimes) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix g = a.Gram();
+  Matrix expected = a.Transpose() * a;
+  EXPECT_LT(g.MaxAbsDiff(expected), 1e-12);
+  std::vector<double> v = {1, 1, 1};
+  std::vector<double> atv = a.TransposeTimes(v);
+  EXPECT_DOUBLE_EQ(atv[0], 9);
+  EXPECT_DOUBLE_EQ(atv[1], 12);
+}
+
+TEST(Matrix, SelectAndAppend) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix rows = a.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(rows(0, 0), 7);
+  EXPECT_DOUBLE_EQ(rows(1, 2), 3);
+  Matrix cols = a.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols(2, 0), 8);
+  Matrix m;
+  m.AppendRow({1, 2});
+  m.AppendRow({3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+}
+
+TEST(Linalg, CholeskySolveRoundTrip) {
+  // SPD matrix A = B B^T + I.
+  Rng rng(1);
+  const size_t n = 8;
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Gaussian();
+  Matrix a = b * b.Transpose();
+  for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.Gaussian();
+  std::vector<double> rhs = a * x_true;
+  auto x = SolveSpd(a, rhs);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(Linalg, CholeskyRejectsNonSpd) {
+  Matrix a = {{1, 2}, {2, 1}};  // Indefinite.
+  EXPECT_FALSE(Cholesky(a).ok());
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(Linalg, InverseSpd) {
+  Matrix a = {{4, 1}, {1, 3}};
+  auto inv = InverseSpd(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a * (*inv);
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(2)), 1e-12);
+}
+
+TEST(Linalg, SolveLuGeneral) {
+  Matrix a = {{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};  // Needs pivoting.
+  std::vector<double> x_true = {1.0, -2.0, 3.0};
+  std::vector<double> rhs = a * x_true;
+  auto x = SolveLu(a, rhs);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-10);
+  Matrix sing = {{1, 2}, {2, 4}};
+  EXPECT_FALSE(SolveLu(sing, {1, 1}).ok());
+}
+
+TEST(Linalg, ConjugateGradientMatchesCholesky) {
+  Rng rng(3);
+  const size_t n = 10;
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Gaussian();
+  Matrix a = b * b.Transpose();
+  for (size_t i = 0; i < n; ++i) a(i, i) += 2.0;
+  std::vector<double> rhs(n);
+  for (auto& v : rhs) v = rng.Gaussian();
+  auto direct = SolveSpd(a, rhs);
+  ASSERT_TRUE(direct.ok());
+  std::vector<double> cg = ConjugateGradient(a, rhs, 200, 1e-12);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(cg[i], (*direct)[i], 1e-8);
+}
+
+TEST(Linalg, RidgeRegressionRecoversWeights) {
+  Rng rng(5);
+  const size_t n = 300;
+  const size_t d = 4;
+  std::vector<double> w = {2.0, -1.0, 0.5, 3.0};
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.Gaussian();
+      s += w[j] * x(i, j);
+    }
+    y[i] = s + rng.Gaussian(0, 0.01);
+  }
+  auto coef = RidgeRegression(x, y, 1e-8);
+  ASSERT_TRUE(coef.ok());
+  for (size_t j = 0; j < d; ++j) EXPECT_NEAR((*coef)[j], w[j], 0.01);
+}
+
+TEST(Linalg, RidgeRegressionWeighted) {
+  // Two clusters of points fitting different lines; weights select one.
+  Matrix x = {{1}, {2}, {3}, {1}, {2}, {3}};
+  std::vector<double> y = {2, 4, 6, -1, -2, -3};  // Slopes 2 and -1.
+  std::vector<double> w = {1, 1, 1, 0, 0, 0};
+  auto coef = RidgeRegression(x, y, 1e-10, &w);
+  ASSERT_TRUE(coef.ok());
+  EXPECT_NEAR((*coef)[0], 2.0, 1e-6);
+}
+
+TEST(Linalg, ShermanMorrisonMatchesDirectInverse) {
+  Rng rng(9);
+  const size_t n = 6;
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Gaussian();
+  Matrix a = b * b.Transpose();
+  for (size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  auto ainv = InverseSpd(a);
+  ASSERT_TRUE(ainv.ok());
+
+  std::vector<double> u(n);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    u[i] = rng.Gaussian() * 0.3;
+    v[i] = rng.Gaussian() * 0.3;
+  }
+  Matrix updated_inv = *ainv;
+  ASSERT_TRUE(ShermanMorrisonUpdate(&updated_inv, u, v).ok());
+
+  // Direct: inverse of A + u v^T.
+  Matrix a2 = a;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) a2(i, j) += u[i] * v[j];
+  // A + uv^T is not symmetric; check with LU solves column by column.
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> e(n, 0.0);
+    e[j] = 1.0;
+    auto col = SolveLu(a2, e);
+    ASSERT_TRUE(col.ok());
+    for (size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(updated_inv(i, j), (*col)[i], 1e-8);
+  }
+}
+
+TEST(Stats, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, Correlations) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  // Monotone nonlinear: Spearman 1, Pearson < 1.
+  std::vector<double> d = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(a, d), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(a, d), 1.0);
+  // Constant vector.
+  std::vector<double> e = {1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, e), 0.0);
+}
+
+TEST(Stats, RanksWithTies) {
+  std::vector<double> v = {10, 20, 20, 30};
+  std::vector<double> r = Ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, JaccardAndTopK) {
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1}, {2}), 0.0);
+  std::vector<double> v = {0.1, -5.0, 2.0, 0.0};
+  auto top = TopKByMagnitude(v, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(Stats, OnlineMomentsMatchBatch) {
+  Rng rng(33);
+  std::vector<double> v(500);
+  OnlineMoments om;
+  for (auto& x : v) {
+    x = rng.Gaussian(3.0, 2.0);
+    om.Add(x);
+  }
+  EXPECT_NEAR(om.mean(), Mean(v), 1e-10);
+  EXPECT_NEAR(om.variance(), Variance(v), 1e-8);
+}
+
+TEST(Stats, SigmoidStable) {
+  EXPECT_NEAR(Sigmoid(0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000), 0.0, 1e-12);
+  EXPECT_NEAR(Log1pExp(0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Log1pExp(100), 100.0, 1e-9);
+  EXPECT_NEAR(Log1pExp(-100), 0.0, 1e-12);
+}
+
+TEST(Combinatorics, BinomialAndFactorial) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 5), 0.0);
+  EXPECT_DOUBLE_EQ(Factorial(5), 120.0);
+}
+
+TEST(Combinatorics, ShapleyWeightsSumToOne) {
+  // sum over S subseteq N\{i} of w(|S|) = 1.
+  for (int n = 1; n <= 10; ++n) {
+    double total = 0.0;
+    for (int s = 0; s < n; ++s)
+      total += BinomialCoefficient(n - 1, s) * ShapleyWeight(n, s);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Combinatorics, SubsetEnumeration) {
+  auto subsets = AllSubsets(3);
+  EXPECT_EQ(subsets.size(), 8u);
+  EXPECT_EQ(PopCount(0b101), 2);
+  auto idx = MaskToIndices(0b101, 3);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 2);
+}
+
+TEST(Gaussian, FitRecoversMoments) {
+  Rng rng(77);
+  const size_t n = 20000;
+  Matrix rows(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Gaussian();
+    const double b = 0.8 * a + 0.6 * rng.Gaussian();
+    rows(i, 0) = 1.0 + a;
+    rows(i, 1) = -2.0 + b;
+  }
+  auto g = MultivariateGaussian::Fit(rows);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->mean()[0], 1.0, 0.05);
+  EXPECT_NEAR(g->mean()[1], -2.0, 0.05);
+  EXPECT_NEAR(g->cov()(0, 1), 0.8, 0.05);
+}
+
+TEST(Gaussian, ConditionalMatchesClosedForm) {
+  // X ~ N(0, [[1, rho], [rho, 1]]): E[X2 | X1 = a] = rho * a,
+  // Var = 1 - rho^2.
+  const double rho = 0.7;
+  Matrix cov = {{1.0, rho}, {rho, 1.0}};
+  auto g = MultivariateGaussian::Create({0.0, 0.0}, cov);
+  ASSERT_TRUE(g.ok());
+  auto cond = g->Condition({0}, {2.0});
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(cond->mean()[0], rho * 2.0, 1e-9);
+  EXPECT_NEAR(cond->cov()(0, 0), 1.0 - rho * rho, 1e-6);
+}
+
+TEST(Gaussian, SampleMatchesDistribution) {
+  Matrix cov = {{2.0, 0.5}, {0.5, 1.0}};
+  auto g = MultivariateGaussian::Create({1.0, -1.0}, cov);
+  ASSERT_TRUE(g.ok());
+  Rng rng(123);
+  OnlineMoments m0;
+  OnlineMoments m1;
+  double cross = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto s = g->Sample(&rng);
+    m0.Add(s[0]);
+    m1.Add(s[1]);
+    cross += (s[0] - 1.0) * (s[1] + 1.0);
+  }
+  EXPECT_NEAR(m0.mean(), 1.0, 0.05);
+  EXPECT_NEAR(m1.mean(), -1.0, 0.05);
+  EXPECT_NEAR(m0.variance(), 2.0, 0.1);
+  EXPECT_NEAR(cross / n, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/game.h"
+#include "data/synthetic.h"
+#include "feature/prototypes.h"
+#include "feature/shapley.h"
+
+namespace xai {
+namespace {
+
+// ---------------- MMD-critic prototypes & criticisms ----------------
+
+/// Two very tight, well-separated clusters plus a tiny far-away outlier
+/// group (rows 80-82). Tight clusters make the MMD witness ~0 on cluster
+/// points once each cluster holds a prototype, so the outliers carry the
+/// largest witness values.
+Dataset TwoClustersPlusOutlier() {
+  Rng rng(7);
+  Matrix x(83, 2);
+  std::vector<double> y(83, 0.0);
+  for (size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.Gaussian(-5.0, 0.05);
+    x(i, 1) = rng.Gaussian(-5.0, 0.05);
+  }
+  for (size_t i = 40; i < 80; ++i) {
+    x(i, 0) = rng.Gaussian(5.0, 0.05);
+    x(i, 1) = rng.Gaussian(5.0, 0.05);
+  }
+  for (size_t i = 80; i < 83; ++i) {
+    x(i, 0) = rng.Gaussian(0.0, 0.05);
+    x(i, 1) = rng.Gaussian(30.0, 0.05);
+  }
+  return Dataset(Schema({FeatureSpec::Numeric("a"),
+                         FeatureSpec::Numeric("b")}),
+                 x, y);
+}
+
+TEST(Prototypes, CoverBothClusters) {
+  Dataset ds = TwoClustersPlusOutlier();
+  auto report = SelectPrototypes(ds, {.num_prototypes = 2,
+                                      .num_criticisms = 1});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->prototypes.size(), 2u);
+  // One prototype per cluster (one index < 40, one in [40, 80)).
+  const bool covers_left = (report->prototypes[0] < 40) ||
+                           (report->prototypes[1] < 40);
+  const bool covers_right =
+      (report->prototypes[0] >= 40 && report->prototypes[0] < 80) ||
+      (report->prototypes[1] >= 40 && report->prototypes[1] < 80);
+  EXPECT_TRUE(covers_left);
+  EXPECT_TRUE(covers_right);
+  EXPECT_GE(report->mmd2, -1e-9);  // True squared MMD.
+}
+
+TEST(Prototypes, CriticismFindsTheOutlierGroup) {
+  Dataset ds = TwoClustersPlusOutlier();
+  auto report = SelectPrototypes(ds, {.num_prototypes = 4,
+                                      .num_criticisms = 1});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->criticisms.size(), 1u);
+  EXPECT_GE(report->criticisms[0], 80u) << "criticism should be an outlier";
+}
+
+TEST(Prototypes, MmdDecreasesWithMorePrototypes) {
+  Dataset ds = MakeGaussianDataset(200, {.seed = 5, .dims = 3});
+  double prev = 1e300;
+  for (size_t m : {1, 2, 4, 8, 16}) {
+    auto report = SelectPrototypes(ds, {.num_prototypes = m,
+                                        .num_criticisms = 0});
+    ASSERT_TRUE(report.ok());
+    EXPECT_LE(report->mmd2, prev + 1e-12) << "m=" << m;
+    prev = report->mmd2;
+  }
+}
+
+TEST(Prototypes, Validation) {
+  Dataset ds = MakeGaussianDataset(20, {.seed = 1, .dims = 2});
+  EXPECT_FALSE(SelectPrototypes(ds, {.num_prototypes = 0}).ok());
+  EXPECT_FALSE(SelectPrototypes(ds, {.num_prototypes = 100}).ok());
+  // Prototypes and criticisms are disjoint.
+  auto report = SelectPrototypes(ds, {.num_prototypes = 5,
+                                      .num_criticisms = 5});
+  ASSERT_TRUE(report.ok());
+  std::set<size_t> protos(report->prototypes.begin(),
+                          report->prototypes.end());
+  for (size_t c : report->criticisms) EXPECT_EQ(protos.count(c), 0u);
+}
+
+// ---------------- Owen values ----------------
+
+TEST(OwenValues, AdditiveGameMatchesShapley) {
+  LambdaGame game(4, [](const std::vector<bool>& s) {
+    return (s[0] ? 1.0 : 0.0) + (s[1] ? 2.0 : 0.0) + (s[2] ? 3.0 : 0.0) +
+           (s[3] ? -1.0 : 0.0);
+  });
+  Rng rng(3);
+  auto owen = OwenValues(game, {{0, 1}, {2, 3}}, 400, &rng);
+  ASSERT_TRUE(owen.ok());
+  EXPECT_NEAR((*owen)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*owen)[1], 2.0, 1e-9);
+  EXPECT_NEAR((*owen)[2], 3.0, 1e-9);
+  EXPECT_NEAR((*owen)[3], -1.0, 1e-9);
+}
+
+TEST(OwenValues, CrossGroupSynergySplitsAtGroupLevel) {
+  // v = 1 iff players 0 (group A) and 2 (group B) both present. With the
+  // grouping {{0,1},{2,3}}: group-level symmetric -> each group gets 0.5,
+  // carried entirely by its synergy member.
+  LambdaGame game(4, [](const std::vector<bool>& s) {
+    return s[0] && s[2] ? 1.0 : 0.0;
+  });
+  Rng rng(5);
+  auto owen = OwenValues(game, {{0, 1}, {2, 3}}, 4000, &rng);
+  ASSERT_TRUE(owen.ok());
+  EXPECT_NEAR((*owen)[0], 0.5, 0.03);
+  EXPECT_NEAR((*owen)[2], 0.5, 0.03);
+  EXPECT_NEAR((*owen)[1], 0.0, 1e-9);  // Dummies stay zero exactly.
+  EXPECT_NEAR((*owen)[3], 0.0, 1e-9);
+}
+
+TEST(OwenValues, WithinGroupSynergyDiffersFromShapley) {
+  // v = 1 iff 0 and 1 (same group) both present, and player 2 "blocks"
+  // with a penalty when alone... keep it simple: synergy within group A.
+  LambdaGame game(3, [](const std::vector<bool>& s) {
+    return s[0] && s[1] ? 1.0 : 0.0;
+  });
+  Rng rng(7);
+  // Group A = {0,1}, B = {2}: within A, members are symmetric -> 0.5 each.
+  auto owen = OwenValues(game, {{0, 1}, {2}}, 2000, &rng);
+  ASSERT_TRUE(owen.ok());
+  EXPECT_NEAR((*owen)[0], 0.5, 0.03);
+  EXPECT_NEAR((*owen)[1], 0.5, 0.03);
+  EXPECT_NEAR((*owen)[2], 0.0, 1e-9);
+  // Efficiency: sums to v(N) - v(empty) = 1.
+  EXPECT_NEAR((*owen)[0] + (*owen)[1] + (*owen)[2], 1.0, 1e-9);
+}
+
+TEST(OwenValues, ValidatesPartition) {
+  LambdaGame game(3, [](const std::vector<bool>&) { return 0.0; });
+  Rng rng(1);
+  EXPECT_FALSE(OwenValues(game, {{0, 1}}, 10, &rng).ok());        // Missing 2.
+  EXPECT_FALSE(OwenValues(game, {{0, 1}, {1, 2}}, 10, &rng).ok());  // Dup.
+  EXPECT_FALSE(OwenValues(game, {{0, 1}, {2, 9}}, 10, &rng).ok());  // Range.
+  EXPECT_TRUE(OwenValues(game, {{0, 1}, {2}}, 10, &rng).ok());
+}
+
+}  // namespace
+}  // namespace xai

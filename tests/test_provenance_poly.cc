@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/provenance_poly.h"
+#include "relational/query.h"
+
+namespace xai {
+namespace {
+
+using PP = ProvenancePolynomial;
+
+TEST(ProvenancePoly, BasicAlgebra) {
+  PP x = PP::Var(1);
+  PP y = PP::Var(2);
+  PP p = (x + y) * (x + y);  // x^2 + 2xy + y^2.
+  EXPECT_EQ(p.num_terms(), 3u);
+  EXPECT_EQ(p.ToString(), "2*t1*t2 + t1^2 + t2^2");
+  EXPECT_TRUE(PP::Zero().is_zero());
+  EXPECT_EQ((p * PP::Zero()).num_terms(), 0u);
+  EXPECT_EQ(p * PP::One(), p);
+  EXPECT_EQ(p + PP::Zero(), p);
+}
+
+TEST(ProvenancePoly, RingLawsOnRandomPolynomials) {
+  // Property: associativity, commutativity and distributivity hold for
+  // random small polynomials.
+  Rng rng(3);
+  auto random_poly = [&]() {
+    PP p = PP::Zero();
+    const int terms = 1 + static_cast<int>(rng.NextInt(3));
+    for (int t = 0; t < terms; ++t) {
+      PP mono = PP::One();
+      const int vars = 1 + static_cast<int>(rng.NextInt(3));
+      for (int v = 0; v < vars; ++v)
+        mono = mono * PP::Var(1 + rng.NextInt(4));
+      p = p + mono;
+    }
+    return p;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    PP a = random_poly();
+    PP b = random_poly();
+    PP c = random_poly();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(ProvenancePoly, EvaluationIsHomomorphic) {
+  Rng rng(5);
+  std::map<TupleId, long long> assign = {{1, 2}, {2, 3}, {3, 1}, {4, 5}};
+  auto random_poly = [&]() {
+    PP p = PP::Zero();
+    for (int t = 0; t < 3; ++t) {
+      PP mono = PP::One();
+      for (int v = 0; v < 2; ++v) mono = mono * PP::Var(1 + rng.NextInt(4));
+      p = p + mono;
+    }
+    return p;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    PP a = random_poly();
+    PP b = random_poly();
+    EXPECT_EQ((a + b).EvaluateCounting(assign),
+              a.EvaluateCounting(assign) + b.EvaluateCounting(assign));
+    EXPECT_EQ((a * b).EvaluateCounting(assign),
+              a.EvaluateCounting(assign) * b.EvaluateCounting(assign));
+  }
+}
+
+TEST(ProvenancePoly, SemiringSpecializations) {
+  // Query with two derivations: t1*t2 (join) + t3 (alternative).
+  PP p = PP::Var(1) * PP::Var(2) + PP::Var(3);
+
+  // Counting: each base tuple present once -> 2 derivations.
+  EXPECT_EQ(p.EvaluateCounting({{1, 1}, {2, 1}, {3, 1}}), 2);
+  // t1 duplicated twice -> join derivation doubles.
+  EXPECT_EQ(p.EvaluateCounting({{1, 2}, {2, 1}, {3, 1}}), 3);
+
+  // Boolean: survives deleting t3 (via t1*t2), survives deleting t1 (via
+  // t3), dies when t1 and t3 both gone.
+  EXPECT_TRUE(p.EvaluateBoolean({1, 2}));
+  EXPECT_TRUE(p.EvaluateBoolean({3}));
+  EXPECT_FALSE(p.EvaluateBoolean({2}));
+
+  // Tropical: cheapest derivation. costs t1=1, t2=1, t3=5 -> join (2).
+  EXPECT_DOUBLE_EQ(p.EvaluateTropical({{1, 1}, {2, 1}, {3, 5}}), 2.0);
+  // t2 unavailable (huge cost) -> fall back to t3.
+  EXPECT_DOUBLE_EQ(p.EvaluateTropical({{1, 1}, {3, 5}}), 5.0);
+}
+
+TEST(ProvenancePoly, RoundTripsWithWhyProvenance) {
+  WhyProvenance prov = {{1, 2}, {3}};
+  PP p = PP::FromWhyProvenance(prov);
+  EXPECT_EQ(p.num_terms(), 2u);
+  WhyProvenance back = p.ToWhyProvenance();
+  EXPECT_EQ(back, NormalizeProvenance(prov));
+  // Boolean evaluation matches witness semantics by construction.
+  EXPECT_TRUE(p.EvaluateBoolean({1, 2}));
+  EXPECT_FALSE(p.EvaluateBoolean({1}));
+}
+
+TEST(ProvenancePoly, AgreesWithEngineOnAJoin) {
+  // Build the join provenance through the engine, lift to a polynomial,
+  // and check the counting semiring counts join derivations.
+  Relation orders("orders", {"cust", "amount"});
+  const TupleId o1 = *orders.Insert({1, 10});
+  const TupleId o2 = *orders.Insert({1, 20});
+  Relation custs("custs", {"cust"});
+  const TupleId c1 = *custs.Insert({1});
+  auto joined = NaturalJoin(orders, custs);
+  ASSERT_TRUE(joined.ok());
+  PP total = PP::Zero();
+  for (size_t i = 0; i < joined->num_rows(); ++i)
+    total = total + PP::FromWhyProvenance(joined->provenance(i));
+  // Two join results: o1*c1 + o2*c1.
+  EXPECT_EQ(total.num_terms(), 2u);
+  EXPECT_EQ(total.EvaluateCounting({{o1, 1}, {o2, 1}, {c1, 1}}), 2);
+  // Duplicating the customer doubles every derivation.
+  EXPECT_EQ(total.EvaluateCounting({{o1, 1}, {o2, 1}, {c1, 2}}), 4);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "relational/query.h"
+#include "relational/relation.h"
+
+namespace xai {
+namespace {
+
+// Small star schema: orders(customer, amount), customers(customer, region).
+struct Db {
+  Relation orders{"orders", {"customer", "amount"}};
+  Relation customers{"customers", {"customer", "region"}};
+  TupleId first_order = 0;
+
+  Db() {
+    first_order = *orders.Insert({1, 100});
+    (void)*orders.Insert({1, 50});
+    (void)*orders.Insert({2, 200});
+    (void)*orders.Insert({3, 10});
+    (void)*customers.Insert({1, 0});  // Region 0.
+    (void)*customers.Insert({2, 0});
+    (void)*customers.Insert({3, 1});  // Region 1.
+  }
+};
+
+TEST(Relation, InsertAndProvenance) {
+  Relation r("t", {"a"});
+  auto t1 = r.Insert({1.0});
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(r.num_rows(), 1u);
+  ASSERT_EQ(r.provenance(0).size(), 1u);
+  EXPECT_EQ(r.provenance(0)[0][0], *t1);
+  EXPECT_FALSE(r.Insert({1.0, 2.0}).ok());  // Arity.
+}
+
+TEST(Relation, NormalizeProvenanceMinimality) {
+  WhyProvenance p = {{3, 1}, {1, 3}, {1, 2, 3}, {5}};
+  WhyProvenance norm = NormalizeProvenance(p);
+  // {1,3} deduped, {1,2,3} dominated by {1,3}, {5} kept.
+  ASSERT_EQ(norm.size(), 2u);
+  EXPECT_EQ(norm[0], (Witness{1, 3}));
+  EXPECT_EQ(norm[1], (Witness{5}));
+}
+
+TEST(Query, SelectKeepsProvenance) {
+  Db db;
+  auto pred = ColumnPredicate(db.orders, "amount", ">", 60.0);
+  ASSERT_TRUE(pred.ok());
+  Relation big = Select(db.orders, *pred);
+  EXPECT_EQ(big.num_rows(), 2u);
+  EXPECT_EQ(big.Lineage(0).size(), 1u);
+  EXPECT_FALSE(ColumnPredicate(db.orders, "xx", ">", 0.0).ok());
+  EXPECT_FALSE(ColumnPredicate(db.orders, "amount", "~", 0.0).ok());
+}
+
+TEST(Query, ProjectMergesDuplicates) {
+  Db db;
+  auto proj = Project(db.orders, {"customer"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_rows(), 3u);  // Customers 1, 2, 3.
+  // Customer 1 has two derivations (two orders).
+  for (size_t i = 0; i < proj->num_rows(); ++i) {
+    if (proj->value(i, 0) == 1.0) {
+      EXPECT_EQ(proj->provenance(i).size(), 2u);
+    }
+  }
+}
+
+TEST(Query, NaturalJoinCombinesWitnesses) {
+  Db db;
+  auto joined = NaturalJoin(db.orders, db.customers);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 4u);  // Every order matches one customer.
+  EXPECT_EQ(joined->num_columns(), 3u);
+  for (size_t i = 0; i < joined->num_rows(); ++i) {
+    ASSERT_EQ(joined->provenance(i).size(), 1u);
+    EXPECT_EQ(joined->provenance(i)[0].size(), 2u);  // Order + customer.
+  }
+  Relation no_shared("x", {"p"});
+  EXPECT_FALSE(NaturalJoin(db.orders, no_shared).ok());
+}
+
+TEST(Query, Aggregates) {
+  Db db;
+  auto sum = Aggregate(db.orders, AggKind::kSum, "amount");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->value, 360.0);
+  EXPECT_EQ(sum->lineage.size(), 4u);
+  EXPECT_DOUBLE_EQ(Aggregate(db.orders, AggKind::kCount, "")->value, 4.0);
+  EXPECT_DOUBLE_EQ(Aggregate(db.orders, AggKind::kAvg, "amount")->value,
+                   90.0);
+  EXPECT_DOUBLE_EQ(Aggregate(db.orders, AggKind::kMin, "amount")->value,
+                   10.0);
+  EXPECT_DOUBLE_EQ(Aggregate(db.orders, AggKind::kMax, "amount")->value,
+                   200.0);
+}
+
+TEST(Query, GroupAggregateOverJoin) {
+  Db db;
+  auto joined = NaturalJoin(db.orders, db.customers);
+  ASSERT_TRUE(joined.ok());
+  auto grouped = GroupAggregate(*joined, {"region"}, AggKind::kSum, "amount");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 2u);
+  for (size_t i = 0; i < grouped->num_rows(); ++i) {
+    if (grouped->value(i, 0) == 0.0) {
+      EXPECT_DOUBLE_EQ(grouped->value(i, 1), 350.0);
+      // Lineage: 3 orders + 2 customers.
+      EXPECT_EQ(grouped->Lineage(i).size(), 5u);
+    } else {
+      EXPECT_DOUBLE_EQ(grouped->value(i, 1), 10.0);
+    }
+  }
+}
+
+TEST(Relation, FilterByTupleId) {
+  Db db;
+  std::vector<bool> keep(4, true);
+  keep[0] = false;  // Drop the first order (amount 100).
+  Relation sub = db.orders.FilterByTupleId(keep, db.first_order);
+  EXPECT_EQ(sub.num_rows(), 3u);
+  auto sum = Aggregate(sub, AggKind::kSum, "amount");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->value, 260.0);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "data/synthetic.h"
+#include "model/gbdt.h"
+#include "rule/anchors.h"
+#include "rule/decision_set.h"
+#include "rule/itemset.h"
+
+namespace xai {
+namespace {
+
+std::vector<Transaction> ToyTransactions() {
+  // Classic basket example (items as raw codes).
+  return {
+      {1, 2, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}, {2}, {3},
+  };
+}
+
+TEST(Itemset, AprioriSupportsAreExact) {
+  auto itemsets = AprioriMine(ToyTransactions(), 2, 3);
+  std::map<std::vector<Item>, size_t> sup;
+  for (const auto& fi : itemsets) sup[fi.items] = fi.support;
+  EXPECT_EQ((sup[{1}]), 4u);
+  EXPECT_EQ((sup[{2}]), 5u);
+  EXPECT_EQ((sup[{3}]), 5u);
+  EXPECT_EQ((sup[{1, 2}]), 3u);
+  EXPECT_EQ((sup[{1, 3}]), 3u);
+  EXPECT_EQ((sup[{2, 3}]), 3u);
+  EXPECT_EQ((sup[{1, 2, 3}]), 2u);
+  EXPECT_EQ(sup.count({1, 2, 3, 4}), 0u);
+}
+
+TEST(Itemset, MinSupportFilters) {
+  auto itemsets = AprioriMine(ToyTransactions(), 4, 3);
+  for (const auto& fi : itemsets) EXPECT_GE(fi.support, 4u);
+  // Only singletons qualify at support 4.
+  for (const auto& fi : itemsets) EXPECT_EQ(fi.items.size(), 1u);
+}
+
+struct MinerParams {
+  size_t min_support;
+  uint64_t seed;
+};
+
+class MinerEquivalence : public ::testing::TestWithParam<MinerParams> {};
+
+TEST_P(MinerEquivalence, FpGrowthMatchesApriori) {
+  // Property: on random transaction databases, FP-Growth and Apriori mine
+  // the exact same (itemset, support) collection.
+  const MinerParams p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Transaction> tx(60);
+  for (auto& t : tx) {
+    for (Item item = 0; item < 8; ++item)
+      if (rng.Bernoulli(0.35)) t.push_back(item);
+  }
+  auto a = AprioriMine(tx, p.min_support, 4);
+  auto f = FpGrowthMine(tx, p.min_support, 4);
+  auto key = [](const FrequentItemset& x) {
+    return std::make_pair(x.items, x.support);
+  };
+  std::vector<std::pair<std::vector<Item>, size_t>> ka;
+  std::vector<std::pair<std::vector<Item>, size_t>> kf;
+  for (const auto& x : a) ka.push_back(key(x));
+  for (const auto& x : f) kf.push_back(key(x));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kf.begin(), kf.end());
+  EXPECT_EQ(ka, kf);
+}
+
+INSTANTIATE_TEST_SUITE_P(SupportSweep, MinerEquivalence,
+                         ::testing::Values(MinerParams{2, 1},
+                                           MinerParams{5, 2},
+                                           MinerParams{10, 3},
+                                           MinerParams{20, 4},
+                                           MinerParams{3, 5},
+                                           MinerParams{8, 6}));
+
+TEST(Itemset, AssociationRulesConfidence) {
+  auto rules = MineAssociationRules(ToyTransactions(), 2, 0.5, 3);
+  EXPECT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    EXPECT_GE(r.confidence, 0.5);
+    EXPECT_GT(r.support, 0.0);
+  }
+  // Specific rule: {1} -> 2 has confidence 3/4.
+  bool found = false;
+  for (const auto& r : rules) {
+    if (r.antecedent == std::vector<Item>{1} && r.consequent == 2) {
+      EXPECT_NEAR(r.confidence, 0.75, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Itemset, TransactionsFromDataset) {
+  Dataset ds = MakeHiringDataset(200);
+  Discretizer disc = Discretizer::Fit(ds, 4);
+  auto tx = ToTransactions(ds, disc);
+  ASSERT_EQ(tx.size(), 200u);
+  for (const auto& t : tx) EXPECT_EQ(t.size(), ds.d());
+  // Item encoding round trip.
+  const Item it = MakeItem(3, 2);
+  EXPECT_EQ(ItemFeature(it), 3u);
+  EXPECT_EQ(ItemBin(it), 2u);
+}
+
+TEST(KlBounds, BernoulliKlProperties) {
+  EXPECT_NEAR(BernoulliKl(0.5, 0.5), 0.0, 1e-12);
+  EXPECT_GT(BernoulliKl(0.9, 0.5), 0.0);
+  // Bounds bracket the estimate and tighten with n.
+  const double p = 0.8;
+  const double loose_u = KlUpperBound(p, 1.0 / 10);
+  const double tight_u = KlUpperBound(p, 1.0 / 1000);
+  EXPECT_GT(loose_u, tight_u);
+  EXPECT_GE(tight_u, p);
+  const double loose_l = KlLowerBound(p, 1.0 / 10);
+  const double tight_l = KlLowerBound(p, 1.0 / 1000);
+  EXPECT_LT(loose_l, tight_l);
+  EXPECT_LE(tight_l, p);
+}
+
+TEST(Anchors, FindsHighPrecisionRule) {
+  Dataset ds = MakeHiringDataset(1500);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  ASSERT_TRUE(model.ok());
+  AnchorsExplainer anchors(*model, ds,
+                           {.precision_threshold = 0.9, .beam_width = 4});
+  // Explain a clearly hired instance: referred with high interview score.
+  std::vector<double> x = {8.0, 8.5, 2.0, 1.0, 1.0};
+  ASSERT_GE(model->Predict(x), 0.5);
+  auto rule = anchors.Explain(x);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_GT(rule->precision, 0.85);
+  EXPECT_GT(rule->coverage, 0.0);
+  EXPECT_LE(rule->predicates.size(), 5u);
+  // The instance itself must satisfy its anchor.
+  EXPECT_TRUE(rule->Matches(x));
+  EXPECT_DOUBLE_EQ(rule->outcome, 1.0);
+}
+
+TEST(Anchors, AnchorGeneralizesToSimilarInstances) {
+  Dataset ds = MakeHiringDataset(1500);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  ASSERT_TRUE(model.ok());
+  AnchorsExplainer anchors(*model, ds, {.precision_threshold = 0.9});
+  std::vector<double> x = {8.0, 8.5, 2.0, 1.0, 1.0};
+  auto rule = anchors.Explain(x);
+  ASSERT_TRUE(rule.ok());
+  // Empirical precision on the reference data.
+  size_t matched = 0;
+  size_t agreed = 0;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    if (!rule->Matches(ds.row(i))) continue;
+    ++matched;
+    if (PredictLabel(*model, ds.row(i)) == rule->outcome) ++agreed;
+  }
+  if (matched >= 20) {
+    EXPECT_GT(static_cast<double>(agreed) / matched, 0.8);
+  }
+}
+
+TEST(DecisionSet, LearnsInterpretableClassifier) {
+  Dataset ds = MakeHiringDataset(1500);
+  auto dset = FitDecisionSet(ds, nullptr, {});
+  ASSERT_TRUE(dset.ok());
+  EXPECT_FALSE(dset->rules().empty());
+  EXPECT_LE(dset->rules().size(), 8u);
+  // Beats the majority-class baseline.
+  double base_rate = 0.0;
+  for (double y : ds.y()) base_rate += y;
+  base_rate /= static_cast<double>(ds.n());
+  const double majority = std::max(base_rate, 1.0 - base_rate);
+  EXPECT_GT(dset->Accuracy(ds), majority + 0.03);
+  for (const auto& rule : dset->rules())
+    EXPECT_LE(rule.predicates.size(), 3u);
+}
+
+TEST(DecisionSet, SurrogateModeTracksModel) {
+  Dataset ds = MakeHiringDataset(1200);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  ASSERT_TRUE(model.ok());
+  auto dset = FitDecisionSet(ds, &*model, {});
+  ASSERT_TRUE(dset.ok());
+  // Agreement with the black box (fidelity), not the labels.
+  size_t agree = 0;
+  for (size_t i = 0; i < ds.n(); ++i)
+    if ((dset->Predict(ds.row(i)) >= 0.5) ==
+        (model->Predict(ds.row(i)) >= 0.5))
+      ++agree;
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(ds.n()), 0.8);
+  EXPECT_NE(dset->ToString(ds.schema()).find("IF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xai

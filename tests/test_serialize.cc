@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "feature/tree_shap.h"
+#include "model/serialize.h"
+
+namespace xai {
+namespace {
+
+TEST(Serialize, LinearRoundTrip) {
+  std::vector<double> w;
+  Dataset ds = MakeLinearRegressionDataset(200, 5, 3, &w);
+  auto model = LinearRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  const std::string path = "/tmp/xai_model_linear.txt";
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  EXPECT_EQ(*PeekModelType(path), "linear");
+  auto loaded = LoadLinearRegression(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(loaded->Predict(ds.row(i)), model->Predict(ds.row(i)));
+  EXPECT_DOUBLE_EQ(loaded->lambda(), model->lambda());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LogisticRoundTrip) {
+  Dataset ds = MakeGaussianDataset(300, {.seed = 5, .dims = 4});
+  auto model = LogisticRegression::Fit(ds, {.lambda = 0.01});
+  ASSERT_TRUE(model.ok());
+  const std::string path = "/tmp/xai_model_logistic.txt";
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  EXPECT_EQ(*PeekModelType(path), "logistic");
+  auto loaded = LoadLogisticRegression(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(loaded->Predict(ds.row(i)), model->Predict(ds.row(i)));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, GbdtRoundTripBitExact) {
+  Dataset ds = MakeLoanDataset(800);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 25});
+  ASSERT_TRUE(model.ok());
+  const std::string path = "/tmp/xai_model_gbdt.txt";
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  EXPECT_EQ(*PeekModelType(path), "gbdt");
+  auto loaded = LoadGbdt(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->trees().size(), model->trees().size());
+  EXPECT_EQ(loaded->num_features(), model->num_features());
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(ds.row(i)), model->Predict(ds.row(i)));
+    EXPECT_DOUBLE_EQ(loaded->PredictMargin(ds.row(i)),
+                     model->PredictMargin(ds.row(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedGbdtExplainsIdentically) {
+  // The whole point of persistence: explanations after reload match.
+  Dataset ds = MakeLoanDataset(600);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 20});
+  ASSERT_TRUE(model.ok());
+  const std::string path = "/tmp/xai_model_gbdt2.txt";
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  auto loaded = LoadGbdt(path);
+  ASSERT_TRUE(loaded.ok());
+  TreeShapExplainer e1(*model, ds.schema());
+  TreeShapExplainer e2(*loaded, ds.schema());
+  auto a1 = e1.Explain(ds.row(2));
+  auto a2 = e2.Explain(ds.row(2));
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  for (size_t j = 0; j < ds.d(); ++j)
+    EXPECT_DOUBLE_EQ(a1->values[j], a2->values[j]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  const std::string path = "/tmp/xai_model_garbage.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a model\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadGbdt(path).ok());
+  EXPECT_FALSE(PeekModelType(path).ok());
+  EXPECT_FALSE(LoadGbdt("/nonexistent/m.txt").ok());
+  // Wrong type dispatch.
+  Dataset ds = MakeGaussianDataset(100, {.seed = 1, .dims = 2});
+  auto model = LogisticRegression::Fit(ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  EXPECT_FALSE(LoadGbdt(path).ok());
+  EXPECT_TRUE(LoadLogisticRegression(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xai

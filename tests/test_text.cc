@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+#include "model/metrics.h"
+#include "text/anchors_text.h"
+#include "text/lime_text.h"
+#include "text/text_data.h"
+#include "text/vocab.h"
+
+namespace xai {
+namespace {
+
+TEST(Tokenize, LowercasesAndSplitsOnNonAlnum) {
+  auto toks = Tokenize("Great product!! Arrived on-time, 5 stars.");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0], "great");
+  EXPECT_EQ(toks[3], "on");
+  EXPECT_EQ(toks[4], "time");
+  EXPECT_EQ(toks[5], "5");
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ...").empty());
+}
+
+TEST(Vocabulary, MinCountFilterAndLookup) {
+  Vocabulary v = Vocabulary::Build({"a a b", "a c", "b d"}, 2);
+  // a: 3, b: 2 kept; c, d dropped.
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_GE(v.WordId("a"), 0);
+  EXPECT_GE(v.WordId("b"), 0);
+  EXPECT_EQ(v.WordId("c"), -1);
+  EXPECT_EQ(v.WordId("zzz"), -1);
+  EXPECT_EQ(v.word(static_cast<size_t>(v.WordId("a"))), "a");
+}
+
+TEST(BowVectorizer, CountsWords) {
+  Vocabulary v = Vocabulary::Build({"red red blue", "blue green"}, 1);
+  BowVectorizer bow(v);
+  std::vector<double> x = bow.Transform("red blue red unknown");
+  EXPECT_DOUBLE_EQ(x[static_cast<size_t>(v.WordId("red"))], 2.0);
+  EXPECT_DOUBLE_EQ(x[static_cast<size_t>(v.WordId("blue"))], 1.0);
+  EXPECT_DOUBLE_EQ(x[static_cast<size_t>(v.WordId("green"))], 0.0);
+}
+
+TEST(ReviewCorpus, SentimentModelIsLearnable) {
+  TextCorpus corpus = MakeReviewCorpus(1500);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  Rng rng(1);
+  auto [train, test] = ds.Split(0.8, &rng);
+  auto model = LogisticRegression::Fit(train, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(EvaluateAccuracy(*model, test), 0.82);
+  // The learned weights separate the known signal words.
+  for (const std::string& word : PositiveSignalWords()) {
+    const int id = vocab.WordId(word);
+    if (id >= 0) {
+      EXPECT_GT(model->theta()[static_cast<size_t>(id)], 0.0) << word;
+    }
+  }
+  for (const std::string& word : NegativeSignalWords()) {
+    const int id = vocab.WordId(word);
+    if (id >= 0) {
+      EXPECT_LT(model->theta()[static_cast<size_t>(id)], 0.0) << word;
+    }
+  }
+}
+
+TEST(LimeText, IdentifiesSignalWords) {
+  TextCorpus corpus = MakeReviewCorpus(1500);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+
+  LimeTextExplainer lime(*model, bow, {.num_samples = 600});
+  const std::string doc =
+      "the product arrived on time and it was excellent i love it";
+  auto attr = lime.Explain(doc);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_GT(attr->prediction, 0.5);
+  // The top word must be one of the sentiment carriers in the document.
+  const std::string top = attr->words[attr->TopWords(1)[0]];
+  EXPECT_TRUE(top == "excellent" || top == "love") << "top word: " << top;
+  // And its weight must be positive (pushes toward the positive class).
+  EXPECT_GT(attr->weights[attr->TopWords(1)[0]], 0.0);
+}
+
+TEST(LimeText, NegativeReviewNegativeWords) {
+  TextCorpus corpus = MakeReviewCorpus(1500);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  LimeTextExplainer lime(*model, bow, {.num_samples = 600});
+  auto attr = lime.Explain("the box arrived broken what a waste i want a refund");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_LT(attr->prediction, 0.5);
+  const std::string top = attr->words[attr->TopWords(1)[0]];
+  EXPECT_TRUE(top == "broken" || top == "waste" || top == "refund")
+      << "top word: " << top;
+  EXPECT_LT(attr->weights[attr->TopWords(1)[0]], 0.0);
+}
+
+TEST(LimeText, RejectsOovOnlyDocument) {
+  TextCorpus corpus = MakeReviewCorpus(300);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  LimeTextExplainer lime(*model, bow);
+  EXPECT_FALSE(lime.Explain("xyzzy qwerty plugh").ok());
+}
+
+TEST(LimeText, WorksWithTreeModelsToo) {
+  // Model-agnosticism: same explainer over a GBDT on the same BoW.
+  TextCorpus corpus = MakeReviewCorpus(1200);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  ASSERT_TRUE(model.ok());
+  LimeTextExplainer lime(*model, bow, {.num_samples = 500});
+  auto attr = lime.Explain("excellent product i love it");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_FALSE(attr->words.empty());
+  EXPECT_NE(attr->ToString().find("prediction"), std::string::npos);
+}
+
+TEST(TextAnchors, FindsSentimentWordAnchor) {
+  TextCorpus corpus = MakeReviewCorpus(1500);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+
+  const std::string doc =
+      "the product arrived on time it was excellent i love it";
+  auto anchor = ExplainTextWithAnchor(*model, bow, doc,
+                                      {.precision_threshold = 0.9});
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_DOUBLE_EQ(anchor->outcome, 1.0);
+  EXPECT_GT(anchor->precision, 0.85);
+  EXPECT_LE(anchor->words.size(), 3u);
+  ASSERT_FALSE(anchor->words.empty());
+  // The anchor must contain at least one sentiment word, not filler.
+  bool has_signal = false;
+  for (const std::string& w : anchor->words)
+    if (w == "excellent" || w == "love") has_signal = true;
+  EXPECT_TRUE(has_signal) << anchor->ToString();
+  EXPECT_NE(anchor->ToString().find("IF document contains"),
+            std::string::npos);
+}
+
+TEST(TextAnchors, RejectsOovDocument) {
+  TextCorpus corpus = MakeReviewCorpus(300);
+  Vocabulary vocab = Vocabulary::Build(corpus.documents, 3);
+  BowVectorizer bow(vocab);
+  Dataset ds = bow.ToDataset(corpus);
+  auto model = LogisticRegression::Fit(ds, {.lambda = 1e-2});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(ExplainTextWithAnchor(*model, bow, "qwerty xyzzy").ok());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,22 @@
+// Compilation test for the umbrella header: every public API must be
+// reachable through a single include, and the headers must be mutually
+// consistent (no ODR/guard collisions).
+#include "xai.h"
+
+#include <gtest/gtest.h>
+
+namespace xai {
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  Dataset ds = MakeLoanDataset(300);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 10});
+  ASSERT_TRUE(model.ok());
+  TreeShapExplainer explainer(*model, ds.schema());
+  auto attr = explainer.Explain(ds.row(0));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->values.size(), ds.d());
+}
+
+}  // namespace
+}  // namespace xai
