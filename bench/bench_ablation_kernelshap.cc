@@ -68,5 +68,6 @@ int main() {
   }
   Row("# expected shape: both errors fall monotonically-ish toward the "
       "residual bias of the 100-row background; runtime grows linearly.");
+  ReportMetrics();
   return 0;
 }

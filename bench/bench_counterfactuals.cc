@@ -136,5 +136,6 @@ int main() {
   Row("# expected shape: dice maximizes diversity; geco minimizes "
       "sparsity/distance under constraints; random is worst on "
       "distance/sparsity.");
+  ReportMetrics();
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
   }
   Row("# expected shape: VSI/CSI rise monotonically-ish with n and stay "
       "below the deterministic 1.0 of treeshap.");
+  ReportMetrics();
   return 0;
 }

@@ -107,5 +107,6 @@ int main() {
   }
   Row("# expected shape: exact runtime explodes past ~20 tuples; sampled "
       "correlation with exact > 0.95 where both exist.");
+  ReportMetrics();
   return 0;
 }

@@ -80,5 +80,6 @@ int main() {
         treeshap_ms);
   }
   Row("# expected shape: exact_ms grows ~2^d; treeshap_ms nearly constant.");
+  ReportMetrics();
   return 0;
 }

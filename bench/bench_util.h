@@ -1,27 +1,18 @@
 #ifndef XAIDB_BENCH_BENCH_UTIL_H_
 #define XAIDB_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace xai::bench {
 
-/// Wall-clock stopwatch in milliseconds.
-class Timer {
- public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-  double ElapsedMs() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(now - start_).count();
-  }
-  void Reset() { start_ = std::chrono::steady_clock::now(); }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Wall-clock stopwatch in milliseconds — the library's own obs::Stopwatch,
+/// so benches and internal instrumentation share one timing primitive.
+using Timer = ::xai::obs::Stopwatch;
 
 /// Prints an experiment banner: id, claim, and the series/rows to expect.
 inline void Banner(const char* experiment_id, const char* claim) {
@@ -38,6 +29,23 @@ inline void Row(const char* fmt, ...) {
   std::vfprintf(stdout, fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// When XAIDB_METRICS is on, prints the library's internal counters and
+/// span timings accumulated so far (model evals, samples drawn, coalitions
+/// enumerated) so a bench reports observed internal cost next to its
+/// wall-clock table. No-op — and no output — when metrics are off, keeping
+/// default bench output diff-stable.
+inline void ReportMetrics() {
+  if (!::xai::obs::Enabled()) return;
+  std::fputs(::xai::obs::MetricsToTable().c_str(), stdout);
+}
+
+/// Zeroes the internal counters so a ReportMetrics() at the end of a bench
+/// covers exactly that bench's work. No-op when metrics are off.
+inline void ResetMetrics() {
+  if (!::xai::obs::Enabled()) return;
+  ::xai::obs::MetricsRegistry::Global().ResetAll();
 }
 
 }  // namespace xai::bench

@@ -2,26 +2,36 @@
 //
 // Usage:
 //   xaidb_cli <data.csv> [--model gbdt|logistic|forest] [--row N]
-//             [--explainer treeshap|kernelshap|lime|anchors|counterfactual]
+//             [--explainer treeshap|kernelshap|lime|mcshapley|anchors|
+//                          counterfactual|all]
+//             [--metrics] [--metrics-json <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
 // so `xaidb_cli` alone always produces output.
+//
+// --metrics prints the library's internal counters and span timings
+// (model evals, samples drawn, coalitions enumerated) after the run;
+// --metrics-json writes the same data as JSON. Either flag — or the
+// XAIDB_METRICS env var — turns instrumentation on.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "cf/dice.h"
+#include "core/game.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "feature/kernel_shap.h"
 #include "feature/lime.h"
+#include "feature/shapley.h"
 #include "feature/tree_shap.h"
 #include "model/decision_tree.h"
 #include "model/gbdt.h"
 #include "model/logistic_regression.h"
 #include "model/metrics.h"
+#include "obs/obs.h"
 #include "rule/anchors.h"
 
 using namespace xai;
@@ -39,6 +49,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string model_kind = "gbdt";
   std::string explainer_kind = "treeshap";
+  std::string metrics_json_path;
+  bool print_metrics = false;
   size_t row = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,16 +60,23 @@ int main(int argc, char** argv) {
       explainer_kind = argv[++i];
     } else if (arg == "--row" && i + 1 < argc) {
       row = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
-                  "treeshap|kernelshap|lime|anchors|counterfactual]\n",
+                  "treeshap|kernelshap|lime|mcshapley|anchors|"
+                  "counterfactual|all] "
+                  "[--metrics] [--metrics-json <path>]\n",
                   argv[0]);
       return 0;
     } else if (csv_path.empty()) {
       csv_path = arg;
     }
   }
+  if (print_metrics || !metrics_json_path.empty()) obs::SetEnabled(true);
 
   if (csv_path.empty()) {
     csv_path = "/tmp/xaidb_demo.csv";
@@ -109,44 +128,80 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", ds.schema().FormatValue(j, x[j]).c_str());
   std::printf("\n");
 
-  if (explainer_kind == "treeshap") {
-    if (!gbdt_ptr) {
-      std::fprintf(stderr,
-                   "error: --explainer treeshap requires --model gbdt\n");
+  auto run_one = [&](const std::string& kind) -> int {
+    if (kind == "treeshap") {
+      if (!gbdt_ptr) {
+        std::fprintf(stderr,
+                     "error: --explainer treeshap requires --model gbdt\n");
+        return 1;
+      }
+      TreeShapExplainer explainer(*gbdt_ptr, ds.schema());
+      auto attr = explainer.Explain(x);
+      if (!attr.ok()) return Fail(attr.status());
+      std::printf("TreeSHAP (log-odds units):\n%s", attr->ToString().c_str());
+    } else if (kind == "kernelshap") {
+      KernelShapExplainer explainer(*model, ds, {.max_background = 50});
+      auto attr = explainer.Explain(x);
+      if (!attr.ok()) return Fail(attr.status());
+      std::printf("KernelSHAP:\n%s", attr->ToString().c_str());
+    } else if (kind == "lime") {
+      LimeExplainer explainer(*model, ds, {.num_samples = 3000});
+      auto attr = explainer.Explain(x);
+      if (!attr.ok()) return Fail(attr.status());
+      std::printf("LIME (local R^2 = %.3f):\n%s", explainer.last_local_r2(),
+                  attr->ToString().c_str());
+    } else if (kind == "mcshapley") {
+      MarginalFeatureGame game(*model, ds.x(), x, 50);
+      Rng rng(7);
+      const std::vector<double> phi = PermutationShapley(game, 50, &rng);
+      std::printf("MC-Shapley (50 permutations, marginal game):\n");
+      for (size_t j = 0; j < ds.d(); ++j)
+        std::printf("  %-24s %+.4f\n", ds.schema().feature(j).name.c_str(),
+                    phi[j]);
+    } else if (kind == "anchors") {
+      AnchorsExplainer explainer(*model, ds, {});
+      auto rule = explainer.Explain(x);
+      if (!rule.ok()) return Fail(rule.status());
+      std::printf("Anchor:\n%s\n", rule->ToString(ds.schema()).c_str());
+    } else if (kind == "counterfactual") {
+      FeatureSpace space = FeatureSpace::FromDataset(ds);
+      const int desired = model->Predict(x) >= 0.5 ? 0 : 1;
+      auto cfs = DiceCounterfactuals(*model, space, x, desired,
+                                     {.num_counterfactuals = 3});
+      if (!cfs.ok()) return Fail(cfs.status());
+      std::printf("counterfactuals toward class %d:\n%s", desired,
+                  cfs->ToString(ds.schema(), x).c_str());
+    } else {
+      std::fprintf(stderr, "error: unknown explainer '%s'\n", kind.c_str());
       return 1;
     }
-    TreeShapExplainer explainer(*gbdt_ptr, ds.schema());
-    auto attr = explainer.Explain(x);
-    if (!attr.ok()) return Fail(attr.status());
-    std::printf("TreeSHAP (log-odds units):\n%s", attr->ToString().c_str());
-  } else if (explainer_kind == "kernelshap") {
-    KernelShapExplainer explainer(*model, ds, {.max_background = 50});
-    auto attr = explainer.Explain(x);
-    if (!attr.ok()) return Fail(attr.status());
-    std::printf("KernelSHAP:\n%s", attr->ToString().c_str());
-  } else if (explainer_kind == "lime") {
-    LimeExplainer explainer(*model, ds, {.num_samples = 3000});
-    auto attr = explainer.Explain(x);
-    if (!attr.ok()) return Fail(attr.status());
-    std::printf("LIME (local R^2 = %.3f):\n%s", explainer.last_local_r2(),
-                attr->ToString().c_str());
-  } else if (explainer_kind == "anchors") {
-    AnchorsExplainer explainer(*model, ds, {});
-    auto rule = explainer.Explain(x);
-    if (!rule.ok()) return Fail(rule.status());
-    std::printf("Anchor:\n%s\n", rule->ToString(ds.schema()).c_str());
-  } else if (explainer_kind == "counterfactual") {
-    FeatureSpace space = FeatureSpace::FromDataset(ds);
-    const int desired = model->Predict(x) >= 0.5 ? 0 : 1;
-    auto cfs = DiceCounterfactuals(*model, space, x, desired,
-                                   {.num_counterfactuals = 3});
-    if (!cfs.ok()) return Fail(cfs.status());
-    std::printf("counterfactuals toward class %d:\n%s", desired,
-                cfs->ToString(ds.schema(), x).c_str());
+    return 0;
+  };
+
+  if (explainer_kind == "all") {
+    // One instrumented pass over every explainer family — with
+    // --metrics-json this produces a single JSON covering KernelSHAP,
+    // LIME, TreeSHAP, MC-Shapley and a counterfactual search.
+    for (const char* kind :
+         {"treeshap", "kernelshap", "lime", "mcshapley", "counterfactual"}) {
+      if (std::string(kind) == "treeshap" && gbdt_ptr == nullptr) continue;
+      std::printf("--- %s ---\n", kind);
+      const int rc = run_one(kind);
+      if (rc != 0) return rc;
+      std::printf("\n");
+    }
   } else {
-    std::fprintf(stderr, "error: unknown explainer '%s'\n",
-                 explainer_kind.c_str());
-    return 1;
+    const int rc = run_one(explainer_kind);
+    if (rc != 0) return rc;
+  }
+
+  if (obs::Enabled()) {
+    if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
+    if (!metrics_json_path.empty()) {
+      Status st = obs::WriteMetricsJson(metrics_json_path);
+      if (!st.ok()) return Fail(st);
+      std::printf("\nmetrics written to %s\n", metrics_json_path.c_str());
+    }
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace xai {
 namespace {
 
@@ -47,6 +49,7 @@ void Sparsify(const Model& model, const FeatureSpace& space,
   }
   std::sort(changed.begin(), changed.end());
   for (const auto& [neg_contrib, j] : changed) {
+    XAI_OBS_COUNT("cf.dice.sparsify_evals");
     const double saved = (*candidate)[j];
     (*candidate)[j] = instance[j];
     const double p = model.Predict(*candidate);
@@ -63,6 +66,7 @@ Result<CounterfactualSet> DiceCounterfactuals(
     const DiceOptions& opts) {
   if (instance.size() != space.num_features())
     return Status::InvalidArgument("Dice: instance arity mismatch");
+  XAI_OBS_SPAN("cf_dice");
   Rng rng(opts.seed);
 
   // Stage 1: collect valid (and, if requested, on-manifold) candidates.
@@ -72,6 +76,7 @@ Result<CounterfactualSet> DiceCounterfactuals(
           : 0.0;
   std::vector<Counterfactual> pool;
   for (int i = 0; i < opts.num_candidates; ++i) {
+    XAI_OBS_COUNT("cf.dice.candidates");
     std::vector<double> x = RandomCandidate(space, instance, &rng);
     Counterfactual cf =
         MakeCounterfactual(model, space, instance, std::move(x),

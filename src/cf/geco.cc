@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace xai {
 
 PlafConstraint PlafConstraint::Immutable(size_t feature, std::string name) {
@@ -71,6 +73,7 @@ struct Fitness {
 Fitness Evaluate(const Model& model, const FeatureSpace& space,
                  const std::vector<double>& instance, int desired_class,
                  const std::vector<double>& candidate) {
+  XAI_OBS_COUNT("cf.geco.evaluations");
   const double p = model.Predict(candidate);
   Fitness f;
   f.valid = desired_class == 1 ? p >= 0.5 : p < 0.5;
@@ -106,6 +109,7 @@ Result<CounterfactualSet> GecoCounterfactuals(
     const std::vector<PlafConstraint>& constraints, const GecoOptions& opts) {
   if (instance.size() != space.num_features())
     return Status::InvalidArgument("Geco: instance arity mismatch");
+  XAI_OBS_SPAN("cf_geco");
   Rng rng(opts.seed);
 
   struct Member {
@@ -143,6 +147,7 @@ Result<CounterfactualSet> GecoCounterfactuals(
   };
 
   for (int gen = 0; gen < opts.generations; ++gen) {
+    XAI_OBS_COUNT("cf.geco.generations");
     std::sort(pop.begin(), pop.end(), by_fitness);
     const size_t elite = std::max<size_t>(
         2, static_cast<size_t>(opts.elite_fraction *

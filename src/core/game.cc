@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace xai {
 
 MarginalFeatureGame::MarginalFeatureGame(const Model& model,
@@ -24,6 +26,8 @@ double MarginalFeatureGame::Value(
     const std::vector<bool>& in_coalition) const {
   const size_t d = instance_.size();
   const size_t m = background_.rows();
+  XAI_OBS_COUNT("core.game.coalition_evals");
+  XAI_OBS_COUNT_N("core.game.model_evals", m);
   double total = 0.0;
   std::vector<double> x(d);
   for (size_t b = 0; b < m; ++b) {
@@ -50,6 +54,7 @@ Result<ConditionalGaussianGame> ConditionalGaussianGame::Create(
 
 double ConditionalGaussianGame::Value(
     const std::vector<bool>& in_coalition) const {
+  XAI_OBS_COUNT("core.game.coalition_evals");
   const size_t d = instance_.size();
   std::vector<size_t> given;
   for (size_t j = 0; j < d; ++j)
@@ -62,8 +67,12 @@ double ConditionalGaussianGame::Value(
     mask_hash = mask_hash * 1099511628211ULL + (in_coalition[j] ? 2 : 1);
   Rng rng(mask_hash);
 
-  if (given.size() == d) return model_.Predict(instance_);
+  if (given.size() == d) {
+    XAI_OBS_COUNT("core.game.model_evals");
+    return model_.Predict(instance_);
+  }
 
+  XAI_OBS_COUNT_N("core.game.model_evals", samples_);
   std::vector<double> x(d);
   double total = 0.0;
   if (given.empty()) {

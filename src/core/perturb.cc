@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace xai {
 
 TabularPerturber::TabularPerturber(const Dataset& reference,
@@ -16,6 +18,7 @@ TabularPerturber::Sample TabularPerturber::Draw(Rng* rng) const {
 
 TabularPerturber::Sample TabularPerturber::DrawConditional(
     const std::vector<bool>& fixed, Rng* rng) const {
+  XAI_OBS_COUNT("core.perturb.samples");
   const size_t d = instance_.size();
   Sample s;
   s.x.resize(d);

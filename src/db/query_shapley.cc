@@ -2,6 +2,7 @@
 
 #include "core/game.h"
 #include "feature/shapley.h"
+#include "obs/obs.h"
 
 namespace xai {
 
@@ -10,7 +11,14 @@ Result<std::vector<double>> TupleShapley(size_t num_tuples,
                                          const QueryShapleyOptions& opts) {
   if (num_tuples == 0)
     return Status::InvalidArgument("TupleShapley: no tuples");
-  LambdaGame game(num_tuples, query);
+  XAI_OBS_SPAN("query_shapley");
+  XAI_OBS_COUNT_N("db.query_shapley.tuples", num_tuples);
+  // Each game evaluation re-runs the query over one sub-database drawn
+  // from the answer's lineage — the unit of cost for query-Shapley.
+  LambdaGame game(num_tuples, [&query](const std::vector<bool>& keep) {
+    XAI_OBS_COUNT("db.query_shapley.lineage_evals");
+    return query(keep);
+  });
   if (num_tuples <= static_cast<size_t>(opts.exact_up_to))
     return ExactShapley(game, opts.exact_up_to);
   Rng rng(opts.seed);

@@ -5,6 +5,7 @@
 
 #include "math/combinatorics.h"
 #include "math/linalg.h"
+#include "obs/obs.h"
 
 namespace xai {
 
@@ -53,6 +54,8 @@ KernelShapExplainer::KernelShapExplainer(const Model& model,
 
 Result<FeatureAttribution> KernelShapExplainer::Explain(
     const std::vector<double>& instance) {
+  XAI_OBS_HIST_TIMER("feature.kernel_shap.explain_us");
+  XAI_OBS_SPAN("kernel_shap");
   const int d = static_cast<int>(instance.size());
   MarginalFeatureGame game(model_, background_.x(), instance,
                            opts_.max_background);
@@ -76,45 +79,53 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
   std::vector<double> weights;
 
   auto eval_mask = [&](const std::vector<uint8_t>& mask, double w) {
+    XAI_OBS_COUNT("feature.kernel_shap.coalitions");
     for (int j = 0; j < d; ++j) coalition[j] = mask[j];
     masks.push_back(mask);
     values.push_back(game.Value(coalition));
     weights.push_back(w);
   };
 
-  if (d <= opts_.exact_up_to) {
-    // Enumerate every proper non-empty coalition with its exact kernel
-    // weight: the regression then recovers exact marginal-game Shapley
-    // values.
-    for (uint32_t m = 1; m + 1 < (1u << d); ++m) {
-      std::vector<uint8_t> mask(d);
-      for (int j = 0; j < d; ++j) mask[j] = (m >> j) & 1u;
-      eval_mask(mask, ShapleyKernelWeight(d, PopCount(m)));
-    }
-  } else {
-    Rng rng(opts_.seed);
-    // Sample sizes proportional to total kernel mass per size, paired
-    // (z, complement) for variance reduction.
-    std::vector<double> size_mass(d, 0.0);
-    for (int s = 1; s < d; ++s)
-      size_mass[s] = ShapleyKernelWeight(d, s) * BinomialCoefficient(d, s);
-    for (int k = 0; k < opts_.num_samples / 2; ++k) {
-      const int s = static_cast<int>(rng.Categorical(size_mass));
-      std::vector<size_t> chosen =
-          rng.SampleWithoutReplacement(static_cast<size_t>(d),
-                                       static_cast<size_t>(std::max(1, s)));
-      std::vector<uint8_t> mask(d, 0);
-      for (size_t j : chosen) mask[j] = 1;
-      eval_mask(mask, 1.0);
-      std::vector<uint8_t> comp(d);
-      for (int j = 0; j < d; ++j) comp[j] = 1 - mask[j];
-      eval_mask(comp, 1.0);
+  {
+    XAI_OBS_SPAN("sample");
+    if (d <= opts_.exact_up_to) {
+      // Enumerate every proper non-empty coalition with its exact kernel
+      // weight: the regression then recovers exact marginal-game Shapley
+      // values.
+      for (uint32_t m = 1; m + 1 < (1u << d); ++m) {
+        std::vector<uint8_t> mask(d);
+        for (int j = 0; j < d; ++j) mask[j] = (m >> j) & 1u;
+        eval_mask(mask, ShapleyKernelWeight(d, PopCount(m)));
+      }
+    } else {
+      Rng rng(opts_.seed);
+      // Sample sizes proportional to total kernel mass per size, paired
+      // (z, complement) for variance reduction.
+      std::vector<double> size_mass(d, 0.0);
+      for (int s = 1; s < d; ++s)
+        size_mass[s] = ShapleyKernelWeight(d, s) * BinomialCoefficient(d, s);
+      for (int k = 0; k < opts_.num_samples / 2; ++k) {
+        const int s = static_cast<int>(rng.Categorical(size_mass));
+        std::vector<size_t> chosen =
+            rng.SampleWithoutReplacement(static_cast<size_t>(d),
+                                         static_cast<size_t>(std::max(1, s)));
+        std::vector<uint8_t> mask(d, 0);
+        for (size_t j : chosen) mask[j] = 1;
+        eval_mask(mask, 1.0);
+        std::vector<uint8_t> comp(d);
+        for (int j = 0; j < d; ++j) comp[j] = 1 - mask[j];
+        eval_mask(comp, 1.0);
+      }
     }
   }
 
-  XAI_ASSIGN_OR_RETURN(
-      std::vector<double> phi,
-      SolveKernelShap(masks, values, weights, base, full, opts_.lambda));
+  std::vector<double> phi;
+  {
+    XAI_OBS_SPAN("solve");
+    XAI_ASSIGN_OR_RETURN(
+        phi, SolveKernelShap(masks, values, weights, base, full,
+                             opts_.lambda));
+  }
 
   FeatureAttribution out;
   for (size_t j = 0; j < instance.size(); ++j)

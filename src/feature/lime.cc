@@ -4,6 +4,7 @@
 
 #include "math/linalg.h"
 #include "math/stats.h"
+#include "obs/obs.h"
 
 namespace xai {
 
@@ -13,6 +14,8 @@ LimeExplainer::LimeExplainer(const Model& model, const Dataset& background,
 
 Result<FeatureAttribution> LimeExplainer::Explain(
     const std::vector<double>& instance) {
+  XAI_OBS_HIST_TIMER("feature.lime.explain_us");
+  XAI_OBS_SPAN("lime");
   const size_t d = instance.size();
   if (d != background_.d())
     return Status::InvalidArgument("Lime: instance arity != background");
@@ -28,20 +31,28 @@ Result<FeatureAttribution> LimeExplainer::Explain(
   Matrix z(n, d + 1);
   std::vector<double> y(n);
   std::vector<double> w(n);
-  for (int i = 0; i < n; ++i) {
-    TabularPerturber::Sample s = perturber.Draw(&rng);
-    double dist2 = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      z(i, j) = s.z[j];
-      if (!s.z[j]) dist2 += 1.0;
+  {
+    XAI_OBS_SPAN("sample");
+    for (int i = 0; i < n; ++i) {
+      XAI_OBS_COUNT("feature.lime.samples");
+      XAI_OBS_COUNT("feature.lime.model_evals");
+      TabularPerturber::Sample s = perturber.Draw(&rng);
+      double dist2 = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        z(i, j) = s.z[j];
+        if (!s.z[j]) dist2 += 1.0;
+      }
+      z(i, d) = 1.0;
+      y[i] = model_.Predict(s.x);
+      w[i] = std::exp(-dist2 / (width * width));
     }
-    z(i, d) = 1.0;
-    y[i] = model_.Predict(s.x);
-    w[i] = std::exp(-dist2 / (width * width));
   }
 
-  XAI_ASSIGN_OR_RETURN(std::vector<double> coef,
-                       RidgeRegression(z, y, opts_.lambda, &w));
+  std::vector<double> coef;
+  {
+    XAI_OBS_SPAN("solve");
+    XAI_ASSIGN_OR_RETURN(coef, RidgeRegression(z, y, opts_.lambda, &w));
+  }
 
   // Weighted local R^2.
   double ss_res = 0.0;

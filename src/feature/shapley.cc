@@ -2,6 +2,7 @@
 
 #include "math/combinatorics.h"
 #include "math/matrix.h"
+#include "obs/obs.h"
 
 namespace xai {
 
@@ -12,9 +13,12 @@ Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
     return Status::InvalidArgument(
         "ExactShapley: too many players for exact enumeration");
   if (n == 0) return std::vector<double>{};
+  XAI_OBS_SPAN("shapley_exact");
 
   // Cache v(S) for every mask.
   const uint32_t full = n >= 32 ? 0xFFFFFFFFu : ((1u << n) - 1);
+  XAI_OBS_COUNT_N("feature.shapley.exact_coalitions",
+                  static_cast<uint64_t>(full) + 1);
   std::vector<double> value(static_cast<size_t>(full) + 1);
   std::vector<bool> coalition(n);
   for (uint32_t mask = 0; mask <= full; ++mask) {
@@ -38,10 +42,13 @@ Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
 
 std::vector<double> PermutationShapley(const CoalitionGame& game,
                                        int num_permutations, Rng* rng) {
+  XAI_OBS_SPAN("shapley_mc");
   const size_t n = game.num_players();
   std::vector<double> phi(n, 0.0);
   std::vector<bool> coalition(n);
   for (int p = 0; p < num_permutations; ++p) {
+    XAI_OBS_SPAN("perm");
+    XAI_OBS_COUNT("feature.shapley.permutations");
     std::vector<size_t> perm = rng->Permutation(n);
     std::fill(coalition.begin(), coalition.end(), false);
     double prev = game.Value(coalition);
@@ -76,6 +83,7 @@ Result<std::vector<double>> OwenValues(
   std::vector<double> phi(n, 0.0);
   std::vector<bool> coalition(n);
   for (int t = 0; t < num_permutations; ++t) {
+    XAI_OBS_COUNT("feature.shapley.owen_permutations");
     // Group-respecting permutation: shuffle groups and members.
     std::vector<size_t> group_order = rng->Permutation(groups.size());
     std::fill(coalition.begin(), coalition.end(), false);
@@ -154,6 +162,7 @@ std::vector<double> SampledBanzhaf(const CoalitionGame& game, int num_samples,
   std::vector<int> counts(n, 0);
   std::vector<bool> coalition(n);
   for (int s = 0; s < num_samples; ++s) {
+    XAI_OBS_COUNT("feature.shapley.banzhaf_samples");
     for (size_t j = 0; j < n; ++j) coalition[j] = rng->Bernoulli(0.5);
     const size_t i = static_cast<size_t>(rng->NextInt(n));
     coalition[i] = false;

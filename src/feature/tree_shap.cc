@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "math/combinatorics.h"
+#include "obs/obs.h"
 
 namespace xai {
 namespace {
@@ -119,6 +120,7 @@ void Recurse(const Tree& tree, const std::vector<double>& x,
 
 void TreeShapValues(const Tree& tree, const std::vector<double>& x,
                     std::vector<double>* phi) {
+  XAI_OBS_COUNT("feature.tree_shap.path_walks");
   Recurse(tree, x, phi, 0, {}, 1.0, 1.0, -1);
 }
 
@@ -195,6 +197,8 @@ TreeShapExplainer::TreeShapExplainer(const RandomForest& forest,
 
 Result<FeatureAttribution> TreeShapExplainer::Explain(
     const std::vector<double>& instance) {
+  XAI_OBS_HIST_TIMER("feature.tree_shap.explain_us");
+  XAI_OBS_SPAN("tree_shap");
   if (instance.size() != num_features_)
     return Status::InvalidArgument("TreeShap: instance arity mismatch");
   FeatureAttribution out;
@@ -288,6 +292,7 @@ struct InterventionalWalker {
 void InterventionalTreeShap(const Tree& tree, const std::vector<double>& x,
                             const std::vector<double>& reference,
                             std::vector<double>* phi) {
+  XAI_OBS_COUNT("feature.tree_shap.interventional_walks");
   InterventionalWalker walker{tree, x, reference, phi,
                               std::vector<uint8_t>(x.size(), 0),
                               {},

@@ -1,0 +1,164 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace xai::obs {
+namespace {
+
+/// Minimal JSON string escaping; metric names are library-chosen but the
+/// exporter must never emit invalid JSON regardless.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsToJson() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
+  const auto spans = SpanSnapshot();
+
+  std::string out = "{\n";
+  Appendf(&out, "  \"enabled\": %s,\n", Enabled() ? "true" : "false");
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    Appendf(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+            EscapeJson(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    Appendf(&out, "%s\n    \"%s\": %.9g", first ? "" : ",",
+            EscapeJson(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    Appendf(&out,
+            "%s\n    \"%s\": {\"count\": %" PRIu64
+            ", \"sum\": %.9g, \"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g}",
+            first ? "" : ",", EscapeJson(name).c_str(), h.count, h.sum, h.p50,
+            h.p90, h.p99);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [path, e] : spans) {
+    Appendf(&out,
+            "%s\n    \"%s\": {\"count\": %" PRIu64
+            ", \"total_ms\": %.6f, \"mean_ms\": %.6f, \"max_ms\": %.6f, "
+            "\"depth\": %d}",
+            first ? "" : ",", EscapeJson(path).c_str(), e.count, e.total_ms,
+            e.mean_ms, e.max_ms, e.depth);
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsToTable() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
+  const auto spans = SpanSnapshot();
+
+  std::string out;
+  out += "== xaidb metrics ==\n";
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snap.counters)
+      Appendf(&out, "  %-44s %16" PRIu64 "\n", name.c_str(), value);
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : snap.gauges)
+      Appendf(&out, "  %-44s %16.6g\n", name.c_str(), value);
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms (us):\n";
+    Appendf(&out, "  %-44s %10s %12s %10s %10s %10s\n", "name", "count",
+            "sum", "p50", "p90", "p99");
+    for (const auto& [name, h] : snap.histograms)
+      Appendf(&out, "  %-44s %10" PRIu64 " %12.0f %10.1f %10.1f %10.1f\n",
+              name.c_str(), h.count, h.sum, h.p50, h.p90, h.p99);
+  }
+  if (!spans.empty()) {
+    out += "spans:\n";
+    Appendf(&out, "  %-44s %10s %12s %10s %10s\n", "path", "count",
+            "total_ms", "mean_ms", "max_ms");
+    for (const auto& [path, e] : spans) {
+      // Indent children under their parents (paths sort lexicographically,
+      // so "a" precedes "a/b").
+      std::string label(static_cast<size_t>(e.depth) * 2, ' ');
+      label += path;
+      Appendf(&out, "  %-44s %10" PRIu64 " %12.3f %10.3f %10.3f\n",
+              label.c_str(), e.count, e.total_ms, e.mean_ms, e.max_ms);
+    }
+  }
+  return out;
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  if (path.empty())
+    return Status::InvalidArgument("obs: empty metrics output path");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IOError("obs: cannot open metrics output path: " + path);
+  const std::string json = MetricsToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed)
+    return Status::IOError("obs: short write to metrics output path: " + path);
+  return Status::OK();
+}
+
+}  // namespace xai::obs

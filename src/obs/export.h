@@ -1,0 +1,24 @@
+#ifndef XAIDB_OBS_EXPORT_H_
+#define XAIDB_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xai::obs {
+
+/// Serializes the full metrics state (counters, gauges, histograms with
+/// quantile estimates, span aggregates) as a JSON object.
+std::string MetricsToJson();
+
+/// Renders the same state as a human-readable aligned table; empty
+/// sections are omitted.
+std::string MetricsToTable();
+
+/// Writes MetricsToJson() to `path`. Fails with kIOError (never silently
+/// drops metrics) when the path cannot be opened or fully written.
+Status WriteMetricsJson(const std::string& path);
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_EXPORT_H_

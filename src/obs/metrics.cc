@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+
+#include "obs/span.h"
+
+namespace xai::obs {
+namespace internal {
+namespace {
+
+bool EnvEnabled() {
+  const char* e = std::getenv("XAIDB_METRICS");
+  if (e == nullptr) return false;
+  const std::string v(e);
+  return !(v.empty() || v == "0" || v == "off" || v == "OFF" ||
+           v == "false" || v == "FALSE");
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+size_t ThreadShardIndex() {
+  // Round-robin shard assignment at first use per thread: spreads
+  // concurrent writers across cache lines without hashing thread ids.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % 16;
+  return shard;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double hi = BucketBound(i);
+      const double frac =
+          (target - cum) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return BucketBound(counts.size() - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->Quantile(0.5);
+    hs.p90 = h->Quantile(0.9);
+    hs.p99 = h->Quantile(0.99);
+    snap.histograms[name] = hs;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->Reset();
+    for (auto& [name, g] : gauges_) g->Reset();
+    for (auto& [name, h] : histograms_) h->Reset();
+  }
+  ResetSpans();
+}
+
+}  // namespace xai::obs

@@ -1,0 +1,205 @@
+#ifndef XAIDB_OBS_METRICS_H_
+#define XAIDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/stopwatch.h"
+
+namespace xai::obs {
+
+namespace internal {
+/// Process-wide on/off switch, seeded from the XAIDB_METRICS env var.
+extern std::atomic<bool> g_enabled;
+/// Stable per-thread shard index for sharded counters.
+size_t ThreadShardIndex();
+}  // namespace internal
+
+/// True when instrumentation is recording. Every instrumentation site
+/// checks this single relaxed atomic load first and does no other work
+/// when it is off — the off state is one predictable branch per site.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips instrumentation at runtime (CLI flags, tests). The initial value
+/// comes from the XAIDB_METRICS environment variable: unset, "0", "off",
+/// or "false" mean disabled, anything else enables.
+void SetEnabled(bool on);
+
+/// Monotonically increasing event count. Increments land on one of a
+/// small number of cache-line-padded per-thread shards with a relaxed
+/// atomic add (lock-free, no cross-core contention on the hot path);
+/// Value() merges the shards.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[internal::ThreadShardIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-writer-wins instantaneous value (e.g. pool sizes, budgets).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram with power-of-two bucket upper bounds
+/// (1, 2, 4, ... plus a final overflow bucket). Observations are two
+/// relaxed atomic adds; quantiles are estimated by linear interpolation
+/// within the containing bucket, so estimates carry at most one bucket
+/// (2x) of resolution error. Intended unit for latencies: microseconds.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;  // 2^38 us ~ 76 hours, then +inf.
+
+  void Observe(double value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed CAS add: sum is diagnostic, exactness under contention is
+    // not required beyond not losing updates.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of bucket i (the last bucket reuses the previous bound;
+  /// it is unbounded in reality).
+  static double BucketBound(size_t i) {
+    return static_cast<double>(1ULL << (i < kNumBuckets - 1 ? i
+                                                            : kNumBuckets - 2));
+  }
+
+  std::vector<uint64_t> BucketCounts() const {
+    std::vector<uint64_t> out(kNumBuckets);
+    for (size_t i = 0; i < kNumBuckets; ++i)
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Quantile estimate for q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t BucketIndex(double value) {
+    if (!(value > 1.0)) return 0;  // NaN and <= 1 land in the first bucket.
+    if (value >= 9e18) return kNumBuckets - 1;
+    const auto v = static_cast<uint64_t>(std::ceil(value));
+    const size_t idx = std::bit_width(v - 1);  // ceil(log2(v)) for v >= 2.
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of a histogram, pre-digested for exporters.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Process-wide registry of named metrics. Registration (first use of a
+/// name) takes a mutex; after that the returned pointer is stable for the
+/// process lifetime and all updates are lock-free. Instrumentation sites
+/// cache the pointer in a function-local static (see XAI_OBS_COUNT).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot TakeSnapshot() const;
+
+  /// Zeroes every metric (and span stats) but keeps registrations, so
+  /// cached pointers stay valid. Used by tests and the CLI between runs.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII timer that records its scope's wall time (microseconds) into a
+/// named histogram on destruction. No-op when metrics are off at entry.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(const char* name)
+      : hist_(Enabled() ? MetricsRegistry::Global().GetHistogram(name)
+                        : nullptr) {}
+  ~ScopedHistogramTimer() {
+    if (hist_ != nullptr) hist_->Observe(watch_.ElapsedUs());
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  Stopwatch watch_;
+};
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_METRICS_H_

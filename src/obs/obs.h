@@ -1,0 +1,63 @@
+#ifndef XAIDB_OBS_OBS_H_
+#define XAIDB_OBS_OBS_H_
+
+/// Umbrella header for the observability subsystem plus the macros the
+/// instrumented hot paths use. Every macro is zero-cost-when-off: one
+/// relaxed atomic load and a predictable branch, nothing else. The
+/// registry lookup happens once per call site (function-local static),
+/// and only on the first pass where metrics are enabled.
+
+#include "obs/export.h"    // IWYU pragma: export
+#include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/span.h"      // IWYU pragma: export
+#include "obs/stopwatch.h" // IWYU pragma: export
+
+#define XAI_OBS_CONCAT_INNER(x, y) x##y
+#define XAI_OBS_CONCAT(x, y) XAI_OBS_CONCAT_INNER(x, y)
+
+/// Adds `n` to the named counter (no-op when metrics are off).
+#define XAI_OBS_COUNT_N(name, n)                                      \
+  do {                                                                \
+    if (::xai::obs::Enabled()) {                                      \
+      static ::xai::obs::Counter* const _xai_obs_counter =            \
+          ::xai::obs::MetricsRegistry::Global().GetCounter(name);     \
+      _xai_obs_counter->Add(static_cast<uint64_t>(n));                \
+    }                                                                 \
+  } while (0)
+
+/// Increments the named counter by one (no-op when metrics are off).
+#define XAI_OBS_COUNT(name) XAI_OBS_COUNT_N(name, 1)
+
+/// Sets the named gauge (no-op when metrics are off).
+#define XAI_OBS_GAUGE_SET(name, v)                                    \
+  do {                                                                \
+    if (::xai::obs::Enabled()) {                                      \
+      static ::xai::obs::Gauge* const _xai_obs_gauge =                \
+          ::xai::obs::MetricsRegistry::Global().GetGauge(name);       \
+      _xai_obs_gauge->Set(static_cast<double>(v));                    \
+    }                                                                 \
+  } while (0)
+
+/// Records `v` into the named histogram (no-op when metrics are off).
+#define XAI_OBS_OBSERVE(name, v)                                      \
+  do {                                                                \
+    if (::xai::obs::Enabled()) {                                      \
+      static ::xai::obs::Histogram* const _xai_obs_hist =             \
+          ::xai::obs::MetricsRegistry::Global().GetHistogram(name);   \
+      _xai_obs_hist->Observe(static_cast<double>(v));                 \
+    }                                                                 \
+  } while (0)
+
+/// Opens an RAII trace span for the rest of the enclosing scope. Spans
+/// opened while another span is active on the same thread aggregate under
+/// the nested path "outer/inner".
+#define XAI_OBS_SPAN(name) \
+  ::xai::obs::ScopedSpan XAI_OBS_CONCAT(_xai_obs_span_, __LINE__)(name)
+
+/// Times the rest of the enclosing scope into the named histogram, in
+/// microseconds.
+#define XAI_OBS_HIST_TIMER(name)                         \
+  ::xai::obs::ScopedHistogramTimer XAI_OBS_CONCAT(       \
+      _xai_obs_hist_timer_, __LINE__)(name)
+
+#endif  // XAIDB_OBS_OBS_H_

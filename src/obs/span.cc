@@ -1,0 +1,114 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace xai::obs {
+namespace {
+
+/// Per-path aggregates. Entries are created under a mutex once per
+/// (thread, path) thanks to a thread-local pointer cache, then updated
+/// with relaxed atomics only — span exit is lock-free in steady state.
+struct SpanStats {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> max_ns{0};
+};
+
+std::mutex& SpanMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, std::unique_ptr<SpanStats>>& SpanMap() {
+  static auto* spans = new std::map<std::string, std::unique_ptr<SpanStats>>();
+  return *spans;
+}
+
+/// Thread-local current span path, e.g. "kernel_shap/sample".
+std::string& TlsPath() {
+  thread_local std::string path;
+  return path;
+}
+
+SpanStats* StatsFor(const std::string& path) {
+  thread_local std::unordered_map<std::string, SpanStats*> cache;
+  auto it = cache.find(path);
+  if (it != cache.end()) return it->second;
+  SpanStats* stats;
+  {
+    std::lock_guard<std::mutex> lock(SpanMutex());
+    auto& slot = SpanMap()[path];
+    if (!slot) slot = std::make_unique<SpanStats>();
+    stats = slot.get();
+  }
+  cache.emplace(path, stats);
+  return stats;
+}
+
+void RecordSpan(const std::string& path, uint64_t ns) {
+  SpanStats* stats = StatsFor(path);
+  stats->count.fetch_add(1, std::memory_order_relaxed);
+  stats->total_ns.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = stats->max_ns.load(std::memory_order_relaxed);
+  while (prev < ns && !stats->max_ns.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) : active_(Enabled()) {
+  if (!active_) return;
+  std::string& path = TlsPath();
+  prev_len_ = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+          .count());
+  std::string& path = TlsPath();
+  RecordSpan(path, ns);
+  path.resize(prev_len_);
+}
+
+std::map<std::string, SpanSnapshotEntry> SpanSnapshot() {
+  std::map<std::string, SpanSnapshotEntry> out;
+  std::lock_guard<std::mutex> lock(SpanMutex());
+  for (const auto& [path, stats] : SpanMap()) {
+    SpanSnapshotEntry e;
+    e.count = stats->count.load(std::memory_order_relaxed);
+    e.total_ms =
+        static_cast<double>(stats->total_ns.load(std::memory_order_relaxed)) *
+        1e-6;
+    e.mean_ms = e.count > 0 ? e.total_ms / static_cast<double>(e.count) : 0.0;
+    e.max_ms =
+        static_cast<double>(stats->max_ns.load(std::memory_order_relaxed)) *
+        1e-6;
+    for (char c : path)
+      if (c == '/') ++e.depth;
+    out[path] = e;
+  }
+  return out;
+}
+
+void ResetSpans() {
+  std::lock_guard<std::mutex> lock(SpanMutex());
+  for (auto& [path, stats] : SpanMap()) {
+    stats->count.store(0, std::memory_order_relaxed);
+    stats->total_ns.store(0, std::memory_order_relaxed);
+    stats->max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace xai::obs

@@ -1,0 +1,48 @@
+#ifndef XAIDB_OBS_SPAN_H_
+#define XAIDB_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xai::obs {
+
+/// Aggregated statistics for one span path, as reported by SpanSnapshot.
+/// Paths encode nesting: a span opened while "kernel_shap" is active on
+/// the same thread aggregates under "kernel_shap/<name>".
+struct SpanSnapshotEntry {
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  int depth = 0;  // Number of '/' separators in the path.
+};
+
+/// Point-in-time copy of every span path's aggregate stats.
+std::map<std::string, SpanSnapshotEntry> SpanSnapshot();
+
+/// Zeroes span stats, keeping registrations (cached pointers stay valid).
+void ResetSpans();
+
+/// RAII wall-time tracing for a labeled region. On construction (when
+/// metrics are on) the name is appended to a thread-local path stack; on
+/// destruction the elapsed time is folded into lock-free aggregate stats
+/// keyed by the full parent/child path. A span that starts while metrics
+/// are off records nothing, even if metrics are enabled before it closes.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  size_t prev_len_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_SPAN_H_

@@ -1,0 +1,33 @@
+#ifndef XAIDB_OBS_STOPWATCH_H_
+#define XAIDB_OBS_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xai::obs {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock. The single timing
+/// primitive shared by the library's instrumentation (spans, histogram
+/// timers) and the bench harness, so every layer measures time the same way.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  uint64_t ElapsedNs() const {
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+  }
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) * 1e-3; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) * 1e-6; }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_STOPWATCH_H_

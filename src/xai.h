@@ -17,6 +17,7 @@
 #include "math/linalg.h"       // IWYU pragma: export
 #include "math/matrix.h"       // IWYU pragma: export
 #include "math/stats.h"        // IWYU pragma: export
+#include "obs/obs.h"           // IWYU pragma: export
 
 // Models.
 #include "model/decision_tree.h"        // IWYU pragma: export

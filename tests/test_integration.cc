@@ -20,6 +20,7 @@
 #include "model/gbdt.h"
 #include "model/logistic_regression.h"
 #include "model/metrics.h"
+#include "obs/obs.h"
 #include "rule/anchors.h"
 #include "valuation/data_valuation.h"
 #include "valuation/influence.h"
@@ -161,6 +162,49 @@ TEST(Integration, ExplainerFaithfulnessOrdering) {
   ASSERT_TRUE(corr_kshap.ok() && corr_lime.ok());
   EXPECT_GT(*corr_kshap, 0.5);
   EXPECT_GE(*corr_kshap, *corr_lime - 0.1);
+}
+
+TEST(Integration, InstrumentedExplainersReportConfiguredBudgets) {
+  // The obs counters must agree exactly with the configured sampling
+  // budgets — catching silent under-sampling regressions where an
+  // explainer quietly draws fewer samples than asked.
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().ResetAll();
+
+  Dataset ds = MakeLoanDataset(400);
+  auto gbdt = GradientBoostedTrees::Fit(ds, {.num_rounds = 10});
+  ASSERT_TRUE(gbdt.ok());
+  const std::vector<double> x = ds.row(0);
+
+  KernelShapOptions kopts;
+  kopts.num_samples = 128;
+  kopts.exact_up_to = 0;  // Force the sampling path.
+  kopts.max_background = 20;
+  KernelShapExplainer kshap(*gbdt, ds, kopts);
+  ASSERT_TRUE(kshap.Explain(x).ok());
+
+  auto snap = obs::MetricsRegistry::Global().TakeSnapshot();
+  const uint64_t coalitions = snap.counters.at("feature.kernel_shap.coalitions");
+  const uint64_t model_evals = snap.counters.at("core.game.model_evals");
+  EXPECT_GT(model_evals, 0u);
+  // Paired sampling evaluates (z, complement) per draw: exactly
+  // 2 * (num_samples / 2) coalitions.
+  EXPECT_EQ(coalitions, 2u * static_cast<uint64_t>(kopts.num_samples / 2));
+  // Each coalition, plus v(empty) and v(full), averages the model over
+  // max_background background rows.
+  EXPECT_EQ(model_evals, (coalitions + 2) * kopts.max_background);
+
+  // LIME draws exactly its configured perturbation budget.
+  obs::MetricsRegistry::Global().ResetAll();
+  LimeExplainer lime(*gbdt, ds, {.num_samples = 500, .seed = 3});
+  ASSERT_TRUE(lime.Explain(x).ok());
+  snap = obs::MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("feature.lime.samples"), 500u);
+  EXPECT_EQ(snap.counters.at("core.perturb.samples"), 500u);
+  EXPECT_EQ(snap.counters.at("feature.lime.model_evals"), 500u);
+
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::SetEnabled(false);
 }
 
 TEST(Integration, ValuationMethodsAgreeOnRanking) {

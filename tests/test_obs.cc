@@ -1,0 +1,283 @@
+// Tests for the observability subsystem: counter/gauge/histogram
+// correctness, quantile estimates on known distributions, span
+// nesting/parenting, concurrent increments, exporters, and the
+// off-switch being a true no-op.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace xai {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+/// Every test starts from a clean, enabled registry and leaves metrics
+/// disabled (matching the default for the rest of the test binaries).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().ResetAll();
+    obs::SetEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterAddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeLastWriterWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -2.25);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.obs.stable");
+  Counter* b = reg.GetCounter("test.obs.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetCounter("test.obs.other"));
+}
+
+TEST_F(ObsTest, HistogramCountSumAndBuckets) {
+  Histogram h;
+  h.Observe(1.0);    // Bucket 0 (<= 1).
+  h.Observe(2.0);    // Bucket 1 (<= 2).
+  h.Observe(3.0);    // Bucket 2 (<= 4).
+  h.Observe(1000.0); // Bucket 10 (<= 1024).
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.0);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[10], 1u);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOnKnownUniform) {
+  // Uniform 1..1000: median 500.5 lies in bucket (256, 512]; p99 ~ 990
+  // lies in (512, 1024]. Power-of-two buckets bound the estimate to the
+  // containing bucket, so assert bucket-level correctness.
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  // Degenerate distribution: all mass in one bucket.
+  Histogram one;
+  for (int i = 0; i < 100; ++i) one.Observe(100.0);
+  const double q = one.Quantile(0.5);
+  EXPECT_GE(q, 64.0);
+  EXPECT_LE(q, 128.0);
+  // Empty histogram reports 0.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, SpanNestingBuildsParentChildPaths) {
+  {
+    XAI_OBS_SPAN("outer");
+    {
+      XAI_OBS_SPAN("inner");
+    }
+    {
+      XAI_OBS_SPAN("inner");
+    }
+  }
+  {
+    XAI_OBS_SPAN("outer");
+  }
+  const auto spans = obs::SpanSnapshot();
+  ASSERT_TRUE(spans.count("outer"));
+  ASSERT_TRUE(spans.count("outer/inner"));
+  EXPECT_EQ(spans.at("outer").count, 2u);
+  EXPECT_EQ(spans.at("outer").depth, 0);
+  EXPECT_EQ(spans.at("outer/inner").count, 2u);
+  EXPECT_EQ(spans.at("outer/inner").depth, 1);
+  // Parent wall time covers its children.
+  EXPECT_GE(spans.at("outer").total_ms, spans.at("outer/inner").total_ms);
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsFromEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  Counter* c = MetricsRegistry::Global().GetCounter("test.obs.concurrent");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramAndSpansFromEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.obs.hist");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>(t * kPerThread + i));
+        XAI_OBS_SPAN("worker");
+        XAI_OBS_COUNT("test.obs.span_body");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const auto spans = obs::SpanSnapshot();
+  ASSERT_TRUE(spans.count("worker"));
+  EXPECT_EQ(spans.at("worker").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.span_body"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, OffSwitchIsATrueNoOp) {
+  obs::SetEnabled(false);
+  XAI_OBS_COUNT("test.obs.off_counter");
+  XAI_OBS_COUNT_N("test.obs.off_counter", 41);
+  XAI_OBS_GAUGE_SET("test.obs.off_gauge", 7.0);
+  XAI_OBS_OBSERVE("test.obs.off_hist", 123.0);
+  {
+    XAI_OBS_SPAN("off_span");
+  }
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  // The macros never touched the registry: the names were not even
+  // registered, and no span path was recorded.
+  EXPECT_EQ(snap.counters.count("test.obs.off_counter"), 0u);
+  EXPECT_EQ(snap.gauges.count("test.obs.off_gauge"), 0u);
+  EXPECT_EQ(snap.histograms.count("test.obs.off_hist"), 0u);
+  EXPECT_EQ(obs::SpanSnapshot().count("off_span"), 0u);
+}
+
+TEST_F(ObsTest, MacrosRecordWhenEnabled) {
+  XAI_OBS_COUNT_N("test.obs.on_counter", 3);
+  XAI_OBS_COUNT("test.obs.on_counter");
+  XAI_OBS_GAUGE_SET("test.obs.on_gauge", 2.5);
+  XAI_OBS_OBSERVE("test.obs.on_hist", 10.0);
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.on_counter"), 4u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.obs.on_gauge"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test.obs.on_hist").count, 1u);
+}
+
+TEST_F(ObsTest, ResetAllZeroesButKeepsRegistrations) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.obs.reset");
+  c->Add(9);
+  {
+    XAI_OBS_SPAN("reset_span");
+  }
+  MetricsRegistry::Global().ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.reset"), 0u);
+  const auto spans = obs::SpanSnapshot();
+  ASSERT_TRUE(spans.count("reset_span"));
+  EXPECT_EQ(spans.at("reset_span").count, 0u);
+}
+
+TEST_F(ObsTest, JsonExportContainsAllSections) {
+  XAI_OBS_COUNT_N("test.obs.json_counter", 12);
+  XAI_OBS_OBSERVE("test.obs.json_hist", 5.0);
+  {
+    XAI_OBS_SPAN("json_span");
+  }
+  const std::string json = obs::MetricsToJson();
+  EXPECT_NE(json.find("\"test.obs.json_counter\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  // Structurally valid: braces and brackets balance.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, TableExportListsMetrics) {
+  XAI_OBS_COUNT("test.obs.table_counter");
+  const std::string table = obs::MetricsToTable();
+  EXPECT_NE(table.find("test.obs.table_counter"), std::string::npos);
+  EXPECT_NE(table.find("counters:"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteMetricsJsonRoundTripsAndGuardsBadPaths) {
+  XAI_OBS_COUNT("test.obs.file_counter");
+  const std::string path = "/tmp/xai_obs_test_metrics.json";
+  Status ok = obs::WriteMetricsJson(path);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("test.obs.file_counter"), std::string::npos);
+
+  // Unwritable path: explicit kIOError, not a silent drop.
+  Status bad = obs::WriteMetricsJson("/nonexistent_dir_xai/metrics.json");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kIOError);
+  // Empty path: rejected before touching the filesystem.
+  Status empty = obs::WriteMetricsJson("");
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObsTest, StopwatchMeasuresMonotonically) {
+  obs::Stopwatch w;
+  const double a = w.ElapsedMs();
+  const double b = w.ElapsedMs();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  w.Reset();
+  EXPECT_GE(w.ElapsedMs(), 0.0);
+}
+
+TEST_F(ObsTest, ScopedHistogramTimerRecordsMicroseconds) {
+  {
+    obs::ScopedHistogramTimer t("test.obs.timer_us");
+  }
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  ASSERT_TRUE(snap.histograms.count("test.obs.timer_us"));
+  EXPECT_EQ(snap.histograms.at("test.obs.timer_us").count, 1u);
+}
+
+}  // namespace
+}  // namespace xai
