@@ -1,0 +1,189 @@
+// Throughput benchmark for the batched evaluation pipeline (PR 2).
+//
+// Measures model evaluations/second over a fixed row set in three modes:
+//   scalar            per-row Matrix::Row copy + Model::Predict — the
+//                     pre-batching pipeline idiom
+//   batched           one Model::PredictBatch call over the whole Matrix
+//   batched+parallel  fixed-size row chunks dispatched through the global
+//                     ThreadPool (XAIDB_THREADS), one PredictBatch each
+//
+// Covered models: a deep GBDT ensemble (tree-outer / row-inner traversal
+// keeps each tree's nodes cache-hot across the row block — the headline
+// win) and logistic regression (single GEMV). The batched outputs are
+// checked bit-identical to scalar before any rate is reported.
+//
+// Writes machine-readable results to BENCH_batch.json (or argv[1]).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "math/matrix.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+
+using namespace xai;
+using namespace xai::bench;
+
+namespace {
+
+struct ModeResult {
+  double ms = 0.0;
+  double evals_per_sec = 0.0;
+};
+
+struct ModelResult {
+  std::string name;
+  ModeResult scalar, batched, parallel;
+  double max_abs_diff = 0.0;  // batched vs scalar, must be exactly 0
+};
+
+ModeResult Rate(double total_ms, size_t rows, int reps) {
+  ModeResult r;
+  r.ms = total_ms / reps;
+  r.evals_per_sec =
+      r.ms > 0.0 ? 1e3 * static_cast<double>(rows) / r.ms : 0.0;
+  return r;
+}
+
+/// Copies rows [begin, end) into their own Matrix; rows are contiguous in
+/// the row-major buffer so this is one memcpy-equivalent.
+Matrix RowBlock(const Matrix& x, size_t begin, size_t end) {
+  const double* src = x.RowPtr(begin);
+  return Matrix::FromRows(
+      end - begin, x.cols(),
+      std::vector<double>(src, src + (end - begin) * x.cols()));
+}
+
+ModelResult BenchModel(const std::string& name, const Model& model,
+                       const Matrix& x, int reps) {
+  const size_t n = x.rows();
+  ModelResult out;
+  out.name = name;
+
+  std::vector<double> scalar_pred(n);
+  {
+    Timer t;
+    for (int r = 0; r < reps; ++r)
+      for (size_t i = 0; i < n; ++i) {
+        const std::vector<double> row = x.Row(i);
+        scalar_pred[i] = model.Predict(row);
+      }
+    out.scalar = Rate(t.ElapsedMs(), n, reps);
+  }
+
+  std::vector<double> batched_pred;
+  {
+    Timer t;
+    for (int r = 0; r < reps; ++r) batched_pred = model.PredictBatch(x);
+    out.batched = Rate(t.ElapsedMs(), n, reps);
+  }
+
+  constexpr size_t kRowChunk = 512;
+  std::vector<double> parallel_pred(n);
+  {
+    const size_t num_chunks = (n + kRowChunk - 1) / kRowChunk;
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
+        const size_t begin = c * kRowChunk;
+        const size_t end = std::min(begin + kRowChunk, n);
+        const std::vector<double> chunk =
+            model.PredictBatch(RowBlock(x, begin, end));
+        std::copy(chunk.begin(), chunk.end(), parallel_pred.begin() + begin);
+      });
+    }
+    out.parallel = Rate(t.ElapsedMs(), n, reps);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    out.max_abs_diff =
+        std::max(out.max_abs_diff, std::abs(scalar_pred[i] - batched_pred[i]));
+    out.max_abs_diff =
+        std::max(out.max_abs_diff, std::abs(scalar_pred[i] - parallel_pred[i]));
+  }
+  return out;
+}
+
+void WriteJson(const char* path, size_t rows, size_t threads,
+               const std::vector<ModelResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_batch_throughput\",\n");
+  std::fprintf(f, "  \"rows\": %zu,\n  \"threads\": %zu,\n", rows, threads);
+  std::fprintf(f, "  \"models\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModelResult& m = results[i];
+    std::fprintf(f, "    {\"name\": \"%s\",\n", m.name.c_str());
+    std::fprintf(f, "     \"scalar_evals_per_sec\": %.0f,\n",
+                 m.scalar.evals_per_sec);
+    std::fprintf(f, "     \"batched_evals_per_sec\": %.0f,\n",
+                 m.batched.evals_per_sec);
+    std::fprintf(f, "     \"parallel_evals_per_sec\": %.0f,\n",
+                 m.parallel.evals_per_sec);
+    std::fprintf(f, "     \"batched_speedup\": %.2f,\n",
+                 m.batched.evals_per_sec / m.scalar.evals_per_sec);
+    std::fprintf(f, "     \"parallel_speedup\": %.2f,\n",
+                 m.parallel.evals_per_sec / m.scalar.evals_per_sec);
+    std::fprintf(f, "     \"max_abs_diff\": %g}%s\n", m.max_abs_diff,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# results written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("E16: bench_batch_throughput",
+         "batched PredictBatch beats per-row Predict (>=3x for a deep "
+         "GBDT ensemble); chunked parallel dispatch adds throughput with "
+         "XAIDB_THREADS > 1 and stays bit-identical");
+
+  // Deep ensemble: ~1500 trees x depth 8 (tens of MB of nodes) puts the
+  // ensemble well past the last-level cache, so row-outer scalar traversal
+  // thrashes while tree-outer batching keeps each ~20KB tree L1-resident
+  // across the whole row block.
+  Dataset ds = MakeLoanDataset(8000);
+  auto gbdt = GradientBoostedTrees::Fit(
+      ds, {.num_rounds = 1500,
+           .tree = {.max_depth = 8, .min_samples_leaf = 2, .max_features = 0}});
+  if (!gbdt.ok()) return 1;
+  auto logistic = LogisticRegression::Fit(ds, {.lambda = 1e-3});
+  if (!logistic.ok()) return 1;
+
+  std::vector<ModelResult> results;
+  results.push_back(BenchModel("gbdt", *gbdt, ds.x(), 3));
+  results.push_back(BenchModel("logistic", *logistic, ds.x(), 20));
+
+  Row("%-10s %14s %14s %14s %9s %9s", "model", "scalar_e/s", "batched_e/s",
+      "parallel_e/s", "batch_x", "par_x");
+  for (const ModelResult& m : results) {
+    Row("%-10s %14.0f %14.0f %14.0f %8.2fx %8.2fx", m.name.c_str(),
+        m.scalar.evals_per_sec, m.batched.evals_per_sec,
+        m.parallel.evals_per_sec,
+        m.batched.evals_per_sec / m.scalar.evals_per_sec,
+        m.parallel.evals_per_sec / m.scalar.evals_per_sec);
+    if (m.max_abs_diff != 0.0) {
+      std::fprintf(stderr, "FAIL: %s batched output differs from scalar "
+                           "(max abs diff %g)\n",
+                   m.name.c_str(), m.max_abs_diff);
+      return 1;
+    }
+  }
+  Row("# expected shape: gbdt batch_x >= 3; logistic batched is one GEMV; "
+      "par_x tracks XAIDB_THREADS (1 on a single-core runner).");
+
+  WriteJson(argc > 1 ? argv[1] : "BENCH_batch.json", ds.n(),
+            GlobalThreadCount(), results);
+  ReportMetrics();
+  return 0;
+}

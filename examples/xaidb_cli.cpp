@@ -4,7 +4,7 @@
 //   xaidb_cli <data.csv> [--model gbdt|logistic|forest] [--row N]
 //             [--explainer treeshap|kernelshap|lime|mcshapley|anchors|
 //                          counterfactual|all]
-//             [--metrics] [--metrics-json <path>]
+//             [--threads N] [--metrics] [--metrics-json <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
@@ -14,12 +14,17 @@
 // (model evals, samples drawn, coalitions enumerated) after the run;
 // --metrics-json writes the same data as JSON. Either flag — or the
 // XAIDB_METRICS env var — turns instrumentation on.
+//
+// --threads N caps the worker pool behind the batched explainer sweeps
+// (overrides the XAIDB_THREADS env var; default = hardware concurrency).
+// Attributions are bit-identical for every N at a fixed seed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "cf/dice.h"
+#include "common/thread_pool.h"
 #include "core/game.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
@@ -64,12 +69,14 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      SetGlobalThreads(static_cast<size_t>(std::atoll(argv[++i])));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
                   "counterfactual|all] "
-                  "[--metrics] [--metrics-json <path>]\n",
+                  "[--threads N] [--metrics] [--metrics-json <path>]\n",
                   argv[0]);
       return 0;
     } else if (csv_path.empty()) {

@@ -6,6 +6,26 @@
 
 namespace xai {
 
+namespace {
+
+/// Writes the m imputed rows for one coalition into dst (row-major,
+/// m x d): coalition features from the instance, the rest from each
+/// background row.
+void FillImputedRows(const Matrix& background,
+                     const std::vector<double>& instance,
+                     const std::vector<bool>& in_coalition, double* dst) {
+  const size_t d = instance.size();
+  const size_t m = background.rows();
+  for (size_t b = 0; b < m; ++b) {
+    const double* bg = background.RowPtr(b);
+    double* x = dst + b * d;
+    for (size_t j = 0; j < d; ++j)
+      x[j] = in_coalition[j] ? instance[j] : bg[j];
+  }
+}
+
+}  // namespace
+
 MarginalFeatureGame::MarginalFeatureGame(const Model& model,
                                          const Matrix& background,
                                          std::vector<double> instance,
@@ -28,15 +48,36 @@ double MarginalFeatureGame::Value(
   const size_t m = background_.rows();
   XAI_OBS_COUNT("core.game.coalition_evals");
   XAI_OBS_COUNT_N("core.game.model_evals", m);
+  Matrix rows(m, d);
+  FillImputedRows(background_, instance_, in_coalition, rows.RowPtr(0));
+  const std::vector<double> preds = model_.PredictBatch(rows);
   double total = 0.0;
-  std::vector<double> x(d);
-  for (size_t b = 0; b < m; ++b) {
-    const double* bg = background_.RowPtr(b);
-    for (size_t j = 0; j < d; ++j)
-      x[j] = in_coalition[j] ? instance_[j] : bg[j];
-    total += model_.Predict(x);
-  }
+  for (double p : preds) total += p;
   return total / static_cast<double>(m);
+}
+
+std::vector<double> MarginalFeatureGame::ValueBatch(
+    const std::vector<std::vector<bool>>& coalitions) const {
+  const size_t d = instance_.size();
+  const size_t m = background_.rows();
+  const size_t batch = coalitions.size();
+  if (batch == 0) return {};
+  XAI_OBS_COUNT_N("core.game.coalition_evals", batch);
+  XAI_OBS_COUNT_N("core.game.model_evals", batch * m);
+  XAI_OBS_OBSERVE("core.game.batch_rows", batch * m);
+
+  Matrix rows(batch * m, d);
+  for (size_t c = 0; c < batch; ++c)
+    FillImputedRows(background_, instance_, coalitions[c], rows.RowPtr(c * m));
+  const std::vector<double> preds = model_.PredictBatch(rows);
+
+  std::vector<double> out(batch);
+  for (size_t c = 0; c < batch; ++c) {
+    double total = 0.0;
+    for (size_t b = 0; b < m; ++b) total += preds[c * m + b];
+    out[c] = total / static_cast<double>(m);
+  }
+  return out;
 }
 
 double MarginalFeatureGame::BaseValue() const {
@@ -52,34 +93,29 @@ Result<ConditionalGaussianGame> ConditionalGaussianGame::Create(
                                  samples_per_eval, seed);
 }
 
-double ConditionalGaussianGame::Value(
-    const std::vector<bool>& in_coalition) const {
-  XAI_OBS_COUNT("core.game.coalition_evals");
+size_t ConditionalGaussianGame::AppendSampleRows(
+    const std::vector<bool>& in_coalition, Matrix* rows) const {
   const size_t d = instance_.size();
   std::vector<size_t> given;
   for (size_t j = 0; j < d; ++j)
     if (in_coalition[j]) given.push_back(j);
 
-  // Derive a deterministic per-coalition stream so Value is a pure
-  // function of the coalition (required for consistent Shapley sums).
+  // Derive a deterministic per-coalition stream so the game stays a pure
+  // function of the coalition (required for consistent Shapley sums) and
+  // batched draws match per-coalition draws exactly.
   uint64_t mask_hash = seed_;
   for (size_t j = 0; j < d; ++j)
     mask_hash = mask_hash * 1099511628211ULL + (in_coalition[j] ? 2 : 1);
   Rng rng(mask_hash);
 
   if (given.size() == d) {
-    XAI_OBS_COUNT("core.game.model_evals");
-    return model_.Predict(instance_);
+    rows->AppendRow(instance_);
+    return 1;
   }
 
-  XAI_OBS_COUNT_N("core.game.model_evals", samples_);
-  std::vector<double> x(d);
-  double total = 0.0;
   if (given.empty()) {
-    for (int s = 0; s < samples_; ++s) {
-      total += model_.Predict(dist_.Sample(&rng));
-    }
-    return total / samples_;
+    for (int s = 0; s < samples_; ++s) rows->AppendRow(dist_.Sample(&rng));
+    return static_cast<size_t>(samples_);
   }
 
   std::vector<double> given_vals;
@@ -90,20 +126,57 @@ double ConditionalGaussianGame::Value(
     for (int s = 0; s < samples_; ++s) {
       std::vector<double> smp = dist_.Sample(&rng);
       for (size_t j : given) smp[j] = instance_[j];
-      total += model_.Predict(smp);
+      rows->AppendRow(smp);
     }
-    return total / samples_;
+    return static_cast<size_t>(samples_);
   }
   std::vector<size_t> rest;
   for (size_t j = 0; j < d; ++j)
     if (!in_coalition[j]) rest.push_back(j);
+  std::vector<double> x(d);
   for (int s = 0; s < samples_; ++s) {
     std::vector<double> smp = cond->Sample(&rng);
     for (size_t j : given) x[j] = instance_[j];
     for (size_t k = 0; k < rest.size(); ++k) x[rest[k]] = smp[k];
-    total += model_.Predict(x);
+    rows->AppendRow(x);
   }
-  return total / samples_;
+  return static_cast<size_t>(samples_);
+}
+
+double ConditionalGaussianGame::Value(
+    const std::vector<bool>& in_coalition) const {
+  XAI_OBS_COUNT("core.game.coalition_evals");
+  Matrix rows(0, instance_.size());
+  const size_t n = AppendSampleRows(in_coalition, &rows);
+  XAI_OBS_COUNT_N("core.game.model_evals", n);
+  const std::vector<double> preds = model_.PredictBatch(rows);
+  double total = 0.0;
+  for (double p : preds) total += p;
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> ConditionalGaussianGame::ValueBatch(
+    const std::vector<std::vector<bool>>& coalitions) const {
+  const size_t batch = coalitions.size();
+  if (batch == 0) return {};
+  XAI_OBS_COUNT_N("core.game.coalition_evals", batch);
+  Matrix rows(0, instance_.size());
+  std::vector<size_t> counts(batch);
+  for (size_t c = 0; c < batch; ++c)
+    counts[c] = AppendSampleRows(coalitions[c], &rows);
+  XAI_OBS_COUNT_N("core.game.model_evals", rows.rows());
+  XAI_OBS_OBSERVE("core.game.batch_rows", rows.rows());
+  const std::vector<double> preds = model_.PredictBatch(rows);
+
+  std::vector<double> out(batch);
+  size_t off = 0;
+  for (size_t c = 0; c < batch; ++c) {
+    double total = 0.0;
+    for (size_t k = 0; k < counts[c]; ++k) total += preds[off + k];
+    out[c] = total / static_cast<double>(counts[c]);
+    off += counts[c];
+  }
+  return out;
 }
 
 }  // namespace xai

@@ -26,6 +26,19 @@ class CoalitionGame {
   virtual size_t num_players() const = 0;
   /// Value of the coalition S = { i : in_coalition[i] }.
   virtual double Value(const std::vector<bool>& in_coalition) const = 0;
+
+  /// Values of many coalitions at once — the batched contract every
+  /// perturbation explainer drives: callers materialize their whole
+  /// coalition set and games turn it into as few model evaluations as
+  /// possible (the feature games below make a single PredictBatch call).
+  /// Overrides must be value-equivalent to calling Value per coalition,
+  /// bit-for-bit (the parallel determinism tests rely on it).
+  virtual std::vector<double> ValueBatch(
+      const std::vector<std::vector<bool>>& coalitions) const {
+    std::vector<double> out(coalitions.size());
+    for (size_t i = 0; i < coalitions.size(); ++i) out[i] = Value(coalitions[i]);
+    return out;
+  }
 };
 
 /// Wraps a callable as a game (tests, query-Shapley).
@@ -56,6 +69,10 @@ class MarginalFeatureGame : public CoalitionGame {
 
   size_t num_players() const override { return instance_.size(); }
   double Value(const std::vector<bool>& in_coalition) const override;
+  /// Materializes all imputed rows (one per coalition x background row)
+  /// into a single Matrix and makes one PredictBatch call.
+  std::vector<double> ValueBatch(
+      const std::vector<std::vector<bool>>& coalitions) const override;
 
   /// v(empty) — the base value.
   double BaseValue() const;
@@ -81,6 +98,11 @@ class ConditionalGaussianGame : public CoalitionGame {
 
   size_t num_players() const override { return instance_.size(); }
   double Value(const std::vector<bool>& in_coalition) const override;
+  /// Draws every coalition's conditional Monte-Carlo rows (each from its
+  /// own per-coalition counter-derived stream, exactly as Value does) into
+  /// one Matrix and makes a single PredictBatch call.
+  std::vector<double> ValueBatch(
+      const std::vector<std::vector<bool>>& coalitions) const override;
 
  private:
   ConditionalGaussianGame(const Model& model, MultivariateGaussian dist,
@@ -88,6 +110,12 @@ class ConditionalGaussianGame : public CoalitionGame {
                           uint64_t seed)
       : model_(model), dist_(std::move(dist)),
         instance_(std::move(instance)), samples_(samples), seed_(seed) {}
+
+  /// Appends this coalition's Monte-Carlo evaluation rows (drawn from its
+  /// counter-derived per-coalition stream); returns how many were added.
+  /// Value and ValueBatch both reduce over exactly these rows.
+  size_t AppendSampleRows(const std::vector<bool>& in_coalition,
+                          Matrix* rows) const;
 
   const Model& model_;
   MultivariateGaussian dist_;

@@ -43,4 +43,19 @@ TabularPerturber::Sample TabularPerturber::DrawConditional(
   return s;
 }
 
+TabularPerturber::BatchSample TabularPerturber::DrawBatch(size_t n,
+                                                          Rng* rng) const {
+  const size_t d = instance_.size();
+  BatchSample out;
+  out.x = Matrix(n, d);
+  out.z.resize(n);
+  const std::vector<bool> none(d, false);
+  for (size_t i = 0; i < n; ++i) {
+    Sample s = DrawConditional(none, rng);
+    std::copy(s.x.begin(), s.x.end(), out.x.RowPtr(i));
+    out.z[i] = std::move(s.z);
+  }
+  return out;
+}
+
 }  // namespace xai

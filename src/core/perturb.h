@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/transforms.h"
+#include "math/matrix.h"
 
 namespace xai {
 
@@ -32,6 +33,17 @@ class TabularPerturber {
   /// One perturbation with the features in `fixed` clamped to the
   /// instance's values (the conditional sampler Anchors needs).
   Sample DrawConditional(const std::vector<bool>& fixed, Rng* rng) const;
+
+  /// A whole perturbation neighborhood in one shot: `x` holds n raw rows,
+  /// `z[i]` the matching binary representations. Draws come off `rng` in
+  /// exactly the order of n sequential Draw calls, so batch and scalar
+  /// sampling are interchangeable at a fixed seed. This is the matrix the
+  /// batched LIME/Anchors paths feed straight into Model::PredictBatch.
+  struct BatchSample {
+    Matrix x;
+    std::vector<std::vector<uint8_t>> z;
+  };
+  BatchSample DrawBatch(size_t n, Rng* rng) const;
 
   size_t num_features() const { return instance_.size(); }
   const std::vector<double>& instance() const { return instance_; }

@@ -14,7 +14,11 @@ Result<std::vector<double>> TupleShapley(size_t num_tuples,
   XAI_OBS_SPAN("query_shapley");
   XAI_OBS_COUNT_N("db.query_shapley.tuples", num_tuples);
   // Each game evaluation re-runs the query over one sub-database drawn
-  // from the answer's lineage — the unit of cost for query-Shapley.
+  // from the answer's lineage — the unit of cost for query-Shapley. The
+  // exact and permutation sweeps below both materialize their full
+  // coalition sets and drive them through ValueBatch, so lineage
+  // evaluations run in fixed-boundary parallel chunks (XAIDB_THREADS);
+  // `query` must therefore be safe to call concurrently.
   LambdaGame game(num_tuples, [&query](const std::vector<bool>& keep) {
     XAI_OBS_COUNT("db.query_shapley.lineage_evals");
     return query(keep);

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "math/combinatorics.h"
 #include "math/linalg.h"
 #include "obs/obs.h"
 
 namespace xai {
+
+namespace {
+/// Coalitions per batched evaluation chunk. Fixed (thread-count
+/// independent) boundaries + disjoint output slices keep the sweep
+/// bit-identical for any XAIDB_THREADS.
+constexpr size_t kCoalitionChunk = 64;
+}  // namespace
 
 double ShapleyKernelWeight(int d, int s) {
   if (s <= 0 || s >= d) return 0.0;  // Infinite weights handled as constraints.
@@ -75,14 +83,15 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
   }
 
   std::vector<std::vector<uint8_t>> masks;
-  std::vector<double> values;
   std::vector<double> weights;
 
+  // Phase 1: collect the whole coalition set (cheap, serial, owns the
+  // RNG); phase 2 evaluates it through the batched game in parallel
+  // chunks. Mask order is the evaluation order, so results match the old
+  // one-coalition-at-a-time path exactly.
   auto eval_mask = [&](const std::vector<uint8_t>& mask, double w) {
     XAI_OBS_COUNT("feature.kernel_shap.coalitions");
-    for (int j = 0; j < d; ++j) coalition[j] = mask[j];
     masks.push_back(mask);
-    values.push_back(game.Value(coalition));
     weights.push_back(w);
   };
 
@@ -117,6 +126,25 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
         eval_mask(comp, 1.0);
       }
     }
+  }
+
+  std::vector<double> values(masks.size());
+  {
+    XAI_OBS_SPAN("eval");
+    XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+    const size_t num_chunks =
+        (masks.size() + kCoalitionChunk - 1) / kCoalitionChunk;
+    GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
+      const size_t lo = c * kCoalitionChunk;
+      const size_t hi = std::min(masks.size(), lo + kCoalitionChunk);
+      std::vector<std::vector<bool>> coalitions(hi - lo,
+                                                std::vector<bool>(d, false));
+      for (size_t r = lo; r < hi; ++r)
+        for (int j = 0; j < d; ++j) coalitions[r - lo][j] = masks[r][j] != 0;
+      const std::vector<double> vals = game.ValueBatch(coalitions);
+      std::copy(vals.begin(), vals.end(),
+                values.begin() + static_cast<long>(lo));
+    });
   }
 
   std::vector<double> phi;

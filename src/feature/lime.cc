@@ -1,12 +1,20 @@
 #include "feature/lime.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "math/linalg.h"
 #include "math/stats.h"
 #include "obs/obs.h"
 
 namespace xai {
+
+namespace {
+/// Neighborhood rows per batched PredictBatch chunk; fixed boundaries and
+/// disjoint output slices keep parallel scoring bit-identical to serial.
+constexpr size_t kRowChunk = 256;
+}  // namespace
 
 LimeExplainer::LimeExplainer(const Model& model, const Dataset& background,
                              LimeOptions opts)
@@ -27,25 +35,45 @@ Result<FeatureAttribution> LimeExplainer::Explain(
                            : 0.75 * std::sqrt(static_cast<double>(d));
   const int n = opts_.num_samples;
 
-  // Design matrix over the binary representation, plus intercept column.
+  // Phase 1: draw the whole perturbation neighborhood as one matrix
+  // (serial — the RNG owns the draw order). Phase 2: score it through
+  // PredictBatch in parallel chunks. Phase 3: the design matrix over the
+  // binary representation, plus intercept column.
   Matrix z(n, d + 1);
-  std::vector<double> y(n);
+  std::vector<double> y(static_cast<size_t>(n));
   std::vector<double> w(n);
+  TabularPerturber::BatchSample neighborhood;
   {
     XAI_OBS_SPAN("sample");
-    for (int i = 0; i < n; ++i) {
-      XAI_OBS_COUNT("feature.lime.samples");
-      XAI_OBS_COUNT("feature.lime.model_evals");
-      TabularPerturber::Sample s = perturber.Draw(&rng);
-      double dist2 = 0.0;
-      for (size_t j = 0; j < d; ++j) {
-        z(i, j) = s.z[j];
-        if (!s.z[j]) dist2 += 1.0;
-      }
-      z(i, d) = 1.0;
-      y[i] = model_.Predict(s.x);
-      w[i] = std::exp(-dist2 / (width * width));
+    XAI_OBS_COUNT_N("feature.lime.samples", n);
+    neighborhood = perturber.DrawBatch(static_cast<size_t>(n), &rng);
+  }
+  {
+    XAI_OBS_SPAN("eval");
+    XAI_OBS_COUNT_N("feature.lime.model_evals", n);
+    XAI_OBS_OBSERVE("feature.lime.batch_rows", n);
+    XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+    const size_t rows = static_cast<size_t>(n);
+    const size_t num_chunks = (rows + kRowChunk - 1) / kRowChunk;
+    GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
+      const size_t lo = c * kRowChunk;
+      const size_t hi = std::min(rows, lo + kRowChunk);
+      std::vector<size_t> idx(hi - lo);
+      for (size_t r = lo; r < hi; ++r) idx[r - lo] = r;
+      const std::vector<double> preds =
+          model_.PredictBatch(neighborhood.x.SelectRows(idx));
+      std::copy(preds.begin(), preds.end(), y.begin() + static_cast<long>(lo));
+    });
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::vector<uint8_t>& zi = neighborhood.z[static_cast<size_t>(i)];
+    double dist2 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      z(i, j) = zi[j];
+      if (!zi[j]) dist2 += 1.0;
     }
+    z(i, d) = 1.0;
+    w[i] = std::exp(-dist2 / (width * width));
   }
 
   std::vector<double> coef;

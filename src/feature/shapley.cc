@@ -1,10 +1,47 @@
 #include "feature/shapley.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "math/combinatorics.h"
 #include "math/matrix.h"
 #include "obs/obs.h"
 
 namespace xai {
+
+namespace {
+
+/// Permutations per parallel chunk. Chunk boundaries depend only on the
+/// permutation count — never on the thread count — and chunk partial sums
+/// are reduced in chunk order, so MC-Shapley is bit-identical for any
+/// XAIDB_THREADS value at a fixed seed.
+constexpr size_t kPermutationChunk = 4;
+
+/// Coalition masks per chunk when enumerating 2^n values.
+constexpr size_t kMaskChunk = 256;
+
+/// Fills `value[mask]` for every mask in [0, total) by chunked batched
+/// evaluation: each chunk materializes its coalitions and makes one
+/// ValueBatch call; chunks run on the global pool, writing disjoint
+/// slices. Shared by exact Shapley values and interactions.
+void EnumerateAllCoalitions(const CoalitionGame& game, size_t total,
+                            std::vector<double>* value) {
+  const size_t n = game.num_players();
+  const size_t num_chunks = (total + kMaskChunk - 1) / kMaskChunk;
+  GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
+    const size_t lo = c * kMaskChunk;
+    const size_t hi = std::min(total, lo + kMaskChunk);
+    std::vector<std::vector<bool>> coalitions(hi - lo,
+                                              std::vector<bool>(n, false));
+    for (size_t mask = lo; mask < hi; ++mask)
+      for (size_t j = 0; j < n; ++j)
+        coalitions[mask - lo][j] = (mask >> j) & 1u;
+    const std::vector<double> vals = game.ValueBatch(coalitions);
+    std::copy(vals.begin(), vals.end(), value->begin() + static_cast<long>(lo));
+  });
+}
+
+}  // namespace
 
 Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
                                          int max_players) {
@@ -20,11 +57,7 @@ Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
   XAI_OBS_COUNT_N("feature.shapley.exact_coalitions",
                   static_cast<uint64_t>(full) + 1);
   std::vector<double> value(static_cast<size_t>(full) + 1);
-  std::vector<bool> coalition(n);
-  for (uint32_t mask = 0; mask <= full; ++mask) {
-    for (int j = 0; j < n; ++j) coalition[j] = (mask >> j) & 1u;
-    value[mask] = game.Value(coalition);
-  }
+  EnumerateAllCoalitions(game, static_cast<size_t>(full) + 1, &value);
 
   std::vector<double> phi(n, 0.0);
   // Precompute weights by coalition size.
@@ -45,21 +78,51 @@ std::vector<double> PermutationShapley(const CoalitionGame& game,
   XAI_OBS_SPAN("shapley_mc");
   const size_t n = game.num_players();
   std::vector<double> phi(n, 0.0);
-  std::vector<bool> coalition(n);
-  for (int p = 0; p < num_permutations; ++p) {
-    XAI_OBS_SPAN("perm");
-    XAI_OBS_COUNT("feature.shapley.permutations");
-    std::vector<size_t> perm = rng->Permutation(n);
-    std::fill(coalition.begin(), coalition.end(), false);
-    double prev = game.Value(coalition);
-    for (size_t k = 0; k < n; ++k) {
-      coalition[perm[k]] = true;
-      const double cur = game.Value(coalition);
-      phi[perm[k]] += cur - prev;
-      prev = cur;
+  if (n == 0 || num_permutations <= 0) return phi;
+  const size_t num_perms = static_cast<size_t>(num_permutations);
+  XAI_OBS_COUNT_N("feature.shapley.permutations", num_perms);
+  XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+
+  // All permutations come off the caller's stream up front; the sweep
+  // below never touches rng, so chunking cannot perturb the draw order.
+  std::vector<std::vector<size_t>> perms(num_perms);
+  for (size_t p = 0; p < num_perms; ++p) perms[p] = rng->Permutation(n);
+
+  const size_t num_chunks =
+      (num_perms + kPermutationChunk - 1) / kPermutationChunk;
+  std::vector<std::vector<double>> partial(num_chunks,
+                                           std::vector<double>(n, 0.0));
+  GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
+    XAI_OBS_SPAN("perm_chunk");
+    const size_t lo = c * kPermutationChunk;
+    const size_t hi = std::min(num_perms, lo + kPermutationChunk);
+    // One batched evaluation for the whole chunk: every permutation
+    // contributes its n+1 prefix coalitions (empty included).
+    std::vector<std::vector<bool>> coalitions;
+    coalitions.reserve((hi - lo) * (n + 1));
+    for (size_t p = lo; p < hi; ++p) {
+      std::vector<bool> cur(n, false);
+      coalitions.push_back(cur);
+      for (size_t k = 0; k < n; ++k) {
+        cur[perms[p][k]] = true;
+        coalitions.push_back(cur);
+      }
     }
-  }
-  for (double& v : phi) v /= static_cast<double>(num_permutations);
+    const std::vector<double> vals = game.ValueBatch(coalitions);
+    std::vector<double>& acc = partial[c];
+    size_t off = 0;
+    for (size_t p = lo; p < hi; ++p) {
+      for (size_t k = 0; k < n; ++k)
+        acc[perms[p][k]] += vals[off + k + 1] - vals[off + k];
+      off += n + 1;
+    }
+  });
+
+  // Chunk partials reduce in chunk order: the fixed summation tree that
+  // keeps results independent of scheduling.
+  for (const std::vector<double>& acc : partial)
+    for (size_t i = 0; i < n; ++i) phi[i] += acc[i];
+  for (double& v : phi) v /= static_cast<double>(num_perms);
   return phi;
 }
 
@@ -81,23 +144,29 @@ Result<std::vector<double>> OwenValues(
       return Status::InvalidArgument("OwenValues: player missing a group");
 
   std::vector<double> phi(n, 0.0);
-  std::vector<bool> coalition(n);
   for (int t = 0; t < num_permutations; ++t) {
     XAI_OBS_COUNT("feature.shapley.owen_permutations");
-    // Group-respecting permutation: shuffle groups and members.
+    // Group-respecting permutation: shuffle groups and members, then walk
+    // the full player order once, batching all n+1 prefix evaluations.
     std::vector<size_t> group_order = rng->Permutation(groups.size());
-    std::fill(coalition.begin(), coalition.end(), false);
-    double prev = game.Value(coalition);
+    std::vector<size_t> player_order;
+    player_order.reserve(n);
     for (size_t gi : group_order) {
       std::vector<size_t> members = groups[gi];
       rng->Shuffle(&members);
-      for (size_t p : members) {
-        coalition[p] = true;
-        const double cur = game.Value(coalition);
-        phi[p] += cur - prev;
-        prev = cur;
-      }
+      player_order.insert(player_order.end(), members.begin(), members.end());
     }
+    std::vector<std::vector<bool>> coalitions;
+    coalitions.reserve(n + 1);
+    std::vector<bool> cur(n, false);
+    coalitions.push_back(cur);
+    for (size_t p : player_order) {
+      cur[p] = true;
+      coalitions.push_back(cur);
+    }
+    const std::vector<double> vals = game.ValueBatch(coalitions);
+    for (size_t k = 0; k < n; ++k)
+      phi[player_order[k]] += vals[k + 1] - vals[k];
   }
   for (double& v : phi) v /= static_cast<double>(num_permutations);
   return phi;
@@ -113,11 +182,7 @@ Result<Matrix> ExactShapleyInteractions(const CoalitionGame& game,
 
   const uint32_t full = (n >= 32) ? 0xFFFFFFFFu : ((1u << n) - 1);
   std::vector<double> value(static_cast<size_t>(full) + 1);
-  std::vector<bool> coalition(static_cast<size_t>(n));
-  for (uint32_t mask = 0; mask <= full; ++mask) {
-    for (int j = 0; j < n; ++j) coalition[static_cast<size_t>(j)] = (mask >> j) & 1u;
-    value[mask] = game.Value(coalition);
-  }
+  EnumerateAllCoalitions(game, static_cast<size_t>(full) + 1, &value);
 
   // Interaction weights by |S| (over N \ {i,j}).
   std::vector<double> w(static_cast<size_t>(std::max(1, n - 1)));
@@ -159,17 +224,30 @@ std::vector<double> SampledBanzhaf(const CoalitionGame& game, int num_samples,
                                    Rng* rng) {
   const size_t n = game.num_players();
   std::vector<double> phi(n, 0.0);
-  std::vector<int> counts(n, 0);
+  if (n == 0 || num_samples <= 0) return phi;
+  XAI_OBS_COUNT_N("feature.shapley.banzhaf_samples",
+                  static_cast<uint64_t>(num_samples));
+  // Draw every (coalition, player) pair first, then evaluate the
+  // without/with pairs in one batched sweep.
+  std::vector<std::vector<bool>> coalitions;
+  coalitions.reserve(2 * static_cast<size_t>(num_samples));
+  std::vector<size_t> players(static_cast<size_t>(num_samples));
   std::vector<bool> coalition(n);
   for (int s = 0; s < num_samples; ++s) {
-    XAI_OBS_COUNT("feature.shapley.banzhaf_samples");
     for (size_t j = 0; j < n; ++j) coalition[j] = rng->Bernoulli(0.5);
     const size_t i = static_cast<size_t>(rng->NextInt(n));
+    players[static_cast<size_t>(s)] = i;
     coalition[i] = false;
-    const double without = game.Value(coalition);
+    coalitions.push_back(coalition);
     coalition[i] = true;
-    const double with = game.Value(coalition);
-    phi[i] += with - without;
+    coalitions.push_back(coalition);
+  }
+  const std::vector<double> vals = game.ValueBatch(coalitions);
+  std::vector<int> counts(n, 0);
+  for (int s = 0; s < num_samples; ++s) {
+    const size_t i = players[static_cast<size_t>(s)];
+    phi[i] += vals[2 * static_cast<size_t>(s) + 1] -
+              vals[2 * static_cast<size_t>(s)];
     ++counts[i];
   }
   for (size_t i = 0; i < n; ++i)

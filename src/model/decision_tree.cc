@@ -17,6 +17,12 @@ double DecisionTree::Predict(const std::vector<double>& x) const {
   return tree_.Predict(x);
 }
 
+std::vector<double> DecisionTree::PredictBatch(const Matrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  tree_.AccumulateBatch(x, 1.0, &out);
+  return out;
+}
+
 Result<RandomForest> RandomForest::Fit(const Dataset& ds,
                                        const Options& opts) {
   if (ds.n() == 0) return Status::InvalidArgument("RandomForest: empty data");
@@ -45,6 +51,13 @@ double RandomForest::Predict(const std::vector<double>& x) const {
   double s = 0.0;
   for (const Tree& t : trees_) s += t.Predict(x);
   return s / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictBatch(const Matrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  for (const Tree& t : trees_) t.AccumulateBatch(x, 1.0, &out);
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
 }
 
 }  // namespace xai

@@ -18,6 +18,8 @@ class DecisionTree : public Model {
                                   const TreeConfig& config = {});
 
   double Predict(const std::vector<double>& x) const override;
+  /// Block row-major tree traversal (bit-identical to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
 
   const Tree& tree() const { return tree_; }
@@ -42,6 +44,8 @@ class RandomForest : public Model {
   static Result<RandomForest> Fit(const Dataset& ds, const Options& opts = Options());
 
   double Predict(const std::vector<double>& x) const override;
+  /// Tree-outer / row-inner ensemble traversal (bit-identical to Predict).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
 
   const std::vector<Tree>& trees() const { return trees_; }

@@ -59,8 +59,7 @@ Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
     Tree tree = FitRegressionTree(ds.x(), residual, opts.tree, hess, rows_ptr,
                                   opts.tree.max_features > 0 ? &tree_rng
                                                              : nullptr);
-    for (size_t i = 0; i < n; ++i)
-      margin[i] += opts.learning_rate * tree.Predict(ds.x().Row(i));
+    tree.AccumulateBatch(ds.x(), opts.learning_rate, &margin);
     m.trees_.push_back(std::move(tree));
   }
   return m;
@@ -88,6 +87,20 @@ double GradientBoostedTrees::PredictMargin(
 double GradientBoostedTrees::Predict(const std::vector<double>& x) const {
   const double f = PredictMargin(x);
   return loss_ == Loss::kLogistic ? Sigmoid(f) : f;
+}
+
+std::vector<double> GradientBoostedTrees::PredictMarginBatch(
+    const Matrix& x) const {
+  std::vector<double> out(x.rows(), base_score_);
+  for (const Tree& t : trees_) t.AccumulateBatch(x, learning_rate_, &out);
+  return out;
+}
+
+std::vector<double> GradientBoostedTrees::PredictBatch(const Matrix& x) const {
+  std::vector<double> out = PredictMarginBatch(x);
+  if (loss_ == Loss::kLogistic)
+    for (double& v : out) v = Sigmoid(v);
+  return out;
 }
 
 }  // namespace xai

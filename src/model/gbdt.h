@@ -51,10 +51,15 @@ class GradientBoostedTrees : public Model {
 
   /// Probability for logistic loss, value for squared loss.
   double Predict(const std::vector<double>& x) const override;
+  /// Tree-outer / row-inner block traversal over the whole ensemble
+  /// (bit-identical to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
 
   /// Raw additive score: base_score + lr * sum_t tree_t(x).
   double PredictMargin(const std::vector<double>& x) const;
+  /// Batched margins, same traversal as PredictBatch.
+  std::vector<double> PredictMarginBatch(const Matrix& x) const;
 
   const std::vector<Tree>& trees() const { return trees_; }
   double base_score() const { return base_score_; }

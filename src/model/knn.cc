@@ -42,4 +42,34 @@ double KnnClassifier::Predict(const std::vector<double>& x) const {
   return pos / static_cast<double>(kk);
 }
 
+std::vector<double> KnnClassifier::PredictBatch(const Matrix& x) const {
+  const size_t n = train_.n();
+  const size_t d = train_.d();
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k_), n);
+  std::vector<double> out(x.rows());
+  // One distance/order scratch pair reused across the whole block — the
+  // sort and comparator match NeighborsByDistance exactly.
+  std::vector<double> dist(n);
+  std::vector<size_t> order(n);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.RowPtr(r);
+    for (size_t i = 0; i < n; ++i) {
+      const double* t = train_.x().RowPtr(i);
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double dxy = t[j] - xr[j];
+        s += dxy * dxy;
+      }
+      dist[i] = s;
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return dist[a] < dist[b]; });
+    double pos = 0.0;
+    for (size_t i = 0; i < kk; ++i) pos += train_.y()[order[i]];
+    out[r] = pos / static_cast<double>(kk);
+  }
+  return out;
+}
+
 }  // namespace xai

@@ -17,6 +17,9 @@ class KnnClassifier : public Model {
   static Result<KnnClassifier> Fit(const Dataset& ds, int k = 5);
 
   double Predict(const std::vector<double>& x) const override;
+  /// Block distance computation with reused scratch buffers (bit-identical
+  /// to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return train_.d(); }
 
   int k() const { return k_; }

@@ -50,6 +50,12 @@ double LinearRegression::Predict(const std::vector<double>& x) const {
   return Dot(weights_, x) + intercept_;
 }
 
+std::vector<double> LinearRegression::PredictBatch(const Matrix& x) const {
+  std::vector<double> out = x * weights_;
+  for (double& v : out) v += intercept_;
+  return out;
+}
+
 std::vector<double> LinearRegression::Theta() const {
   std::vector<double> t = weights_;
   t.push_back(intercept_);

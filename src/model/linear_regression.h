@@ -32,6 +32,8 @@ class LinearRegression : public Model {
                                          double intercept, double lambda);
 
   double Predict(const std::vector<double>& x) const override;
+  /// Single GEMV over the whole block (bit-identical to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return weights_.size(); }
 
   const std::vector<double>& weights() const { return weights_; }

@@ -97,6 +97,21 @@ double LogisticRegression::Margin(const std::vector<double>& x) const {
   return MarginAt(x.data(), theta_.size() - 1, theta_);
 }
 
+std::vector<double> LogisticRegression::MarginBatch(const Matrix& x) const {
+  // Accumulation starts at the intercept and walks features ascending —
+  // the exact order MarginAt uses, so batch == scalar bit-for-bit.
+  const size_t d = theta_.size() - 1;
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = MarginAt(x.RowPtr(i), d, theta_);
+  return out;
+}
+
+std::vector<double> LogisticRegression::PredictBatch(const Matrix& x) const {
+  std::vector<double> out = MarginBatch(x);
+  for (double& v : out) v = Sigmoid(v);
+  return out;
+}
+
 std::vector<double> LogisticRegression::SampleGradient(
     const std::vector<double>& x, double y) const {
   return SampleGradientAt(x, y, theta_);

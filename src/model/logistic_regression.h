@@ -45,10 +45,14 @@ class LogisticRegression : public Model {
 
   /// P(y=1|x).
   double Predict(const std::vector<double>& x) const override;
+  /// GEMV margin + vectorized sigmoid (bit-identical to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return theta_.size() - 1; }
 
   /// Raw log-odds.
   double Margin(const std::vector<double>& x) const;
+  /// Raw log-odds for every row of x.
+  std::vector<double> MarginBatch(const Matrix& x) const;
 
   /// Full parameter vector [w; b].
   const std::vector<double>& theta() const { return theta_; }

@@ -1,6 +1,8 @@
 #ifndef XAIDB_MODEL_MODEL_H_
 #define XAIDB_MODEL_MODEL_H_
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "math/matrix.h"
@@ -12,17 +14,30 @@ namespace xai {
 /// Model-agnostic explainers (LIME, KernelSHAP, Anchors, counterfactual
 /// search, ...) use nothing beyond this interface — mirroring the tutorial's
 /// "model agnostic" axis of the XAI taxonomy.
+///
+/// PredictBatch is the library's evaluation workhorse: perturbation-based
+/// explainers are dominated by model evaluations (tutorial Sec. 2.1.2), so
+/// every explainer materializes its whole sample set and calls PredictBatch
+/// once instead of Predict per row. Overrides must be *row-equivalent*:
+/// PredictBatch(x)[i] == Predict(x.Row(i)) bit-for-bit (the determinism
+/// tests rely on it).
 class Model {
  public:
   virtual ~Model() = default;
 
   virtual double Predict(const std::vector<double>& x) const = 0;
 
-  /// Batched prediction; the default loops over rows. Overridden where a
-  /// faster path exists.
+  /// Batched prediction; the default loops over rows through one reused
+  /// scratch buffer (no per-row allocation or Matrix::Row copy).
+  /// Overridden by every built-in model with a vectorized path.
   virtual std::vector<double> PredictBatch(const Matrix& x) const {
     std::vector<double> out(x.rows());
-    for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+    std::vector<double> row(x.cols());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      const double* r = x.RowPtr(i);
+      row.assign(r, r + x.cols());
+      out[i] = Predict(row);
+    }
     return out;
   }
 
@@ -40,21 +55,40 @@ inline double PredictLabel(const Model& m, const std::vector<double>& x) {
 template <typename Fn>
 class LambdaModel : public Model {
  public:
+  using BatchFn = std::function<std::vector<double>(const Matrix&)>;
+
   LambdaModel(size_t num_features, Fn fn)
       : num_features_(num_features), fn_(std::move(fn)) {}
+  /// Batch-aware overload: `batch_fn` serves PredictBatch directly, so
+  /// tests can count batch calls or vectorize the test model themselves.
+  LambdaModel(size_t num_features, Fn fn, BatchFn batch_fn)
+      : num_features_(num_features),
+        fn_(std::move(fn)),
+        batch_fn_(std::move(batch_fn)) {}
+
   double Predict(const std::vector<double>& x) const override {
     return fn_(x);
+  }
+  std::vector<double> PredictBatch(const Matrix& x) const override {
+    return batch_fn_ ? batch_fn_(x) : Model::PredictBatch(x);
   }
   size_t num_features() const override { return num_features_; }
 
  private:
   size_t num_features_;
   Fn fn_;
+  BatchFn batch_fn_;
 };
 
 template <typename Fn>
 LambdaModel<Fn> MakeLambdaModel(size_t num_features, Fn fn) {
   return LambdaModel<Fn>(num_features, std::move(fn));
+}
+
+template <typename Fn>
+LambdaModel<Fn> MakeLambdaModel(size_t num_features, Fn fn,
+                                typename LambdaModel<Fn>::BatchFn batch_fn) {
+  return LambdaModel<Fn>(num_features, std::move(fn), std::move(batch_fn));
 }
 
 }  // namespace xai

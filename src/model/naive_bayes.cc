@@ -53,4 +53,17 @@ double MultinomialNaiveBayes::Predict(const std::vector<double>& x) const {
   return Sigmoid(Margin(x));
 }
 
+std::vector<double> MultinomialNaiveBayes::PredictBatch(
+    const Matrix& x) const {
+  const size_t d = llr_.size();
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* r = x.RowPtr(i);
+    double z = prior_llr_;
+    for (size_t j = 0; j < d; ++j) z += r[j] * llr_[j];
+    out[i] = Sigmoid(z);
+  }
+  return out;
+}
+
 }  // namespace xai

@@ -29,6 +29,8 @@ class MultinomialNaiveBayes : public Model {
 
   /// P(y=1 | x).
   double Predict(const std::vector<double>& x) const override;
+  /// Vectorized margin + sigmoid (bit-identical to Predict per row).
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return llr_.size(); }
 
   /// Log-odds margin: prior_llr + sum_j x_j * llr_j.

@@ -11,12 +11,29 @@ double Tree::Predict(const std::vector<double>& x) const {
 }
 
 int Tree::LeafIndex(const std::vector<double>& x) const {
+  return LeafIndex(x.data());
+}
+
+int Tree::LeafIndex(const double* x) const {
   int i = 0;
   while (!nodes[i].is_leaf()) {
     const TreeNode& n = nodes[i];
     i = x[n.feature] <= n.threshold ? n.left : n.right;
   }
   return i;
+}
+
+void Tree::AccumulateBatch(const Matrix& x, double scale,
+                           std::vector<double>* out) const {
+  const TreeNode* node = nodes.data();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* r = x.RowPtr(i);
+    int k = 0;
+    while (!node[k].is_leaf())
+      k = r[node[k].feature] <= node[k].threshold ? node[k].left
+                                                  : node[k].right;
+    (*out)[i] += scale * node[k].value;
+  }
 }
 
 int Tree::MaxDepth() const {

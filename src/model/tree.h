@@ -31,8 +31,17 @@ struct Tree {
   std::vector<TreeNode> nodes;
 
   double Predict(const std::vector<double>& x) const;
+  double Predict(const double* x) const { return nodes[LeafIndex(x)].value; }
   /// Index of the leaf that x lands in.
   int LeafIndex(const std::vector<double>& x) const;
+  int LeafIndex(const double* x) const;
+
+  /// out[i] += scale * Predict(row i) for every row of x. The batched
+  /// building block behind DecisionTree/RandomForest/GBDT PredictBatch:
+  /// the ensemble iterates tree-outer / row-inner so one tree's nodes stay
+  /// hot in cache across the whole row block.
+  void AccumulateBatch(const Matrix& x, double scale,
+                       std::vector<double>* out) const;
   int MaxDepth() const;
   size_t NumLeaves() const;
 

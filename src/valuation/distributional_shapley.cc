@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "math/stats.h"
+#include "obs/obs.h"
 
 namespace xai {
 
@@ -42,8 +44,14 @@ std::vector<DistributionalValue> DistributionalShapleyValues(
     const Dataset& pool, const Dataset& points, const TrainEvalFn& train_eval,
     const DistributionalShapleyOptions& opts) {
   std::vector<DistributionalValue> out(points.n());
-  for (size_t i = 0; i < points.n(); ++i)
+  // Each point's estimate runs from its own counter-derived stream
+  // (opts.seed + 7919 * index), so the parallel sweep is bit-identical to
+  // the serial loop for any thread count. train_eval must be thread-safe
+  // (the built-in model fits are pure functions of their inputs).
+  XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+  GlobalPool().ParallelFor(0, points.n(), 1, [&](size_t i) {
     out[i] = DistributionalShapleyValue(pool, points, i, train_eval, opts);
+  });
   return out;
 }
 
