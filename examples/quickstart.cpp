@@ -3,6 +3,7 @@
 // methods from the tutorial's Section 2.1 — LIME (surrogate), KernelSHAP
 // (model-agnostic Shapley) and TreeSHAP (model-specific, exact, fast) —
 // then aggregate local TreeSHAP values into global feature importances.
+#include <cassert>
 #include <cstdio>
 
 #include "data/synthetic.h"
@@ -60,7 +61,25 @@ int main() {
   auto tshap_attr = tshap.Explain(x);
   if (tshap_attr.ok()) std::printf("%s", tshap_attr->ToString().c_str());
 
-  // 4. From local explanations to global understanding.
+  // 4. Explaining several applicants at once. DEPRECATED: calling
+  // Explain(row) in a loop — every iteration redoes instance-independent
+  // work (KernelSHAP's coalition design, LIME's background statistics).
+  // Use ExplainBatch, which amortizes that work and is guaranteed
+  // bit-identical per row to the solo calls.
+  std::printf("\n--- batched KernelSHAP over 3 applicants ---\n");
+  Matrix batch(3, ds.d());
+  for (size_t i = 0; i < 3; ++i) batch.SetRow(i, test.row(i));
+  auto batch_attrs = kshap.ExplainBatch(batch);
+  if (batch_attrs.ok()) {
+    assert(batch_attrs->size() == batch.rows());
+    for (size_t i = 0; i < batch_attrs->size(); ++i)
+      std::printf("  applicant %zu: top feature %s\n", i,
+                  (*batch_attrs)[i]
+                      .feature_names[(*batch_attrs)[i].TopFeatures(1)[0]]
+                      .c_str());
+  }
+
+  // 5. From local explanations to global understanding.
   std::printf("\n--- global importance (mean |SHAP| over 200 rows) ---\n");
   std::vector<double> imp = GlobalMeanAbsShap(&tshap, train, 200);
   for (size_t j : TopKByMagnitude(imp, imp.size()))

@@ -4,11 +4,18 @@
 //   xaidb_cli <data.csv> [--model gbdt|logistic|forest] [--row N]
 //             [--explainer treeshap|kernelshap|lime|mcshapley|anchors|
 //                          counterfactual|all]
+//             [--serve-demo]
 //             [--threads N] [--metrics] [--metrics-json <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
 // so `xaidb_cli` alone always produces output.
+//
+// --serve-demo runs the async ExplanationService instead of a one-shot
+// explanation: a burst of requests (with repeated hot rows) is submitted
+// to the bounded queue, the dispatcher coalesces compatible requests into
+// single ExplainBatch sweeps, and the tool reports the coalescing stats.
+// Attributions are bit-identical to serving each request alone.
 //
 // --metrics prints the library's internal counters and span timings
 // (model evals, samples drawn, coalitions enumerated) after the run;
@@ -23,21 +30,21 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "cf/dice.h"
 #include "common/thread_pool.h"
-#include "core/game.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
-#include "feature/kernel_shap.h"
+#include "feature/explainer_factory.h"
 #include "feature/lime.h"
-#include "feature/shapley.h"
-#include "feature/tree_shap.h"
 #include "model/decision_tree.h"
 #include "model/gbdt.h"
 #include "model/logistic_regression.h"
 #include "model/metrics.h"
 #include "obs/obs.h"
 #include "rule/anchors.h"
+#include "serve/service.h"
 
 using namespace xai;
 
@@ -56,6 +63,7 @@ int main(int argc, char** argv) {
   std::string explainer_kind = "treeshap";
   std::string metrics_json_path;
   bool print_metrics = false;
+  bool serve_demo = false;
   size_t row = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
       explainer_kind = argv[++i];
     } else if (arg == "--row" && i + 1 < argc) {
       row = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--serve-demo") {
+      serve_demo = true;
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else if (arg == "--metrics-json" && i + 1 < argc) {
@@ -75,7 +85,7 @@ int main(int argc, char** argv) {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
-                  "counterfactual|all] "
+                  "counterfactual|all] [--serve-demo] "
                   "[--threads N] [--metrics] [--metrics-json <path>]\n",
                   argv[0]);
       return 0;
@@ -105,13 +115,10 @@ int main(int argc, char** argv) {
 
   // Train the requested model.
   std::unique_ptr<Model> model;
-  const GradientBoostedTrees* gbdt_ptr = nullptr;
   if (model_kind == "gbdt") {
     auto m = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
     if (!m.ok()) return Fail(m.status());
-    auto owned = std::make_unique<GradientBoostedTrees>(std::move(*m));
-    gbdt_ptr = owned.get();
-    model = std::move(owned);
+    model = std::make_unique<GradientBoostedTrees>(std::move(*m));
   } else if (model_kind == "logistic") {
     auto m = LogisticRegression::Fit(ds, {.lambda = 1e-3});
     if (!m.ok()) return Fail(m.status());
@@ -128,6 +135,53 @@ int main(int argc, char** argv) {
               model_kind.c_str(), EvaluateAccuracy(*model, ds),
               EvaluateAuc(*model, ds));
 
+  // The per-family explainer options every mode below shares — one config
+  // object, forwarded to the factory (and to the service in --serve-demo).
+  ExplainerConfig config;
+  config.kernel_shap.max_background = 50;
+  config.lime.num_samples = 3000;
+
+  if (serve_demo) {
+    // Submit a burst with hot-row repetition: 60 requests over 12 distinct
+    // rows, two explainer families. The dispatcher coalesces compatible
+    // requests into single ExplainBatch sweeps and answers duplicate
+    // instances from one computation — attributions stay bit-identical to
+    // serving each request alone.
+    ExplanationServiceOptions sopts;
+    sopts.config = config;
+    ExplanationService service(*model, ds, sopts);
+    const size_t kRequests = 60;
+    const size_t kDistinct = std::min<size_t>(12, ds.n());
+    std::vector<std::future<Result<FeatureAttribution>>> futures;
+    for (size_t i = 0; i < kRequests; ++i) {
+      ExplanationRequest req;
+      req.instance = ds.row(i % kDistinct);
+      req.kind = i % 3 == 0 ? ExplainerKind::kMcShapley
+                            : ExplainerKind::kKernelShap;
+      futures.push_back(service.Submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      const Result<FeatureAttribution> r = f.get();
+      if (!r.ok()) return Fail(r.status());
+    }
+    const ExplanationServiceStats stats = service.stats();
+    std::printf("serve-demo: %llu requests served in %llu coalesced "
+                "batches (%llu answered from a duplicate's computation)\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.coalesced_duplicates));
+    service.Shutdown();
+    if (obs::Enabled()) {
+      if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
+      if (!metrics_json_path.empty()) {
+        Status st = obs::WriteMetricsJson(metrics_json_path);
+        if (!st.ok()) return Fail(st);
+        std::printf("\nmetrics written to %s\n", metrics_json_path.c_str());
+      }
+    }
+    return 0;
+  }
+
   const std::vector<double> x = ds.row(row);
   std::printf("explaining row %zu (prediction = %.3f):\n", row,
               model->Predict(x));
@@ -136,35 +190,36 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   auto run_one = [&](const std::string& kind) -> int {
-    if (kind == "treeshap") {
-      if (!gbdt_ptr) {
-        std::fprintf(stderr,
-                     "error: --explainer treeshap requires --model gbdt\n");
-        return 1;
+    // The four attribution families all go through the shared factory;
+    // anchors / counterfactuals return different explanation types and
+    // keep their bespoke paths.
+    if (auto parsed = ParseExplainerKind(kind); parsed.ok()) {
+      auto explainer = MakeExplainer(*parsed, *model, ds, config);
+      if (!explainer.ok()) return Fail(explainer.status());
+      auto attr = (*explainer)->Explain(x);
+      if (!attr.ok()) return Fail(attr.status());
+      switch (*parsed) {
+        case ExplainerKind::kTreeShap:
+          std::printf("TreeSHAP (log-odds units):\n%s",
+                      attr->ToString().c_str());
+          break;
+        case ExplainerKind::kKernelShap:
+          std::printf("KernelSHAP:\n%s", attr->ToString().c_str());
+          break;
+        case ExplainerKind::kLime: {
+          const auto* lime =
+              dynamic_cast<const LimeExplainer*>(explainer->get());
+          std::printf("LIME (local R^2 = %.3f):\n%s",
+                      lime ? lime->last_local_r2() : 0.0,
+                      attr->ToString().c_str());
+          break;
+        }
+        case ExplainerKind::kMcShapley:
+          std::printf("MC-Shapley (%d permutations, marginal game):\n%s",
+                      config.mc_shapley.num_permutations,
+                      attr->ToString().c_str());
+          break;
       }
-      TreeShapExplainer explainer(*gbdt_ptr, ds.schema());
-      auto attr = explainer.Explain(x);
-      if (!attr.ok()) return Fail(attr.status());
-      std::printf("TreeSHAP (log-odds units):\n%s", attr->ToString().c_str());
-    } else if (kind == "kernelshap") {
-      KernelShapExplainer explainer(*model, ds, {.max_background = 50});
-      auto attr = explainer.Explain(x);
-      if (!attr.ok()) return Fail(attr.status());
-      std::printf("KernelSHAP:\n%s", attr->ToString().c_str());
-    } else if (kind == "lime") {
-      LimeExplainer explainer(*model, ds, {.num_samples = 3000});
-      auto attr = explainer.Explain(x);
-      if (!attr.ok()) return Fail(attr.status());
-      std::printf("LIME (local R^2 = %.3f):\n%s", explainer.last_local_r2(),
-                  attr->ToString().c_str());
-    } else if (kind == "mcshapley") {
-      MarginalFeatureGame game(*model, ds.x(), x, 50);
-      Rng rng(7);
-      const std::vector<double> phi = PermutationShapley(game, 50, &rng);
-      std::printf("MC-Shapley (50 permutations, marginal game):\n");
-      for (size_t j = 0; j < ds.d(); ++j)
-        std::printf("  %-24s %+.4f\n", ds.schema().feature(j).name.c_str(),
-                    phi[j]);
     } else if (kind == "anchors") {
       AnchorsExplainer explainer(*model, ds, {});
       auto rule = explainer.Explain(x);
@@ -191,7 +246,9 @@ int main(int argc, char** argv) {
     // LIME, TreeSHAP, MC-Shapley and a counterfactual search.
     for (const char* kind :
          {"treeshap", "kernelshap", "lime", "mcshapley", "counterfactual"}) {
-      if (std::string(kind) == "treeshap" && gbdt_ptr == nullptr) continue;
+      // TreeSHAP needs a tree model; the factory would reject logistic.
+      if (std::string(kind) == "treeshap" && model_kind == "logistic")
+        continue;
       std::printf("--- %s ---\n", kind);
       const int rc = run_one(kind);
       if (rc != 0) return rc;

@@ -18,6 +18,8 @@ enum class StatusCode {
   kUnimplemented,
   kIOError,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// A Status holds an error code plus a human-readable message.
@@ -52,6 +54,14 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A request's deadline passed before it was (fully) served.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service cannot accept work right now (full queue, shut down).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,25 +1,59 @@
 #ifndef XAIDB_CORE_EXPLAINER_H_
 #define XAIDB_CORE_EXPLAINER_H_
 
+#include <cassert>
 #include <vector>
 
 #include "common/result.h"
 #include "core/explanation.h"
+#include "math/matrix.h"
 
 namespace xai {
 
 /// Common interface of local feature-attribution explainers (LIME,
 /// KernelSHAP, TreeSHAP, QII, causal Shapley, ...). The model and
-/// background data are bound at construction; Explain is called per
-/// instance. Having one interface lets the evaluation module (fidelity,
-/// stability, adversarial robustness) treat explainers uniformly — the
-/// comparison methodology the tutorial calls for.
+/// background data are bound at construction. Having one interface lets
+/// the evaluation module (fidelity, stability, adversarial robustness)
+/// treat explainers uniformly — the comparison methodology the tutorial
+/// calls for.
+///
+/// ExplainBatch is the preferred entry point: explanation requests arrive
+/// as a workload, and amortizing per-request setup (coalition designs,
+/// perturbation statistics, per-tree state) across instances is exactly
+/// the shared-computation opportunity the tutorial's Section 3 frames as
+/// data-management territory. Calling Explain in a loop over many
+/// instances is deprecated — it repeats that setup per row and the
+/// serving layer (src/serve/) cannot coalesce it.
+///
+/// Determinism contract: ExplainBatch(instances)[i] is bit-identical to
+/// Explain(instances.Row(i)). Overrides may only hoist computation whose
+/// value does not depend on the instance (sampled coalition designs,
+/// background column statistics, pre-drawn permutations); anything
+/// instance-dependent must be re-derived per row exactly as Explain does.
+/// The serving layer's guarantee — a coalesced request returns the same
+/// bits as a solo request — reduces to this contract.
 class AttributionExplainer {
  public:
   virtual ~AttributionExplainer() = default;
 
   virtual Result<FeatureAttribution> Explain(
       const std::vector<double>& instance) = 0;
+
+  /// Explains every row of `instances` (one row per instance, arity =
+  /// feature count). The default is the unamortized per-row loop;
+  /// KernelSHAP, TreeSHAP, LIME and MC-Shapley override it with sweeps
+  /// that share instance-independent setup across rows.
+  virtual Result<std::vector<FeatureAttribution>> ExplainBatch(
+      const Matrix& instances) {
+    std::vector<FeatureAttribution> out;
+    out.reserve(instances.rows());
+    for (size_t i = 0; i < instances.rows(); ++i) {
+      XAI_ASSIGN_OR_RETURN(FeatureAttribution attr, Explain(instances.Row(i)));
+      out.push_back(std::move(attr));
+    }
+    assert(out.size() == instances.rows());
+    return out;
+  }
 };
 
 }  // namespace xai

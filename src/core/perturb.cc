@@ -12,6 +12,12 @@ TabularPerturber::TabularPerturber(const Dataset& reference,
       stats_(ComputeColumnStats(reference)),
       instance_(std::move(instance)) {}
 
+TabularPerturber::TabularPerturber(const Schema& schema, ColumnStats stats,
+                                   std::vector<double> instance)
+    : schema_(schema),
+      stats_(std::move(stats)),
+      instance_(std::move(instance)) {}
+
 TabularPerturber::Sample TabularPerturber::Draw(Rng* rng) const {
   return DrawConditional(std::vector<bool>(instance_.size(), false), rng);
 }

@@ -22,6 +22,14 @@ class TabularPerturber {
  public:
   TabularPerturber(const Dataset& reference, std::vector<double> instance);
 
+  /// Constructs from precomputed column statistics, so batched callers
+  /// (LimeExplainer::ExplainBatch, the serving layer) compute
+  /// ComputeColumnStats once per sweep instead of once per instance. The
+  /// stats must be those of the reference dataset — draws are then
+  /// bit-identical to the Dataset constructor's.
+  TabularPerturber(const Schema& schema, ColumnStats stats,
+                   std::vector<double> instance);
+
   struct Sample {
     std::vector<double> x;
     std::vector<uint8_t> z;  // 1 = feature agrees with the instance.

@@ -1,5 +1,8 @@
 #include "db/query_shapley.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/game.h"
 #include "feature/shapley.h"
 #include "obs/obs.h"
@@ -23,10 +26,23 @@ Result<std::vector<double>> TupleShapley(size_t num_tuples,
     XAI_OBS_COUNT("db.query_shapley.lineage_evals");
     return query(keep);
   });
-  if (num_tuples <= static_cast<size_t>(opts.exact_up_to))
-    return ExactShapley(game, opts.exact_up_to);
+  // Exact enumeration materializes all 2^n coalitions (and their value
+  // vector) at once; cap the threshold so the 1<<n shift and the
+  // allocation stay well inside size_t range no matter what the caller
+  // puts in exact_up_to. 2^25 game values ≈ 256 MiB — already past any
+  // sensible exact budget.
+  constexpr size_t kExactHardCap = 25;
+  const size_t exact_up_to = std::min(opts.exact_up_to, kExactHardCap);
+  if (num_tuples <= exact_up_to)
+    return ExactShapley(game, static_cast<int>(exact_up_to));
+  if (opts.num_permutations == 0 ||
+      opts.num_permutations >
+          static_cast<size_t>(std::numeric_limits<int>::max()))
+    return Status::InvalidArgument(
+        "TupleShapley: num_permutations out of range");
   Rng rng(opts.seed);
-  return PermutationShapley(game, opts.num_permutations, &rng);
+  return PermutationShapley(game, static_cast<int>(opts.num_permutations),
+                            &rng);
 }
 
 SubDatabaseQueryFn MakeRelationQueryFn(

@@ -16,10 +16,15 @@ namespace xai {
 using SubDatabaseQueryFn = std::function<double(const std::vector<bool>& keep)>;
 
 struct QueryShapleyOptions {
-  /// Exact subset enumeration up to this many endogenous tuples.
-  int exact_up_to = 16;
+  /// Exact subset enumeration up to this many endogenous tuples. Unsigned
+  /// on purpose: tuple counts are sizes, and the old int field let a
+  /// negative value sign-convert into a huge threshold that sent
+  /// arbitrarily large lineages down the 2^n exact path. The exact sweep
+  /// is additionally hard-capped internally (see TupleShapley) so the
+  /// coalition materialization can never overflow.
+  size_t exact_up_to = 16;
   /// Permutation samples otherwise.
-  int num_permutations = 200;
+  size_t num_permutations = 200;
   uint64_t seed = 4242;
 };
 

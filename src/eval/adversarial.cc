@@ -58,11 +58,15 @@ Result<double> TopFeatureIsSensitiveRate(AttributionExplainer* explainer,
                                          size_t max_rows) {
   const size_t n = std::min(instances.n(), max_rows);
   if (n == 0) return Status::InvalidArgument("no instances");
+  // Batched sweep: the attack evaluation explains every probe instance
+  // with one amortized ExplainBatch call instead of n Explain calls.
+  Matrix rows(n, instances.d());
+  for (size_t i = 0; i < n; ++i) rows.SetRow(i, instances.row(i));
+  XAI_ASSIGN_OR_RETURN(std::vector<FeatureAttribution> attrs,
+                       explainer->ExplainBatch(rows));
   size_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
-    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
-                         explainer->Explain(instances.row(i)));
-    const std::vector<size_t> top = attr.TopFeatures(1);
+    const std::vector<size_t> top = attrs[i].TopFeatures(1);
     if (!top.empty() && top[0] == sensitive_feature) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(n);

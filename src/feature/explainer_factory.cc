@@ -1,0 +1,107 @@
+#include "feature/explainer_factory.h"
+
+#include "feature/tree_shap.h"
+#include "model/decision_tree.h"
+#include "model/gbdt.h"
+
+namespace xai {
+
+namespace {
+
+/// FNV-1a over the raw bytes of each option field. Stable within a build,
+/// which is all the coalescing key needs (it never leaves the process).
+uint64_t HashBytes(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t HashValue(uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return HashBytes(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+Result<ExplainerKind> ParseExplainerKind(const std::string& name) {
+  if (name == "treeshap") return ExplainerKind::kTreeShap;
+  if (name == "kernelshap") return ExplainerKind::kKernelShap;
+  if (name == "lime") return ExplainerKind::kLime;
+  if (name == "mcshapley") return ExplainerKind::kMcShapley;
+  return Status::InvalidArgument("unknown explainer kind: " + name);
+}
+
+const char* ExplainerKindName(ExplainerKind kind) {
+  switch (kind) {
+    case ExplainerKind::kTreeShap: return "treeshap";
+    case ExplainerKind::kKernelShap: return "kernelshap";
+    case ExplainerKind::kLime: return "lime";
+    case ExplainerKind::kMcShapley: return "mcshapley";
+  }
+  return "unknown";
+}
+
+uint64_t ExplainerConfig::Fingerprint(ExplainerKind kind) const {
+  uint64_t h = 14695981039346656037ULL;
+  h = HashValue(h, static_cast<int>(kind));
+  switch (kind) {
+    case ExplainerKind::kTreeShap:
+      break;  // TreeSHAP is exact and option-free.
+    case ExplainerKind::kKernelShap:
+      h = HashValue(h, kernel_shap.num_samples);
+      h = HashValue(h, kernel_shap.exact_up_to);
+      h = HashValue(h, kernel_shap.max_background);
+      h = HashValue(h, kernel_shap.lambda);
+      h = HashValue(h, kernel_shap.seed);
+      break;
+    case ExplainerKind::kLime:
+      h = HashValue(h, lime.num_samples);
+      h = HashValue(h, lime.kernel_width);
+      h = HashValue(h, lime.lambda);
+      h = HashValue(h, lime.num_features);
+      h = HashValue(h, lime.seed);
+      break;
+    case ExplainerKind::kMcShapley:
+      h = HashValue(h, mc_shapley.num_permutations);
+      h = HashValue(h, mc_shapley.max_background);
+      h = HashValue(h, mc_shapley.seed);
+      break;
+  }
+  return h;
+}
+
+Result<std::unique_ptr<AttributionExplainer>> MakeExplainer(
+    ExplainerKind kind, const Model& model, const Dataset& background,
+    const ExplainerConfig& config) {
+  switch (kind) {
+    case ExplainerKind::kTreeShap: {
+      if (const auto* gbdt = dynamic_cast<const GradientBoostedTrees*>(&model))
+        return std::unique_ptr<AttributionExplainer>(
+            new TreeShapExplainer(*gbdt, background.schema()));
+      if (const auto* tree = dynamic_cast<const DecisionTree*>(&model))
+        return std::unique_ptr<AttributionExplainer>(
+            new TreeShapExplainer(*tree, background.schema()));
+      if (const auto* forest = dynamic_cast<const RandomForest*>(&model))
+        return std::unique_ptr<AttributionExplainer>(
+            new TreeShapExplainer(*forest, background.schema()));
+      return Status::InvalidArgument(
+          "treeshap requires a tree model (gbdt, decision tree or forest)");
+    }
+    case ExplainerKind::kKernelShap:
+      return std::unique_ptr<AttributionExplainer>(
+          new KernelShapExplainer(model, background, config.kernel_shap));
+    case ExplainerKind::kLime:
+      return std::unique_ptr<AttributionExplainer>(
+          new LimeExplainer(model, background, config.lime));
+    case ExplainerKind::kMcShapley:
+      return std::unique_ptr<AttributionExplainer>(
+          new McShapleyExplainer(model, background, config.mc_shapley));
+  }
+  return Status::InvalidArgument("unknown explainer kind");
+}
+
+}  // namespace xai

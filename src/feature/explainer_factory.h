@@ -1,0 +1,60 @@
+#ifndef XAIDB_FEATURE_EXPLAINER_FACTORY_H_
+#define XAIDB_FEATURE_EXPLAINER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "feature/kernel_shap.h"
+#include "feature/lime.h"
+#include "feature/mc_shapley.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// The attribution families the factory can build. One registry shared by
+/// the CLI, the benchmarks and the serving layer so the string → explainer
+/// mapping lives in exactly one place.
+enum class ExplainerKind {
+  kTreeShap,
+  kKernelShap,
+  kLime,
+  kMcShapley,
+};
+
+/// "treeshap" | "kernelshap" | "lime" | "mcshapley" (the CLI's mode
+/// names). InvalidArgument on anything else.
+Result<ExplainerKind> ParseExplainerKind(const std::string& name);
+
+/// Inverse of ParseExplainerKind.
+const char* ExplainerKindName(ExplainerKind kind);
+
+/// Per-family options, carried together so call sites can forward one
+/// config object regardless of kind. Only the active family's options are
+/// read by MakeExplainer.
+struct ExplainerConfig {
+  KernelShapOptions kernel_shap;
+  LimeOptions lime;
+  McShapleyOptions mc_shapley;
+
+  /// Stable hash of (kind + the option fields that family reads). Two
+  /// configs with equal fingerprints build explainers that produce
+  /// bit-identical attributions, which is what lets the serving layer use
+  /// it as a coalescing key.
+  uint64_t Fingerprint(ExplainerKind kind) const;
+};
+
+/// Builds an explainer of `kind` over `model` + `background`. TreeSHAP
+/// requires a tree model (GradientBoostedTrees, DecisionTree or
+/// RandomForest) and returns InvalidArgument for anything else; the
+/// model-agnostic families accept any Model. The returned explainer
+/// borrows `model` and `background` — both must outlive it.
+Result<std::unique_ptr<AttributionExplainer>> MakeExplainer(
+    ExplainerKind kind, const Model& model, const Dataset& background,
+    const ExplainerConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_EXPLAINER_FACTORY_H_

@@ -89,12 +89,13 @@ Result<ShapSummary> SummarizeAttributions(AttributionExplainer* explainer,
   const size_t n = std::min(ds.n(), max_rows);
   if (n == 0) return Status::InvalidArgument("SummarizeAttributions: empty");
   const size_t d = ds.d();
+  // One amortized ExplainBatch sweep over the summary rows.
+  Matrix rows(n, d);
+  for (size_t i = 0; i < n; ++i) rows.SetRow(i, ds.row(i));
+  XAI_ASSIGN_OR_RETURN(std::vector<FeatureAttribution> attrs,
+                       explainer->ExplainBatch(rows));
   Matrix phi(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
-                         explainer->Explain(ds.row(i)));
-    phi.SetRow(i, attr.values);
-  }
+  for (size_t i = 0; i < n; ++i) phi.SetRow(i, attrs[i].values);
   ShapSummary summary;
   summary.mean_abs_attribution.resize(d);
   summary.direction.resize(d);
@@ -116,12 +117,13 @@ Result<std::vector<size_t>> SubmodularPick(AttributionExplainer* explainer,
   const size_t n = std::min(ds.n(), max_rows);
   if (n == 0) return Status::InvalidArgument("SubmodularPick: empty");
   const size_t d = ds.d();
+  Matrix rows(n, d);
+  for (size_t i = 0; i < n; ++i) rows.SetRow(i, ds.row(i));
+  XAI_ASSIGN_OR_RETURN(std::vector<FeatureAttribution> attrs,
+                       explainer->ExplainBatch(rows));
   Matrix w(n, d);  // |phi| per instance.
-  for (size_t i = 0; i < n; ++i) {
-    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
-                         explainer->Explain(ds.row(i)));
-    for (size_t j = 0; j < d; ++j) w(i, j) = std::fabs(attr.values[j]);
-  }
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) w(i, j) = std::fabs(attrs[i].values[j]);
   // Global feature importance I_j = sqrt(sum_i |w_ij|), per the paper.
   std::vector<double> gi(d, 0.0);
   for (size_t j = 0; j < d; ++j) {

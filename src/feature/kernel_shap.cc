@@ -60,10 +60,50 @@ KernelShapExplainer::KernelShapExplainer(const Model& model,
                                          KernelShapOptions opts)
     : model_(model), background_(background), opts_(opts) {}
 
-Result<FeatureAttribution> KernelShapExplainer::Explain(
-    const std::vector<double>& instance) {
-  XAI_OBS_HIST_TIMER("feature.kernel_shap.explain_us");
-  XAI_OBS_SPAN("kernel_shap");
+KernelShapExplainer::CoalitionDesign KernelShapExplainer::BuildDesign(
+    int d) const {
+  XAI_OBS_SPAN("sample");
+  CoalitionDesign design;
+  auto eval_mask = [&](std::vector<uint8_t> mask, double w) {
+    XAI_OBS_COUNT("feature.kernel_shap.coalitions");
+    design.masks.push_back(std::move(mask));
+    design.weights.push_back(w);
+  };
+
+  if (d <= opts_.exact_up_to) {
+    // Enumerate every proper non-empty coalition with its exact kernel
+    // weight: the regression then recovers exact marginal-game Shapley
+    // values.
+    for (uint32_t m = 1; m + 1 < (1u << d); ++m) {
+      std::vector<uint8_t> mask(d);
+      for (int j = 0; j < d; ++j) mask[j] = (m >> j) & 1u;
+      eval_mask(std::move(mask), ShapleyKernelWeight(d, PopCount(m)));
+    }
+  } else {
+    Rng rng(opts_.seed);
+    // Sample sizes proportional to total kernel mass per size, paired
+    // (z, complement) for variance reduction.
+    std::vector<double> size_mass(d, 0.0);
+    for (int s = 1; s < d; ++s)
+      size_mass[s] = ShapleyKernelWeight(d, s) * BinomialCoefficient(d, s);
+    for (int k = 0; k < opts_.num_samples / 2; ++k) {
+      const int s = static_cast<int>(rng.Categorical(size_mass));
+      std::vector<size_t> chosen =
+          rng.SampleWithoutReplacement(static_cast<size_t>(d),
+                                       static_cast<size_t>(std::max(1, s)));
+      std::vector<uint8_t> mask(d, 0);
+      for (size_t j : chosen) mask[j] = 1;
+      std::vector<uint8_t> comp(d);
+      for (int j = 0; j < d; ++j) comp[j] = 1 - mask[j];
+      eval_mask(std::move(mask), 1.0);
+      eval_mask(std::move(comp), 1.0);
+    }
+  }
+  return design;
+}
+
+Result<FeatureAttribution> KernelShapExplainer::ExplainRow(
+    const CoalitionDesign& design, const std::vector<double>& instance) {
   const int d = static_cast<int>(instance.size());
   MarginalFeatureGame game(model_, background_.x(), instance,
                            opts_.max_background);
@@ -82,52 +122,7 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
     return out;
   }
 
-  std::vector<std::vector<uint8_t>> masks;
-  std::vector<double> weights;
-
-  // Phase 1: collect the whole coalition set (cheap, serial, owns the
-  // RNG); phase 2 evaluates it through the batched game in parallel
-  // chunks. Mask order is the evaluation order, so results match the old
-  // one-coalition-at-a-time path exactly.
-  auto eval_mask = [&](const std::vector<uint8_t>& mask, double w) {
-    XAI_OBS_COUNT("feature.kernel_shap.coalitions");
-    masks.push_back(mask);
-    weights.push_back(w);
-  };
-
-  {
-    XAI_OBS_SPAN("sample");
-    if (d <= opts_.exact_up_to) {
-      // Enumerate every proper non-empty coalition with its exact kernel
-      // weight: the regression then recovers exact marginal-game Shapley
-      // values.
-      for (uint32_t m = 1; m + 1 < (1u << d); ++m) {
-        std::vector<uint8_t> mask(d);
-        for (int j = 0; j < d; ++j) mask[j] = (m >> j) & 1u;
-        eval_mask(mask, ShapleyKernelWeight(d, PopCount(m)));
-      }
-    } else {
-      Rng rng(opts_.seed);
-      // Sample sizes proportional to total kernel mass per size, paired
-      // (z, complement) for variance reduction.
-      std::vector<double> size_mass(d, 0.0);
-      for (int s = 1; s < d; ++s)
-        size_mass[s] = ShapleyKernelWeight(d, s) * BinomialCoefficient(d, s);
-      for (int k = 0; k < opts_.num_samples / 2; ++k) {
-        const int s = static_cast<int>(rng.Categorical(size_mass));
-        std::vector<size_t> chosen =
-            rng.SampleWithoutReplacement(static_cast<size_t>(d),
-                                         static_cast<size_t>(std::max(1, s)));
-        std::vector<uint8_t> mask(d, 0);
-        for (size_t j : chosen) mask[j] = 1;
-        eval_mask(mask, 1.0);
-        std::vector<uint8_t> comp(d);
-        for (int j = 0; j < d; ++j) comp[j] = 1 - mask[j];
-        eval_mask(comp, 1.0);
-      }
-    }
-  }
-
+  const std::vector<std::vector<uint8_t>>& masks = design.masks;
   std::vector<double> values(masks.size());
   {
     XAI_OBS_SPAN("eval");
@@ -151,7 +146,7 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
   {
     XAI_OBS_SPAN("solve");
     XAI_ASSIGN_OR_RETURN(
-        phi, SolveKernelShap(masks, values, weights, base, full,
+        phi, SolveKernelShap(masks, values, design.weights, base, full,
                              opts_.lambda));
   }
 
@@ -161,6 +156,35 @@ Result<FeatureAttribution> KernelShapExplainer::Explain(
   out.values = std::move(phi);
   out.base_value = base;
   out.prediction = model_.Predict(instance);
+  return out;
+}
+
+Result<FeatureAttribution> KernelShapExplainer::Explain(
+    const std::vector<double>& instance) {
+  XAI_OBS_HIST_TIMER("feature.kernel_shap.explain_us");
+  XAI_OBS_SPAN("kernel_shap");
+  const CoalitionDesign design =
+      BuildDesign(static_cast<int>(instance.size()));
+  return ExplainRow(design, instance);
+}
+
+Result<std::vector<FeatureAttribution>> KernelShapExplainer::ExplainBatch(
+    const Matrix& instances) {
+  XAI_OBS_HIST_TIMER("feature.kernel_shap.explain_batch_us");
+  XAI_OBS_SPAN("kernel_shap_batch");
+  XAI_OBS_COUNT_N("feature.kernel_shap.batch_rows", instances.rows());
+  if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
+  // One design for the whole sweep: the masks and weights depend only on
+  // (d, opts), so every row would rebuild exactly this from Rng(seed).
+  const CoalitionDesign design =
+      BuildDesign(static_cast<int>(instances.cols()));
+  std::vector<FeatureAttribution> out;
+  out.reserve(instances.rows());
+  for (size_t i = 0; i < instances.rows(); ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         ExplainRow(design, instances.Row(i)));
+    out.push_back(std::move(attr));
+  }
   return out;
 }
 

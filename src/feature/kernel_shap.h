@@ -38,7 +38,25 @@ class KernelShapExplainer : public AttributionExplainer {
   Result<FeatureAttribution> Explain(
       const std::vector<double>& instance) override;
 
+  /// Amortized multi-instance sweep: the coalition design (enumerated or
+  /// sampled masks plus kernel weights) depends only on (d, opts), so it
+  /// is built once and reused for every row — the "one coalition-design
+  /// reused across rows" sharing. Row i is bit-identical to Explain(row i),
+  /// which rebuilds the same design from the same seed.
+  Result<std::vector<FeatureAttribution>> ExplainBatch(
+      const Matrix& instances) override;
+
  private:
+  /// The instance-independent half of KernelSHAP: which coalitions to
+  /// evaluate and their regression weights.
+  struct CoalitionDesign {
+    std::vector<std::vector<uint8_t>> masks;
+    std::vector<double> weights;
+  };
+  CoalitionDesign BuildDesign(int d) const;
+  Result<FeatureAttribution> ExplainRow(const CoalitionDesign& design,
+                                        const std::vector<double>& instance);
+
   const Model& model_;
   const Dataset& background_;
   KernelShapOptions opts_;

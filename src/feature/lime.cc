@@ -24,11 +24,34 @@ Result<FeatureAttribution> LimeExplainer::Explain(
     const std::vector<double>& instance) {
   XAI_OBS_HIST_TIMER("feature.lime.explain_us");
   XAI_OBS_SPAN("lime");
+  return ExplainRow(ComputeColumnStats(background_), instance);
+}
+
+Result<std::vector<FeatureAttribution>> LimeExplainer::ExplainBatch(
+    const Matrix& instances) {
+  XAI_OBS_HIST_TIMER("feature.lime.explain_batch_us");
+  XAI_OBS_SPAN("lime_batch");
+  if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
+  // One pass over the background for the whole sweep; per-row Explain
+  // would recompute identical statistics per instance.
+  const ColumnStats stats = ComputeColumnStats(background_);
+  std::vector<FeatureAttribution> out;
+  out.reserve(instances.rows());
+  for (size_t i = 0; i < instances.rows(); ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         ExplainRow(stats, instances.Row(i)));
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+Result<FeatureAttribution> LimeExplainer::ExplainRow(
+    const ColumnStats& stats, const std::vector<double>& instance) {
   const size_t d = instance.size();
   if (d != background_.d())
     return Status::InvalidArgument("Lime: instance arity != background");
   Rng rng(opts_.seed);
-  TabularPerturber perturber(background_, instance);
+  TabularPerturber perturber(background_.schema(), stats, instance);
 
   const double width = opts_.kernel_width > 0
                            ? opts_.kernel_width

@@ -7,6 +7,7 @@
 #include "core/explainer.h"
 #include "core/perturb.h"
 #include "data/dataset.h"
+#include "data/transforms.h"
 #include "model/model.h"
 
 namespace xai {
@@ -38,11 +39,23 @@ class LimeExplainer : public AttributionExplainer {
   Result<FeatureAttribution> Explain(
       const std::vector<double>& instance) override;
 
+  /// Amortized multi-instance sweep: the background column statistics the
+  /// perturber samples from (and the kernel width) are computed once for
+  /// the whole batch instead of per instance. The perturbation draws
+  /// themselves restart from Rng(opts.seed) per row — they depend on the
+  /// instance (numeric draws are centered on it), so re-drawing per row is
+  /// exactly what keeps row i bit-identical to Explain(row i).
+  Result<std::vector<FeatureAttribution>> ExplainBatch(
+      const Matrix& instances) override;
+
   /// Local weighted R^2 of the last surrogate fit — LIME's own fidelity
   /// diagnostic.
   double last_local_r2() const { return last_local_r2_; }
 
  private:
+  Result<FeatureAttribution> ExplainRow(const ColumnStats& stats,
+                                        const std::vector<double>& instance);
+
   const Model& model_;
   const Dataset& background_;
   LimeOptions opts_;

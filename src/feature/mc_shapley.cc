@@ -1,0 +1,73 @@
+#include "feature/mc_shapley.h"
+
+#include "common/rng.h"
+#include "core/game.h"
+#include "feature/shapley.h"
+#include "obs/obs.h"
+
+namespace xai {
+
+namespace {
+
+/// The permutation set is instance-independent: every solo Explain draws
+/// exactly this from Rng(opts.seed), which is what makes batched reuse
+/// bit-identical.
+std::vector<std::vector<size_t>> DrawPermutations(size_t d,
+                                                  const McShapleyOptions& o) {
+  Rng rng(o.seed);
+  const size_t count =
+      o.num_permutations > 0 ? static_cast<size_t>(o.num_permutations) : 0;
+  std::vector<std::vector<size_t>> perms(count);
+  for (auto& p : perms) p = rng.Permutation(d);
+  return perms;
+}
+
+}  // namespace
+
+McShapleyExplainer::McShapleyExplainer(const Model& model,
+                                       const Dataset& background,
+                                       McShapleyOptions opts)
+    : model_(model), background_(background), opts_(opts) {}
+
+Result<FeatureAttribution> McShapleyExplainer::ExplainRow(
+    const std::vector<std::vector<size_t>>& perms,
+    const std::vector<double>& instance) {
+  if (instance.size() != background_.d())
+    return Status::InvalidArgument("McShapley: instance arity != background");
+  MarginalFeatureGame game(model_, background_.x(), instance,
+                           opts_.max_background);
+  FeatureAttribution out;
+  out.values = PermutationShapleyWithPerms(game, perms);
+  for (size_t j = 0; j < instance.size(); ++j)
+    out.feature_names.push_back(background_.schema().feature(j).name);
+  out.base_value = game.BaseValue();
+  out.prediction = model_.Predict(instance);
+  return out;
+}
+
+Result<FeatureAttribution> McShapleyExplainer::Explain(
+    const std::vector<double>& instance) {
+  XAI_OBS_HIST_TIMER("feature.mc_shapley.explain_us");
+  XAI_OBS_SPAN("mc_shapley");
+  return ExplainRow(DrawPermutations(instance.size(), opts_), instance);
+}
+
+Result<std::vector<FeatureAttribution>> McShapleyExplainer::ExplainBatch(
+    const Matrix& instances) {
+  XAI_OBS_HIST_TIMER("feature.mc_shapley.explain_batch_us");
+  XAI_OBS_SPAN("mc_shapley_batch");
+  XAI_OBS_COUNT_N("feature.mc_shapley.batch_rows", instances.rows());
+  if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
+  const std::vector<std::vector<size_t>> perms =
+      DrawPermutations(instances.cols(), opts_);
+  std::vector<FeatureAttribution> out;
+  out.reserve(instances.rows());
+  for (size_t i = 0; i < instances.rows(); ++i) {
+    XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
+                         ExplainRow(perms, instances.Row(i)));
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,54 @@
+#ifndef XAIDB_FEATURE_MC_SHAPLEY_H_
+#define XAIDB_FEATURE_MC_SHAPLEY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "model/model.h"
+
+namespace xai {
+
+struct McShapleyOptions {
+  /// Sampled permutations; error ~ O(1/sqrt(num_permutations)).
+  int num_permutations = 50;
+  /// Background rows used by the marginal value function.
+  size_t max_background = 50;
+  uint64_t seed = 7;
+};
+
+/// AttributionExplainer facade over permutation-sampling Monte-Carlo
+/// Shapley on the marginal feature game — the model-agnostic estimator of
+/// tutorial Section 2.1.2 that trades KernelSHAP's regression for direct
+/// marginal-contribution sampling. Wrapping it in the common interface
+/// lets the evaluation module, the explainer factory and the serving
+/// layer treat it like the other attribution families.
+class McShapleyExplainer : public AttributionExplainer {
+ public:
+  McShapleyExplainer(const Model& model, const Dataset& background,
+                     McShapleyOptions opts = {});
+
+  Result<FeatureAttribution> Explain(
+      const std::vector<double>& instance) override;
+
+  /// Amortized multi-instance sweep: the permutation set depends only on
+  /// (d, seed), so it is drawn once and reused for every row. Row i is
+  /// bit-identical to Explain(row i), which redraws the same permutations
+  /// from Rng(seed).
+  Result<std::vector<FeatureAttribution>> ExplainBatch(
+      const Matrix& instances) override;
+
+ private:
+  Result<FeatureAttribution> ExplainRow(
+      const std::vector<std::vector<size_t>>& perms,
+      const std::vector<double>& instance);
+
+  const Model& model_;
+  const Dataset& background_;
+  McShapleyOptions opts_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_FEATURE_MC_SHAPLEY_H_

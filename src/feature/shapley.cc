@@ -75,18 +75,25 @@ Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
 
 std::vector<double> PermutationShapley(const CoalitionGame& game,
                                        int num_permutations, Rng* rng) {
+  const size_t n = game.num_players();
+  if (n == 0 || num_permutations <= 0) return std::vector<double>(n, 0.0);
+  // All permutations come off the caller's stream up front; the sweep
+  // below never touches rng, so chunking cannot perturb the draw order.
+  std::vector<std::vector<size_t>> perms(
+      static_cast<size_t>(num_permutations));
+  for (auto& p : perms) p = rng->Permutation(n);
+  return PermutationShapleyWithPerms(game, perms);
+}
+
+std::vector<double> PermutationShapleyWithPerms(
+    const CoalitionGame& game, const std::vector<std::vector<size_t>>& perms) {
   XAI_OBS_SPAN("shapley_mc");
   const size_t n = game.num_players();
   std::vector<double> phi(n, 0.0);
-  if (n == 0 || num_permutations <= 0) return phi;
-  const size_t num_perms = static_cast<size_t>(num_permutations);
+  const size_t num_perms = perms.size();
+  if (n == 0 || num_perms == 0) return phi;
   XAI_OBS_COUNT_N("feature.shapley.permutations", num_perms);
   XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
-
-  // All permutations come off the caller's stream up front; the sweep
-  // below never touches rng, so chunking cannot perturb the draw order.
-  std::vector<std::vector<size_t>> perms(num_perms);
-  for (size_t p = 0; p < num_perms; ++p) perms[p] = rng->Permutation(n);
 
   const size_t num_chunks =
       (num_perms + kPermutationChunk - 1) / kPermutationChunk;

@@ -23,6 +23,14 @@ Result<std::vector<double>> ExactShapley(const CoalitionGame& game,
 std::vector<double> PermutationShapley(const CoalitionGame& game,
                                        int num_permutations, Rng* rng);
 
+/// The sweep behind PermutationShapley with the permutations supplied by
+/// the caller. Batched explainers (McShapleyExplainer::ExplainBatch) draw
+/// the permutation set once and reuse it across instances; running this
+/// with the permutations Rng(seed) would produce is bit-identical to
+/// PermutationShapley at that seed.
+std::vector<double> PermutationShapleyWithPerms(
+    const CoalitionGame& game, const std::vector<std::vector<size_t>>& perms);
+
 /// Banzhaf values by subset sampling (each player's expected marginal
 /// contribution to a uniformly random coalition of the others) — the
 /// other classic semivalue, used by QII's set influence.

@@ -1,0 +1,286 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <map>
+
+#include "math/matrix.h"
+#include "obs/obs.h"
+
+namespace xai {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Overlays a request's budget onto the family's sample / permutation
+/// count. The returned config fully determines the attribution, so its
+/// Fingerprint doubles as the coalescing key.
+ExplainerConfig ApplyBudget(ExplainerConfig c, ExplainerKind kind,
+                            int budget) {
+  if (budget <= 0) return c;
+  switch (kind) {
+    case ExplainerKind::kTreeShap:
+      break;  // exact — no sampling budget to override
+    case ExplainerKind::kKernelShap:
+      c.kernel_shap.num_samples = budget;
+      break;
+    case ExplainerKind::kLime:
+      c.lime.num_samples = budget;
+      break;
+    case ExplainerKind::kMcShapley:
+      c.mc_shapley.num_permutations = budget;
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+struct ExplanationService::Pending {
+  ExplanationRequest req;
+  std::promise<Result<FeatureAttribution>> promise;
+  Callback cb;
+  Clock::time_point submit_time;
+  Clock::time_point deadline;  // time_point::max() when none
+  uint64_t seq = 0;
+  uint64_t key = 0;
+
+  /// Fulfils promise then callback, recording end-to-end latency. Runs on
+  /// the dispatcher thread.
+  void Finish(const Result<FeatureAttribution>& result) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - submit_time)
+                        .count();
+    XAI_OBS_OBSERVE("serve.request_latency_us", us);
+    promise.set_value(result);
+    if (cb) cb(result);
+  }
+};
+
+ExplanationService::ExplanationService(const Model& model,
+                                       const Dataset& background,
+                                       ExplanationServiceOptions opts)
+    : model_(model),
+      background_(background),
+      opts_(std::move(opts)),
+      paused_(opts_.start_paused) {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  dispatcher_ = std::thread([this] { RunDispatcher(); });
+}
+
+ExplanationService::~ExplanationService() { Shutdown(); }
+
+std::unique_ptr<ExplanationService::Pending> ExplanationService::MakePending(
+    ExplanationRequest req, Callback cb) const {
+  auto p = std::make_unique<Pending>();
+  p->submit_time = Clock::now();
+  p->deadline = req.timeout.count() > 0 ? p->submit_time + req.timeout
+                                        : Clock::time_point::max();
+  p->cb = std::move(cb);
+  p->key = ApplyBudget(opts_.config, req.kind, req.budget)
+               .Fingerprint(req.kind) ^
+           (0x9e3779b97f4a7c15ULL * (req.instance.size() + 1));
+  p->req = std::move(req);
+  return p;
+}
+
+void ExplanationService::EnqueueLocked(std::unique_ptr<Pending> p) {
+  p->seq = next_seq_++;
+  ++stats_.submitted;
+  queue_.push_back(std::move(p));
+  XAI_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+}
+
+std::future<Result<FeatureAttribution>> ExplanationService::Submit(
+    ExplanationRequest req, Callback cb) {
+  auto p = MakePending(std::move(req), std::move(cb));
+  auto fut = p->promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_capacity_.wait(lock, [&] {
+      return shutdown_ || queue_.size() < opts_.queue_capacity;
+    });
+    if (shutdown_) {
+      ++stats_.rejected;
+      lock.unlock();
+      p->Finish(Status::Unavailable("ExplanationService is shut down"));
+      return fut;
+    }
+    EnqueueLocked(std::move(p));
+  }
+  cv_work_.notify_one();
+  return fut;
+}
+
+Result<std::future<Result<FeatureAttribution>>> ExplanationService::TrySubmit(
+    ExplanationRequest req, Callback cb) {
+  auto p = MakePending(std::move(req), std::move(cb));
+  auto fut = p->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.rejected;
+      return Status::Unavailable("ExplanationService is shut down");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      ++stats_.rejected;
+      return Status::Unavailable("ExplanationService queue is full");
+    }
+    EnqueueLocked(std::move(p));
+  }
+  cv_work_.notify_one();
+  return fut;
+}
+
+void ExplanationService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void ExplanationService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    paused_ = false;  // drain even if never resumed
+  }
+  cv_work_.notify_all();
+  cv_capacity_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ExplanationServiceStats ExplanationService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ExplanationService::RunDispatcher() {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;  // spurious wake while paused
+      }
+      // Leader: highest priority; ties go to the earliest submission
+      // (the queue is in seq order, so the first max wins).
+      size_t best = 0;
+      for (size_t i = 1; i < queue_.size(); ++i)
+        if (queue_[i]->req.priority > queue_[best]->req.priority) best = i;
+      const uint64_t key = queue_[best]->key;
+      const size_t limit = opts_.coalesce ? opts_.max_batch : 1;
+      batch.push_back(std::move(queue_[best]));
+      queue_.erase(queue_.begin() + static_cast<long>(best));
+      // Followers: every compatible pending request, in submission order.
+      // kind + budget are compared directly so a (vanishingly unlikely)
+      // fingerprint collision can never mix families in one sweep.
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < limit;) {
+        if ((*it)->key == key && (*it)->req.kind == batch[0]->req.kind &&
+            (*it)->req.budget == batch[0]->req.budget) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      XAI_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+    }
+    cv_capacity_.notify_all();
+    ServeBatch(std::move(batch));
+  }
+}
+
+Result<AttributionExplainer*> ExplanationService::GetExplainer(
+    ExplainerKind kind, int budget, uint64_t key) {
+  auto it = explainers_.find(key);
+  if (it != explainers_.end()) return it->second.get();
+  XAI_ASSIGN_OR_RETURN(
+      std::unique_ptr<AttributionExplainer> ex,
+      MakeExplainer(kind, model_, background_,
+                    ApplyBudget(opts_.config, kind, budget)));
+  AttributionExplainer* raw = ex.get();
+  explainers_.emplace(key, std::move(ex));
+  return raw;
+}
+
+void ExplanationService::ServeBatch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  XAI_OBS_SPAN("serve_batch");
+  XAI_OBS_COUNT("serve.batches");
+  XAI_OBS_COUNT_N("serve.batched_requests", batch.size());
+
+  // Partition: requests whose deadline passed while queued are expired
+  // without evaluation — cheaper than computing an answer nobody is
+  // waiting for.
+  const auto now = Clock::now();
+  std::vector<std::unique_ptr<Pending>> expired;
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (now >= p->deadline) {
+      XAI_OBS_COUNT("serve.expired");
+      expired.push_back(std::move(p));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+
+  // Collapse bit-identical instances: each unique row is evaluated once
+  // and its attribution fans out to every duplicate request — sound
+  // because attributions are deterministic in (instance, key).
+  std::map<std::vector<double>, size_t> index;
+  std::vector<size_t> slot(live.size());
+  std::vector<const std::vector<double>*> unique_rows;
+  for (size_t i = 0; i < live.size(); ++i) {
+    auto [it, inserted] =
+        index.try_emplace(live[i]->req.instance, unique_rows.size());
+    if (inserted) unique_rows.push_back(&live[i]->req.instance);
+    slot[i] = it->second;
+  }
+  const uint64_t n_duplicates = live.size() - unique_rows.size();
+  XAI_OBS_COUNT_N("serve.coalesced_duplicates", n_duplicates);
+
+  // Publish stats BEFORE fulfilling any promise: a caller that observed
+  // its future resolve must see this batch already reflected in stats().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.batched_requests += batch.size();
+    stats_.expired += expired.size();
+    stats_.completed += live.size();
+    stats_.coalesced_duplicates += n_duplicates;
+  }
+
+  for (auto& p : expired)
+    p->Finish(
+        Status::DeadlineExceeded("deadline passed before evaluation started"));
+  if (live.empty()) return;
+
+  Matrix rows(unique_rows.size(), live[0]->req.instance.size());
+  for (size_t i = 0; i < unique_rows.size(); ++i)
+    rows.SetRow(i, *unique_rows[i]);
+
+  Result<AttributionExplainer*> ex =
+      GetExplainer(live[0]->req.kind, live[0]->req.budget, live[0]->key);
+  if (!ex.ok()) {
+    for (auto& p : live) p->Finish(ex.status());
+    return;
+  }
+  Result<std::vector<FeatureAttribution>> results = (*ex)->ExplainBatch(rows);
+  if (!results.ok()) {
+    for (auto& p : live) p->Finish(results.status());
+    return;
+  }
+  for (size_t i = 0; i < live.size(); ++i)
+    live[i]->Finish(results.value()[slot[i]]);
+}
+
+}  // namespace xai

@@ -1,0 +1,145 @@
+#ifndef XAIDB_SERVE_SERVICE_H_
+#define XAIDB_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/explainer.h"
+#include "data/dataset.h"
+#include "feature/explainer_factory.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// One explanation request as submitted by a caller. The service answers
+/// with a FeatureAttribution (or a typed error) through the future
+/// returned by Submit and/or a per-request callback.
+struct ExplanationRequest {
+  std::vector<double> instance;
+  ExplainerKind kind = ExplainerKind::kKernelShap;
+  /// Sampling budget override: 0 keeps the service config's defaults;
+  /// otherwise overrides the active family's sample / permutation count
+  /// (ignored by exact TreeSHAP). Requests with different budgets never
+  /// coalesce — they would not be bit-identical.
+  int budget = 0;
+  /// Higher runs first; ties serve in submission order.
+  int priority = 0;
+  /// Per-request deadline measured from Submit; 0 = none. A request whose
+  /// deadline passes before evaluation starts fails with DeadlineExceeded
+  /// instead of being evaluated.
+  std::chrono::milliseconds timeout{0};
+};
+
+struct ExplanationServiceOptions {
+  /// Bounded MPSC queue capacity; Submit blocks (TrySubmit fails with
+  /// Unavailable) when full.
+  size_t queue_capacity = 256;
+  /// Max requests coalesced into one ExplainBatch sweep.
+  size_t max_batch = 64;
+  /// When false every request is served alone (the bench's baseline).
+  bool coalesce = true;
+  /// When true the dispatcher accepts submissions but evaluates nothing
+  /// until Resume() — lets tests stage a queue deterministically.
+  bool start_paused = false;
+  /// Per-family explainer options (seeds included), shared by all
+  /// requests; a request's `budget` overlays the family's sample count.
+  ExplainerConfig config;
+};
+
+/// Monotonic counters, readable at any time. `coalesced_duplicates` counts
+/// requests answered from another identical request's computation.
+struct ExplanationServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t expired = 0;
+  uint64_t rejected = 0;
+  uint64_t batches = 0;
+  uint64_t batched_requests = 0;
+  uint64_t coalesced_duplicates = 0;
+};
+
+/// Async explanation service: bounded MPSC queue in front of a single
+/// dispatcher thread that coalesces compatible pending requests — same
+/// (explainer kind, config fingerprint, arity) — into one ExplainBatch
+/// sweep, and answers duplicate instances from one computation. Because
+/// every explainer's ExplainBatch is bit-identical to per-row Explain, a
+/// request's attribution does not depend on what it was batched with —
+/// coalescing is invisible to callers except in latency.
+///
+/// Lifecycle: the destructor drains — every accepted request is completed
+/// (evaluated or expired), never dropped.
+class ExplanationService {
+ public:
+  using Callback = std::function<void(const Result<FeatureAttribution>&)>;
+
+  ExplanationService(const Model& model, const Dataset& background,
+                     ExplanationServiceOptions opts = {});
+  ~ExplanationService();
+
+  ExplanationService(const ExplanationService&) = delete;
+  ExplanationService& operator=(const ExplanationService&) = delete;
+
+  /// Enqueues; blocks while the queue is full. The future always resolves
+  /// (value, error, or DeadlineExceeded). `cb`, if given, runs on the
+  /// dispatcher thread right after the future is fulfilled.
+  std::future<Result<FeatureAttribution>> Submit(ExplanationRequest req,
+                                                 Callback cb = nullptr);
+
+  /// Non-blocking Submit: Unavailable when the queue is full or the
+  /// service is shut down.
+  Result<std::future<Result<FeatureAttribution>>> TrySubmit(
+      ExplanationRequest req, Callback cb = nullptr);
+
+  /// Starts evaluation when constructed with start_paused.
+  void Resume();
+
+  /// Stops accepting new requests, drains everything already accepted,
+  /// and joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  ExplanationServiceStats stats() const;
+
+ private:
+  struct Pending;
+
+  std::unique_ptr<Pending> MakePending(ExplanationRequest req,
+                                       Callback cb) const;
+  void EnqueueLocked(std::unique_ptr<Pending> p);
+  void RunDispatcher();
+  void ServeBatch(std::vector<std::unique_ptr<Pending>> batch);
+  Result<AttributionExplainer*> GetExplainer(ExplainerKind kind, int budget,
+                                             uint64_t key);
+
+  const Model& model_;
+  const Dataset& background_;
+  ExplanationServiceOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;      // dispatcher waits here
+  std::condition_variable cv_capacity_;  // blocking Submit waits here
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  uint64_t next_seq_ = 0;
+
+  /// Dispatcher-only: explainers cached per coalescing key.
+  std::unordered_map<uint64_t, std::unique_ptr<AttributionExplainer>>
+      explainers_;
+
+  ExplanationServiceStats stats_;  // guarded by mu_
+
+  std::thread dispatcher_;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_SERVE_SERVICE_H_

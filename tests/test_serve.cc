@@ -1,0 +1,369 @@
+// Tests for the serving layer and the ExplainBatch explainer API it rides
+// on: coalesced results bit-identical to solo serving, duplicate requests
+// answered from one computation, deadline expiry as a typed error,
+// drain-on-shutdown completing everything in flight, priority ordering,
+// backpressure, and an 8-thread submit/consume race (the `serve` ctest
+// label is part of the TSan job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "feature/explainer_factory.h"
+#include "model/gbdt.h"
+#include "model/logistic_regression.h"
+#include "serve/service.h"
+
+namespace xai {
+namespace {
+
+/// Small shared fixture: loan data + a GBDT, built once per binary.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(MakeLoanDataset(400, {.seed = 11}));
+    auto m = GradientBoostedTrees::Fit(*ds_, {.num_rounds = 20});
+    ASSERT_TRUE(m.ok());
+    gbdt_ = new GradientBoostedTrees(std::move(*m));
+  }
+  static void TearDownTestSuite() {
+    delete gbdt_;
+    delete ds_;
+    gbdt_ = nullptr;
+    ds_ = nullptr;
+  }
+
+  static ExplainerConfig FastConfig() {
+    ExplainerConfig config;
+    config.kernel_shap.max_background = 10;
+    config.lime.num_samples = 200;
+    config.mc_shapley.num_permutations = 10;
+    config.mc_shapley.max_background = 10;
+    return config;
+  }
+
+  static ExplanationRequest Request(size_t row, ExplainerKind kind) {
+    ExplanationRequest req;
+    req.instance = ds_->row(row);
+    req.kind = kind;
+    return req;
+  }
+
+  static Dataset* ds_;
+  static GradientBoostedTrees* gbdt_;
+};
+
+Dataset* ServeTest::ds_ = nullptr;
+GradientBoostedTrees* ServeTest::gbdt_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// ExplainBatch API: every family's batch path is bit-identical per row to
+// the solo Explain path — the property coalescing relies on.
+
+TEST_F(ServeTest, ExplainBatchBitIdenticalAllFamilies) {
+  const size_t kRows = 5;
+  Matrix rows(kRows, ds_->d());
+  for (size_t i = 0; i < kRows; ++i) rows.SetRow(i, ds_->row(i));
+  for (ExplainerKind kind :
+       {ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+        ExplainerKind::kLime, ExplainerKind::kMcShapley}) {
+    SCOPED_TRACE(ExplainerKindName(kind));
+    auto batch_ex = MakeExplainer(kind, *gbdt_, *ds_, FastConfig());
+    ASSERT_TRUE(batch_ex.ok());
+    auto batch = (*batch_ex)->ExplainBatch(rows);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), kRows);
+    // Fresh explainer for the solo side so no state leaks between paths.
+    auto solo_ex = MakeExplainer(kind, *gbdt_, *ds_, FastConfig());
+    ASSERT_TRUE(solo_ex.ok());
+    for (size_t i = 0; i < kRows; ++i) {
+      auto solo = (*solo_ex)->Explain(ds_->row(i));
+      ASSERT_TRUE(solo.ok());
+      ASSERT_EQ(solo->values.size(), (*batch)[i].values.size());
+      for (size_t j = 0; j < solo->values.size(); ++j)
+        EXPECT_EQ(solo->values[j], (*batch)[i].values[j])
+            << "row " << i << " feature " << j;
+      EXPECT_EQ(solo->base_value, (*batch)[i].base_value);
+    }
+  }
+}
+
+TEST_F(ServeTest, FactoryRejectsTreeShapOnNonTreeModel) {
+  auto logistic = LogisticRegression::Fit(*ds_, {});
+  ASSERT_TRUE(logistic.ok());
+  auto ex = MakeExplainer(ExplainerKind::kTreeShap, *logistic, *ds_, {});
+  ASSERT_FALSE(ex.ok());
+  EXPECT_EQ(ex.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, ParseExplainerKindRoundTrips) {
+  for (ExplainerKind kind :
+       {ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+        ExplainerKind::kLime, ExplainerKind::kMcShapley}) {
+    auto parsed = ParseExplainerKind(ExplainerKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseExplainerKind("nope").ok());
+}
+
+TEST_F(ServeTest, FingerprintSeparatesKindsAndBudgets) {
+  const ExplainerConfig config = FastConfig();
+  EXPECT_NE(config.Fingerprint(ExplainerKind::kKernelShap),
+            config.Fingerprint(ExplainerKind::kLime));
+  ExplainerConfig other = config;
+  other.kernel_shap.num_samples += 1;
+  EXPECT_NE(config.Fingerprint(ExplainerKind::kKernelShap),
+            other.Fingerprint(ExplainerKind::kKernelShap));
+  // Fields another family reads don't perturb this family's key.
+  other = config;
+  other.lime.num_samples += 1;
+  EXPECT_EQ(config.Fingerprint(ExplainerKind::kKernelShap),
+            other.Fingerprint(ExplainerKind::kKernelShap));
+}
+
+// ---------------------------------------------------------------------------
+// Service behavior.
+
+TEST_F(ServeTest, CoalescedEqualsSoloBitIdentical) {
+  // Solo ground truth: one request at a time, coalescing off.
+  std::vector<FeatureAttribution> solo;
+  {
+    ExplanationServiceOptions opts;
+    opts.config = FastConfig();
+    opts.coalesce = false;
+    ExplanationService service(*gbdt_, *ds_, opts);
+    for (size_t i = 0; i < 6; ++i) {
+      auto r = service.Submit(Request(i % 3, ExplainerKind::kKernelShap))
+                   .get();
+      ASSERT_TRUE(r.ok());
+      solo.push_back(std::move(r).value());
+    }
+  }
+  // Coalesced: same 6 requests staged while paused, served in batches.
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  for (size_t i = 0; i < 6; ++i)
+    futures.push_back(service.Submit(Request(i % 3, ExplainerKind::kKernelShap)));
+  service.Resume();
+  for (size_t i = 0; i < 6; ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->values.size(), solo[i].values.size());
+    for (size_t j = 0; j < r->values.size(); ++j)
+      EXPECT_EQ(r->values[j], solo[i].values[j]);
+  }
+  // 6 requests over 3 distinct rows in one batch: 3 were answered from a
+  // duplicate's computation.
+  const ExplanationServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced_duplicates, 3u);
+}
+
+TEST_F(ServeTest, MixedKindsNeverCoalesceTogether) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  for (size_t i = 0; i < 4; ++i)
+    futures.push_back(service.Submit(Request(
+        0, i % 2 == 0 ? ExplainerKind::kTreeShap : ExplainerKind::kLime)));
+  service.Resume();
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  const ExplanationServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 2u);  // one per family
+  EXPECT_EQ(stats.coalesced_duplicates, 2u);
+}
+
+TEST_F(ServeTest, BudgetOverrideChangesResultAndKey) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;
+  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationRequest a = Request(0, ExplainerKind::kMcShapley);
+  ExplanationRequest b = Request(0, ExplainerKind::kMcShapley);
+  b.budget = 25;  // different permutation budget -> must not coalesce
+  auto fa = service.Submit(std::move(a));
+  auto fb = service.Submit(std::move(b));
+  service.Resume();
+  auto ra = fa.get();
+  auto rb = fb.get();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(service.stats().batches, 2u);
+  // More permutations -> a genuinely different (better) estimate.
+  bool any_diff = false;
+  for (size_t j = 0; j < ra->values.size(); ++j)
+    if (ra->values[j] != rb->values[j]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ServeTest, DeadlineExpiryIsTypedError) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;  // hold the queue so the deadline passes
+  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationRequest req = Request(0, ExplainerKind::kTreeShap);
+  req.timeout = std::chrono::milliseconds(5);
+  auto fut = service.Submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.Resume();
+  auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().expired, 1u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  for (size_t i = 0; i < 8; ++i)
+    futures.push_back(service.Submit(Request(i, ExplainerKind::kTreeShap)));
+  // Shutdown without ever resuming: accepted requests must still be
+  // evaluated, not dropped.
+  service.Shutdown();
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(service.stats().completed, 8u);
+}
+
+TEST_F(ServeTest, SubmitAfterShutdownIsUnavailable) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  ExplanationService service(*gbdt_, *ds_, opts);
+  service.Shutdown();
+  auto fut = service.Submit(Request(0, ExplainerKind::kTreeShap));
+  auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  auto try_r = service.TrySubmit(Request(0, ExplainerKind::kTreeShap));
+  ASSERT_FALSE(try_r.ok());
+  EXPECT_EQ(try_r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, TrySubmitReportsFullQueue) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.queue_capacity = 2;
+  opts.start_paused = true;  // nothing drains, so the queue genuinely fills
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  for (size_t i = 0; i < 2; ++i) {
+    auto r = service.TrySubmit(Request(i, ExplainerKind::kTreeShap));
+    ASSERT_TRUE(r.ok());
+    futures.push_back(std::move(r).value());
+  }
+  auto rejected = service.TrySubmit(Request(0, ExplainerKind::kTreeShap));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  service.Resume();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST_F(ServeTest, PriorityOrdersServing) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.start_paused = true;
+  opts.max_batch = 1;  // serve strictly one at a time
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  for (int priority : {0, 2, 1}) {
+    ExplanationRequest req = Request(static_cast<size_t>(priority),
+                                     ExplainerKind::kTreeShap);
+    req.priority = priority;
+    futures.push_back(service.Submit(
+        std::move(req), [&, priority](const Result<FeatureAttribution>&) {
+          std::lock_guard<std::mutex> lock(order_mu);
+          order.push_back(priority);
+        }));
+  }
+  service.Resume();
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  service.Shutdown();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST_F(ServeTest, CallbackAndFutureBothFire) {
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::promise<double> cb_base;
+  auto cb_future = cb_base.get_future();
+  auto fut = service.Submit(Request(0, ExplainerKind::kTreeShap),
+                            [&](const Result<FeatureAttribution>& r) {
+                              cb_base.set_value(
+                                  r.ok() ? r->base_value : -1e30);
+                            });
+  auto r = fut.get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cb_future.get(), r->base_value);
+}
+
+// 8 threads hammer Submit against the live dispatcher (this test runs
+// under TSan via the `serve` label). Every future must resolve, and every
+// result must match solo serving bit-for-bit.
+TEST_F(ServeTest, ConcurrentSubmitRace) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 12;
+  ExplanationServiceOptions opts;
+  opts.config = FastConfig();
+  opts.queue_capacity = 16;  // small: exercises backpressure too
+  ExplanationService service(*gbdt_, *ds_, opts);
+  std::vector<FeatureAttribution> want;
+  {
+    auto ex =
+        MakeExplainer(ExplainerKind::kTreeShap, *gbdt_, *ds_, FastConfig());
+    ASSERT_TRUE(ex.ok());
+    for (size_t i = 0; i < 4; ++i) {
+      auto attr = (*ex)->Explain(ds_->row(i));
+      ASSERT_TRUE(attr.ok());
+      want.push_back(std::move(attr).value());
+    }
+  }
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> resolved{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const size_t row = (t + i) % 4;
+        auto r =
+            service.Submit(Request(row, ExplainerKind::kTreeShap)).get();
+        if (!r.ok()) continue;
+        resolved.fetch_add(1);
+        for (size_t j = 0; j < r->values.size(); ++j)
+          if (r->values[j] != want[row].values[j]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  service.Shutdown();
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(service.stats().completed, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace xai
