@@ -118,6 +118,11 @@ void WriteJson(const char* path, size_t rows, size_t threads,
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_batch_throughput\",\n");
   std::fprintf(f, "  \"rows\": %zu,\n  \"threads\": %zu,\n", rows, threads);
+  // Tracing state is part of the record: the flight-recorder guard on
+  // this hot path (ParallelFor) must cost ~nothing when off, and this
+  // bench is the evidence — comparable runs must both be tracing-off.
+  std::fprintf(f, "  \"tracing\": %s,\n",
+               obs::TraceEnabled() ? "true" : "false");
   std::fprintf(f, "  \"models\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ModelResult& m = results[i];
@@ -143,6 +148,9 @@ void WriteJson(const char* path, size_t rows, size_t threads,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_path = TraceJsonArg(argc, argv);
+  const std::string json_path =
+      PositionalArg(argc, argv, 0, "BENCH_batch.json");
   Banner("E16: bench_batch_throughput",
          "batched PredictBatch beats per-row Predict (>=3x for a deep "
          "GBDT ensemble); chunked parallel dispatch adds throughput with "
@@ -182,8 +190,12 @@ int main(int argc, char** argv) {
   Row("# expected shape: gbdt batch_x >= 3; logistic batched is one GEMV; "
       "par_x tracks XAIDB_THREADS (1 on a single-core runner).");
 
-  WriteJson(argc > 1 ? argv[1] : "BENCH_batch.json", ds.n(),
-            GlobalThreadCount(), results);
+  Row("# tracing %s during this run (guard overhead when off is the "
+      "acceptance bar: <2%% vs a tracing-off baseline).",
+      obs::TraceEnabled() ? "ON" : "off");
+
+  WriteJson(json_path.c_str(), ds.n(), GlobalThreadCount(), results);
   ReportMetrics();
+  MaybeWriteTrace(trace_path);
   return 0;
 }

@@ -10,13 +10,17 @@
 // whole burst and lets the dispatcher batch compatible requests and
 // answer duplicate instances from one computation.
 //
-// Writes machine-readable results to BENCH_serve.json (or argv[1]).
-// Exits non-zero if any coalesced attribution differs from the solo
-// (Explain-one-row) attribution by even one bit.
+// Writes machine-readable results to BENCH_serve.json (or the first
+// positional argument). With --trace-json <path> the flight recorder is
+// turned on and the full request timeline — enqueue, dequeue, coalesced
+// sweep, ParallelFor chunks — is exported as Chrome trace JSON, loadable
+// in Perfetto. Exits non-zero if any coalesced attribution differs from
+// the solo (Explain-one-row) attribution by even one bit.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -36,7 +40,8 @@ struct RunResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
   ExplanationServiceStats stats;
-  std::vector<FeatureAttribution> attrs;  // per request
+  std::vector<FeatureAttribution> attrs;          // per request
+  std::vector<ExplanationBreakdown> breakdowns;   // per request
 };
 
 double Quantile(std::vector<double> v, double q) {
@@ -69,13 +74,14 @@ RunResult RunUncoalesced(const Model& model, const Dataset& ds,
   for (size_t i = 0; i < kRequests; ++i) {
     bench::Timer one;
     auto fut = service.Submit(MakeRequest(ds, i));
-    Result<FeatureAttribution> r = fut.get();
+    Result<ExplanationResponse> r = fut.get();
     lat.push_back(one.ElapsedMs() * 1e3);
     if (!r.ok()) {
       std::fprintf(stderr, "FAIL: %s\n", r.status().ToString().c_str());
       std::exit(1);
     }
-    out.attrs.push_back(std::move(r).value());
+    out.breakdowns.push_back(r.value().breakdown);
+    out.attrs.push_back(std::move(r).value().attribution);
   }
   out.wall_ms = total.ElapsedMs();
   service.Shutdown();
@@ -101,25 +107,26 @@ RunResult RunCoalesced(const Model& model, const Dataset& ds,
   RunResult out;
   std::vector<double> lat(kRequests, 0.0);
   std::atomic<size_t> done{0};
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   futures.reserve(kRequests);
   bench::Timer total;
   std::vector<bench::Timer> submit_time(kRequests);
   for (size_t i = 0; i < kRequests; ++i) {
     submit_time[i] = bench::Timer();
     futures.push_back(service.Submit(
-        MakeRequest(ds, i), [&, i](const Result<FeatureAttribution>&) {
+        MakeRequest(ds, i), [&, i](const Result<ExplanationResponse>&) {
           lat[i] = submit_time[i].ElapsedMs() * 1e3;
           done.fetch_add(1, std::memory_order_release);
         }));
   }
   for (auto& f : futures) {
-    Result<FeatureAttribution> r = f.get();
+    Result<ExplanationResponse> r = f.get();
     if (!r.ok()) {
       std::fprintf(stderr, "FAIL: %s\n", r.status().ToString().c_str());
       std::exit(1);
     }
-    out.attrs.push_back(std::move(r).value());
+    out.breakdowns.push_back(r.value().breakdown);
+    out.attrs.push_back(std::move(r).value().attribution);
   }
   while (done.load(std::memory_order_acquire) < kRequests) {}
   out.wall_ms = total.ElapsedMs();
@@ -130,6 +137,32 @@ RunResult RunCoalesced(const Model& model, const Dataset& ds,
   return out;
 }
 
+/// Per-request breakdown percentiles for one run, pulled straight from the
+/// ExplanationBreakdown every completed request now carries.
+struct BreakdownSummary {
+  double queue_p50_ms = 0.0, queue_p99_ms = 0.0;
+  double sweep_p50_ms = 0.0, sweep_p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+BreakdownSummary Summarize(const std::vector<ExplanationBreakdown>& b) {
+  BreakdownSummary s;
+  if (b.empty()) return s;
+  std::vector<double> queue, sweep;
+  double batch_total = 0.0;
+  for (const ExplanationBreakdown& x : b) {
+    queue.push_back(x.queue_ms);
+    sweep.push_back(x.sweep_ms);
+    batch_total += static_cast<double>(x.coalesce_batch_size);
+  }
+  s.queue_p50_ms = Quantile(queue, 0.50);
+  s.queue_p99_ms = Quantile(queue, 0.99);
+  s.sweep_p50_ms = Quantile(sweep, 0.50);
+  s.sweep_p99_ms = Quantile(sweep, 0.99);
+  s.mean_batch = batch_total / static_cast<double>(b.size());
+  return s;
+}
+
 void WriteJson(const char* path, double unc_rps, double co_rps,
                const RunResult& unc, const RunResult& co,
                double max_abs_diff) {
@@ -138,18 +171,28 @@ void WriteJson(const char* path, double unc_rps, double co_rps,
     std::fprintf(stderr, "warning: cannot write %s\n", path);
     return;
   }
+  const BreakdownSummary ub = Summarize(unc.breakdowns);
+  const BreakdownSummary cb = Summarize(co.breakdowns);
   std::fprintf(f, "{\n  \"bench\": \"bench_service_throughput\",\n");
   std::fprintf(f, "  \"workload\": \"GBDT + KernelSHAP, %zu requests over "
                "%zu distinct rows\",\n", kRequests, kDistinct);
   std::fprintf(f, "  \"uncoalesced\": {\"requests_per_sec\": %.1f, "
-               "\"p50_us\": %.0f, \"p99_us\": %.0f},\n",
-               unc_rps, unc.p50_us, unc.p99_us);
+               "\"p50_us\": %.0f, \"p99_us\": %.0f, "
+               "\"queue_wait_p50_ms\": %.3f, \"queue_wait_p99_ms\": %.3f, "
+               "\"sweep_p50_ms\": %.3f, \"sweep_p99_ms\": %.3f},\n",
+               unc_rps, unc.p50_us, unc.p99_us, ub.queue_p50_ms,
+               ub.queue_p99_ms, ub.sweep_p50_ms, ub.sweep_p99_ms);
   std::fprintf(f, "  \"coalesced\": {\"requests_per_sec\": %.1f, "
                "\"p50_us\": %.0f, \"p99_us\": %.0f, \"batches\": %llu, "
-               "\"duplicates_served_from_batch\": %llu},\n",
+               "\"duplicates_served_from_batch\": %llu, "
+               "\"queue_wait_p50_ms\": %.3f, \"queue_wait_p99_ms\": %.3f, "
+               "\"sweep_p50_ms\": %.3f, \"sweep_p99_ms\": %.3f, "
+               "\"mean_batch_size\": %.1f},\n",
                co_rps, co.p50_us, co.p99_us,
                static_cast<unsigned long long>(co.stats.batches),
-               static_cast<unsigned long long>(co.stats.coalesced_duplicates));
+               static_cast<unsigned long long>(co.stats.coalesced_duplicates),
+               cb.queue_p50_ms, cb.queue_p99_ms, cb.sweep_p50_ms,
+               cb.sweep_p99_ms, cb.mean_batch);
   std::fprintf(f, "  \"speedup\": %.2f,\n", co_rps / unc_rps);
   std::fprintf(f, "  \"max_abs_diff\": %g\n}\n", max_abs_diff);
   std::fclose(f);
@@ -158,6 +201,9 @@ void WriteJson(const char* path, double unc_rps, double co_rps,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_path = bench::TraceJsonArg(argc, argv);
+  const std::string json_path =
+      bench::PositionalArg(argc, argv, 0, "BENCH_serve.json");
   bench::Banner("bench_service_throughput",
                 "request coalescing >= 2x one-at-a-time serving, "
                 "bit-identical attributions");
@@ -213,10 +259,15 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(co.stats.batches),
              static_cast<unsigned long long>(co.stats.coalesced_duplicates),
              max_abs_diff);
+  const BreakdownSummary cb = Summarize(co.breakdowns);
+  bench::Row("coalesced breakdown: queue_wait p50/p99 %.3f/%.3f ms; "
+             "sweep p50/p99 %.3f/%.3f ms; mean batch %.1f",
+             cb.queue_p50_ms, cb.queue_p99_ms, cb.sweep_p50_ms,
+             cb.sweep_p99_ms, cb.mean_batch);
 
   bench::ReportMetrics();
-  WriteJson(argc > 1 ? argv[1] : "BENCH_serve.json", unc_rps, co_rps, unc,
-            co, max_abs_diff);
+  bench::MaybeWriteTrace(trace_path);
+  WriteJson(json_path.c_str(), unc_rps, co_rps, unc, co, max_abs_diff);
   if (max_abs_diff != 0.0) {
     std::fprintf(stderr,
                  "FAIL: coalesced attributions differ from solo serving\n");

@@ -34,11 +34,18 @@ inline void Row(const char* fmt, ...) {
 /// When XAIDB_METRICS is on, prints the library's internal counters and
 /// span timings accumulated so far (model evals, samples drawn, coalitions
 /// enumerated) so a bench reports observed internal cost next to its
-/// wall-clock table. No-op — and no output — when metrics are off, keeping
-/// default bench output diff-stable.
+/// wall-clock table. When the flight recorder is on, also prints its event
+/// and ring-overflow drop counts (even with metrics off, so a tracing run
+/// always reports whether its ring was big enough). No-op — and no output
+/// — when both are off, keeping default bench output diff-stable.
 inline void ReportMetrics() {
-  if (!::xai::obs::Enabled()) return;
-  std::fputs(::xai::obs::MetricsToTable().c_str(), stdout);
+  if (::xai::obs::Enabled())
+    std::fputs(::xai::obs::MetricsToTable().c_str(), stdout);
+  else if (::xai::obs::TraceEnabled())
+    std::printf("trace: %llu events recorded, %llu dropped by ring overflow\n",
+                static_cast<unsigned long long>(::xai::obs::TraceEventCount()),
+                static_cast<unsigned long long>(
+                    ::xai::obs::TraceDroppedCount()));
 }
 
 /// Zeroes the internal counters so a ReportMetrics() at the end of a bench
@@ -46,6 +53,52 @@ inline void ReportMetrics() {
 inline void ResetMetrics() {
   if (!::xai::obs::Enabled()) return;
   ::xai::obs::MetricsRegistry::Global().ResetAll();
+}
+
+/// Shared CLI conventions for the bench binaries:
+///   bench_foo [output.json] [--trace-json <path>]
+/// TraceJsonArg scans argv for --trace-json, turns the flight recorder on
+/// when present, and returns the capture path ("" when absent).
+/// PositionalArg returns the i-th argument that is neither a --flag nor a
+/// flag's value, so JSON output paths keep working in any argument order.
+inline std::string TraceJsonArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-json") {
+      ::xai::obs::SetTraceEnabled(true);
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+inline std::string PositionalArg(int argc, char** argv, int index,
+                                 const std::string& fallback) {
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    if (seen++ == index) return arg;
+  }
+  return fallback;
+}
+
+/// Writes the merged flight-recorder buffers to `path` (Chrome trace JSON)
+/// and reports where the trace went plus how much the ring dropped. No-op
+/// when path is empty.
+inline void MaybeWriteTrace(const std::string& path) {
+  if (path.empty()) return;
+  const ::xai::Status s = ::xai::obs::WriteTraceJson(path);
+  if (s.ok())
+    std::printf("trace: wrote %s (%llu events, %llu dropped)\n", path.c_str(),
+                static_cast<unsigned long long>(::xai::obs::TraceEventCount()),
+                static_cast<unsigned long long>(
+                    ::xai::obs::TraceDroppedCount()));
+  else
+    std::printf("trace: FAILED to write %s: %s\n", path.c_str(),
+                s.message().c_str());
 }
 
 }  // namespace xai::bench

@@ -6,6 +6,7 @@
 //                          counterfactual|all]
 //             [--serve-demo]
 //             [--threads N] [--metrics] [--metrics-json <path>]
+//             [--trace-json <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
@@ -22,9 +23,15 @@
 // --metrics-json writes the same data as JSON. Either flag — or the
 // XAIDB_METRICS env var — turns instrumentation on.
 //
+// --trace-json turns on the flight recorder (like XAIDB_TRACE=1) and, at
+// exit, writes every recorded event as Chrome trace-event JSON — open the
+// file at https://ui.perfetto.dev to see the request timeline across the
+// dispatcher and worker threads.
+//
 // --threads N caps the worker pool behind the batched explainer sweeps
 // (overrides the XAIDB_THREADS env var; default = hardware concurrency).
 // Attributions are bit-identical for every N at a fixed seed.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +62,27 @@ int Fail(const Status& s) {
   return 1;
 }
 
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t i = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
+  return v[i];
+}
+
+/// Writes the flight-recorder buffers out when --trace-json was given.
+int FlushTrace(const std::string& path) {
+  if (path.empty()) return 0;
+  Status st = obs::WriteTraceJson(path);
+  if (!st.ok()) return Fail(st);
+  std::printf("\ntrace written to %s (%llu events, %llu dropped) — open it "
+              "at https://ui.perfetto.dev\n",
+              path.c_str(),
+              static_cast<unsigned long long>(obs::TraceEventCount()),
+              static_cast<unsigned long long>(obs::TraceDroppedCount()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +90,7 @@ int main(int argc, char** argv) {
   std::string model_kind = "gbdt";
   std::string explainer_kind = "treeshap";
   std::string metrics_json_path;
+  std::string trace_json_path;
   bool print_metrics = false;
   bool serve_demo = false;
   size_t row = 0;
@@ -79,6 +108,8 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_json_path = argv[++i];
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       SetGlobalThreads(static_cast<size_t>(std::atoll(argv[++i])));
     } else if (arg == "--help" || arg == "-h") {
@@ -86,7 +117,8 @@ int main(int argc, char** argv) {
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
                   "counterfactual|all] [--serve-demo] "
-                  "[--threads N] [--metrics] [--metrics-json <path>]\n",
+                  "[--threads N] [--metrics] [--metrics-json <path>] "
+                  "[--trace-json <path>]\n",
                   argv[0]);
       return 0;
     } else if (csv_path.empty()) {
@@ -94,6 +126,7 @@ int main(int argc, char** argv) {
     }
   }
   if (print_metrics || !metrics_json_path.empty()) obs::SetEnabled(true);
+  if (!trace_json_path.empty()) obs::SetTraceEnabled(true);
 
   if (csv_path.empty()) {
     csv_path = "/tmp/xaidb_demo.csv";
@@ -152,7 +185,7 @@ int main(int argc, char** argv) {
     ExplanationService service(*model, ds, sopts);
     const size_t kRequests = 60;
     const size_t kDistinct = std::min<size_t>(12, ds.n());
-    std::vector<std::future<Result<FeatureAttribution>>> futures;
+    std::vector<std::future<Result<ExplanationResponse>>> futures;
     for (size_t i = 0; i < kRequests; ++i) {
       ExplanationRequest req;
       req.instance = ds.row(i % kDistinct);
@@ -160,9 +193,16 @@ int main(int argc, char** argv) {
                             : ExplainerKind::kKernelShap;
       futures.push_back(service.Submit(std::move(req)));
     }
+    std::vector<double> queue_ms, sweep_ms, total_ms;
+    size_t max_batch = 0;
     for (auto& f : futures) {
-      const Result<FeatureAttribution> r = f.get();
+      const Result<ExplanationResponse> r = f.get();
       if (!r.ok()) return Fail(r.status());
+      const ExplanationBreakdown& b = r.value().breakdown;
+      queue_ms.push_back(b.queue_ms);
+      sweep_ms.push_back(b.sweep_ms);
+      total_ms.push_back(b.total_ms);
+      max_batch = std::max(max_batch, b.coalesce_batch_size);
     }
     const ExplanationServiceStats stats = service.stats();
     std::printf("serve-demo: %llu requests served in %llu coalesced "
@@ -170,6 +210,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.completed),
                 static_cast<unsigned long long>(stats.batches),
                 static_cast<unsigned long long>(stats.coalesced_duplicates));
+    // Where each request's time went, from the per-request breakdowns the
+    // service now returns alongside every attribution.
+    std::printf("per-request breakdown (ms):\n");
+    std::printf("  %-12s %8s %8s\n", "stage", "p50", "p99");
+    std::printf("  %-12s %8.3f %8.3f\n", "queue_wait",
+                Quantile(queue_ms, 0.50), Quantile(queue_ms, 0.99));
+    std::printf("  %-12s %8.3f %8.3f\n", "sweep", Quantile(sweep_ms, 0.50),
+                Quantile(sweep_ms, 0.99));
+    std::printf("  %-12s %8.3f %8.3f\n", "total", Quantile(total_ms, 0.50),
+                Quantile(total_ms, 0.99));
+    std::printf("  largest coalesced batch: %zu requests\n", max_batch);
     service.Shutdown();
     if (obs::Enabled()) {
       if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
@@ -179,7 +230,7 @@ int main(int argc, char** argv) {
         std::printf("\nmetrics written to %s\n", metrics_json_path.c_str());
       }
     }
-    return 0;
+    return FlushTrace(trace_json_path);
   }
 
   const std::vector<double> x = ds.row(row);
@@ -267,5 +318,5 @@ int main(int argc, char** argv) {
       std::printf("\nmetrics written to %s\n", metrics_json_path.c_str());
     }
   }
-  return 0;
+  return FlushTrace(trace_json_path);
 }

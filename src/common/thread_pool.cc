@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace xai {
 
 namespace {
@@ -79,6 +81,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t chunk_size,
     return;
   }
 
+  // Trace-context propagation: capture the caller's context once at the
+  // fan-out point and install it in every worker chunk, so chunk events
+  // (and anything the chunk body emits) carry the request's trace_id and
+  // parent onto the span that launched the sweep. One relaxed load when
+  // tracing is off.
+  const bool traced = obs::TraceEnabled();
+  const obs::TraceContext parent_ctx =
+      traced ? obs::CurrentTraceContext() : obs::TraceContext{};
+
   // First exception wins; the rest of the sweep still runs so every
   // output slot the caller reduces over is written.
   std::atomic<bool> have_error{false};
@@ -89,7 +100,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t chunk_size,
     const size_t hi = std::min(end, lo + chunk_size);
     Submit([&, lo, hi] {
       try {
-        for (size_t i = lo; i < hi; ++i) fn(i);
+        if (traced) {
+          obs::ScopedTraceContext install(parent_ctx);
+          obs::ScopedTraceEvent chunk("pool_chunk");
+          for (size_t i = lo; i < hi; ++i) fn(i);
+        } else {
+          for (size_t i = lo; i < hi; ++i) fn(i);
+        }
       } catch (...) {
         if (!have_error.exchange(true)) {
           std::unique_lock<std::mutex> lock(error_mu);

@@ -50,6 +50,11 @@ class ThreadPool {
   /// `chunk_size` (boundaries independent of thread count). Blocks until
   /// all iterations finish; rethrows the first chunk exception on the
   /// caller. fn must be safe to call concurrently for distinct i.
+  ///
+  /// When the flight recorder is on (obs::TraceEnabled), the caller's
+  /// obs::TraceContext is captured here and installed in every worker
+  /// chunk, each wrapped in a "pool_chunk" trace event — one request's
+  /// events stay linked across the fan-out.
   void ParallelFor(size_t begin, size_t end, size_t chunk_size,
                    const std::function<void(size_t)>& fn);
 

@@ -65,6 +65,7 @@ std::vector<double> MarginalFeatureGame::ValueBatch(
   XAI_OBS_COUNT_N("core.game.coalition_evals", batch);
   XAI_OBS_COUNT_N("core.game.model_evals", batch * m);
   XAI_OBS_OBSERVE("core.game.batch_rows", batch * m);
+  XAI_OBS_TRACE_COUNTER("game.model_evals", batch * m);
 
   Matrix rows(batch * m, d);
   for (size_t c = 0; c < batch; ++c)

@@ -16,6 +16,7 @@ Result<std::vector<double>> TupleShapley(size_t num_tuples,
     return Status::InvalidArgument("TupleShapley: no tuples");
   XAI_OBS_SPAN("query_shapley");
   XAI_OBS_COUNT_N("db.query_shapley.tuples", num_tuples);
+  XAI_OBS_TRACE_INSTANT("query_shapley.tuples", num_tuples);
   // Each game evaluation re-runs the query over one sub-database drawn
   // from the answer's lineage — the unit of cost for query-Shapley. The
   // exact and permutation sweeps below both materialize their full

@@ -127,6 +127,7 @@ Result<FeatureAttribution> KernelShapExplainer::ExplainRow(
   {
     XAI_OBS_SPAN("eval");
     XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+    XAI_OBS_TRACE_COUNTER("kernel_shap.coalitions", masks.size());
     const size_t num_chunks =
         (masks.size() + kCoalitionChunk - 1) / kCoalitionChunk;
     GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {
@@ -173,6 +174,7 @@ Result<std::vector<FeatureAttribution>> KernelShapExplainer::ExplainBatch(
   XAI_OBS_HIST_TIMER("feature.kernel_shap.explain_batch_us");
   XAI_OBS_SPAN("kernel_shap_batch");
   XAI_OBS_COUNT_N("feature.kernel_shap.batch_rows", instances.rows());
+  XAI_OBS_TRACE_INSTANT("kernel_shap.batch_rows", instances.rows());
   if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
   // One design for the whole sweep: the masks and weights depend only on
   // (d, opts), so every row would rebuild exactly this from Rng(seed).

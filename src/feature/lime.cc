@@ -76,6 +76,7 @@ Result<FeatureAttribution> LimeExplainer::ExplainRow(
     XAI_OBS_COUNT_N("feature.lime.model_evals", n);
     XAI_OBS_OBSERVE("feature.lime.batch_rows", n);
     XAI_OBS_GAUGE_SET("parallel.threads", GlobalThreadCount());
+    XAI_OBS_TRACE_COUNTER("lime.model_evals", n);
     const size_t rows = static_cast<size_t>(n);
     const size_t num_chunks = (rows + kRowChunk - 1) / kRowChunk;
     GlobalPool().ParallelFor(0, num_chunks, 1, [&](size_t c) {

@@ -57,6 +57,7 @@ Result<std::vector<FeatureAttribution>> McShapleyExplainer::ExplainBatch(
   XAI_OBS_HIST_TIMER("feature.mc_shapley.explain_batch_us");
   XAI_OBS_SPAN("mc_shapley_batch");
   XAI_OBS_COUNT_N("feature.mc_shapley.batch_rows", instances.rows());
+  XAI_OBS_TRACE_INSTANT("mc_shapley.batch_rows", instances.rows());
   if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
   const std::vector<std::vector<size_t>> perms =
       DrawPermutations(instances.cols(), opts_);

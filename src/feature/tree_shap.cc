@@ -224,6 +224,7 @@ Result<std::vector<FeatureAttribution>> TreeShapExplainer::ExplainBatch(
   XAI_OBS_HIST_TIMER("feature.tree_shap.explain_batch_us");
   XAI_OBS_SPAN("tree_shap_batch");
   XAI_OBS_COUNT_N("feature.tree_shap.batch_rows", instances.rows());
+  XAI_OBS_TRACE_INSTANT("tree_shap.batch_rows", instances.rows());
   const size_t n = instances.rows();
   if (n == 0) return std::vector<FeatureAttribution>{};
   if (instances.cols() != num_features_)

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 
 namespace xai::obs {
 namespace {
@@ -101,7 +102,13 @@ std::string MetricsToJson() {
             e.mean_ms, e.max_ms, e.depth);
     first = false;
   }
-  out += first ? "}\n" : "\n  }\n";
+  out += first ? "},\n" : "\n  },\n";
+
+  Appendf(&out,
+          "  \"trace\": {\"enabled\": %s, \"events\": %" PRIu64
+          ", \"dropped\": %" PRIu64 "}\n",
+          TraceEnabled() ? "true" : "false", TraceEventCount(),
+          TraceDroppedCount());
 
   out += "}\n";
   return out;
@@ -143,6 +150,15 @@ std::string MetricsToTable() {
       Appendf(&out, "  %-44s %10" PRIu64 " %12.3f %10.3f %10.3f\n",
               label.c_str(), e.count, e.total_ms, e.mean_ms, e.max_ms);
     }
+  }
+  if (TraceEnabled()) {
+    // Overflow is silent truncation unless reported: a nonzero dropped
+    // count means the per-thread rings wrapped and the exported trace is
+    // missing its oldest events (raise XAIDB_TRACE_CAPACITY).
+    Appendf(&out,
+            "trace: %" PRIu64 " events recorded, %" PRIu64
+            " dropped by ring overflow\n",
+            TraceEventCount(), TraceDroppedCount());
   }
   return out;
 }

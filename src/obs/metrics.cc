@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/span.h"
+#include "obs/trace.h"
 
 namespace xai::obs {
 namespace internal {
@@ -110,6 +111,9 @@ void MetricsRegistry::ResetAll() {
     for (auto& [name, h] : histograms_) h->Reset();
   }
   ResetSpans();
+  // The flight recorder resets with the aggregates so "reset between
+  // runs" means one thing across the whole obs subsystem.
+  ResetTrace();
 }
 
 }  // namespace xai::obs

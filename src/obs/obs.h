@@ -11,6 +11,7 @@
 #include "obs/metrics.h"   // IWYU pragma: export
 #include "obs/span.h"      // IWYU pragma: export
 #include "obs/stopwatch.h" // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export
 
 #define XAI_OBS_CONCAT_INNER(x, y) x##y
 #define XAI_OBS_CONCAT(x, y) XAI_OBS_CONCAT_INNER(x, y)
@@ -59,5 +60,28 @@
 #define XAI_OBS_HIST_TIMER(name)                         \
   ::xai::obs::ScopedHistogramTimer XAI_OBS_CONCAT(       \
       _xai_obs_hist_timer_, __LINE__)(name)
+
+/// Flight-recorder paired begin/end event for the rest of the enclosing
+/// scope; the span it opens becomes the parent of nested trace events
+/// (including ParallelFor chunks launched inside). No-op when tracing is
+/// off; note XAI_OBS_SPAN already emits this alongside its aggregates.
+#define XAI_OBS_TRACE_SCOPE(name) \
+  ::xai::obs::ScopedTraceEvent XAI_OBS_CONCAT(_xai_obs_trace_, __LINE__)(name)
+
+/// Flight-recorder instant marker with a numeric payload (no-op when
+/// tracing is off).
+#define XAI_OBS_TRACE_INSTANT(name, v)                                \
+  do {                                                                \
+    if (::xai::obs::TraceEnabled())                                   \
+      ::xai::obs::TraceInstant(name, static_cast<double>(v));         \
+  } while (0)
+
+/// Flight-recorder counter sample — renders as a value track in Perfetto
+/// (no-op when tracing is off).
+#define XAI_OBS_TRACE_COUNTER(name, v)                                \
+  do {                                                                \
+    if (::xai::obs::TraceEnabled())                                   \
+      ::xai::obs::TraceCounter(name, static_cast<double>(v));         \
+  } while (0)
 
 #endif  // XAIDB_OBS_OBS_H_

@@ -62,7 +62,11 @@ void RecordSpan(const std::string& path, uint64_t ns) {
 
 }  // namespace
 
-ScopedSpan::ScopedSpan(const char* name) : active_(Enabled()) {
+ScopedSpan::ScopedSpan(const char* name) : trace_(name), active_(Enabled()) {
+  // Both the metrics and the flight-recorder decision latch at
+  // construction (the trace_ member latches its own): toggling mid-span
+  // neither starts a half-recorded span nor truncates one already
+  // recording, and the path stack stays balanced in every interleaving.
   if (!active_) return;
   std::string& path = TlsPath();
   prev_len_ = path.size();

@@ -6,6 +6,8 @@
 #include <map>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace xai::obs {
 
 /// Aggregated statistics for one span path, as reported by SpanSnapshot.
@@ -28,8 +30,16 @@ void ResetSpans();
 /// RAII wall-time tracing for a labeled region. On construction (when
 /// metrics are on) the name is appended to a thread-local path stack; on
 /// destruction the elapsed time is folded into lock-free aggregate stats
-/// keyed by the full parent/child path. A span that starts while metrics
-/// are off records nothing, even if metrics are enabled before it closes.
+/// keyed by the full parent/child path.
+///
+/// Toggle rule (latched, both directions): the record/skip decision is
+/// made once, at construction. A span that starts while metrics are off
+/// records nothing even if metrics are enabled before it closes; a span
+/// that starts while metrics are on records fully (and keeps the path
+/// stack consistent) even if metrics are disabled before it closes. The
+/// flight recorder applies the same rule: when tracing is on at
+/// construction the span also emits a paired begin/end trace event and
+/// carries the current TraceContext (see obs/trace.h).
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -38,7 +48,11 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  bool active_;
+  /// Emits the paired B/E flight-recorder event and scopes the trace
+  /// context; latches the tracing decision itself, independently of the
+  /// metrics decision below.
+  ScopedTraceEvent trace_;
+  bool active_;  // metrics decision, latched at construction
   size_t prev_len_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

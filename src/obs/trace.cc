@@ -1,0 +1,403 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace xai::obs {
+
+namespace internal {
+namespace {
+
+bool EnvFlag(const char* var) {
+  const char* e = std::getenv(var);
+  if (e == nullptr) return false;
+  const std::string v(e);
+  return !(v.empty() || v == "0" || v == "off" || v == "OFF" || v == "false" ||
+           v == "FALSE");
+}
+
+uint64_t EnvU64(const char* var, uint64_t def) {
+  const char* e = std::getenv(var);
+  if (e == nullptr || *e == '\0') return def;
+  const long long v = std::strtoll(e, nullptr, 10);
+  return v > 0 ? static_cast<uint64_t>(v) : def;
+}
+
+}  // namespace
+
+std::atomic<bool> g_trace_enabled{EnvFlag("XAIDB_TRACE")};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<uint64_t> g_sample_every{
+    internal::EnvU64("XAIDB_TRACE_SAMPLE", 1)};
+std::atomic<uint64_t> g_next_trace_id{0};
+std::atomic<uint64_t> g_next_span_id{0};
+std::atomic<uint64_t> g_capacity{
+    std::max<uint64_t>(8, internal::EnvU64("XAIDB_TRACE_CAPACITY", 4096))};
+
+/// Common epoch for every buffer: timestamps are nanoseconds since the
+/// first use of the recorder, so merged buffers sort on one axis.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+/// One event slot. Every field is a relaxed atomic: the per-slot seqlock
+/// (odd while the owning thread rewrites the slot, 2*(index+1) when
+/// generation `index` is stable) gives snapshot readers a consistency
+/// check, and all-atomic fields keep concurrent reader/writer access
+/// data-race-free (TSan-clean) even when the check fails and the copy is
+/// discarded. 64 bytes = one cache line.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> name{0};  // const char* literal, stored as bits
+  std::atomic<uint64_t> ts_ns{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_span{0};
+  std::atomic<uint64_t> value_bits{0};  // double payload / async id
+  std::atomic<uint64_t> meta{0};        // phase char
+};
+
+/// Single-producer ring: only the owning thread writes, any thread may
+/// snapshot. head counts events ever emitted; slot index is head % cap,
+/// so the ring keeps the newest `cap` events (drop-oldest).
+class TraceBuffer {
+ public:
+  TraceBuffer(uint32_t tid, size_t capacity)
+      : tid_(tid), cap_(capacity), slots_(capacity) {}
+
+  void Emit(char phase, const char* name, uint64_t ts, TraceContext ctx,
+            uint64_t span_id, uint64_t value_bits) {
+    const uint64_t idx = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[idx % cap_];
+    s.seq.store(2 * idx + 1, std::memory_order_release);  // odd: in flight
+    s.name.store(reinterpret_cast<uintptr_t>(name), std::memory_order_relaxed);
+    s.ts_ns.store(ts, std::memory_order_relaxed);
+    s.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+    s.span_id.store(span_id, std::memory_order_relaxed);
+    s.parent_span.store(ctx.span_id, std::memory_order_relaxed);
+    s.value_bits.store(value_bits, std::memory_order_relaxed);
+    s.meta.store(static_cast<uint64_t>(phase), std::memory_order_relaxed);
+    s.seq.store(2 * (idx + 1), std::memory_order_release);  // even: stable
+    head_.store(idx + 1, std::memory_order_release);
+  }
+
+  /// Appends every consistent surviving event to `out`.
+  void Snapshot(std::vector<TraceEventView>* out) const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t lo = head > cap_ ? head - cap_ : 0;
+    for (uint64_t idx = lo; idx < head; ++idx) {
+      const Slot& s = slots_[idx % cap_];
+      const uint64_t want = 2 * (idx + 1);
+      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      TraceEventView e;
+      e.name = reinterpret_cast<const char*>(
+          static_cast<uintptr_t>(s.name.load(std::memory_order_relaxed)));
+      e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+      e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      e.span_id = s.span_id.load(std::memory_order_relaxed);
+      e.parent_span = s.parent_span.load(std::memory_order_relaxed);
+      e.value = std::bit_cast<double>(
+          s.value_bits.load(std::memory_order_relaxed));
+      e.phase =
+          static_cast<char>(s.meta.load(std::memory_order_relaxed));
+      e.tid = tid_;
+      // Re-check: the slot may have been reused for a newer generation
+      // while we copied; drop the (inconsistent) copy if so.
+      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      out->push_back(e);
+    }
+  }
+
+  uint64_t emitted() const { return head_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    const uint64_t h = emitted();
+    return h > cap_ ? h - cap_ : 0;
+  }
+
+  /// Quiescent-only: invalidates every slot, then rewinds.
+  void Reset() {
+    for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_release);
+  }
+
+ private:
+  const uint32_t tid_;
+  const size_t cap_;
+  std::atomic<uint64_t> head_{0};
+  std::vector<Slot> slots_;
+};
+
+std::mutex& BufferMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// Owns every buffer for the process lifetime (buffers of exited threads
+/// stay readable — flight-recorder semantics). Bounded by peak thread
+/// count, which the fixed-size pool keeps small.
+std::vector<std::unique_ptr<TraceBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::unique_ptr<TraceBuffer>>();
+  return *buffers;
+}
+
+TraceBuffer* ThisThreadBuffer() {
+  thread_local TraceBuffer* buffer = [] {
+    std::lock_guard<std::mutex> lock(BufferMutex());
+    auto& all = Buffers();
+    all.push_back(std::make_unique<TraceBuffer>(
+        static_cast<uint32_t>(all.size() + 1),
+        g_capacity.load(std::memory_order_relaxed)));
+    return all.back().get();
+  }();
+  return buffer;
+}
+
+thread_local TraceContext t_context;
+
+void Emit(char phase, const char* name, uint64_t span_id,
+          uint64_t value_bits) {
+  ThisThreadBuffer()->Emit(phase, name, NowNs(), t_context, span_id,
+                           value_bits);
+}
+
+}  // namespace
+
+void SetTraceEnabled(bool on) {
+  if (on) TraceEpoch();  // pin the epoch before the first event
+  internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetTraceSampleEveryN(uint64_t n) {
+  g_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+uint64_t TraceSampleEveryN() {
+  return g_sample_every.load(std::memory_order_relaxed);
+}
+
+uint64_t NewTraceId() {
+  if (!TraceEnabled()) return 0;
+  const uint64_t n = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t every = g_sample_every.load(std::memory_order_relaxed);
+  return (every <= 1 || n % every == 0) ? n + 1 : 0;
+}
+
+uint64_t NewSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+TraceContext CurrentTraceContext() { return t_context; }
+
+void SetCurrentTraceContext(TraceContext ctx) { t_context = ctx; }
+
+void TraceBegin(const char* name) {
+  if (!TraceEnabled()) return;
+  Emit('B', name, NewSpanId(), 0);
+}
+
+void TraceEnd(const char* name) {
+  if (!TraceEnabled()) return;
+  Emit('E', name, t_context.span_id, 0);
+}
+
+void TraceInstant(const char* name, double value) {
+  if (!TraceEnabled()) return;
+  Emit('i', name, NewSpanId(), std::bit_cast<uint64_t>(value));
+}
+
+void TraceCounter(const char* name, double value) {
+  if (!TraceEnabled()) return;
+  Emit('C', name, 0, std::bit_cast<uint64_t>(value));
+}
+
+void TraceAsyncBegin(const char* name, uint64_t id) {
+  if (!TraceEnabled()) return;
+  Emit('b', name, 0, std::bit_cast<uint64_t>(static_cast<double>(id)));
+}
+
+void TraceAsyncEnd(const char* name, uint64_t id) {
+  if (!TraceEnabled()) return;
+  Emit('e', name, 0, std::bit_cast<uint64_t>(static_cast<double>(id)));
+}
+
+ScopedTraceEvent::ScopedTraceEvent(const char* name)
+    : name_(name), active_(TraceEnabled()) {
+  if (!active_) return;
+  prev_ = t_context;
+  const uint64_t span = NewSpanId();
+  Emit('B', name_, span, 0);
+  t_context.span_id = span;
+}
+
+ScopedTraceEvent::~ScopedTraceEvent() {
+  if (!active_) return;
+  // Latched: emit the matching 'E' even if tracing was disabled mid-scope
+  // so the stream never carries an unclosed-begin from a toggle.
+  ThisThreadBuffer()->Emit('E', name_, NowNs(), prev_, t_context.span_id, 0);
+  t_context = prev_;
+}
+
+std::vector<TraceEventView> TraceSnapshot() {
+  std::vector<TraceEventView> out;
+  {
+    std::lock_guard<std::mutex> lock(BufferMutex());
+    for (const auto& b : Buffers()) b->Snapshot(&out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEventView& a, const TraceEventView& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.tid < b.tid;
+                   });
+  return out;
+}
+
+uint64_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  uint64_t total = 0;
+  for (const auto& b : Buffers()) total += b->emitted();
+  return total;
+}
+
+uint64_t TraceDroppedCount() {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  uint64_t total = 0;
+  for (const auto& b : Buffers()) total += b->dropped();
+  return total;
+}
+
+void ResetTrace() {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  for (auto& b : Buffers()) b->Reset();
+}
+
+void SetTraceBufferCapacity(size_t capacity) {
+  g_capacity.store(std::max<size_t>(8, capacity), std::memory_order_relaxed);
+}
+
+size_t TraceBufferCapacity() {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Minimal JSON string escaping (names are library literals, but the
+/// exporter must emit valid JSON no matter what).
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TraceToJson() {
+  const std::vector<TraceEventView> events = TraceSnapshot();
+
+  // Ring wraparound can orphan an 'E' whose 'B' was overwritten; an
+  // orphaned 'E' breaks Chrome-trace importers, so track per-thread B/E
+  // depth in time order and drop any 'E' that would close nothing.
+  std::unordered_map<uint32_t, int> depth;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  Appendf(&out, "\"dropped_events\":%llu},\n\"traceEvents\":[\n",
+          static_cast<unsigned long long>(TraceDroppedCount()));
+  Appendf(&out,
+          " {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"xaidb\"}}");
+
+  for (const TraceEventView& e : events) {
+    if (e.phase == 'B') {
+      ++depth[e.tid];
+    } else if (e.phase == 'E') {
+      if (depth[e.tid] <= 0) continue;  // orphaned by drop-oldest
+      --depth[e.tid];
+    }
+    out += ",\n {\"name\":\"";
+    AppendEscaped(&out, e.name);
+    Appendf(&out, "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+            e.phase, static_cast<double>(e.ts_ns) * 1e-3, e.tid);
+    if (e.phase == 'b' || e.phase == 'e')
+      Appendf(&out, ",\"cat\":\"request\",\"id\":\"0x%llx\"",
+              static_cast<unsigned long long>(e.value));
+    out += ",\"args\":{";
+    if (e.phase == 'i' || e.phase == 'C')
+      Appendf(&out, "\"value\":%.9g,", e.value);
+    Appendf(&out, "\"trace_id\":%llu,\"span\":%llu,\"parent\":%llu}",
+            static_cast<unsigned long long>(e.trace_id),
+            static_cast<unsigned long long>(e.span_id),
+            static_cast<unsigned long long>(e.parent_span));
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += "}";
+  }
+
+  // Close any still-open 'B' (a scope alive at export time) at the last
+  // timestamp so importers see balanced durations.
+  const uint64_t last_ts = events.empty() ? 0 : events.back().ts_ns;
+  for (const auto& [tid, d] : depth)
+    for (int i = 0; i < d; ++i)
+      Appendf(&out,
+              ",\n {\"name\":\"(open at export)\",\"ph\":\"E\",\"ts\":%.3f,"
+              "\"pid\":1,\"tid\":%u,\"args\":{}}",
+              static_cast<double>(last_ts) * 1e-3, tid);
+
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteTraceJson(const std::string& path) {
+  if (path.empty())
+    return Status::InvalidArgument("obs: empty trace output path");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IOError("obs: cannot open trace output path: " + path);
+  const std::string json = TraceToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed)
+    return Status::IOError("obs: short write to trace output path: " + path);
+  return Status::OK();
+}
+
+}  // namespace xai::obs

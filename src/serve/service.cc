@@ -38,20 +38,30 @@ ExplainerConfig ApplyBudget(ExplainerConfig c, ExplainerKind kind,
 
 struct ExplanationService::Pending {
   ExplanationRequest req;
-  std::promise<Result<FeatureAttribution>> promise;
+  std::promise<Result<ExplanationResponse>> promise;
   Callback cb;
   Clock::time_point submit_time;
   Clock::time_point deadline;  // time_point::max() when none
   uint64_t seq = 0;
   uint64_t key = 0;
+  /// Filled in as the request moves through the pipeline; trace_id is
+  /// assigned at Submit, queue_ms/sweep_ms/batch size by the dispatcher.
+  ExplanationBreakdown breakdown;
 
-  /// Fulfils promise then callback, recording end-to-end latency. Runs on
-  /// the dispatcher thread.
-  void Finish(const Result<FeatureAttribution>& result) {
+  /// Fulfils promise then callback, recording end-to-end latency and
+  /// closing the request's async trace span. Runs on the dispatcher
+  /// thread (or the submitting thread for shutdown rejections).
+  void Finish(Result<ExplanationResponse> result) {
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         Clock::now() - submit_time)
                         .count();
     XAI_OBS_OBSERVE("serve.request_latency_us", us);
+    if (result.ok()) {
+      result.value().breakdown = breakdown;
+      result.value().breakdown.total_ms = static_cast<double>(us) * 1e-3;
+    }
+    if (breakdown.trace_id != 0)
+      obs::TraceAsyncEnd("serve.request", breakdown.trace_id);
     promise.set_value(result);
     if (cb) cb(result);
   }
@@ -82,6 +92,17 @@ std::unique_ptr<ExplanationService::Pending> ExplanationService::MakePending(
                .Fingerprint(req.kind) ^
            (0x9e3779b97f4a7c15ULL * (req.instance.size() + 1));
   p->req = std::move(req);
+  // Trace-context propagation starts here: the request's id is minted on
+  // the submitting thread, its async span opens on this thread, and the
+  // dispatcher re-installs the id around everything done on its behalf.
+  p->breakdown.trace_id = obs::NewTraceId();
+  if (p->breakdown.trace_id != 0) {
+    obs::ScopedTraceContext ctx(
+        obs::TraceContext{p->breakdown.trace_id, 0});
+    obs::TraceAsyncBegin("serve.request", p->breakdown.trace_id);
+    obs::TraceInstant("serve.submit",
+                      static_cast<double>(p->breakdown.trace_id));
+  }
   return p;
 }
 
@@ -92,7 +113,7 @@ void ExplanationService::EnqueueLocked(std::unique_ptr<Pending> p) {
   XAI_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
 }
 
-std::future<Result<FeatureAttribution>> ExplanationService::Submit(
+std::future<Result<ExplanationResponse>> ExplanationService::Submit(
     ExplanationRequest req, Callback cb) {
   auto p = MakePending(std::move(req), std::move(cb));
   auto fut = p->promise.get_future();
@@ -113,7 +134,7 @@ std::future<Result<FeatureAttribution>> ExplanationService::Submit(
   return fut;
 }
 
-Result<std::future<Result<FeatureAttribution>>> ExplanationService::TrySubmit(
+Result<std::future<Result<ExplanationResponse>>> ExplanationService::TrySubmit(
     ExplanationRequest req, Callback cb) {
   auto p = MakePending(std::move(req), std::move(cb));
   auto fut = p->promise.get_future();
@@ -211,9 +232,13 @@ Result<AttributionExplainer*> ExplanationService::GetExplainer(
   return raw;
 }
 
+void ExplanationService::FinishError(
+    std::vector<std::unique_ptr<Pending>>& batch, const Status& status) {
+  for (auto& p : batch) p->Finish(status);
+}
+
 void ExplanationService::ServeBatch(
     std::vector<std::unique_ptr<Pending>> batch) {
-  XAI_OBS_SPAN("serve_batch");
   XAI_OBS_COUNT("serve.batches");
   XAI_OBS_COUNT_N("serve.batched_requests", batch.size());
 
@@ -230,6 +255,22 @@ void ExplanationService::ServeBatch(
       expired.push_back(std::move(p));
     } else {
       live.push_back(std::move(p));
+    }
+  }
+
+  // Queue wait ends now, for every live request drafted into this batch.
+  for (auto& p : live) {
+    const auto wait_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - p->submit_time)
+            .count();
+    p->breakdown.queue_ms = static_cast<double>(wait_us) * 1e-3;
+    p->breakdown.coalesce_batch_size = live.size();
+    XAI_OBS_OBSERVE("serve.queue_wait_us", wait_us);
+    if (p->breakdown.trace_id != 0) {
+      obs::ScopedTraceContext ctx(
+          obs::TraceContext{p->breakdown.trace_id, 0});
+      obs::TraceInstant("serve.dequeue", p->breakdown.queue_ms);
     }
   }
 
@@ -259,28 +300,54 @@ void ExplanationService::ServeBatch(
     stats_.coalesced_duplicates += n_duplicates;
   }
 
-  for (auto& p : expired)
-    p->Finish(
-        Status::DeadlineExceeded("deadline passed before evaluation started"));
+  FinishError(expired, Status::DeadlineExceeded(
+                           "deadline passed before evaluation started"));
   if (live.empty()) return;
 
   Matrix rows(unique_rows.size(), live[0]->req.instance.size());
   for (size_t i = 0; i < unique_rows.size(); ++i)
     rows.SetRow(i, *unique_rows[i]);
 
+  // The sweep runs under the leader's trace context: the serve_batch span
+  // and every ParallelFor chunk inside the explainer carry its trace_id.
+  // Coalesced riders link themselves to the leader with a ride_batch
+  // instant so their timelines point at the sweep that answered them.
+  const uint64_t leader_trace = live[0]->breakdown.trace_id;
+  obs::ScopedTraceContext sweep_ctx(obs::TraceContext{leader_trace, 0});
+  XAI_OBS_SPAN("serve_batch");
+  for (auto& p : live) {
+    if (p->breakdown.trace_id != 0 && p->breakdown.trace_id != leader_trace) {
+      obs::ScopedTraceContext ctx(obs::TraceContext{
+          p->breakdown.trace_id, obs::CurrentTraceContext().span_id});
+      obs::TraceInstant("serve.ride_batch",
+                        static_cast<double>(leader_trace));
+    }
+  }
+
   Result<AttributionExplainer*> ex =
       GetExplainer(live[0]->req.kind, live[0]->req.budget, live[0]->key);
   if (!ex.ok()) {
-    for (auto& p : live) p->Finish(ex.status());
+    FinishError(live, ex.status());
     return;
   }
+  obs::Stopwatch sweep;
   Result<std::vector<FeatureAttribution>> results = (*ex)->ExplainBatch(rows);
+  const double sweep_us = sweep.ElapsedUs();
+  // Request-weighted (one observation per request, not per batch), so the
+  // serve.sweep_us percentiles answer "what sweep time did a request see".
+  for (auto& p : live) {
+    p->breakdown.sweep_ms = sweep_us * 1e-3;
+    XAI_OBS_OBSERVE("serve.sweep_us", sweep_us);
+  }
   if (!results.ok()) {
-    for (auto& p : live) p->Finish(results.status());
+    FinishError(live, results.status());
     return;
   }
-  for (size_t i = 0; i < live.size(); ++i)
-    live[i]->Finish(results.value()[slot[i]]);
+  for (size_t i = 0; i < live.size(); ++i) {
+    ExplanationResponse resp;
+    resp.attribution = results.value()[slot[i]];
+    live[i]->Finish(std::move(resp));
+  }
 }
 
 }  // namespace xai

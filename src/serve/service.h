@@ -55,6 +55,28 @@ struct ExplanationServiceOptions {
   ExplainerConfig config;
 };
 
+/// Where one request's time went, filled in by the dispatcher and
+/// returned on every completed request. queue_ms + sweep_ms < total_ms in
+/// general: the remainder is dispatcher bookkeeping plus (for coalesced
+/// followers) time spent in sweeps of earlier batches.
+struct ExplanationBreakdown {
+  double queue_ms = 0.0;  ///< Submit → drafted into a batch.
+  double sweep_ms = 0.0;  ///< ExplainBatch wall time of the batch it rode.
+  double total_ms = 0.0;  ///< Submit → promise fulfilled.
+  /// Live requests served by the same ExplainBatch sweep (self included).
+  size_t coalesce_batch_size = 0;
+  /// Flight-recorder id linking this request's trace events across
+  /// threads; 0 when tracing is off or the request was sampled out.
+  uint64_t trace_id = 0;
+};
+
+/// What a completed request resolves to: the attribution plus the
+/// latency breakdown for that specific request.
+struct ExplanationResponse {
+  FeatureAttribution attribution;
+  ExplanationBreakdown breakdown;
+};
+
 /// Monotonic counters, readable at any time. `coalesced_duplicates` counts
 /// requests answered from another identical request's computation.
 struct ExplanationServiceStats {
@@ -79,7 +101,7 @@ struct ExplanationServiceStats {
 /// (evaluated or expired), never dropped.
 class ExplanationService {
  public:
-  using Callback = std::function<void(const Result<FeatureAttribution>&)>;
+  using Callback = std::function<void(const Result<ExplanationResponse>&)>;
 
   ExplanationService(const Model& model, const Dataset& background,
                      ExplanationServiceOptions opts = {});
@@ -90,13 +112,16 @@ class ExplanationService {
 
   /// Enqueues; blocks while the queue is full. The future always resolves
   /// (value, error, or DeadlineExceeded). `cb`, if given, runs on the
-  /// dispatcher thread right after the future is fulfilled.
-  std::future<Result<FeatureAttribution>> Submit(ExplanationRequest req,
-                                                 Callback cb = nullptr);
+  /// dispatcher thread right after the future is fulfilled. When the
+  /// flight recorder is on, the request is assigned a trace_id here (see
+  /// ExplanationBreakdown::trace_id) and its enqueue → dequeue → sweep →
+  /// completion path emits linked trace events across threads.
+  std::future<Result<ExplanationResponse>> Submit(ExplanationRequest req,
+                                                  Callback cb = nullptr);
 
   /// Non-blocking Submit: Unavailable when the queue is full or the
   /// service is shut down.
-  Result<std::future<Result<FeatureAttribution>>> TrySubmit(
+  Result<std::future<Result<ExplanationResponse>>> TrySubmit(
       ExplanationRequest req, Callback cb = nullptr);
 
   /// Starts evaluation when constructed with start_paused.
@@ -116,6 +141,8 @@ class ExplanationService {
   void EnqueueLocked(std::unique_ptr<Pending> p);
   void RunDispatcher();
   void ServeBatch(std::vector<std::unique_ptr<Pending>> batch);
+  static void FinishError(std::vector<std::unique_ptr<Pending>>& batch,
+                          const Status& status);
   Result<AttributionExplainer*> GetExplainer(ExplainerKind kind, int budget,
                                              uint64_t key);
 

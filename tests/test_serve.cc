@@ -10,13 +10,17 @@
 #include <chrono>
 #include <future>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "feature/explainer_factory.h"
 #include "model/gbdt.h"
 #include "model/logistic_regression.h"
+#include "obs/obs.h"
 #include "serve/service.h"
 
 namespace xai {
@@ -142,7 +146,7 @@ TEST_F(ServeTest, CoalescedEqualsSoloBitIdentical) {
       auto r = service.Submit(Request(i % 3, ExplainerKind::kKernelShap))
                    .get();
       ASSERT_TRUE(r.ok());
-      solo.push_back(std::move(r).value());
+      solo.push_back(std::move(r).value().attribution);
     }
   }
   // Coalesced: same 6 requests staged while paused, served in batches.
@@ -150,16 +154,22 @@ TEST_F(ServeTest, CoalescedEqualsSoloBitIdentical) {
   opts.config = FastConfig();
   opts.start_paused = true;
   ExplanationService service(*gbdt_, *ds_, opts);
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 6; ++i)
     futures.push_back(service.Submit(Request(i % 3, ExplainerKind::kKernelShap)));
   service.Resume();
   for (size_t i = 0; i < 6; ++i) {
     auto r = futures[i].get();
     ASSERT_TRUE(r.ok());
-    ASSERT_EQ(r->values.size(), solo[i].values.size());
-    for (size_t j = 0; j < r->values.size(); ++j)
-      EXPECT_EQ(r->values[j], solo[i].values[j]);
+    ASSERT_EQ(r->attribution.values.size(), solo[i].values.size());
+    for (size_t j = 0; j < r->attribution.values.size(); ++j)
+      EXPECT_EQ(r->attribution.values[j], solo[i].values[j]);
+    // Every completed request carries its latency breakdown: all 6 rode
+    // one coalesced sweep, and time totals are self-consistent.
+    EXPECT_EQ(r->breakdown.coalesce_batch_size, 6u);
+    EXPECT_GT(r->breakdown.sweep_ms, 0.0);
+    EXPECT_GE(r->breakdown.queue_ms, 0.0);
+    EXPECT_GE(r->breakdown.total_ms, r->breakdown.sweep_ms);
   }
   // 6 requests over 3 distinct rows in one batch: 3 were answered from a
   // duplicate's computation.
@@ -174,7 +184,7 @@ TEST_F(ServeTest, MixedKindsNeverCoalesceTogether) {
   opts.config = FastConfig();
   opts.start_paused = true;
   ExplanationService service(*gbdt_, *ds_, opts);
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 4; ++i)
     futures.push_back(service.Submit(Request(
         0, i % 2 == 0 ? ExplainerKind::kTreeShap : ExplainerKind::kLime)));
@@ -203,8 +213,9 @@ TEST_F(ServeTest, BudgetOverrideChangesResultAndKey) {
   EXPECT_EQ(service.stats().batches, 2u);
   // More permutations -> a genuinely different (better) estimate.
   bool any_diff = false;
-  for (size_t j = 0; j < ra->values.size(); ++j)
-    if (ra->values[j] != rb->values[j]) any_diff = true;
+  for (size_t j = 0; j < ra->attribution.values.size(); ++j)
+    if (ra->attribution.values[j] != rb->attribution.values[j])
+      any_diff = true;
   EXPECT_TRUE(any_diff);
 }
 
@@ -230,7 +241,7 @@ TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
   opts.config = FastConfig();
   opts.start_paused = true;
   ExplanationService service(*gbdt_, *ds_, opts);
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 8; ++i)
     futures.push_back(service.Submit(Request(i, ExplainerKind::kTreeShap)));
   // Shutdown without ever resuming: accepted requests must still be
@@ -263,7 +274,7 @@ TEST_F(ServeTest, TrySubmitReportsFullQueue) {
   opts.queue_capacity = 2;
   opts.start_paused = true;  // nothing drains, so the queue genuinely fills
   ExplanationService service(*gbdt_, *ds_, opts);
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 2; ++i) {
     auto r = service.TrySubmit(Request(i, ExplainerKind::kTreeShap));
     ASSERT_TRUE(r.ok());
@@ -285,13 +296,13 @@ TEST_F(ServeTest, PriorityOrdersServing) {
   ExplanationService service(*gbdt_, *ds_, opts);
   std::vector<int> order;
   std::mutex order_mu;
-  std::vector<std::future<Result<FeatureAttribution>>> futures;
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (int priority : {0, 2, 1}) {
     ExplanationRequest req = Request(static_cast<size_t>(priority),
                                      ExplainerKind::kTreeShap);
     req.priority = priority;
     futures.push_back(service.Submit(
-        std::move(req), [&, priority](const Result<FeatureAttribution>&) {
+        std::move(req), [&, priority](const Result<ExplanationResponse>&) {
           std::lock_guard<std::mutex> lock(order_mu);
           order.push_back(priority);
         }));
@@ -312,13 +323,16 @@ TEST_F(ServeTest, CallbackAndFutureBothFire) {
   std::promise<double> cb_base;
   auto cb_future = cb_base.get_future();
   auto fut = service.Submit(Request(0, ExplainerKind::kTreeShap),
-                            [&](const Result<FeatureAttribution>& r) {
+                            [&](const Result<ExplanationResponse>& r) {
                               cb_base.set_value(
-                                  r.ok() ? r->base_value : -1e30);
+                                  r.ok() ? r->attribution.base_value : -1e30);
                             });
   auto r = fut.get();
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(cb_future.get(), r->base_value);
+  EXPECT_EQ(cb_future.get(), r->attribution.base_value);
+  // Solo (uncoalesced) request: batch of one, with a breakdown.
+  EXPECT_EQ(r->breakdown.coalesce_batch_size, 1u);
+  EXPECT_GE(r->breakdown.total_ms, 0.0);
 }
 
 // 8 threads hammer Submit against the live dispatcher (this test runs
@@ -353,8 +367,10 @@ TEST_F(ServeTest, ConcurrentSubmitRace) {
             service.Submit(Request(row, ExplainerKind::kTreeShap)).get();
         if (!r.ok()) continue;
         resolved.fetch_add(1);
-        for (size_t j = 0; j < r->values.size(); ++j)
-          if (r->values[j] != want[row].values[j]) mismatches.fetch_add(1);
+        if (r->breakdown.coalesce_batch_size == 0) mismatches.fetch_add(1);
+        for (size_t j = 0; j < r->attribution.values.size(); ++j)
+          if (r->attribution.values[j] != want[row].values[j])
+            mismatches.fetch_add(1);
       }
     });
   }
@@ -363,6 +379,49 @@ TEST_F(ServeTest, ConcurrentSubmitRace) {
   EXPECT_EQ(resolved.load(), kThreads * kPerThread);
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(service.stats().completed, kThreads * kPerThread);
+}
+
+// The acceptance criterion for trace-context propagation: one request's
+// events — submit instant on the caller thread, dequeue + sweep on the
+// dispatcher, pool_chunk on the workers — all share the request's
+// trace_id, across at least two OS threads.
+TEST_F(ServeTest, ConnectedTraceAcrossThreads) {
+  obs::ResetTrace();
+  obs::SetTraceEnabled(true);
+  SetGlobalThreads(4);  // guarantee real pool workers for the sweep
+  uint64_t trace_id = 0;
+  {
+    ExplanationServiceOptions opts;
+    opts.config = FastConfig();
+    ExplanationService service(*gbdt_, *ds_, opts);
+    auto r = service.Submit(Request(0, ExplainerKind::kKernelShap)).get();
+    ASSERT_TRUE(r.ok());
+    trace_id = r->breakdown.trace_id;
+    service.Shutdown();
+  }
+  obs::SetTraceEnabled(false);
+  SetGlobalThreads(0);
+  ASSERT_NE(trace_id, 0u);
+
+  std::set<uint32_t> tids;
+  bool saw_submit = false, saw_dequeue = false, saw_batch = false,
+       saw_chunk = false;
+  for (const obs::TraceEventView& e : obs::TraceSnapshot()) {
+    if (e.trace_id != trace_id) continue;
+    tids.insert(e.tid);
+    const std::string name = e.name;
+    if (name == "serve.submit") saw_submit = true;
+    if (name == "serve.dequeue") saw_dequeue = true;
+    if (name == "serve_batch") saw_batch = true;
+    if (name == "pool_chunk") saw_chunk = true;
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_dequeue);
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_chunk);
+  // Caller thread + dispatcher thread at minimum; pool workers on top.
+  EXPECT_GE(tids.size(), 2u);
+  obs::ResetTrace();
 }
 
 }  // namespace
