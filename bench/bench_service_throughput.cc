@@ -10,6 +10,11 @@
 // whole burst and lets the dispatcher batch compatible requests and
 // answer duplicate instances from one computation.
 //
+// A second ("warm") burst replays the same hot rows through the same
+// service: its per-key coalition-value cache was filled by the cold burst,
+// so the warm sweeps skip their model evaluations. The JSON records cold
+// and warm sweep latency plus per-phase cache hit rates.
+//
 // Writes machine-readable results to BENCH_serve.json (or the first
 // positional argument). With --trace-json <path> the flight recorder is
 // turned on and the full request timeline — enqueue, dequeue, coalesced
@@ -66,6 +71,9 @@ RunResult RunUncoalesced(const Model& model, const Dataset& ds,
   ExplanationServiceOptions opts;
   opts.config = config;
   opts.coalesce = false;
+  // Keep the baseline free of the coalition-value cache too: this row is
+  // the "no serving-layer smarts at all" anchor the speedups are against.
+  opts.cache_size = 0;
   ExplanationService service(model, ds, opts);
   RunResult out;
   std::vector<double> lat;
@@ -91,19 +99,13 @@ RunResult RunUncoalesced(const Model& model, const Dataset& ds,
   return out;
 }
 
-/// Coalesced run: the whole burst is enqueued up front; per-request
-/// latency is measured in the completion callback (dispatcher thread —
-/// each callback writes its own slot, the atomic counter publishes them).
-RunResult RunCoalesced(const Model& model, const Dataset& ds,
-                       const ExplainerConfig& config) {
-  ExplanationServiceOptions opts;
-  opts.config = config;
-  opts.queue_capacity = kRequests;
-  // Let one sweep absorb the whole backlog: with a burst arriving faster
-  // than sweeps complete, a small max_batch would re-evaluate the same 48
-  // hot rows once per batch instead of once per backlog.
-  opts.max_batch = kRequests;
-  ExplanationService service(model, ds, opts);
+/// Coalesced burst through an existing (possibly warm) service: the whole
+/// burst is enqueued up front; per-request latency is measured in the
+/// completion callback (dispatcher thread — each callback writes its own
+/// slot, the atomic counter publishes them). Running it twice against one
+/// service gives the cold-vs-warm comparison: the first burst fills the
+/// per-key coalition-value cache, the second answers from it.
+RunResult RunBurst(ExplanationService& service, const Dataset& ds) {
   RunResult out;
   std::vector<double> lat(kRequests, 0.0);
   std::atomic<size_t> done{0};
@@ -130,11 +132,25 @@ RunResult RunCoalesced(const Model& model, const Dataset& ds,
   }
   while (done.load(std::memory_order_acquire) < kRequests) {}
   out.wall_ms = total.ElapsedMs();
-  service.Shutdown();
+  // Stats are published before any promise is fulfilled, so with every
+  // future resolved this snapshot covers the whole burst — no Shutdown
+  // needed (the service stays up for the warm wave).
   out.stats = service.stats();
   out.p50_us = Quantile(lat, 0.50);
   out.p99_us = Quantile(lat, 0.99);
   return out;
+}
+
+/// Cache counters attributable to one burst: the difference between the
+/// service-stats snapshots taken after and before it.
+EvalCacheStats CacheDelta(const ExplanationServiceStats& before,
+                          const ExplanationServiceStats& after) {
+  EvalCacheStats d;
+  d.hits = after.cache_hits - before.cache_hits;
+  d.misses = after.cache_misses - before.cache_misses;
+  d.evictions = after.cache_evictions - before.cache_evictions;
+  d.entries = after.cache_entries;  // occupancy is a level, not a flow
+  return d;
 }
 
 /// Per-request breakdown percentiles for one run, pulled straight from the
@@ -164,8 +180,9 @@ BreakdownSummary Summarize(const std::vector<ExplanationBreakdown>& b) {
 }
 
 void WriteJson(const char* path, double unc_rps, double co_rps,
-               const RunResult& unc, const RunResult& co,
-               double max_abs_diff) {
+               double warm_rps, const RunResult& unc, const RunResult& co,
+               const RunResult& warm, const EvalCacheStats& cold_cache,
+               const EvalCacheStats& warm_cache, double max_abs_diff) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -193,6 +210,18 @@ void WriteJson(const char* path, double unc_rps, double co_rps,
                static_cast<unsigned long long>(co.stats.coalesced_duplicates),
                cb.queue_p50_ms, cb.queue_p99_ms, cb.sweep_p50_ms,
                cb.sweep_p99_ms, cb.mean_batch);
+  const BreakdownSummary wb = Summarize(warm.breakdowns);
+  std::fprintf(f, "  \"warm\": {\"requests_per_sec\": %.1f, "
+               "\"p50_us\": %.0f, \"p99_us\": %.0f, "
+               "\"sweep_p50_ms\": %.3f, \"sweep_p99_ms\": %.3f},\n",
+               warm_rps, warm.p50_us, warm.p99_us, wb.sweep_p50_ms,
+               wb.sweep_p99_ms);
+  std::fprintf(f, "  \"cache\": {\"cold\": %s, \"warm\": %s},\n",
+               bench::CacheStatsJson(cold_cache).c_str(),
+               bench::CacheStatsJson(warm_cache).c_str());
+  std::fprintf(f, "  \"warm_over_cold_sweep_speedup\": %.2f,\n",
+               wb.sweep_p50_ms > 0.0 ? cb.sweep_p50_ms / wb.sweep_p50_ms
+                                     : 0.0);
   std::fprintf(f, "  \"speedup\": %.2f,\n", co_rps / unc_rps);
   std::fprintf(f, "  \"max_abs_diff\": %g\n}\n", max_abs_diff);
   std::fclose(f);
@@ -232,16 +261,37 @@ int main(int argc, char** argv) {
   }
 
   const RunResult unc = RunUncoalesced(*gbdt, ds, config);
-  const RunResult co = RunCoalesced(*gbdt, ds, config);
+
+  // Coalesced service, cache on (the option default): the cold burst
+  // fills the per-key coalition-value cache, the warm burst replays the
+  // same hot rows against it — the serving layer's steady state.
+  ExplanationServiceOptions copts;
+  copts.config = config;
+  copts.queue_capacity = kRequests;
+  // Let one sweep absorb the whole backlog: with a burst arriving faster
+  // than sweeps complete, a small max_batch would re-evaluate the same 48
+  // hot rows once per batch instead of once per backlog.
+  copts.max_batch = kRequests;
+  ExplanationService service(*gbdt, ds, copts);
+  const ExplanationServiceStats s0 = service.stats();
+  const RunResult co = RunBurst(service, ds);
+  const RunResult warm = RunBurst(service, ds);
+  service.Shutdown();
+  const EvalCacheStats cold_cache = CacheDelta(s0, co.stats);
+  const EvalCacheStats warm_cache = CacheDelta(co.stats, warm.stats);
+
   const double unc_rps =
       static_cast<double>(kRequests) / (unc.wall_ms / 1e3);
   const double co_rps = static_cast<double>(kRequests) / (co.wall_ms / 1e3);
+  const double warm_rps =
+      static_cast<double>(kRequests) / (warm.wall_ms / 1e3);
 
-  // Determinism contract: coalesced == uncoalesced == solo, bitwise.
+  // Determinism contract: coalesced == uncoalesced == warm == solo,
+  // bitwise — the cache may only change speed, never a bit.
   double max_abs_diff = 0.0;
   for (size_t i = 0; i < kRequests; ++i) {
     const FeatureAttribution& want = solo[i % kDistinct];
-    for (const auto* got : {&unc.attrs[i], &co.attrs[i]})
+    for (const auto* got : {&unc.attrs[i], &co.attrs[i], &warm.attrs[i]})
       for (size_t j = 0; j < want.values.size(); ++j)
         max_abs_diff = std::max(
             max_abs_diff, std::fabs(got->values[j] - want.values[j]));
@@ -253,6 +303,8 @@ int main(int argc, char** argv) {
              unc.p50_us, unc.p99_us);
   bench::Row("%-14s %14.1f %12.0f %12.0f", "coalesced", co_rps, co.p50_us,
              co.p99_us);
+  bench::Row("%-14s %14.1f %12.0f %12.0f", "warm", warm_rps, warm.p50_us,
+             warm.p99_us);
   bench::Row("speedup %.2fx; %llu batches; %llu requests answered from a "
              "duplicate's computation; max_abs_diff %g",
              co_rps / unc_rps,
@@ -260,14 +312,22 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(co.stats.coalesced_duplicates),
              max_abs_diff);
   const BreakdownSummary cb = Summarize(co.breakdowns);
+  const BreakdownSummary wb = Summarize(warm.breakdowns);
   bench::Row("coalesced breakdown: queue_wait p50/p99 %.3f/%.3f ms; "
              "sweep p50/p99 %.3f/%.3f ms; mean batch %.1f",
              cb.queue_p50_ms, cb.queue_p99_ms, cb.sweep_p50_ms,
              cb.sweep_p99_ms, cb.mean_batch);
+  bench::Row("warm sweep p50/p99 %.3f/%.3f ms (%.2fx over cold sweep p50)",
+             wb.sweep_p50_ms, wb.sweep_p99_ms,
+             wb.sweep_p50_ms > 0.0 ? cb.sweep_p50_ms / wb.sweep_p50_ms
+                                   : 0.0);
+  bench::ReportCacheStats("cache cold", cold_cache);
+  bench::ReportCacheStats("cache warm", warm_cache);
 
   bench::ReportMetrics();
   bench::MaybeWriteTrace(trace_path);
-  WriteJson(json_path.c_str(), unc_rps, co_rps, unc, co, max_abs_diff);
+  WriteJson(json_path.c_str(), unc_rps, co_rps, warm_rps, unc, co, warm,
+            cold_cache, warm_cache, max_abs_diff);
   if (max_abs_diff != 0.0) {
     std::fprintf(stderr,
                  "FAIL: coalesced attributions differ from solo serving\n");

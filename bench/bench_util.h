@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_engine.h"
 #include "obs/obs.h"
 
 namespace xai::bench {
@@ -83,6 +84,34 @@ inline std::string PositionalArg(int argc, char** argv, int index,
     if (seen++ == index) return arg;
   }
   return fallback;
+}
+
+/// Renders coalition-value cache counters as a JSON object fragment for a
+/// bench's BENCH_*.json file: {"hits": .., "misses": .., "hit_rate": ..,
+/// "entries": .., "evictions": ..}. Pass a delta of two EvalCacheStats
+/// snapshots to scope the numbers to one phase of a bench.
+inline std::string CacheStatsJson(const ::xai::EvalCacheStats& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f, "
+                "\"entries\": %llu, \"evictions\": %llu}",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses), s.HitRate(),
+                static_cast<unsigned long long>(s.entries),
+                static_cast<unsigned long long>(s.evictions));
+  return buf;
+}
+
+/// Prints one aligned cache-stats table row (pairs with CacheStatsJson the
+/// way Row pairs with WriteJson).
+inline void ReportCacheStats(const char* label,
+                             const ::xai::EvalCacheStats& s) {
+  Row("%-14s %llu hits / %llu misses (%.1f%% hit rate), %llu entries, "
+      "%llu evictions",
+      label, static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses), 100.0 * s.HitRate(),
+      static_cast<unsigned long long>(s.entries),
+      static_cast<unsigned long long>(s.evictions));
 }
 
 /// Writes the merged flight-recorder buffers to `path` (Chrome trace JSON)

@@ -5,7 +5,8 @@
 //             [--explainer treeshap|kernelshap|lime|mcshapley|anchors|
 //                          counterfactual|all]
 //             [--serve-demo]
-//             [--threads N] [--metrics] [--metrics-json <path>]
+//             [--threads N] [--cache-size N]
+//             [--metrics] [--metrics-json <path>]
 //             [--trace-json <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
@@ -31,6 +32,13 @@
 // --threads N caps the worker pool behind the batched explainer sweeps
 // (overrides the XAIDB_THREADS env var; default = hardware concurrency).
 // Attributions are bit-identical for every N at a fixed seed.
+//
+// --cache-size N sets the coalition-value memo cache capacity (overrides
+// the XAIDB_CACHE env var; 0 disables). One-shot modes default to off;
+// --serve-demo defaults to on — repeated hot rows then skip their model
+// evaluations entirely. Caching never changes attribution bits; the
+// evalengine.* counters in --metrics / --metrics-json show hits, misses
+// and evictions.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -94,6 +102,7 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   bool serve_demo = false;
   size_t row = 0;
+  long long cache_size = -1;  // -1 = not given; keep per-mode defaults
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--model" && i + 1 < argc) {
@@ -112,12 +121,16 @@ int main(int argc, char** argv) {
       trace_json_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       SetGlobalThreads(static_cast<size_t>(std::atoll(argv[++i])));
+    } else if (arg == "--cache-size" && i + 1 < argc) {
+      cache_size = std::atoll(argv[++i]);
+      if (cache_size < 0) cache_size = 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
                   "counterfactual|all] [--serve-demo] "
-                  "[--threads N] [--metrics] [--metrics-json <path>] "
+                  "[--threads N] [--cache-size N] "
+                  "[--metrics] [--metrics-json <path>] "
                   "[--trace-json <path>]\n",
                   argv[0]);
       return 0;
@@ -127,6 +140,11 @@ int main(int argc, char** argv) {
   }
   if (print_metrics || !metrics_json_path.empty()) obs::SetEnabled(true);
   if (!trace_json_path.empty()) obs::SetTraceEnabled(true);
+  // One-shot modes route coalition values through the process-global memo
+  // cache (off unless --cache-size / XAIDB_CACHE says otherwise); the
+  // serve demo uses the service's per-key caches instead, below.
+  if (cache_size >= 0)
+    SetGlobalEvalCacheCapacity(static_cast<size_t>(cache_size));
 
   if (csv_path.empty()) {
     csv_path = "/tmp/xaidb_demo.csv";
@@ -182,6 +200,9 @@ int main(int argc, char** argv) {
     // serving each request alone.
     ExplanationServiceOptions sopts;
     sopts.config = config;
+    // Default on: the demo's hot-row repetition is exactly the workload
+    // the coalition-value cache exists for.
+    if (cache_size >= 0) sopts.cache_size = static_cast<size_t>(cache_size);
     ExplanationService service(*model, ds, sopts);
     const size_t kRequests = 60;
     const size_t kDistinct = std::min<size_t>(12, ds.n());
@@ -221,6 +242,17 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %8.3f %8.3f\n", "total", Quantile(total_ms, 0.50),
                 Quantile(total_ms, 0.99));
     std::printf("  largest coalesced batch: %zu requests\n", max_batch);
+    if (stats.cache_hits + stats.cache_misses > 0) {
+      std::printf("eval cache: %llu hits / %llu misses (%.1f%% hit rate), "
+                  "%llu entries, %llu evictions\n",
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses),
+                  100.0 * static_cast<double>(stats.cache_hits) /
+                      static_cast<double>(stats.cache_hits +
+                                          stats.cache_misses),
+                  static_cast<unsigned long long>(stats.cache_entries),
+                  static_cast<unsigned long long>(stats.cache_evictions));
+    }
     service.Shutdown();
     if (obs::Enabled()) {
       if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
@@ -308,6 +340,18 @@ int main(int argc, char** argv) {
   } else {
     const int rc = run_one(explainer_kind);
     if (rc != 0) return rc;
+  }
+
+  if (std::shared_ptr<CoalitionValueCache> cache = GlobalEvalCache()) {
+    const EvalCacheStats cs = cache->stats();
+    std::printf("\neval cache (capacity %zu): %llu hits / %llu misses "
+                "(%.1f%% hit rate), %llu entries, %llu evictions\n",
+                cache->capacity(),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                100.0 * cs.HitRate(),
+                static_cast<unsigned long long>(cs.entries),
+                static_cast<unsigned long long>(cs.evictions));
   }
 
   if (obs::Enabled()) {

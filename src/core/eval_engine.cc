@@ -1,0 +1,310 @@
+#include "core/eval_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/obs.h"
+
+namespace xai {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates the FNV digests before they are
+/// folded together or used for shard selection.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Publishes the cache hit-rate gauge from one stats view. Cheap enough
+/// to call per batch; no-op when metrics are off.
+void PublishHitRate(const CoalitionValueCache& cache) {
+  if (!obs::Enabled()) return;
+  XAI_OBS_GAUGE_SET("evalengine.hit_rate", cache.stats().HitRate());
+}
+
+}  // namespace
+
+uint64_t EvalFingerprintBytes(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+EvalCacheKey MakeEvalCacheKey(uint64_t context_fingerprint,
+                              const std::vector<bool>& in_coalition) {
+  // Two FNV-style digests with independent multipliers; the context
+  // fingerprint seeds both so distinct contexts never share keys.
+  uint64_t h1 = 14695981039346656037ULL ^ context_fingerprint;
+  uint64_t h2 = 0x9E3779B97F4A7C15ULL + context_fingerprint;
+  for (bool bit : in_coalition) {
+    h1 = (h1 ^ (bit ? 2u : 1u)) * 1099511628211ULL;
+    h2 = (h2 ^ (bit ? 0x2Du : 0x5Bu)) * 0x100000001B3ULL;
+  }
+  h1 = EvalFingerprintBytes(h1, &context_fingerprint,
+                            sizeof(context_fingerprint));
+  const uint64_t n = in_coalition.size();
+  h2 = EvalFingerprintBytes(h2, &n, sizeof(n));
+  return EvalCacheKey{Mix64(h1), Mix64(h2)};
+}
+
+CoalitionValueCache::CoalitionValueCache(size_t capacity, size_t num_shards)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  // Every shard must hold at least one entry, so a capacity-1 cache
+  // degenerates to a single shard and global occupancy == capacity_.
+  const size_t shards = std::max<size_t>(1, std::min(num_shards, capacity_));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->slot_capacity = capacity_ / shards + (i < capacity_ % shards ? 1 : 0);
+    shard->slots.reserve(shard->slot_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+CoalitionValueCache::Shard& CoalitionValueCache::ShardFor(
+    const EvalCacheKey& key) {
+  return *shards_[Mix64(key.hi ^ key.lo) % shards_.size()];
+}
+
+bool CoalitionValueCache::Lookup(const EvalCacheKey& key, double* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    XAI_OBS_COUNT("evalengine.misses");
+    return false;
+  }
+  Slot& slot = shard.slots[it->second];
+  slot.referenced = true;
+  *value = slot.value;
+  ++shard.hits;
+  XAI_OBS_COUNT("evalengine.hits");
+  return true;
+}
+
+void CoalitionValueCache::Insert(const EvalCacheKey& key, double value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // First write wins: values are pure in the key, so the resident entry
+    // already holds these bits. Refreshing the reference bit is the only
+    // effect a duplicate fill may have.
+    shard.slots[it->second].referenced = true;
+    return;
+  }
+  size_t slot_idx;
+  if (shard.slots.size() < shard.slot_capacity) {
+    slot_idx = shard.slots.size();
+    shard.slots.emplace_back();
+  } else {
+    // CLOCK sweep: clear reference bits until a cold entry comes around.
+    for (;;) {
+      Slot& candidate = shard.slots[shard.hand];
+      if (!candidate.referenced) break;
+      candidate.referenced = false;
+      shard.hand = (shard.hand + 1) % shard.slots.size();
+    }
+    slot_idx = shard.hand;
+    shard.hand = (shard.hand + 1) % shard.slots.size();
+    shard.index.erase(shard.slots[slot_idx].key);
+    ++shard.evictions;
+    XAI_OBS_COUNT("evalengine.evictions");
+  }
+  Slot& slot = shard.slots[slot_idx];
+  slot.key = key;
+  slot.value = value;
+  slot.referenced = true;
+  shard.index[key] = slot_idx;
+}
+
+EvalCacheStats CoalitionValueCache::stats() const {
+  EvalCacheStats out;
+  out.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->index.size();
+  }
+  return out;
+}
+
+namespace {
+
+double CachedValueImpl(const CoalitionGame& inner, uint64_t fp,
+                       CoalitionValueCache* cache,
+                       const std::vector<bool>& in_coalition) {
+  if (cache == nullptr) return inner.Value(in_coalition);
+  const EvalCacheKey key = MakeEvalCacheKey(fp, in_coalition);
+  double value = 0.0;
+  if (cache->Lookup(key, &value)) return value;
+  value = inner.Value(in_coalition);
+  cache->Insert(key, value);
+  return value;
+}
+
+std::vector<double> CachedValueBatchImpl(
+    const CoalitionGame& inner, uint64_t fp, CoalitionValueCache* cache,
+    const std::vector<std::vector<bool>>& coalitions) {
+  if (cache == nullptr) return inner.ValueBatch(coalitions);
+  const size_t n = coalitions.size();
+  if (n == 0) return {};
+
+  // Within-sweep dedup: identical masks share one slot, in first-
+  // occurrence order (the order the inner ValueBatch sees, so results are
+  // bit-identical to the undeduplicated sweep).
+  std::unordered_map<EvalCacheKey, size_t, EvalCacheKeyHash> first;
+  first.reserve(n);
+  std::vector<size_t> slot_of(n);
+  std::vector<size_t> rep;  // unique slot -> index of its first mask
+  std::vector<EvalCacheKey> keys;
+  for (size_t i = 0; i < n; ++i) {
+    const EvalCacheKey key = MakeEvalCacheKey(fp, coalitions[i]);
+    auto [it, inserted] = first.try_emplace(key, rep.size());
+    if (inserted) {
+      rep.push_back(i);
+      keys.push_back(key);
+    }
+    slot_of[i] = it->second;
+  }
+
+  // Probe the cache once per unique mask; batch-evaluate the misses
+  // through the inner game in one ValueBatch call.
+  const size_t unique = rep.size();
+  std::vector<double> unique_val(unique, 0.0);
+  std::vector<size_t> miss_slots;
+  std::vector<std::vector<bool>> miss_masks;
+  for (size_t u = 0; u < unique; ++u) {
+    if (!cache->Lookup(keys[u], &unique_val[u])) {
+      miss_slots.push_back(u);
+      miss_masks.push_back(coalitions[rep[u]]);
+    }
+  }
+  if (!miss_masks.empty()) {
+    const std::vector<double> vals = inner.ValueBatch(miss_masks);
+    for (size_t k = 0; k < miss_slots.size(); ++k) {
+      unique_val[miss_slots[k]] = vals[k];
+      cache->Insert(keys[miss_slots[k]], vals[k]);
+    }
+  }
+  XAI_OBS_TRACE_INSTANT("evalengine.batch_hits",
+                        static_cast<double>(unique - miss_slots.size()));
+  XAI_OBS_TRACE_INSTANT("evalengine.batch_misses",
+                        static_cast<double>(miss_slots.size()));
+  PublishHitRate(*cache);
+
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = unique_val[slot_of[i]];
+  return out;
+}
+
+}  // namespace
+
+double CachedGame::Value(const std::vector<bool>& in_coalition) const {
+  return CachedValueImpl(*inner_, fp_, cache_.get(), in_coalition);
+}
+
+std::vector<double> CachedGame::ValueBatch(
+    const std::vector<std::vector<bool>>& coalitions) const {
+  return CachedValueBatchImpl(*inner_, fp_, cache_.get(), coalitions);
+}
+
+CoalitionEvaluator::CoalitionEvaluator(
+    const Model& model, const Matrix& background, size_t max_background,
+    std::shared_ptr<CoalitionValueCache> cache)
+    : model_(model),
+      background_(
+          MarginalFeatureGame::SubsampleBackground(background, max_background)),
+      cache_(std::move(cache)) {
+  // Context fingerprint: model identity (its address — callers sharing a
+  // cache keep their models alive, see the class comment), the subsampled
+  // background's exact bytes, and its shape.
+  uint64_t h = 14695981039346656037ULL;
+  const Model* model_ptr = &model_;
+  h = EvalFingerprintBytes(h, &model_ptr, sizeof(model_ptr));
+  const size_t dims[2] = {background_.rows(), background_.cols()};
+  h = EvalFingerprintBytes(h, dims, sizeof(dims));
+  if (background_.rows() > 0)
+    h = EvalFingerprintBytes(h, background_.RowPtr(0),
+                             background_.rows() * background_.cols() *
+                                 sizeof(double));
+  context_fp_ = Mix64(h);
+}
+
+CoalitionEvaluator::BoundGame CoalitionEvaluator::Bind(
+    std::vector<double> instance) const {
+  uint64_t fp = context_fp_;
+  if (!instance.empty())
+    fp = EvalFingerprintBytes(fp, instance.data(),
+                              instance.size() * sizeof(double));
+  const size_t d = instance.size();
+  fp = Mix64(EvalFingerprintBytes(fp, &d, sizeof(d)));
+  auto game = std::make_unique<MarginalFeatureGame>(
+      model_, MarginalFeatureGame::Presubsampled{}, &background_,
+      std::move(instance));
+  return BoundGame(std::move(game), fp, cache_);
+}
+
+double CoalitionEvaluator::BoundGame::Value(
+    const std::vector<bool>& in_coalition) const {
+  return CachedValueImpl(*game_, fp_, cache_.get(), in_coalition);
+}
+
+std::vector<double> CoalitionEvaluator::BoundGame::ValueBatch(
+    const std::vector<std::vector<bool>>& coalitions) const {
+  return CachedValueBatchImpl(*game_, fp_, cache_.get(), coalitions);
+}
+
+double CoalitionEvaluator::BoundGame::BaseValue() const {
+  return Value(std::vector<bool>(game_->num_players(), false));
+}
+
+namespace {
+
+std::atomic<size_t> g_cache_capacity_override{kGlobalEvalCacheUnset};
+
+size_t EnvCacheCapacity() {
+  const char* env = std::getenv("XAIDB_CACHE");
+  if (env != nullptr && *env != '\0') {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 0;  // caching off by default
+}
+
+std::mutex g_cache_mu;
+std::shared_ptr<CoalitionValueCache> g_cache;  // null while capacity == 0
+size_t g_cache_size = 0;
+
+}  // namespace
+
+size_t GlobalEvalCacheCapacity() {
+  const size_t override_n =
+      g_cache_capacity_override.load(std::memory_order_relaxed);
+  return override_n != kGlobalEvalCacheUnset ? override_n : EnvCacheCapacity();
+}
+
+void SetGlobalEvalCacheCapacity(size_t capacity) {
+  g_cache_capacity_override.store(capacity, std::memory_order_relaxed);
+}
+
+std::shared_ptr<CoalitionValueCache> GlobalEvalCache() {
+  const size_t want = GlobalEvalCacheCapacity();
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  if (g_cache_size != want || (want > 0 && !g_cache)) {
+    g_cache = want > 0 ? std::make_shared<CoalitionValueCache>(want) : nullptr;
+    g_cache_size = want;
+  }
+  return g_cache;
+}
+
+}  // namespace xai

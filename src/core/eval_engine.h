@@ -1,0 +1,221 @@
+#ifndef XAIDB_CORE_EVAL_ENGINE_H_
+#define XAIDB_CORE_EVAL_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/game.h"
+#include "math/matrix.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// Point-in-time view of one cache's counters. Monotonic except `entries`.
+struct EvalCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Identity of one memoized coalition value: two independent 64-bit
+/// digests of (context fingerprint, instance, coalition mask). Keys are
+/// compared on all 128 bits, so a lookup returns a wrong value only on a
+/// full 128-bit collision — negligible against the float-exact workloads
+/// the cache serves. The full mask is deliberately not stored: query-
+/// Shapley games have one player per tuple and masks would dominate the
+/// cache's memory.
+struct EvalCacheKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const EvalCacheKey& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+};
+
+struct EvalCacheKeyHash {
+  size_t operator()(const EvalCacheKey& k) const {
+    // The digests are already well mixed; fold them.
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Derives the cache key for one coalition under a context fingerprint
+/// (model + background + instance identity). Pure function of its inputs.
+EvalCacheKey MakeEvalCacheKey(uint64_t context_fingerprint,
+                              const std::vector<bool>& in_coalition);
+
+/// FNV-1a over raw bytes — the fingerprint building block shared by the
+/// engine and its callers (instance hashing, background hashing).
+uint64_t EvalFingerprintBytes(uint64_t h, const void* data, size_t len);
+
+/// Bounded, sharded memo cache for coalition values, shared across
+/// explainer instances and across explanation requests. Thread-safe:
+/// shards are mutex-striped so concurrent ParallelFor chunks contend on
+/// 1/num_shards of the keyspace. Eviction is per-shard CLOCK (a one-bit
+/// LRU approximation): every hit sets the entry's reference bit; an
+/// insert into a full shard sweeps the clock hand, clearing reference
+/// bits until it finds a cold entry to evict.
+///
+/// Determinism: cached values are pure functions of their key (the
+/// ValueBatch contract makes batched and scalar evaluation bit-identical),
+/// so Insert never overwrites an existing entry — concurrent fills of the
+/// same key are idempotent and results cannot depend on which chunk's
+/// probe or fill wins.
+class CoalitionValueCache {
+ public:
+  /// `capacity` = max resident values across all shards (0 behaves as 1;
+  /// use a null cache pointer to disable caching). `num_shards` is
+  /// clamped so every shard holds at least one entry.
+  explicit CoalitionValueCache(size_t capacity, size_t num_shards = 8);
+
+  CoalitionValueCache(const CoalitionValueCache&) = delete;
+  CoalitionValueCache& operator=(const CoalitionValueCache&) = delete;
+
+  /// True and *value filled on a hit (also marks the entry recently used).
+  bool Lookup(const EvalCacheKey& key, double* value);
+
+  /// Memoizes `value` under `key`; first write wins (see class comment).
+  /// Evicts a cold entry when the shard is full.
+  void Insert(const EvalCacheKey& key, double value);
+
+  EvalCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    EvalCacheKey key;
+    double value = 0.0;
+    bool referenced = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;  // size() grows up to its fixed capacity
+    size_t slot_capacity = 0;
+    size_t hand = 0;  // CLOCK hand over slots
+    std::unordered_map<EvalCacheKey, size_t, EvalCacheKeyHash> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const EvalCacheKey& key);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// A CoalitionGame view that fronts an inner game with a memo cache.
+/// Value/ValueBatch answer from the cache when possible; batch calls
+/// additionally deduplicate identical masks *within* the sweep so the
+/// inner game evaluates each distinct coalition at most once. Because
+/// every game's ValueBatch is bit-identical to per-coalition Value, the
+/// wrapped game is bit-identical to the inner game whether the cache is
+/// warm, cold, or absent (null cache = pure passthrough, no dedup).
+///
+/// `context_fingerprint` must identify everything the inner game's value
+/// depends on besides the mask (model, background, instance, seeds); two
+/// games may share a fingerprint only if they are bit-identical functions.
+class CachedGame : public CoalitionGame {
+ public:
+  CachedGame(const CoalitionGame& inner, uint64_t context_fingerprint,
+             std::shared_ptr<CoalitionValueCache> cache)
+      : inner_(&inner), fp_(context_fingerprint), cache_(std::move(cache)) {}
+
+  size_t num_players() const override { return inner_->num_players(); }
+  double Value(const std::vector<bool>& in_coalition) const override;
+  std::vector<double> ValueBatch(
+      const std::vector<std::vector<bool>>& coalitions) const override;
+
+ private:
+  const CoalitionGame* inner_;
+  uint64_t fp_;
+  std::shared_ptr<CoalitionValueCache> cache_;
+};
+
+/// The shared coalition-evaluation engine behind the marginal-game
+/// explainers (KernelSHAP, MC-Shapley). Owns the plumbing each of them
+/// used to duplicate per instance: the deterministic background
+/// subsample (computed once per engine, not once per row), the context
+/// fingerprint, and the memo cache. Bind() produces an instance-scoped
+/// game whose coalition evaluations route through the cache — keyed by
+/// (engine fingerprint, instance hash, mask), so values memoize *across*
+/// instances and across ExplainBatch sweeps for repeated rows.
+///
+/// The fingerprint covers the model's address, the subsampled background
+/// bytes and the subsample cap; callers sharing one cache across models
+/// must keep those models alive for the cache's lifetime (address reuse
+/// after free is the one way distinct contexts could alias).
+class CoalitionEvaluator {
+ public:
+  CoalitionEvaluator(const Model& model, const Matrix& background,
+                     size_t max_background,
+                     std::shared_ptr<CoalitionValueCache> cache);
+
+  /// A marginal feature game bound to one instance, routed through the
+  /// engine's cache (passthrough when the engine has none). Borrows the
+  /// engine's background — valid while the engine lives.
+  class BoundGame : public CoalitionGame {
+   public:
+    size_t num_players() const override { return game_->num_players(); }
+    double Value(const std::vector<bool>& in_coalition) const override;
+    std::vector<double> ValueBatch(
+        const std::vector<std::vector<bool>>& coalitions) const override;
+    /// v(empty) — routed through the cache like any other coalition.
+    double BaseValue() const;
+
+   private:
+    friend class CoalitionEvaluator;
+    BoundGame(std::unique_ptr<MarginalFeatureGame> game, uint64_t fp,
+              std::shared_ptr<CoalitionValueCache> cache)
+        : game_(std::move(game)), fp_(fp), cache_(std::move(cache)) {}
+
+    std::unique_ptr<MarginalFeatureGame> game_;
+    uint64_t fp_;  // engine fingerprint mixed with the instance hash
+    std::shared_ptr<CoalitionValueCache> cache_;
+  };
+
+  BoundGame Bind(std::vector<double> instance) const;
+
+  const std::shared_ptr<CoalitionValueCache>& cache() const { return cache_; }
+  const Matrix& background() const { return background_; }
+  uint64_t fingerprint() const { return context_fp_; }
+
+ private:
+  const Model& model_;
+  Matrix background_;  // subsampled once, shared by every bound game
+  uint64_t context_fp_;
+  std::shared_ptr<CoalitionValueCache> cache_;
+};
+
+/// The process-wide default cache capacity, in entries. Resolution order:
+/// SetGlobalEvalCacheCapacity() (CLI --cache-size, tests) > XAIDB_CACHE
+/// env var > 0 (caching off).
+size_t GlobalEvalCacheCapacity();
+
+/// Overrides the global capacity (0 disables; pass kGlobalEvalCacheUnset
+/// to restore the env default). Takes effect on the next GlobalEvalCache()
+/// call, which drops the old cache's contents if the capacity changed.
+inline constexpr size_t kGlobalEvalCacheUnset = static_cast<size_t>(-1);
+void SetGlobalEvalCacheCapacity(size_t capacity);
+
+/// Lazily constructed process-wide cache of GlobalEvalCacheCapacity()
+/// entries; null when the capacity is 0. Explainers without an explicit
+/// per-options cache fall back to this, which is how the XAIDB_CACHE env
+/// knob reaches every explainer with no per-call-site plumbing.
+std::shared_ptr<CoalitionValueCache> GlobalEvalCache();
+
+}  // namespace xai
+
+#endif  // XAIDB_CORE_EVAL_ENGINE_H_

@@ -26,30 +26,44 @@ void FillImputedRows(const Matrix& background,
 
 }  // namespace
 
-MarginalFeatureGame::MarginalFeatureGame(const Model& model,
-                                         const Matrix& background,
-                                         std::vector<double> instance,
-                                         size_t max_background)
-    : model_(model), instance_(std::move(instance)) {
+Matrix MarginalFeatureGame::SubsampleBackground(const Matrix& background,
+                                                size_t max_background) {
   const size_t m = std::min(background.rows(), max_background);
-  background_ = Matrix(m, background.cols());
+  if (m == 0) return Matrix(0, background.cols());
+  Matrix out(m, background.cols());
   // Deterministic stride subsample keeps the game a pure function.
   const size_t stride = std::max<size_t>(1, background.rows() / m);
   for (size_t i = 0; i < m; ++i) {
     const size_t src = std::min(i * stride, background.rows() - 1);
     std::copy(background.RowPtr(src), background.RowPtr(src) + background.cols(),
-              background_.RowPtr(i));
+              out.RowPtr(i));
   }
+  return out;
 }
+
+MarginalFeatureGame::MarginalFeatureGame(const Model& model,
+                                         const Matrix& background,
+                                         std::vector<double> instance,
+                                         size_t max_background)
+    : model_(model),
+      owned_background_(SubsampleBackground(background, max_background)),
+      instance_(std::move(instance)) {}
+
+MarginalFeatureGame::MarginalFeatureGame(const Model& model, Presubsampled,
+                                         const Matrix* background,
+                                         std::vector<double> instance)
+    : model_(model),
+      external_background_(background),
+      instance_(std::move(instance)) {}
 
 double MarginalFeatureGame::Value(
     const std::vector<bool>& in_coalition) const {
   const size_t d = instance_.size();
-  const size_t m = background_.rows();
+  const size_t m = bg().rows();
   XAI_OBS_COUNT("core.game.coalition_evals");
   XAI_OBS_COUNT_N("core.game.model_evals", m);
   Matrix rows(m, d);
-  FillImputedRows(background_, instance_, in_coalition, rows.RowPtr(0));
+  FillImputedRows(bg(), instance_, in_coalition, rows.RowPtr(0));
   const std::vector<double> preds = model_.PredictBatch(rows);
   double total = 0.0;
   for (double p : preds) total += p;
@@ -59,7 +73,7 @@ double MarginalFeatureGame::Value(
 std::vector<double> MarginalFeatureGame::ValueBatch(
     const std::vector<std::vector<bool>>& coalitions) const {
   const size_t d = instance_.size();
-  const size_t m = background_.rows();
+  const size_t m = bg().rows();
   const size_t batch = coalitions.size();
   if (batch == 0) return {};
   XAI_OBS_COUNT_N("core.game.coalition_evals", batch);
@@ -69,7 +83,7 @@ std::vector<double> MarginalFeatureGame::ValueBatch(
 
   Matrix rows(batch * m, d);
   for (size_t c = 0; c < batch; ++c)
-    FillImputedRows(background_, instance_, coalitions[c], rows.RowPtr(c * m));
+    FillImputedRows(bg(), instance_, coalitions[c], rows.RowPtr(c * m));
   const std::vector<double> preds = model_.PredictBatch(rows);
 
   std::vector<double> out(batch);

@@ -67,6 +67,21 @@ class MarginalFeatureGame : public CoalitionGame {
                       std::vector<double> instance,
                       size_t max_background = 100);
 
+  /// Borrows an already-subsampled background instead of copying one per
+  /// instance — the constructor CoalitionEvaluator uses so every bound
+  /// game shares the engine's single subsample. `background` must outlive
+  /// the game and must be exactly what SubsampleBackground would produce
+  /// for the draws to match the copying constructor bit-for-bit.
+  struct Presubsampled {};
+  MarginalFeatureGame(const Model& model, Presubsampled,
+                      const Matrix* background, std::vector<double> instance);
+
+  /// The deterministic stride subsample both constructors agree on: at
+  /// most `max_background` rows, keeping the game a pure function of
+  /// (background, max_background).
+  static Matrix SubsampleBackground(const Matrix& background,
+                                    size_t max_background);
+
   size_t num_players() const override { return instance_.size(); }
   double Value(const std::vector<bool>& in_coalition) const override;
   /// Materializes all imputed rows (one per coalition x background row)
@@ -78,8 +93,14 @@ class MarginalFeatureGame : public CoalitionGame {
   double BaseValue() const;
 
  private:
+  const Matrix& bg() const {
+    return external_background_ != nullptr ? *external_background_
+                                           : owned_background_;
+  }
+
   const Model& model_;
-  Matrix background_;
+  Matrix owned_background_;                      // subsampled copy, or empty
+  const Matrix* external_background_ = nullptr;  // borrowed (Presubsampled)
   std::vector<double> instance_;
 };
 

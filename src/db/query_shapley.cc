@@ -23,10 +23,19 @@ Result<std::vector<double>> TupleShapley(size_t num_tuples,
   // coalition sets and drive them through ValueBatch, so lineage
   // evaluations run in fixed-boundary parallel chunks (XAIDB_THREADS);
   // `query` must therefore be safe to call concurrently.
-  LambdaGame game(num_tuples, [&query](const std::vector<bool>& keep) {
+  LambdaGame inner(num_tuples, [&query](const std::vector<bool>& keep) {
     XAI_OBS_COUNT("db.query_shapley.lineage_evals");
     return query(keep);
   });
+  // Route through the shared evaluation engine: with a cache attached,
+  // identical sub-databases are evaluated once per (cache, fingerprint)
+  // lifetime — within this call and across calls. Mixing the player count
+  // into the context keeps differently-sized lineages apart even under a
+  // caller-default fingerprint of 0.
+  const uint64_t context = EvalFingerprintBytes(
+      0x71ee5ab1c9cb1dadULL ^ opts.cache_fingerprint, &num_tuples,
+      sizeof(num_tuples));
+  CachedGame game(inner, context, opts.cache);
   // Exact enumeration materializes all 2^n coalitions (and their value
   // vector) at once; cap the threshold so the 1<<n shift and the
   // allocation stay well inside size_t range no matter what the caller

@@ -2,10 +2,12 @@
 #define XAIDB_DB_QUERY_SHAPLEY_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/eval_engine.h"
 #include "relational/relation.h"
 
 namespace xai {
@@ -26,6 +28,17 @@ struct QueryShapleyOptions {
   /// Permutation samples otherwise.
   size_t num_permutations = 200;
   uint64_t seed = 4242;
+  /// Memo cache for sub-database query values. Within one call, repeated
+  /// coalition masks (permutation prefixes share heavily) collapse to one
+  /// lineage evaluation; across calls with the same cache AND
+  /// cache_fingerprint, previously evaluated sub-databases are answered
+  /// without re-running the query. Null = no memoization (every mask
+  /// re-runs the query, exactly as before).
+  std::shared_ptr<CoalitionValueCache> cache;
+  /// Identifies the (database, query) the values belong to. Callers
+  /// sharing one cache across different databases or queries MUST use
+  /// distinct fingerprints — the cache cannot see through the closure.
+  uint64_t cache_fingerprint = 0;
 };
 
 /// Shapley value of tuples in query answering (Livshits, Bertossi,

@@ -91,15 +91,21 @@ Result<std::unique_ptr<AttributionExplainer>> MakeExplainer(
       return Status::InvalidArgument(
           "treeshap requires a tree model (gbdt, decision tree or forest)");
     }
-    case ExplainerKind::kKernelShap:
+    case ExplainerKind::kKernelShap: {
+      KernelShapOptions opts = config.kernel_shap;
+      if (config.cache) opts.cache = config.cache;
       return std::unique_ptr<AttributionExplainer>(
-          new KernelShapExplainer(model, background, config.kernel_shap));
+          new KernelShapExplainer(model, background, opts));
+    }
     case ExplainerKind::kLime:
       return std::unique_ptr<AttributionExplainer>(
           new LimeExplainer(model, background, config.lime));
-    case ExplainerKind::kMcShapley:
+    case ExplainerKind::kMcShapley: {
+      McShapleyOptions opts = config.mc_shapley;
+      if (config.cache) opts.cache = config.cache;
       return std::unique_ptr<AttributionExplainer>(
-          new McShapleyExplainer(model, background, config.mc_shapley));
+          new McShapleyExplainer(model, background, opts));
+    }
   }
   return Status::InvalidArgument("unknown explainer kind");
 }

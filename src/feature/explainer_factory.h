@@ -38,6 +38,11 @@ struct ExplainerConfig {
   KernelShapOptions kernel_shap;
   LimeOptions lime;
   McShapleyOptions mc_shapley;
+  /// When set, MakeExplainer installs this coalition-value cache into the
+  /// built explainer (overriding any per-family cache above). Excluded
+  /// from Fingerprint on purpose: caching never changes output bits, so a
+  /// cached and an uncached explainer are interchangeable for coalescing.
+  std::shared_ptr<CoalitionValueCache> cache;
 
   /// Stable hash of (kind + the option fields that family reads). Two
   /// configs with equal fingerprints build explainers that produce

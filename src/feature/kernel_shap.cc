@@ -58,7 +58,11 @@ Result<std::vector<double>> SolveKernelShap(
 KernelShapExplainer::KernelShapExplainer(const Model& model,
                                          const Dataset& background,
                                          KernelShapOptions opts)
-    : model_(model), background_(background), opts_(opts) {}
+    : model_(model),
+      background_(background),
+      opts_(opts),
+      engine_(model, background.x(), opts.max_background,
+              opts.cache ? opts.cache : GlobalEvalCache()) {}
 
 KernelShapExplainer::CoalitionDesign KernelShapExplainer::BuildDesign(
     int d) const {
@@ -105,8 +109,10 @@ KernelShapExplainer::CoalitionDesign KernelShapExplainer::BuildDesign(
 Result<FeatureAttribution> KernelShapExplainer::ExplainRow(
     const CoalitionDesign& design, const std::vector<double>& instance) {
   const int d = static_cast<int>(instance.size());
-  MarginalFeatureGame game(model_, background_.x(), instance,
-                           opts_.max_background);
+  // All coalition evaluations below route through the engine: dedup
+  // within each chunk's sweep, memoized across instances when a cache is
+  // attached — and bit-identical to the direct game either way.
+  const CoalitionEvaluator::BoundGame game = engine_.Bind(instance);
   std::vector<bool> coalition(d, false);
   const double base = game.Value(coalition);
   std::fill(coalition.begin(), coalition.end(), true);

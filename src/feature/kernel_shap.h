@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/eval_engine.h"
 #include "core/explainer.h"
 #include "core/game.h"
 #include "data/dataset.h"
@@ -22,6 +23,11 @@ struct KernelShapOptions {
   /// Ridge stabilizer for the weighted regression.
   double lambda = 1e-9;
   uint64_t seed = 1234;
+  /// Coalition-value memo cache shared with other explainers over the
+  /// same (model, background). Null falls back to GlobalEvalCache()
+  /// (off unless XAIDB_CACHE / --cache-size turned it on). Caching never
+  /// changes output bits — only which evaluations reach the model.
+  std::shared_ptr<CoalitionValueCache> cache;
 };
 
 /// KernelSHAP (Lundberg & Lee 2017): recovers Shapley values of the
@@ -60,6 +66,10 @@ class KernelShapExplainer : public AttributionExplainer {
   const Model& model_;
   const Dataset& background_;
   KernelShapOptions opts_;
+  /// Shared coalition-evaluation engine: one background subsample for the
+  /// explainer's lifetime, and the memo cache the per-instance games
+  /// route through.
+  CoalitionEvaluator engine_;
 };
 
 /// Shapley kernel weight for coalition size s of d players.

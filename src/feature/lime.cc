@@ -18,13 +18,16 @@ constexpr size_t kRowChunk = 256;
 
 LimeExplainer::LimeExplainer(const Model& model, const Dataset& background,
                              LimeOptions opts)
-    : model_(model), background_(background), opts_(opts) {}
+    : model_(model),
+      background_(background),
+      opts_(opts),
+      stats_(ComputeColumnStats(background)) {}
 
 Result<FeatureAttribution> LimeExplainer::Explain(
     const std::vector<double>& instance) {
   XAI_OBS_HIST_TIMER("feature.lime.explain_us");
   XAI_OBS_SPAN("lime");
-  return ExplainRow(ComputeColumnStats(background_), instance);
+  return ExplainRow(stats_, instance);
 }
 
 Result<std::vector<FeatureAttribution>> LimeExplainer::ExplainBatch(
@@ -32,14 +35,11 @@ Result<std::vector<FeatureAttribution>> LimeExplainer::ExplainBatch(
   XAI_OBS_HIST_TIMER("feature.lime.explain_batch_us");
   XAI_OBS_SPAN("lime_batch");
   if (instances.rows() == 0) return std::vector<FeatureAttribution>{};
-  // One pass over the background for the whole sweep; per-row Explain
-  // would recompute identical statistics per instance.
-  const ColumnStats stats = ComputeColumnStats(background_);
   std::vector<FeatureAttribution> out;
   out.reserve(instances.rows());
   for (size_t i = 0; i < instances.rows(); ++i) {
     XAI_ASSIGN_OR_RETURN(FeatureAttribution attr,
-                         ExplainRow(stats, instances.Row(i)));
+                         ExplainRow(stats_, instances.Row(i)));
     out.push_back(std::move(attr));
   }
   return out;

@@ -40,8 +40,8 @@ class LimeExplainer : public AttributionExplainer {
       const std::vector<double>& instance) override;
 
   /// Amortized multi-instance sweep: the background column statistics the
-  /// perturber samples from (and the kernel width) are computed once for
-  /// the whole batch instead of per instance. The perturbation draws
+  /// perturber samples from are computed once at construction and shared
+  /// by every row (and every solo Explain). The perturbation draws
   /// themselves restart from Rng(opts.seed) per row — they depend on the
   /// instance (numeric draws are centered on it), so re-drawing per row is
   /// exactly what keeps row i bit-identical to Explain(row i).
@@ -59,6 +59,11 @@ class LimeExplainer : public AttributionExplainer {
   const Model& model_;
   const Dataset& background_;
   LimeOptions opts_;
+  /// Background column statistics the perturber samples from. The
+  /// background is borrowed and immutable for the explainer's lifetime, so
+  /// these are computed once at construction — previously every solo
+  /// Explain re-scanned the full background to rebuild identical stats.
+  ColumnStats stats_;
   double last_local_r2_ = 0.0;
 };
 

@@ -27,15 +27,22 @@ std::vector<std::vector<size_t>> DrawPermutations(size_t d,
 McShapleyExplainer::McShapleyExplainer(const Model& model,
                                        const Dataset& background,
                                        McShapleyOptions opts)
-    : model_(model), background_(background), opts_(opts) {}
+    : model_(model),
+      background_(background),
+      opts_(opts),
+      engine_(model, background.x(), opts.max_background,
+              opts.cache ? opts.cache : GlobalEvalCache()) {}
 
 Result<FeatureAttribution> McShapleyExplainer::ExplainRow(
     const std::vector<std::vector<size_t>>& perms,
     const std::vector<double>& instance) {
   if (instance.size() != background_.d())
     return Status::InvalidArgument("McShapley: instance arity != background");
-  MarginalFeatureGame game(model_, background_.x(), instance,
-                           opts_.max_background);
+  // The permutation sweep's prefix coalitions all route through the
+  // engine: repeated prefixes (the empty and full coalitions in every
+  // chunk, shared prefixes across permutations) collapse to one model
+  // evaluation when a cache is attached.
+  const CoalitionEvaluator::BoundGame game = engine_.Bind(instance);
   FeatureAttribution out;
   out.values = PermutationShapleyWithPerms(game, perms);
   for (size_t j = 0; j < instance.size(); ++j)

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/eval_engine.h"
 #include "core/explainer.h"
 #include "data/dataset.h"
 #include "model/model.h"
@@ -16,6 +17,11 @@ struct McShapleyOptions {
   /// Background rows used by the marginal value function.
   size_t max_background = 50;
   uint64_t seed = 7;
+  /// Coalition-value memo cache (see KernelShapOptions::cache). Null
+  /// falls back to GlobalEvalCache(). A cache shared with KernelSHAP over
+  /// the same (model, background, max_background) is hit by both — the
+  /// marginal game's values are explainer-agnostic.
+  std::shared_ptr<CoalitionValueCache> cache;
 };
 
 /// AttributionExplainer facade over permutation-sampling Monte-Carlo
@@ -47,6 +53,9 @@ class McShapleyExplainer : public AttributionExplainer {
   const Model& model_;
   const Dataset& background_;
   McShapleyOptions opts_;
+  /// Shared coalition-evaluation engine (one background subsample + the
+  /// memo cache the per-instance games route through).
+  CoalitionEvaluator engine_;
 };
 
 }  // namespace xai

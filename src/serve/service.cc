@@ -175,7 +175,15 @@ void ExplanationService::Shutdown() {
 
 ExplanationServiceStats ExplanationService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ExplanationServiceStats out = stats_;
+  for (const auto& [key, cache] : caches_) {
+    const EvalCacheStats cs = cache->stats();
+    out.cache_hits += cs.hits;
+    out.cache_misses += cs.misses;
+    out.cache_evictions += cs.evictions;
+    out.cache_entries += cs.entries;
+  }
+  return out;
 }
 
 void ExplanationService::RunDispatcher() {
@@ -223,10 +231,20 @@ Result<AttributionExplainer*> ExplanationService::GetExplainer(
     ExplainerKind kind, int budget, uint64_t key) {
   auto it = explainers_.find(key);
   if (it != explainers_.end()) return it->second.get();
-  XAI_ASSIGN_OR_RETURN(
-      std::unique_ptr<AttributionExplainer> ex,
-      MakeExplainer(kind, model_, background_,
-                    ApplyBudget(opts_.config, kind, budget)));
+  ExplainerConfig cfg = ApplyBudget(opts_.config, kind, budget);
+  // One memo cache per coalescing key: every sweep the key's explainer
+  // runs shares it, so instances repeated across batches hit instead of
+  // re-evaluating the model. Only the Shapley families route coalition
+  // values through the engine; building caches for the others would just
+  // pad the stats with dead capacity.
+  if (opts_.cache_size > 0 && (kind == ExplainerKind::kKernelShap ||
+                               kind == ExplainerKind::kMcShapley)) {
+    cfg.cache = std::make_shared<CoalitionValueCache>(opts_.cache_size);
+    std::lock_guard<std::mutex> lock(mu_);
+    caches_.emplace(key, cfg.cache);
+  }
+  XAI_ASSIGN_OR_RETURN(std::unique_ptr<AttributionExplainer> ex,
+                       MakeExplainer(kind, model_, background_, cfg));
   AttributionExplainer* raw = ex.get();
   explainers_.emplace(key, std::move(ex));
   return raw;

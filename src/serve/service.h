@@ -53,6 +53,12 @@ struct ExplanationServiceOptions {
   /// Per-family explainer options (seeds included), shared by all
   /// requests; a request's `budget` overlays the family's sample count.
   ExplainerConfig config;
+  /// Capacity of the per-coalescing-key coalition-value cache installed
+  /// into each Shapley-family explainer the service builds (0 disables
+  /// caching). One cache per key: requests that coalesce share a memo
+  /// table, so repeated instances across sweeps skip their model
+  /// evaluations entirely. Caching never changes attribution bits.
+  size_t cache_size = 1 << 15;
 };
 
 /// Where one request's time went, filled in by the dispatcher and
@@ -87,6 +93,12 @@ struct ExplanationServiceStats {
   uint64_t batches = 0;
   uint64_t batched_requests = 0;
   uint64_t coalesced_duplicates = 0;
+  /// Coalition-value cache totals summed over every per-key cache the
+  /// service has built (all zero when cache_size == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
 };
 
 /// Async explanation service: bounded MPSC queue in front of a single
@@ -161,6 +173,10 @@ class ExplanationService {
   /// Dispatcher-only: explainers cached per coalescing key.
   std::unordered_map<uint64_t, std::unique_ptr<AttributionExplainer>>
       explainers_;
+  /// One coalition-value cache per coalescing key (Shapley families only),
+  /// kept here so stats() can report totals. Guarded by mu_; the caches
+  /// themselves are internally synchronized.
+  std::unordered_map<uint64_t, std::shared_ptr<CoalitionValueCache>> caches_;
 
   ExplanationServiceStats stats_;  // guarded by mu_
 

@@ -1,0 +1,343 @@
+// Tests for the shared coalition-evaluation engine: the sharded CLOCK
+// memo cache (eviction at capacity 1, cold-entry preference, an 8-thread
+// hammer — the `cache` ctest label is part of the TSan job), the
+// bit-identity contract (cache on/off and any thread count produce the
+// same attribution bits for KernelSHAP, MC-Shapley and query-Shapley),
+// within-sweep mask dedup, null-cache passthrough (no dedup — budget
+// accounting must see every evaluation), Banzhaf/Owen through CachedGame,
+// and the global XAIDB_CACHE capacity knob.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/eval_engine.h"
+#include "core/game.h"
+#include "data/synthetic.h"
+#include "db/query_shapley.h"
+#include "feature/kernel_shap.h"
+#include "feature/mc_shapley.h"
+#include "feature/shapley.h"
+#include "model/gbdt.h"
+
+namespace xai {
+namespace {
+
+/// Distinct, well-spread cache keys for the unit tests below.
+EvalCacheKey TestKey(int i) {
+  std::vector<bool> mask(16);
+  for (int j = 0; j < 16; ++j) mask[static_cast<size_t>(j)] = (i >> j) & 1;
+  return MakeEvalCacheKey(0xFEEDULL, mask);
+}
+
+TEST(CoalitionValueCache, EvictionAtCapacityOne) {
+  CoalitionValueCache cache(1, 1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Insert(TestKey(1), 1.5);
+  double v = 0.0;
+  ASSERT_TRUE(cache.Lookup(TestKey(1), &v));
+  EXPECT_EQ(v, 1.5);
+  cache.Insert(TestKey(2), 2.5);  // full: must evict the only resident
+  EXPECT_FALSE(cache.Lookup(TestKey(1), &v));
+  ASSERT_TRUE(cache.Lookup(TestKey(2), &v));
+  EXPECT_EQ(v, 2.5);
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(CoalitionValueCache, ClockEvictsColdEntryFirst) {
+  // Single shard so the CLOCK hand is deterministic. Inserting C into the
+  // full {A, B} shard sweeps both reference bits and evicts A; C lands
+  // freshly referenced while B is now cold — so the next insert must take
+  // B and leave the recently-installed C resident.
+  CoalitionValueCache cache(2, 1);
+  cache.Insert(TestKey(1), 1.0);  // A
+  cache.Insert(TestKey(2), 2.0);  // B
+  cache.Insert(TestKey(3), 3.0);  // C evicts A
+  double v = 0.0;
+  EXPECT_FALSE(cache.Lookup(TestKey(1), &v));
+  cache.Insert(TestKey(4), 4.0);  // D evicts cold B, referenced C survives
+  EXPECT_FALSE(cache.Lookup(TestKey(2), &v));
+  ASSERT_TRUE(cache.Lookup(TestKey(3), &v));
+  EXPECT_EQ(v, 3.0);
+  ASSERT_TRUE(cache.Lookup(TestKey(4), &v));
+  EXPECT_EQ(v, 4.0);
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 2u);
+}
+
+TEST(CoalitionValueCache, ShardCountClampedToCapacity) {
+  // 64 requested shards over capacity 4: occupancy must still equal the
+  // configured capacity exactly, not 64 x per-shard minimums.
+  CoalitionValueCache cache(4, 64);
+  for (int i = 0; i < 100; ++i) cache.Insert(TestKey(i), i);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.stats().capacity, 4u);
+}
+
+TEST(CoalitionValueCache, EightThreadHammer) {
+  constexpr size_t kThreads = 8;
+  constexpr int kItersPerThread = 4000;
+  constexpr int kKeySpace = 256;
+  CoalitionValueCache cache(64, 8);
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int k = static_cast<int>((i + t * 37) % kKeySpace);
+        const double expect = static_cast<double>(k) * 0.5;
+        double v = 0.0;
+        if (cache.Lookup(TestKey(k), &v)) {
+          // First-write-wins + all writers agree, so a hit may only ever
+          // return the one true value for this key.
+          if (v != expect) wrong_values.fetch_add(1);
+        } else {
+          cache.Insert(TestKey(k), expect);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong_values.load(), 0);
+  const EvalCacheStats s = cache.stats();
+  EXPECT_LE(s.entries, 64u);
+  EXPECT_EQ(s.hits + s.misses, kThreads * kItersPerThread);
+}
+
+TEST(CachedGame, DedupsWithinSweepAndMemoizesAcrossSweeps) {
+  std::atomic<int> evals{0};
+  LambdaGame inner(4, [&](const std::vector<bool>& m) {
+    evals.fetch_add(1);
+    double v = 0.0;
+    for (size_t j = 0; j < m.size(); ++j)
+      if (m[j]) v += static_cast<double>(j + 1);
+    return v;
+  });
+  CachedGame game(inner, 0xABCDULL,
+                  std::make_shared<CoalitionValueCache>(64));
+  const std::vector<bool> a{true, false, false, false};
+  const std::vector<bool> b{false, true, true, false};
+  const std::vector<bool> c{true, true, true, true};
+  const std::vector<std::vector<bool>> sweep{a, b, a, c, b, a};
+  const std::vector<double> got = game.ValueBatch(sweep);
+  EXPECT_EQ(evals.load(), 3);  // three distinct masks in a six-mask sweep
+  ASSERT_EQ(got.size(), sweep.size());
+  for (size_t i = 0; i < sweep.size(); ++i)
+    EXPECT_EQ(got[i], inner.Value(sweep[i])) << "mask " << i;
+  evals.store(0);
+  const std::vector<double> again = game.ValueBatch(sweep);
+  EXPECT_EQ(evals.load(), 0);  // fully warm: zero inner evaluations
+  EXPECT_EQ(again, got);
+}
+
+TEST(CachedGame, NullCacheIsPassthroughWithoutDedup) {
+  // The budget-accounting contract: with no cache attached, every
+  // coalition — duplicates included — reaches the inner game, so
+  // model-evaluation counters stay exactly what the explainer configured.
+  std::atomic<int> evals{0};
+  LambdaGame inner(3, [&](const std::vector<bool>& m) {
+    evals.fetch_add(1);
+    return m[0] ? 1.0 : 0.0;
+  });
+  CachedGame game(inner, 0xABCDULL, nullptr);
+  const std::vector<bool> a{true, false, false};
+  const std::vector<std::vector<bool>> sweep{a, a, a, a};
+  game.ValueBatch(sweep);
+  EXPECT_EQ(evals.load(), 4);
+  game.Value(a);
+  EXPECT_EQ(evals.load(), 5);
+}
+
+TEST(CachedGame, BanzhafAndOwenBitIdenticalThroughCache) {
+  LambdaGame inner(6, [](const std::vector<bool>& m) {
+    double v = 0.0;
+    for (size_t j = 0; j < m.size(); ++j)
+      if (m[j]) v += 1.0 / static_cast<double>(j + 2);
+    return v * v;  // superadditive enough to be non-trivial
+  });
+  CachedGame cached(inner, 0x5151ULL,
+                    std::make_shared<CoalitionValueCache>(1 << 12));
+  {
+    Rng r1(5), r2(5);
+    const std::vector<double> plain = SampledBanzhaf(inner, 64, &r1);
+    const std::vector<double> through = SampledBanzhaf(cached, 64, &r2);
+    EXPECT_EQ(plain, through);
+  }
+  {
+    const std::vector<std::vector<size_t>> groups{{0, 1}, {2, 3, 4}, {5}};
+    Rng r1(9), r2(9);
+    auto plain = OwenValues(inner, groups, 32, &r1);
+    auto through = OwenValues(cached, groups, 32, &r2);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(through.ok());
+    EXPECT_EQ(plain.value(), through.value());
+  }
+}
+
+TEST(GlobalEvalCache, CapacityKnob) {
+  SetGlobalEvalCacheCapacity(128);
+  std::shared_ptr<CoalitionValueCache> cache = GlobalEvalCache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->capacity(), 128u);
+  SetGlobalEvalCacheCapacity(0);
+  EXPECT_EQ(GlobalEvalCache(), nullptr);
+}
+
+/// Shared fixture for the explainer-level bit-identity tests: loan data +
+/// a GBDT, built once per binary. The global cache is pinned off so the
+/// uncached baselines stay uncached regardless of the environment.
+class EvalEngineExplainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SetGlobalEvalCacheCapacity(0);
+    ds_ = new Dataset(MakeLoanDataset(300, {.seed = 17}));
+    auto m = GradientBoostedTrees::Fit(*ds_, {.num_rounds = 15});
+    ASSERT_TRUE(m.ok());
+    gbdt_ = new GradientBoostedTrees(std::move(*m));
+  }
+  static void TearDownTestSuite() {
+    delete gbdt_;
+    delete ds_;
+  }
+
+  static void ExpectBitIdentical(const FeatureAttribution& a,
+                                 const FeatureAttribution& b) {
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (size_t j = 0; j < a.values.size(); ++j)
+      EXPECT_EQ(a.values[j], b.values[j]) << "feature " << j;
+    EXPECT_EQ(a.base_value, b.base_value);
+  }
+
+  static Dataset* ds_;
+  static GradientBoostedTrees* gbdt_;
+};
+
+Dataset* EvalEngineExplainerTest::ds_ = nullptr;
+GradientBoostedTrees* EvalEngineExplainerTest::gbdt_ = nullptr;
+
+TEST_F(EvalEngineExplainerTest, KernelShapCacheOnOffBitIdentical) {
+  KernelShapOptions plain_opts;
+  plain_opts.max_background = 10;
+  KernelShapExplainer plain(*gbdt_, *ds_, plain_opts);
+  KernelShapOptions cached_opts = plain_opts;
+  cached_opts.cache = std::make_shared<CoalitionValueCache>(1 << 14);
+  KernelShapExplainer cached(*gbdt_, *ds_, cached_opts);
+  // Two passes over the same rows: the second is answered from a warm
+  // cache and must still match the uncached explainer bit for bit.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t row = 0; row < 4; ++row) {
+      auto a = plain.Explain(ds_->row(row));
+      auto b = cached.Explain(ds_->row(row));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectBitIdentical(a.value(), b.value());
+    }
+  }
+  const EvalCacheStats s = cached_opts.cache->stats();
+  EXPECT_GT(s.hits, 0u);  // the second pass must actually hit
+  EXPECT_GT(s.misses, 0u);
+}
+
+TEST_F(EvalEngineExplainerTest, McShapleyCacheOnOffBitIdentical) {
+  McShapleyOptions plain_opts;
+  plain_opts.num_permutations = 20;
+  plain_opts.max_background = 10;
+  McShapleyExplainer plain(*gbdt_, *ds_, plain_opts);
+  McShapleyOptions cached_opts = plain_opts;
+  cached_opts.cache = std::make_shared<CoalitionValueCache>(1 << 14);
+  McShapleyExplainer cached(*gbdt_, *ds_, cached_opts);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t row = 0; row < 3; ++row) {
+      auto a = plain.Explain(ds_->row(row));
+      auto b = cached.Explain(ds_->row(row));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectBitIdentical(a.value(), b.value());
+    }
+  }
+  EXPECT_GT(cached_opts.cache->stats().hits, 0u);
+}
+
+TEST_F(EvalEngineExplainerTest, KernelShapThreadCountInvariantWithCache) {
+  KernelShapOptions opts;
+  opts.max_background = 10;
+  opts.cache = std::make_shared<CoalitionValueCache>(1 << 14);
+  SetGlobalThreads(1);
+  KernelShapExplainer serial(*gbdt_, *ds_, opts);
+  auto a = serial.Explain(ds_->row(0));
+  ASSERT_TRUE(a.ok());
+  SetGlobalThreads(8);
+  // Same shared cache, now filled by the serial run and probed from 8
+  // ParallelFor workers: chunk seeding and per-chunk cache probes must not
+  // make the result depend on which thread fills or hits first.
+  KernelShapExplainer parallel(*gbdt_, *ds_, opts);
+  auto b = parallel.Explain(ds_->row(0));
+  auto c = parallel.Explain(ds_->row(0));  // fully warm replay
+  SetGlobalThreads(0);  // restore the default pool
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ExpectBitIdentical(a.value(), b.value());
+  ExpectBitIdentical(a.value(), c.value());
+}
+
+TEST(QueryShapleyCache, ExactPathBitIdentical) {
+  const auto query = [](const std::vector<bool>& keep) {
+    double v = 0.0;
+    for (size_t i = 0; i < keep.size(); ++i)
+      if (keep[i]) v += static_cast<double>(i + 1) * 1.25;
+    return v;
+  };
+  QueryShapleyOptions plain;  // 5 tuples <= exact_up_to: exact enumeration
+  auto a = TupleShapley(5, query, plain);
+  QueryShapleyOptions cached = plain;
+  cached.cache = std::make_shared<CoalitionValueCache>(1 << 10);
+  cached.cache_fingerprint = 42;
+  auto b = TupleShapley(5, query, cached);
+  auto c = TupleShapley(5, query, cached);  // warm replay, same cache
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), c.value());
+  const EvalCacheStats s = cached.cache->stats();
+  EXPECT_GT(s.hits, 0u);  // the replay answered from the memo table
+}
+
+TEST(QueryShapleyCache, SamplingPathBitIdenticalAndSkipsRepeatEvals) {
+  std::atomic<int> evals{0};
+  const auto query = [&](const std::vector<bool>& keep) {
+    evals.fetch_add(1);
+    double v = 0.0;
+    for (size_t i = 0; i < keep.size(); ++i)
+      if (keep[i]) v += static_cast<double>((i * 7 + 3) % 11);
+    return v;
+  };
+  QueryShapleyOptions plain;
+  plain.num_permutations = 40;  // 20 tuples > exact_up_to: permutation path
+  auto a = TupleShapley(20, query, plain);
+  QueryShapleyOptions cached = plain;
+  cached.cache = std::make_shared<CoalitionValueCache>(1 << 14);
+  auto b = TupleShapley(20, query, cached);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  const int after_first_cached = evals.load();
+  auto c = TupleShapley(20, query, cached);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value(), c.value());
+  // The warm replay re-runs zero sub-database queries: every permutation
+  // prefix was memoized by the first cached run.
+  EXPECT_EQ(evals.load(), after_first_cached);
+}
+
+}  // namespace
+}  // namespace xai
