@@ -1,0 +1,279 @@
+// bench_monitor — the continuous-monitoring pipeline end to end: an
+// ExplanationService under load with the MetricsSampler, SloTracker,
+// Prometheus endpoint, and the attribution-drift watchdog all attached.
+//
+// Scenario: a baseline request stream pins the watchdog's reference
+// attribution profile, then a covariate shift is injected mid-run
+// (requests move to a shifted input distribution) and the bench measures
+// how long the watchdog takes to notice — wall-clock detection latency
+// and responses-until-detection — plus a live /metrics scrape check and
+// the sampler's overhead on warm serving throughput.
+//
+// Usage: bench_monitor [BENCH_monitor.json] [--trace-json <path>]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/drift.h"
+#include "model/gbdt.h"
+#include "obs/obs.h"
+#include "serve/service.h"
+
+using namespace xai;
+
+namespace {
+
+/// Submits `n` requests over `rows` (cycled) and blocks until all resolve.
+/// Returns wall milliseconds for the wave.
+double RunWave(ExplanationService& service,
+               const std::vector<std::vector<double>>& rows, size_t n,
+               ExplainerKind kind = ExplainerKind::kTreeShap) {
+  bench::Timer t;
+  std::vector<std::future<Result<ExplanationResponse>>> futs;
+  futs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ExplanationRequest req;
+    req.instance = rows[i % rows.size()];
+    req.kind = kind;
+    futs.push_back(service.Submit(std::move(req)));
+  }
+  for (auto& f : futs) {
+    const auto r = f.get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return t.ElapsedMs();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::TraceJsonArg(argc, argv);
+  const std::string out_path =
+      bench::PositionalArg(argc, argv, 0, "BENCH_monitor.json");
+  obs::SetEnabled(true);
+
+  bench::Banner("E13-monitor",
+                "the drift watchdog detects an injected covariate shift with "
+                "bounded latency, the live scrape exposes every serving "
+                "series, and the sampler costs <2% warm throughput");
+
+  Dataset ds = MakeLoanDataset(2000);
+  auto model = GradientBoostedTrees::Fit(ds, {.num_rounds = 40});
+  if (!model.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  // Baseline rows come straight from the dataset; shifted rows simulate a
+  // hard covariate shift upstream of the model — the whole population
+  // collapses to deep-subprime applicants (no income, bottom-of-scale
+  // credit score, heavy debt), the kind of upstream data change that
+  // redistributes attribution mass across features without anyone
+  // redeploying the model.
+  const size_t kDistinct = 64;
+  std::vector<std::vector<double>> base_rows, shifted_rows;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    std::vector<double> r = ds.row(i);
+    base_rows.push_back(r);
+    r[0] = 19.0;   // age collapses to the bottom of the range
+    r[1] = 8.0;    // income floor
+    r[2] = 400.0;  // credit score far below the generator's range
+    r[3] = r[3] * 4.0 + 60.0;  // debt balloons
+    r[4] = 0.0;    // no employment history
+    r[5] = 0.0;    // no education
+    shifted_rows.push_back(r);
+  }
+
+  // The monitoring stack: sampler (25ms period) feeding the SLO tracker,
+  // endpoint serving scrapes, watchdog riding the response observer.
+  obs::MetricsSampler sampler(
+      obs::MonitorOptions{std::chrono::milliseconds(25), 1024});
+  obs::SloTracker slo({
+      {"queue_wait", "serve.queue_wait_us", 50e3, "", "", 0.01},
+      {"deadline_miss", "", 0.0, "serve.expired", "serve.batched_requests",
+       0.001},
+  });
+  sampler.AddTickObserver(slo.Observer());
+  sampler.Start();
+
+  DriftWatchdogOptions dopts;
+  dopts.reference_window = 192;
+  dopts.window = 192;
+  dopts.min_window = 64;
+  dopts.check_every = 8;
+  dopts.l1_threshold = 0.25;
+  AttributionDriftWatchdog watchdog(dopts);
+
+  ExplanationServiceOptions sopts;
+  sopts.queue_capacity = 1024;
+  sopts.max_batch = 64;
+  sopts.response_observer = [&watchdog](const ExplanationRequest&,
+                                        const ExplanationResponse& r) {
+    watchdog.Observe(r.attribution);
+  };
+  ExplanationService service(*model, ds, sopts);
+
+  obs::MonitorServer server(&sampler);
+  const bool endpoint_up = server.Start(0).ok();
+
+  // Phase 1 — baseline traffic pins the reference profile. A side wave of
+  // KernelSHAP requests routes through the coalition-evaluation engine so
+  // the scrape carries the evalengine.* family alongside serve.*.
+  RunWave(service, base_rows, 32, ExplainerKind::kKernelShap);
+  const double base_ms = RunWave(service, base_rows, 384);
+  const DriftReport before = watchdog.Report();
+  bench::Row("%-22s %8.1f ms  (reference %s, L1 %.4f)", "baseline wave",
+             base_ms, before.reference_pinned ? "pinned" : "NOT PINNED",
+             before.l1);
+
+  // Phase 2 — covariate shift injected NOW; serve shifted traffic in
+  // small waves until the watchdog alerts.
+  bench::Timer detect_timer;
+  double detection_ms = -1.0;
+  size_t shifted_served = 0;
+  const size_t kWave = 32;
+  const size_t kMaxShifted = 1280;
+  while (shifted_served < kMaxShifted) {
+    RunWave(service, shifted_rows, kWave);
+    shifted_served += kWave;
+    if (watchdog.alert_count() > 0) {
+      detection_ms = detect_timer.ElapsedMs();
+      break;
+    }
+  }
+  const DriftReport after = watchdog.Report();
+  const bool detected = detection_ms >= 0.0;
+  bench::Row("%-22s %8.1f ms  (%zu shifted responses, L1 %.4f, PSI %.4f)",
+             "drift detected in", detection_ms, shifted_served, after.l1,
+             after.psi);
+
+  // Live scrape: the endpoint must expose every serving-path family.
+  bool scrape_has_serve = false, scrape_has_engine = false,
+       scrape_has_drift = false, scrape_has_slo = false;
+  size_t scrape_bytes = 0;
+  if (endpoint_up) {
+    const Result<std::string> scrape =
+        obs::HttpGetLocal(server.port(), "/metrics");
+    if (scrape.ok()) {
+      scrape_bytes = scrape.value().size();
+      scrape_has_serve =
+          scrape.value().find("xaidb_serve_sweep_us_bucket") !=
+          std::string::npos;
+      scrape_has_engine =
+          scrape.value().find("xaidb_evalengine_") != std::string::npos;
+      scrape_has_drift =
+          scrape.value().find("xaidb_drift_l1") != std::string::npos;
+      scrape_has_slo =
+          scrape.value().find("xaidb_slo_") != std::string::npos;
+    }
+  }
+  bench::Row("%-22s %s (%zu bytes; serve=%d evalengine=%d drift=%d slo=%d)",
+             "live /metrics scrape", endpoint_up ? "ok" : "UNAVAILABLE",
+             scrape_bytes, scrape_has_serve, scrape_has_engine,
+             scrape_has_drift, scrape_has_slo);
+
+  // Overhead: warm repeated-row throughput with the sampler ticking vs.
+  // stopped. Same service, same hot rows — the eval cache keeps both
+  // sides warm. The drift phases above ran the sampler at an aggressive
+  // 25ms to resolve fast detection; overhead is measured at the serving
+  // default (200ms, xaidb_cli's --monitor-period-ms), which is what a
+  // deployment pays. Rounds interleave on/off waves so a transient
+  // machine stall hits both sides alike, and each side takes its median wave
+  // (robust to bursts on small shared machines); the endpoint thread is
+  // parked in accept() between scrapes and is stopped here so neither
+  // side carries it.
+  server.Stop();
+  sampler.Stop();
+  obs::MetricsSampler serving_sampler(
+      obs::MonitorOptions{std::chrono::milliseconds(200), 1024});
+  const size_t kOverheadReqs = 2048;
+  RunWave(service, base_rows, kOverheadReqs);  // warmup
+  std::vector<double> on_waves, off_waves;
+  for (int round = 0; round < 5; ++round) {
+    serving_sampler.Start();
+    on_waves.push_back(RunWave(service, base_rows, kOverheadReqs));
+    serving_sampler.Stop();
+    off_waves.push_back(RunWave(service, base_rows, kOverheadReqs));
+  }
+  std::sort(on_waves.begin(), on_waves.end());
+  std::sort(off_waves.begin(), off_waves.end());
+  const double on_ms = on_waves[on_waves.size() / 2];
+  const double off_ms = off_waves[off_waves.size() / 2];
+  const double on_rps = 1000.0 * static_cast<double>(kOverheadReqs) / on_ms;
+  const double off_rps = 1000.0 * static_cast<double>(kOverheadReqs) / off_ms;
+  const double ab_delta_pct = 100.0 * (off_rps - on_rps) / off_rps;
+
+  // The precise overhead number is the sampler's duty cycle: on a
+  // saturated core the sampler steals exactly (tick cost x tick rate) of
+  // serving time. Measured on the full post-load registry, so the tick
+  // walks every series the run created. The A/B rps delta above is
+  // reported alongside as a sanity check, but on small shared machines
+  // its run-to-run noise dwarfs a sub-1% effect.
+  const int kTickReps = 50;
+  bench::Timer tick_timer;
+  for (int i = 0; i < kTickReps; ++i) serving_sampler.TickNow();
+  const double tick_us = 1000.0 * tick_timer.ElapsedMs() / kTickReps;
+  const double ticks_per_s = 1000.0 / 200.0;  // serving-default period
+  const double overhead_pct = 100.0 * (tick_us * ticks_per_s) / 1e6;
+  bench::Row("%-22s %8.0f rps on / %8.0f rps off  (A/B delta %+.2f%%)",
+             "warm serving", on_rps, off_rps, ab_delta_pct);
+  bench::Row("%-22s %8.1f us/tick at 200ms period  (%.4f%% duty cycle)",
+             "sampler overhead", tick_us, overhead_pct);
+
+  service.Shutdown();
+  const ExplanationServiceStats stats = service.stats();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"experiment\": \"monitor_drift_detection\",\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", obs::kMetricsSchemaVersion);
+  std::fprintf(f, "  \"snapshot_unix_ms\": %llu,\n",
+               static_cast<unsigned long long>(obs::UnixNowMs()));
+  std::fprintf(f, "  \"drift\": {\"detected\": %s, "
+               "\"detection_latency_ms\": %.1f, "
+               "\"responses_to_detect\": %zu, \"l1_at_detect\": %.6f, "
+               "\"psi_at_detect\": %.6f, \"alerts\": %llu},\n",
+               detected ? "true" : "false", detection_ms, shifted_served,
+               after.l1, after.psi,
+               static_cast<unsigned long long>(watchdog.alert_count()));
+  std::fprintf(f, "  \"scrape\": {\"ok\": %s, \"bytes\": %zu, "
+               "\"has_serve\": %s, \"has_evalengine\": %s, "
+               "\"has_drift\": %s, \"has_slo\": %s},\n",
+               endpoint_up ? "true" : "false", scrape_bytes,
+               scrape_has_serve ? "true" : "false",
+               scrape_has_engine ? "true" : "false",
+               scrape_has_drift ? "true" : "false",
+               scrape_has_slo ? "true" : "false");
+  std::fprintf(f, "  \"overhead\": {\"monitor_on_rps\": %.0f, "
+               "\"monitor_off_rps\": %.0f, \"ab_delta_pct\": %.2f, "
+               "\"sampler_tick_us\": %.1f, \"overhead_pct\": %.4f},\n",
+               on_rps, off_rps, ab_delta_pct, tick_us, overhead_pct);
+  std::fprintf(f, "  \"slo\": {\"alerts\": %llu},\n",
+               static_cast<unsigned long long>(slo.alert_count()));
+  std::fprintf(f, "  \"service\": {\"completed\": %llu, \"batches\": %llu, "
+               "\"queue_depth_final\": %llu}\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.queue_depth));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bench::ReportMetrics();
+  bench::MaybeWriteTrace(trace_path);
+  return detected ? 0 : 2;
+}

@@ -8,6 +8,8 @@
 //             [--threads N] [--cache-size N]
 //             [--metrics] [--metrics-json <path>]
 //             [--trace-json <path>]
+//             [--monitor-port N] [--monitor-period-ms N]
+//             [--monitor-snapshot <path>] [--monitor-scrape <path>]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
@@ -39,10 +41,25 @@
 // evaluations entirely. Caching never changes attribution bits; the
 // evalengine.* counters in --metrics / --metrics-json show hits, misses
 // and evictions.
+//
+// --monitor-port N turns on the continuous monitoring pipeline: a
+// MetricsSampler thread snapshots the registry every --monitor-period-ms
+// (default 200) into time series, an SloTracker evaluates burn rates on
+// the serving latency/deadline objectives, and a Prometheus-text endpoint
+// serves http://127.0.0.1:N/metrics (N=0 picks a free port, printed at
+// startup) — `curl` it, or point a prometheus scrape_config at it. In
+// --serve-demo the attribution-drift watchdog also rides the service's
+// response observer and exports drift.* gauges. --monitor-snapshot writes
+// the sampler's time series (plus any alerts) as JSON at exit for
+// headless runs; --monitor-scrape performs one self-scrape of /metrics at
+// exit and writes the exposition to a file (implies an ephemeral
+// endpoint when --monitor-port is absent).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <vector>
@@ -50,6 +67,7 @@
 #include "cf/dice.h"
 #include "common/thread_pool.h"
 #include "data/csv.h"
+#include "eval/drift.h"
 #include "data/synthetic.h"
 #include "feature/explainer_factory.h"
 #include "feature/lime.h"
@@ -103,6 +121,10 @@ int main(int argc, char** argv) {
   bool serve_demo = false;
   size_t row = 0;
   long long cache_size = -1;  // -1 = not given; keep per-mode defaults
+  long long monitor_port = -1;  // -1 = no endpoint
+  long long monitor_period_ms = 200;
+  std::string monitor_snapshot_path;
+  std::string monitor_scrape_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--model" && i + 1 < argc) {
@@ -124,6 +146,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-size" && i + 1 < argc) {
       cache_size = std::atoll(argv[++i]);
       if (cache_size < 0) cache_size = 0;
+    } else if (arg == "--monitor-port" && i + 1 < argc) {
+      monitor_port = std::atoll(argv[++i]);
+    } else if (arg == "--monitor-period-ms" && i + 1 < argc) {
+      monitor_period_ms = std::max(1LL, std::atoll(argv[++i]));
+    } else if (arg == "--monitor-snapshot" && i + 1 < argc) {
+      monitor_snapshot_path = argv[++i];
+    } else if (arg == "--monitor-scrape" && i + 1 < argc) {
+      monitor_scrape_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
@@ -131,15 +161,94 @@ int main(int argc, char** argv) {
                   "counterfactual|all] [--serve-demo] "
                   "[--threads N] [--cache-size N] "
                   "[--metrics] [--metrics-json <path>] "
-                  "[--trace-json <path>]\n",
+                  "[--trace-json <path>] "
+                  "[--monitor-port N] [--monitor-period-ms N] "
+                  "[--monitor-snapshot <path>] [--monitor-scrape <path>]\n",
                   argv[0]);
       return 0;
     } else if (csv_path.empty()) {
       csv_path = arg;
     }
   }
-  if (print_metrics || !metrics_json_path.empty()) obs::SetEnabled(true);
+  // A scrape file without an explicit port still needs an endpoint to
+  // scrape — use an ephemeral one.
+  if (!monitor_scrape_path.empty() && monitor_port < 0) monitor_port = 0;
+  const bool monitor_on = monitor_port >= 0 || !monitor_snapshot_path.empty();
+
+  if (print_metrics || !metrics_json_path.empty() || monitor_on)
+    obs::SetEnabled(true);
   if (!trace_json_path.empty()) obs::SetTraceEnabled(true);
+
+  // Continuous monitoring: sampler thread + SLO burn-rate tracker, plus
+  // the Prometheus endpoint when a port was requested. Declared SLOs are
+  // demo-scale production objectives over the serving-path metrics.
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  std::unique_ptr<obs::SloTracker> slo;
+  std::unique_ptr<obs::MonitorServer> monitor_server;
+  if (monitor_on) {
+    sampler = std::make_unique<obs::MetricsSampler>(obs::MonitorOptions{
+        std::chrono::milliseconds(monitor_period_ms), 512});
+    std::vector<obs::SloObjective> objectives;
+    // <=1% of requests may wait more than 50ms in the queue...
+    objectives.push_back({"queue_wait", "serve.queue_wait_us", 50e3, "", "",
+                          0.01});
+    // ...and <=5% may ride a sweep longer than 500ms.
+    objectives.push_back({"sweep", "serve.sweep_us", 500e3, "", "", 0.05});
+    // Deadline misses are an error-budget ratio over everything batched.
+    objectives.push_back({"deadline_miss", "", 0.0, "serve.expired",
+                          "serve.batched_requests", 0.001});
+    slo = std::make_unique<obs::SloTracker>(std::move(objectives));
+    sampler->AddTickObserver(slo->Observer());
+    sampler->Start();
+    if (monitor_port >= 0) {
+      monitor_server = std::make_unique<obs::MonitorServer>(sampler.get());
+      Status st = monitor_server->Start(static_cast<int>(monitor_port));
+      if (!st.ok()) return Fail(st);
+      std::printf("monitor: serving Prometheus text format on "
+                  "http://127.0.0.1:%d/metrics (also /json, /series)\n",
+                  monitor_server->port());
+    }
+  }
+
+  // Shared exit path for both serve-demo and one-shot modes: flush the
+  // last sampler window, self-scrape the endpoint if asked, persist the
+  // time-series snapshot, and report any alerts the run fired.
+  auto finish_monitor = [&]() -> int {
+    if (!monitor_on) return 0;
+    sampler->TickNow();  // capture the tail window before exporting
+    if (!monitor_scrape_path.empty()) {
+      Result<std::string> scrape =
+          obs::HttpGetLocal(monitor_server->port(), "/metrics");
+      if (!scrape.ok()) return Fail(scrape.status());
+      std::FILE* f = std::fopen(monitor_scrape_path.c_str(), "w");
+      if (f == nullptr || std::fwrite(scrape.value().data(), 1,
+                                      scrape.value().size(),
+                                      f) != scrape.value().size()) {
+        if (f != nullptr) std::fclose(f);
+        return Fail(Status::IOError("cannot write scrape file: " +
+                                    monitor_scrape_path));
+      }
+      std::fclose(f);
+      std::printf("monitor: wrote /metrics scrape to %s\n",
+                  monitor_scrape_path.c_str());
+    }
+    if (!monitor_snapshot_path.empty()) {
+      Status st =
+          obs::WriteSnapshotJson(*sampler, monitor_snapshot_path, slo.get());
+      if (!st.ok()) return Fail(st);
+      std::printf("monitor: wrote time-series snapshot to %s (%llu ticks)\n",
+                  monitor_snapshot_path.c_str(),
+                  static_cast<unsigned long long>(sampler->ticks()));
+    }
+    for (const obs::Alert& a : slo->alerts())
+      std::printf("monitor: ALERT [%s] objective=%s window=%s "
+                  "burn_rate=%.2f\n",
+                  a.severity.c_str(), a.objective.c_str(), a.window.c_str(),
+                  a.burn_rate);
+    if (monitor_server) monitor_server->Stop();
+    sampler->Stop();
+    return 0;
+  };
   // One-shot modes route coalition values through the process-global memo
   // cache (off unless --cache-size / XAIDB_CACHE says otherwise); the
   // serve demo uses the service's per-key caches instead, below.
@@ -203,6 +312,22 @@ int main(int argc, char** argv) {
     // Default on: the demo's hot-row repetition is exactly the workload
     // the coalition-value cache exists for.
     if (cache_size >= 0) sopts.cache_size = static_cast<size_t>(cache_size);
+    // With monitoring on, the drift watchdog rides the response observer:
+    // every served attribution feeds its sliding mean-|phi| windows, and
+    // drift.* gauges flow into the sampler and the scrape endpoint.
+    std::unique_ptr<AttributionDriftWatchdog> watchdog;
+    if (monitor_on) {
+      DriftWatchdogOptions dopts;
+      dopts.reference_window = 24;
+      dopts.window = 24;
+      dopts.min_window = 12;
+      dopts.check_every = 4;
+      watchdog = std::make_unique<AttributionDriftWatchdog>(dopts);
+      sopts.response_observer = [&watchdog](const ExplanationRequest&,
+                                            const ExplanationResponse& r) {
+        watchdog->Observe(r.attribution);
+      };
+    }
     ExplanationService service(*model, ds, sopts);
     const size_t kRequests = 60;
     const size_t kDistinct = std::min<size_t>(12, ds.n());
@@ -242,6 +367,8 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %8.3f %8.3f\n", "total", Quantile(total_ms, 0.50),
                 Quantile(total_ms, 0.99));
     std::printf("  largest coalesced batch: %zu requests\n", max_batch);
+    std::printf("  queue depth at shutdown: %llu\n",
+                static_cast<unsigned long long>(stats.queue_depth));
     if (stats.cache_hits + stats.cache_misses > 0) {
       std::printf("eval cache: %llu hits / %llu misses (%.1f%% hit rate), "
                   "%llu entries, %llu evictions\n",
@@ -254,6 +381,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.cache_evictions));
     }
     service.Shutdown();
+    if (watchdog) {
+      const DriftReport dr = watchdog->Report();
+      std::printf("drift watchdog: %llu responses observed, reference %s, "
+                  "L1 shift %.4f, PSI %.4f%s\n",
+                  static_cast<unsigned long long>(dr.observed),
+                  dr.reference_pinned ? "pinned" : "not pinned", dr.l1,
+                  dr.psi, dr.alerting ? "  ** DRIFT ALERT **" : "");
+    }
+    if (const int rc = finish_monitor(); rc != 0) return rc;
     if (obs::Enabled()) {
       if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
       if (!metrics_json_path.empty()) {
@@ -354,6 +490,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.evictions));
   }
 
+  if (const int rc = finish_monitor(); rc != 0) return rc;
   if (obs::Enabled()) {
     if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
     if (!metrics_json_path.empty()) {

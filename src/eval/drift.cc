@@ -1,0 +1,137 @@
+#include "eval/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+
+namespace xai {
+
+AttributionDriftWatchdog::AttributionDriftWatchdog(DriftWatchdogOptions opts)
+    : opts_(opts) {}
+
+std::vector<double> AttributionDriftWatchdog::MassProfile(
+    const std::vector<double>& sums) {
+  double total = 0.0;
+  for (double s : sums) total += s;
+  if (!(total > 0.0)) return {};  // zero (or NaN) mass: profile undefined
+  std::vector<double> out(sums.size());
+  for (size_t i = 0; i < sums.size(); ++i) out[i] = sums[i] / total;
+  return out;
+}
+
+void AttributionDriftWatchdog::Observe(const FeatureAttribution& attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (arity_ == 0) {
+    if (attr.values.empty()) return;
+    arity_ = attr.values.size();
+    ref_sums_.assign(arity_, 0.0);
+    win_sums_.assign(arity_, 0.0);
+  }
+  if (attr.values.size() != arity_) {
+    XAI_OBS_COUNT("drift.skipped");
+    return;
+  }
+  ++observed_;
+
+  std::vector<double> row(arity_);
+  for (size_t i = 0; i < arity_; ++i) row[i] = std::fabs(attr.values[i]);
+
+  if (ref_mass_.empty() && ref_count_ < opts_.reference_window) {
+    // Still building the reference: reference responses also seed the
+    // sliding window so judging can start right at the pin.
+    for (size_t i = 0; i < arity_; ++i) ref_sums_[i] += row[i];
+    ++ref_count_;
+    if (ref_count_ >= opts_.reference_window) {
+      ref_mass_ = MassProfile(ref_sums_);
+      XAI_OBS_GAUGE_SET("drift.reference_pinned", 1.0);
+    }
+  }
+
+  for (size_t i = 0; i < arity_; ++i) win_sums_[i] += row[i];
+  window_.push_back(std::move(row));
+  while (window_.size() > opts_.window) {
+    for (size_t i = 0; i < arity_; ++i) win_sums_[i] -= window_.front()[i];
+    window_.pop_front();
+  }
+
+  if (observed_ % std::max<size_t>(1, opts_.check_every) == 0)
+    CheckLocked(obs::UnixNowMs());
+}
+
+void AttributionDriftWatchdog::CheckLocked(uint64_t unix_ms) {
+  XAI_OBS_GAUGE_SET("drift.window_count", window_.size());
+  if (ref_mass_.empty() || window_.size() < opts_.min_window) return;
+
+  const std::vector<double> cur = MassProfile(win_sums_);
+  if (cur.empty()) {
+    // Current window carries no attribution mass: nothing to compare
+    // (and nothing to divide by). Not drift — leave the state alone.
+    return;
+  }
+
+  double l1 = 0.0;
+  double psi = 0.0;
+  constexpr double kEps = 1e-9;  // PSI floor for empty-mass features
+  for (size_t i = 0; i < arity_; ++i) {
+    const double r = std::max(ref_mass_[i], kEps);
+    const double c = std::max(cur[i], kEps);
+    l1 += std::fabs(cur[i] - ref_mass_[i]);
+    psi += (c - r) * std::log(c / r);
+  }
+  l1_ = l1;
+  psi_ = psi;
+  XAI_OBS_GAUGE_SET("drift.l1", l1);
+  XAI_OBS_GAUGE_SET("drift.psi", psi);
+
+  const bool over = l1 >= opts_.l1_threshold || psi >= opts_.psi_threshold;
+  if (over && !alerting_) {
+    obs::Alert a;
+    a.objective = "attribution_drift";
+    a.severity = l1 >= 2.0 * opts_.l1_threshold ? "page" : "warn";
+    a.window = "sliding";
+    a.burn_rate = l1;
+    a.unix_ms = unix_ms;
+    alerts_.push_back(a);
+    ++alert_count_;
+    while (alerts_.size() > opts_.alert_capacity) alerts_.pop_front();
+    XAI_OBS_COUNT("drift.alerts");
+    obs::TraceInstant("drift.alert", l1);
+  }
+  alerting_ = over;
+  XAI_OBS_GAUGE_SET("drift.alerting", over ? 1.0 : 0.0);
+}
+
+void AttributionDriftWatchdog::PinReferenceNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.size() < std::max<size_t>(1, opts_.min_window)) return;
+  ref_mass_ = MassProfile(win_sums_);
+  ref_count_ = window_.size();
+  alerting_ = false;
+  XAI_OBS_GAUGE_SET("drift.reference_pinned", 1.0);
+}
+
+DriftReport AttributionDriftWatchdog::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftReport r;
+  r.observed = observed_;
+  r.reference_pinned = !ref_mass_.empty();
+  r.alerting = alerting_;
+  r.l1 = l1_;
+  r.psi = psi_;
+  r.reference_mass = ref_mass_;
+  r.current_mass = MassProfile(win_sums_);
+  return r;
+}
+
+std::vector<obs::Alert> AttributionDriftWatchdog::alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {alerts_.begin(), alerts_.end()};
+}
+
+uint64_t AttributionDriftWatchdog::alert_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_count_;
+}
+
+}  // namespace xai

@@ -1,0 +1,121 @@
+#ifndef XAIDB_EVAL_DRIFT_H_
+#define XAIDB_EVAL_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/explanation.h"
+#include "obs/monitor.h"
+
+namespace xai {
+
+/// Options for the attribution-drift watchdog. Thresholds apply to the
+/// attribution-mass *distribution* — per-feature mean |phi| normalized to
+/// sum 1 — so they are scale-free: a model update that doubles every
+/// attribution uniformly is not drift, a shift of mass between features
+/// is.
+struct DriftWatchdogOptions {
+  /// Responses accumulated into the pinned reference window before
+  /// judging starts (the "known-good" attribution profile).
+  size_t reference_window = 128;
+  /// Sliding current window compared against the reference.
+  size_t window = 128;
+  /// Responses in the current window required before judging — avoids
+  /// verdicts from a handful of samples right after pinning.
+  size_t min_window = 32;
+  /// L1 distance between the two normalized mass distributions (range
+  /// [0, 2]) at which drift alerts. 2x this rates "page", else "warn".
+  double l1_threshold = 0.25;
+  /// Population-stability-index alert threshold (0.1–0.25 is the usual
+  /// "investigate" band in monitoring practice). Either metric over its
+  /// threshold raises the alert.
+  double psi_threshold = 0.25;
+  /// Recompute shift every N observations (1 = every response). The
+  /// gauges and alert state update on recompute ticks.
+  size_t check_every = 8;
+  /// Retained alert records.
+  size_t alert_capacity = 64;
+};
+
+/// What the watchdog currently believes, for reporting and benches.
+struct DriftReport {
+  uint64_t observed = 0;  ///< Attributions seen (all time).
+  bool reference_pinned = false;
+  bool alerting = false;
+  double l1 = 0.0;
+  double psi = 0.0;
+  std::vector<double> reference_mass;  ///< Normalized mean-|phi| profile.
+  std::vector<double> current_mass;
+};
+
+/// Sliding-window drift detector over explanation attributions — the
+/// monitoring consumer from the source paper's "ML pipelines and
+/// monitoring" opportunity: explanations are signals to watch over time,
+/// not one-shot artifacts. It maintains the same per-feature mean-|phi|
+/// summary as feature/GlobalMeanAbsShap, incrementally over the responses
+/// flowing out of ExplanationService: the first `reference_window`
+/// responses pin a reference profile, and every `check_every` responses
+/// the current sliding window's profile is compared against it by
+/// normalized L1 distance and PSI. Crossing either threshold raises an
+/// obs::Alert (edge-triggered), increments `drift.alerts`, and emits a
+/// flight-recorder instant; `drift.l1`, `drift.psi` and
+/// `drift.window_count` gauges export continuously for the sampler.
+///
+/// Thread-safe; Observe is called from the service dispatcher thread
+/// while readers poll from anywhere. Constant attribution streams and
+/// all-zero attributions never alert (no false positive, no division by
+/// zero).
+class AttributionDriftWatchdog {
+ public:
+  explicit AttributionDriftWatchdog(DriftWatchdogOptions opts = {});
+
+  /// Feeds one served attribution. Arity is latched from the first
+  /// observation; mismatched sizes are counted (`drift.skipped`) and
+  /// ignored. Hook into the service with:
+  ///   opts.response_observer = [&wd](const ExplanationRequest&,
+  ///                                  const ExplanationResponse& r) {
+  ///     wd.Observe(r.attribution);
+  ///   };
+  void Observe(const FeatureAttribution& attr);
+
+  /// Re-pins the reference to the current sliding window (deliberate
+  /// "new normal" after a model swap). No-op until min_window responses.
+  void PinReferenceNow();
+
+  DriftReport Report() const;
+  std::vector<obs::Alert> alerts() const;
+  uint64_t alert_count() const;
+
+ private:
+  /// Normalized mass profile of (sums / count); empty when the window is
+  /// empty or carries zero attribution mass.
+  static std::vector<double> MassProfile(const std::vector<double>& sums);
+  void CheckLocked(uint64_t unix_ms);
+
+  const DriftWatchdogOptions opts_;
+
+  mutable std::mutex mu_;
+  size_t arity_ = 0;
+  uint64_t observed_ = 0;
+
+  // Reference accumulation, then pinned profile.
+  std::vector<double> ref_sums_;
+  uint64_t ref_count_ = 0;
+  std::vector<double> ref_mass_;  ///< Non-empty once pinned.
+
+  // Sliding current window: per-feature |phi| rows plus running sums.
+  std::deque<std::vector<double>> window_;
+  std::vector<double> win_sums_;
+
+  double l1_ = 0.0;
+  double psi_ = 0.0;
+  bool alerting_ = false;
+  std::deque<obs::Alert> alerts_;
+  uint64_t alert_count_ = 0;
+};
+
+}  // namespace xai
+
+#endif  // XAIDB_EVAL_DRIFT_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -59,6 +60,11 @@ std::string MetricsToJson() {
   const auto spans = SpanSnapshot();
 
   std::string out = "{\n";
+  // Self-describing stamp: schema_version names the JSON shape, and the
+  // wall-clock stamp makes two scraped snapshots orderable/diffable
+  // without relying on file mtimes.
+  Appendf(&out, "  \"schema_version\": %d,\n", kMetricsSchemaVersion);
+  Appendf(&out, "  \"snapshot_unix_ms\": %" PRIu64 ",\n", UnixNowMs());
   Appendf(&out, "  \"enabled\": %s,\n", Enabled() ? "true" : "false");
 
   out += "  \"counters\": {";

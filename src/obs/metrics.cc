@@ -37,7 +37,11 @@ void SetEnabled(bool on) {
 }
 
 double Histogram::Quantile(double q) const {
-  const std::vector<uint64_t> counts = BucketCounts();
+  return QuantileFromCounts(BucketCounts(), q);
+}
+
+double Histogram::QuantileFromCounts(const std::vector<uint64_t>& counts,
+                                     double q) {
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -93,11 +97,16 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot hs;
-    hs.count = h->count();
+    hs.buckets = h->BucketCounts();
+    // Quantiles come from the same bucket copy the snapshot carries, so
+    // count/percentiles/buckets are mutually consistent even while
+    // writers keep observing.
+    hs.count = 0;
+    for (uint64_t c : hs.buckets) hs.count += c;
     hs.sum = h->sum();
-    hs.p50 = h->Quantile(0.5);
-    hs.p90 = h->Quantile(0.9);
-    hs.p99 = h->Quantile(0.99);
+    hs.p50 = Histogram::QuantileFromCounts(hs.buckets, 0.5);
+    hs.p90 = Histogram::QuantileFromCounts(hs.buckets, 0.9);
+    hs.p99 = Histogram::QuantileFromCounts(hs.buckets, 0.99);
     snap.histograms[name] = hs;
   }
   return snap;

@@ -119,6 +119,16 @@ class Histogram {
   /// Quantile estimate for q in [0, 1]; 0 when empty.
   double Quantile(double q) const;
 
+  /// Quantile estimate over an explicit bucket-count vector (the same
+  /// power-of-two bounds as this histogram's buckets). Linearly
+  /// interpolates within the winning bucket — never reports the raw
+  /// bucket upper bound unless the target rank sits exactly at it — so
+  /// estimates carry at most one bucket of resolution error. Shared by
+  /// Quantile() (live counts) and the monitoring sampler, which feeds it
+  /// per-window deltas of two snapshots to get windowed percentiles.
+  static double QuantileFromCounts(const std::vector<uint64_t>& counts,
+                                   double q);
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -139,13 +149,18 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// Point-in-time copy of a histogram, pre-digested for exporters.
+/// Point-in-time copy of a histogram, pre-digested for exporters. The raw
+/// bucket counts ride along so consumers that need windows (the sampler's
+/// per-tick percentiles, SLO bad-event counting, the Prometheus
+/// `_bucket{le=...}` series) can difference two snapshots instead of
+/// re-reading the live histogram.
 struct HistogramSnapshot {
   uint64_t count = 0;
   double sum = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  std::vector<uint64_t> buckets;
 };
 
 /// Point-in-time copy of every registered metric.

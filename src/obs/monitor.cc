@@ -1,0 +1,347 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/obs.h"
+
+namespace xai::obs {
+
+namespace {
+
+/// Per-window delta of two cumulative histogram snapshots; sizes are the
+/// fixed bucket count, but guard anyway (a metric could in principle be
+/// re-registered between ticks).
+std::vector<uint64_t> BucketDelta(const std::vector<uint64_t>& now,
+                                  const std::vector<uint64_t>& prev) {
+  std::vector<uint64_t> d(now.size(), 0);
+  for (size_t i = 0; i < now.size(); ++i) {
+    const uint64_t p = i < prev.size() ? prev[i] : 0;
+    d[i] = now[i] >= p ? now[i] - p : 0;
+  }
+  return d;
+}
+
+}  // namespace
+
+uint64_t UnixNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSampler
+
+MetricsSampler::MetricsSampler(MonitorOptions opts) : opts_(opts) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(run_mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      TickNow();
+      lock.lock();
+      run_cv_.wait_for(lock, opts_.period, [this] { return stop_requested_; });
+    }
+  });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::PushLocked(const std::string& name, uint64_t unix_ms,
+                                double value) {
+  auto it = rings_.find(name);
+  if (it == rings_.end())
+    it = rings_.emplace(name, SeriesRing(opts_.ring_capacity)).first;
+  it->second.Push(SeriesPoint{unix_ms, value});
+}
+
+void MetricsSampler::TickNow() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+
+  const auto now_tp = std::chrono::steady_clock::now();
+  SampleTick tick;
+  tick.unix_ms = UnixNowMs();
+  tick.dt_seconds =
+      has_prev_ ? std::chrono::duration<double>(now_tp - prev_tp_).count()
+                : 0.0;
+  const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tick.index = ticks_++;
+
+    // Gauges sample directly from the first tick on.
+    for (const auto& [name, v] : snap.gauges) PushLocked(name, tick.unix_ms, v);
+
+    // Counter rates and histogram windows need a previous snapshot and a
+    // positive dt.
+    if (has_prev_ && tick.dt_seconds > 0.0) {
+      for (const auto& [name, v] : snap.counters) {
+        const auto pit = prev_.counters.find(name);
+        const uint64_t p = pit == prev_.counters.end() ? 0 : pit->second;
+        const uint64_t d = v >= p ? v - p : 0;
+        PushLocked(name + ".rate", tick.unix_ms,
+                   static_cast<double>(d) / tick.dt_seconds);
+      }
+      for (const auto& [name, h] : snap.histograms) {
+        const auto pit = prev_.histograms.find(name);
+        std::vector<uint64_t> window =
+            pit == prev_.histograms.end()
+                ? h.buckets
+                : BucketDelta(h.buckets, pit->second.buckets);
+        uint64_t n = 0;
+        for (uint64_t c : window) n += c;
+        PushLocked(name + ".rate", tick.unix_ms,
+                   static_cast<double>(n) / tick.dt_seconds);
+        if (n > 0) {
+          PushLocked(name + ".p50", tick.unix_ms,
+                     Histogram::QuantileFromCounts(window, 0.5));
+          PushLocked(name + ".p99", tick.unix_ms,
+                     Histogram::QuantileFromCounts(window, 0.99));
+        }
+      }
+    }
+  }
+
+  for (const TickObserver& fn : observers_) fn(snap, tick);
+
+  prev_ = snap;
+  prev_tp_ = now_tp;
+  has_prev_ = true;
+}
+
+void MetricsSampler::AddTickObserver(TickObserver fn) {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  observers_.push_back(std::move(fn));
+}
+
+std::vector<SeriesPoint> MetricsSampler::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rings_.find(name);
+  return it == rings_.end() ? std::vector<SeriesPoint>{} : it->second.Points();
+}
+
+std::map<std::string, std::vector<SeriesPoint>> MetricsSampler::SeriesSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::vector<SeriesPoint>> out;
+  for (const auto& [name, ring] : rings_) out[name] = ring.Points();
+  return out;
+}
+
+uint64_t MetricsSampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives,
+                       SloTrackerOptions opts)
+    : objectives_(std::move(objectives)), opts_(std::move(opts)) {
+  state_.resize(objectives_.size());
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    state_[i].alerting.assign(opts_.windows.size(), false);
+    state_[i].last_burn.assign(opts_.windows.size(), 0.0);
+    // Burn-rate gauge names are per (objective, window), so the cached-
+    // pointer macros don't fit; register once here and Set() on ticks.
+    for (const SloWindow& w : opts_.windows)
+      state_[i].burn_gauges.push_back(MetricsRegistry::Global().GetGauge(
+          "slo." + objectives_[i].name + ".burn_" + w.label));
+  }
+}
+
+uint64_t SloTracker::BadCountFromHistogram(const HistogramSnapshot& h,
+                                           double threshold_us) {
+  // An observation is "bad" when its whole bucket lies above the
+  // threshold: bucket i covers (BucketBound(i-1), BucketBound(i)], so the
+  // first bad bucket is the one whose lower bound is >= threshold. This
+  // undercounts by at most the threshold-containing bucket — conservative
+  // in the "don't page on resolution error" direction.
+  uint64_t bad = 0;
+  for (size_t i = 1; i < h.buckets.size(); ++i)
+    if (Histogram::BucketBound(i - 1) >= threshold_us) bad += h.buckets[i];
+  return bad;
+}
+
+void SloTracker::OnTick(const MetricsSnapshot& snap, const SampleTick& tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  steady_s_ += tick.dt_seconds;
+
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& obj = objectives_[i];
+    PerObjective& st = state_[i];
+
+    Reading r;
+    r.steady_s = steady_s_;
+    if (!obj.histogram.empty()) {
+      const auto it = snap.histograms.find(obj.histogram);
+      if (it != snap.histograms.end()) {
+        r.total = it->second.count;
+        r.bad = BadCountFromHistogram(it->second, obj.threshold_us);
+      }
+    } else {
+      const auto bit = snap.counters.find(obj.bad_counter);
+      const auto tit = snap.counters.find(obj.total_counter);
+      r.bad = bit == snap.counters.end() ? 0 : bit->second;
+      r.total = tit == snap.counters.end() ? 0 : tit->second;
+    }
+    st.history.push_back(r);
+
+    // Trim history beyond the longest window (keep one extra reading so
+    // the full window always has a "before" point).
+    double max_span_s = 0.0;
+    for (const SloWindow& w : opts_.windows)
+      max_span_s = std::max(max_span_s,
+                            std::chrono::duration<double>(w.span).count());
+    while (st.history.size() > 2 &&
+           steady_s_ - st.history[1].steady_s > max_span_s)
+      st.history.pop_front();
+
+    for (size_t wi = 0; wi < opts_.windows.size(); ++wi) {
+      const SloWindow& w = opts_.windows[wi];
+      const double span_s = std::chrono::duration<double>(w.span).count();
+      // Oldest reading still inside the window start; the newest reading
+      // older than the window start is the baseline when available.
+      const Reading* base = &st.history.front();
+      for (const Reading& h : st.history) {
+        if (steady_s_ - h.steady_s >= span_s)
+          base = &h;
+        else
+          break;
+      }
+      const uint64_t d_total = r.total >= base->total ? r.total - base->total
+                                                      : 0;
+      const uint64_t d_bad = r.bad >= base->bad ? r.bad - base->bad : 0;
+      double burn = 0.0;
+      if (d_total > 0 && obj.budget > 0.0) {
+        const double frac =
+            static_cast<double>(d_bad) / static_cast<double>(d_total);
+        burn = frac / obj.budget;
+      }
+      st.last_burn[wi] = burn;
+      if (Enabled()) st.burn_gauges[wi]->Set(burn);
+
+      const bool over = burn >= w.alert_burn;
+      if (over && !st.alerting[wi]) {
+        Alert a;
+        a.objective = obj.name;
+        a.severity = w.severity;
+        a.window = w.label;
+        a.burn_rate = burn;
+        a.unix_ms = tick.unix_ms;
+        alerts_.push_back(a);
+        ++alert_count_;
+        while (alerts_.size() > opts_.alert_capacity) alerts_.pop_front();
+        XAI_OBS_COUNT("slo.alerts");
+        if (w.severity == "page")
+          XAI_OBS_COUNT("slo.alerts.page");
+        else
+          XAI_OBS_COUNT("slo.alerts.warn");
+        TraceInstant("slo.alert", burn);
+      }
+      st.alerting[wi] = over;
+    }
+  }
+}
+
+std::vector<Alert> SloTracker::alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {alerts_.begin(), alerts_.end()};
+}
+
+uint64_t SloTracker::alert_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_count_;
+}
+
+double SloTracker::BurnRate(const std::string& objective,
+                            const std::string& window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    if (objectives_[i].name != objective) continue;
+    for (size_t wi = 0; wi < opts_.windows.size(); ++wi)
+      if (opts_.windows[wi].label == window) return state_[i].last_burn[wi];
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot export
+
+Status WriteSnapshotJson(const MetricsSampler& sampler,
+                         const std::string& path, const SloTracker* tracker) {
+  if (path.empty())
+    return Status::InvalidArgument("obs: empty snapshot output path");
+
+  std::string out = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema_version\": %d,\n  \"snapshot_unix_ms\": %" PRIu64
+                ",\n  \"period_ms\": %lld,\n  \"ticks\": %" PRIu64 ",\n",
+                kMetricsSchemaVersion, UnixNowMs(),
+                static_cast<long long>(sampler.options().period.count()),
+                sampler.ticks());
+  out += buf;
+
+  out += "  \"series\": {";
+  bool first = true;
+  for (const auto& [name, points] : sampler.SeriesSnapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": [";
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ", %.9g]",
+                    i == 0 ? "" : ", ", points[i].unix_ms, points[i].value);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += first ? "}" : "\n  }";
+
+  if (tracker != nullptr) {
+    out += ",\n  \"alerts\": [";
+    const std::vector<Alert> alerts = tracker->alerts();
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n    {\"objective\": \"%s\", \"severity\": \"%s\", "
+                    "\"window\": \"%s\", \"burn_rate\": %.6g, "
+                    "\"unix_ms\": %" PRIu64 "}",
+                    i == 0 ? "" : ",", alerts[i].objective.c_str(),
+                    alerts[i].severity.c_str(), alerts[i].window.c_str(),
+                    alerts[i].burn_rate, alerts[i].unix_ms);
+      out += buf;
+    }
+    out += alerts.empty() ? "]" : "\n  ]";
+  }
+  out += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IOError("obs: cannot open snapshot output path: " + path);
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed)
+    return Status::IOError("obs: short write to snapshot output path: " + path);
+  return Status::OK();
+}
+
+}  // namespace xai::obs

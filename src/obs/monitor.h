@@ -1,0 +1,293 @@
+#ifndef XAIDB_OBS_MONITOR_H_
+#define XAIDB_OBS_MONITOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace xai::obs {
+
+// ---------------------------------------------------------------------------
+// Continuous monitoring on top of the point-in-time registry: a sampler
+// thread turns the registry into fixed-capacity time series (counters as
+// rates, gauges as values, histograms as per-window percentiles), and an
+// SLO tracker evaluates multi-window burn rates over those same snapshots
+// and fires typed alerts. The sampler is the single scrape point — the
+// Prometheus endpoint (prom.h), the snapshot file export, and every alert
+// consumer all read what it sampled, so one tick cadence bounds the whole
+// monitoring overhead.
+
+/// One sampled point of one time series.
+struct SeriesPoint {
+  uint64_t unix_ms = 0;  ///< Wall-clock sample time (unix epoch ms).
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of points: pushing past capacity drops the oldest
+/// point, so a series always holds the most recent window of samples.
+class SeriesRing {
+ public:
+  explicit SeriesRing(size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(const SeriesPoint& p) {
+    buf_[(head_ + size_) % buf_.size()] = p;
+    if (size_ < buf_.size())
+      ++size_;
+    else
+      head_ = (head_ + 1) % buf_.size();
+  }
+
+  /// Oldest → newest copy of the surviving points.
+  std::vector<SeriesPoint> Points() const {
+    std::vector<SeriesPoint> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<SeriesPoint> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+struct MonitorOptions {
+  /// Sampler period. Each tick is one registry snapshot plus O(series)
+  /// ring pushes — cheap enough for sub-second periods.
+  std::chrono::milliseconds period{1000};
+  /// Points retained per series (ring capacity).
+  size_t ring_capacity = 512;
+};
+
+/// Context handed to tick observers alongside the snapshot.
+struct SampleTick {
+  uint64_t unix_ms = 0;      ///< Wall-clock time of this tick.
+  double dt_seconds = 0.0;   ///< Steady-clock time since the previous tick.
+  uint64_t index = 0;        ///< 0-based tick number.
+};
+
+/// Background thread that snapshots the global MetricsRegistry every
+/// `period` into per-metric SeriesRings:
+///   counter  "c"  → series "c.rate"  (per-second delta)
+///   gauge    "g"  → series "g"       (sampled value)
+///   histogram "h" → series "h.p50" / "h.p99" (percentiles of the
+///                   observations that landed in the tick window, linearly
+///                   interpolated within the winning bucket) and "h.rate"
+///                   (observations per second).
+/// Derived series need a previous snapshot, so they start at the second
+/// tick; gauges are recorded from the first.
+///
+/// TickNow() runs one tick synchronously — tests drive the sampler
+/// deterministically with it, and the background thread calls the same
+/// path. Observers (SLO tracker, drift consoles) run inside the tick,
+/// serialized, after the rings are updated.
+class MetricsSampler {
+ public:
+  using TickObserver =
+      std::function<void(const MetricsSnapshot&, const SampleTick&)>;
+
+  explicit MetricsSampler(MonitorOptions opts = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Spawns the sampling thread (idempotent).
+  void Start();
+  /// Stops and joins it (idempotent; the destructor calls this).
+  void Stop();
+
+  /// One synchronous tick: snapshot → rings → observers.
+  void TickNow();
+
+  /// Registers an observer invoked on every tick, after the rings are
+  /// updated. Not safe to call concurrently with ticks — register before
+  /// Start() (tests that drive TickNow() by hand may register any time
+  /// between ticks).
+  void AddTickObserver(TickObserver fn);
+
+  /// Copy of one series, oldest → newest; empty when unknown.
+  std::vector<SeriesPoint> Series(const std::string& name) const;
+  /// Copy of every series.
+  std::map<std::string, std::vector<SeriesPoint>> SeriesSnapshot() const;
+
+  uint64_t ticks() const;
+  const MonitorOptions& options() const { return opts_; }
+
+ private:
+  void PushLocked(const std::string& name, uint64_t unix_ms, double value);
+
+  const MonitorOptions opts_;
+
+  /// Serializes whole ticks (background thread vs. TickNow in tests).
+  std::mutex tick_mu_;
+  /// Guards rings_ and tick counter against concurrent readers.
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesRing> rings_;
+  uint64_t ticks_ = 0;
+
+  // Tick-thread-only state (guarded by tick_mu_).
+  MetricsSnapshot prev_;
+  bool has_prev_ = false;
+  std::chrono::steady_clock::time_point prev_tp_;
+  std::vector<TickObserver> observers_;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate alerting.
+
+/// A typed alert record — fired by the SloTracker when a burn-rate
+/// threshold trips and by the attribution-drift watchdog (eval/drift.h)
+/// when explanation mass shifts. Alerts also surface as `slo.*` /
+/// `drift.*` registry metrics and flight-recorder instants, so they are
+/// visible in every existing exporter.
+struct Alert {
+  std::string objective;  ///< Objective (or watchdog) name.
+  std::string severity;   ///< "page" (fast burn) or "warn" (slow burn).
+  std::string window;     ///< Evaluation window label, e.g. "5s".
+  double burn_rate = 0.0;
+  uint64_t unix_ms = 0;
+};
+
+/// One service-level objective: a bound on the fraction of "bad" events.
+/// Two shapes share the struct:
+///   latency SLO:  `histogram` + `threshold_us` — an observation above the
+///                 threshold is bad; the histogram count is the total.
+///   ratio SLO:    `bad_counter` / `total_counter` — e.g. deadline misses
+///                 over submissions, or (future) shed over offered.
+/// `budget` is the allowed bad fraction (the error budget). Burn rate is
+/// the observed bad fraction in a window divided by the budget: 1.0 means
+/// spending exactly the budget, >1 means burning it faster.
+struct SloObjective {
+  std::string name;
+  std::string histogram;
+  double threshold_us = 0.0;
+  std::string bad_counter;
+  std::string total_counter;
+  double budget = 0.01;
+};
+
+/// One evaluation window with its alert threshold (multi-window,
+/// multi-burn-rate alerting: short window + high burn for pages, long
+/// window + low burn for warnings).
+struct SloWindow {
+  std::string label;
+  std::chrono::milliseconds span{5000};
+  double alert_burn = 10.0;
+  std::string severity = "page";
+};
+
+struct SloTrackerOptions {
+  std::vector<SloWindow> windows = {
+      {"5s", std::chrono::milliseconds(5000), 10.0, "page"},
+      {"60s", std::chrono::milliseconds(60000), 2.0, "warn"},
+  };
+  /// Retained alert records (ring; oldest dropped).
+  size_t alert_capacity = 256;
+};
+
+/// Evaluates declared objectives against sampler ticks. Keeps a short
+/// history of cumulative (bad, total) readings per objective; each tick,
+/// each window's burn rate is the bad fraction accumulated over that
+/// window divided by the objective's budget. Alerts are edge-triggered:
+/// one Alert per excursion above a window's alert_burn, not one per tick.
+/// Zero traffic in a window is burn rate 0 — no division, no alert.
+///
+/// Exports, per objective o and window w: gauge "slo.<o>.burn_<w>",
+/// counter "slo.alerts" and counter "slo.alerts.<severity>", plus a
+/// flight-recorder instant "slo.alert" carrying the burn rate.
+class SloTracker {
+ public:
+  explicit SloTracker(std::vector<SloObjective> objectives,
+                      SloTrackerOptions opts = {});
+
+  /// Evaluates one tick; hook this up via sampler.AddTickObserver(
+  /// tracker.Observer()).
+  void OnTick(const MetricsSnapshot& snap, const SampleTick& tick);
+  MetricsSampler::TickObserver Observer() {
+    return [this](const MetricsSnapshot& s, const SampleTick& t) {
+      OnTick(s, t);
+    };
+  }
+
+  /// Retained alerts, oldest → newest.
+  std::vector<Alert> alerts() const;
+  uint64_t alert_count() const;
+
+  /// Last computed burn rate for (objective, window label); 0 if never
+  /// evaluated.
+  double BurnRate(const std::string& objective,
+                  const std::string& window) const;
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+ private:
+  struct Reading {
+    double steady_s = 0.0;  ///< Tick steady-clock offset, seconds.
+    uint64_t bad = 0;
+    uint64_t total = 0;
+  };
+  struct PerObjective {
+    std::deque<Reading> history;
+    std::vector<bool> alerting;  ///< Per-window edge-trigger state.
+    std::vector<Gauge*> burn_gauges;
+    std::vector<double> last_burn;
+  };
+
+  static uint64_t BadCountFromHistogram(const HistogramSnapshot& h,
+                                        double threshold_us);
+
+  const std::vector<SloObjective> objectives_;
+  const SloTrackerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::vector<PerObjective> state_;
+  std::deque<Alert> alerts_;
+  uint64_t alert_count_ = 0;
+  double steady_s_ = 0.0;  ///< Accumulated dt (monotonic tick clock).
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot export for headless runs.
+
+/// Writes the sampler's full time-series state as JSON:
+///   {"schema_version": .., "snapshot_unix_ms": .., "period_ms": ..,
+///    "ticks": .., "series": {"name": [[unix_ms, value], ...], ...}}
+/// plus, when `tracker` is non-null, an "alerts" array. The same
+/// self-describing stamp (schema_version / snapshot_unix_ms) appears in
+/// MetricsToJson(), so scraped and sampled snapshots diff cleanly.
+Status WriteSnapshotJson(const MetricsSampler& sampler,
+                         const std::string& path,
+                         const SloTracker* tracker = nullptr);
+
+/// Current wall-clock time in unix epoch milliseconds — the timestamp
+/// every monitoring export stamps.
+uint64_t UnixNowMs();
+
+/// Exporter schema version stamped into MetricsToJson() and
+/// WriteSnapshotJson(). Bump when the JSON shape changes.
+inline constexpr int kMetricsSchemaVersion = 2;
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_MONITOR_H_

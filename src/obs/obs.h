@@ -9,6 +9,8 @@
 
 #include "obs/export.h"    // IWYU pragma: export
 #include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/monitor.h"   // IWYU pragma: export
+#include "obs/prom.h"      // IWYU pragma: export
 #include "obs/span.h"      // IWYU pragma: export
 #include "obs/stopwatch.h" // IWYU pragma: export
 #include "obs/trace.h"     // IWYU pragma: export

@@ -1,0 +1,259 @@
+#include "obs/prom.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+
+namespace xai::obs {
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+/// dotted names map onto that with '_' for everything else.
+std::string PromName(const std::string& name) {
+  std::string out = "xaidb_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsToProm() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pn = PromName(name);
+    Appendf(&out, "# TYPE %s_total counter\n", pn.c_str());
+    Appendf(&out, "%s_total %" PRIu64 "\n", pn.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pn = PromName(name);
+    Appendf(&out, "# TYPE %s gauge\n", pn.c_str());
+    Appendf(&out, "%s %.9g\n", pn.c_str(), value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pn = PromName(name);
+    Appendf(&out, "# TYPE %s histogram\n", pn.c_str());
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      if (i + 1 < h.buckets.size()) {
+        Appendf(&out, "%s_bucket{le=\"%.9g\"} %" PRIu64 "\n", pn.c_str(),
+                Histogram::BucketBound(i), cum);
+      } else {
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", pn.c_str(),
+                cum);
+      }
+    }
+    Appendf(&out, "%s_sum %.9g\n", pn.c_str(), h.sum);
+    Appendf(&out, "%s_count %" PRIu64 "\n", pn.c_str(), h.count);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MonitorServer
+
+MonitorServer::MonitorServer(const MetricsSampler* sampler)
+    : sampler_(sampler) {}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+Status MonitorServer::Start(int port) {
+  if (listen_fd_.load(std::memory_order_relaxed) >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::Unavailable("monitor: socket() failed: " +
+                               std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("monitor: bind(127.0.0.1:" +
+                               std::to_string(port) + ") failed: " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("monitor: listen() failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+
+  listen_fd_.store(fd, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MonitorServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    // shutdown() unblocks a pending accept(); close() releases the port.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string MonitorServer::Respond(const std::string& path) const {
+  std::string body;
+  std::string content_type = "text/plain; version=0.0.4";
+  int code = 200;
+  if (path == "/" || path == "/metrics") {
+    body = MetricsToProm();
+  } else if (path == "/json") {
+    body = MetricsToJson();
+    content_type = "application/json";
+  } else if (path == "/series" && sampler_ != nullptr) {
+    // Reuse the snapshot writer's JSON by rendering to a string via a
+    // temp-free path: rebuild inline (the shape is small and stable).
+    body = "{\"series\": {";
+    bool first = true;
+    char buf[128];
+    for (const auto& [name, points] : sampler_->SeriesSnapshot()) {
+      body += first ? "\"" : ", \"";
+      first = false;
+      body += name + "\": [";
+      for (size_t i = 0; i < points.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ", %.9g]",
+                      i == 0 ? "" : ", ", points[i].unix_ms,
+                      points[i].value);
+        body += buf;
+      }
+      body += "]";
+    }
+    body += "}}\n";
+    content_type = "application/json";
+  } else {
+    body = "not found\n";
+    code = 404;
+  }
+  std::string resp;
+  Appendf(&resp,
+          "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+          "Connection: close\r\n\r\n",
+          code, code == 200 ? "OK" : "Not Found", content_type.c_str(),
+          body.size());
+  resp += body;
+  return resp;
+}
+
+void MonitorServer::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_relaxed);
+    if (lfd < 0) return;  // Stop() already closed the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed or broken — nothing to serve on
+    }
+    // Read the request head (we only need the request line); a slow or
+    // silent client cannot wedge the loop past this bounded read.
+    char req[2048];
+    const ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
+    std::string path = "/";
+    if (n > 0) {
+      req[n] = '\0';
+      // "GET <path> HTTP/1.x"
+      const char* sp1 = std::strchr(req, ' ');
+      if (sp1 != nullptr) {
+        const char* sp2 = std::strchr(sp1 + 1, ' ');
+        if (sp2 != nullptr) path.assign(sp1 + 1, sp2);
+      }
+    }
+    const std::string resp = Respond(path);
+    size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t w = ::send(fd, resp.data() + off, resp.size() - off,
+                               MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    // Count before close(): a client sees EOF only after the response is
+    // fully written AND counted, so requests_served() is deterministic.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-scrape client
+
+Result<std::string> HttpGetLocal(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::Unavailable("monitor: socket() failed: " +
+                               std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("monitor: connect(127.0.0.1:" +
+                               std::to_string(port) + ") failed: " + err);
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Connection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t w =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      ::close(fd);
+      return Status::IOError("monitor: send() failed");
+    }
+    off += static_cast<size_t>(w);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos)
+    return Status::IOError("monitor: malformed HTTP response");
+  return raw.substr(hdr_end + 4);
+}
+
+}  // namespace xai::obs

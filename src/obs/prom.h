@@ -1,0 +1,77 @@
+#ifndef XAIDB_OBS_PROM_H_
+#define XAIDB_OBS_PROM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xai::obs {
+
+class MetricsSampler;
+
+/// Renders the current registry in Prometheus text exposition format
+/// (0.0.4): counters as `xaidb_<name>_total`, gauges as `xaidb_<name>`,
+/// histograms as full `_bucket{le=...}` / `_sum` / `_count` families with
+/// the registry's power-of-two bounds. Metric names are sanitized (every
+/// character outside [a-zA-Z0-9_:] becomes '_'). An empty registry renders
+/// to an empty (but valid) exposition.
+std::string MetricsToProm();
+
+/// Minimal blocking HTTP endpoint for scraping: one accept loop on its own
+/// thread, one request per connection, Connection: close. Routes:
+///   /metrics (or /)  → MetricsToProm()            text/plain
+///   /json            → MetricsToJson()            application/json
+///   /series          → sampler time series JSON   application/json
+///                      (404 when constructed without a sampler)
+/// Deliberately not a real HTTP server — it exists so `curl` and a
+/// Prometheus scrape_config can read a serving process, nothing more.
+class MonitorServer {
+ public:
+  /// `sampler` may be null: /metrics and /json still serve.
+  explicit MonitorServer(const MetricsSampler* sampler = nullptr);
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts
+  /// the accept thread. kUnavailable when the socket cannot be created or
+  /// bound.
+  Status Start(int port);
+
+  /// Closes the listener and joins the accept thread (idempotent; the
+  /// destructor calls it).
+  void Stop();
+
+  /// Bound port, or -1 before a successful Start().
+  int port() const { return port_.load(std::memory_order_relaxed); }
+
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  std::string Respond(const std::string& path) const;
+
+  const MetricsSampler* sampler_;
+  std::atomic<int> port_{-1};
+  /// Atomic: Stop() closes and resets it while AcceptLoop reads it.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// Blocking HTTP GET of `path` from 127.0.0.1:`port`; returns the response
+/// body. Lets a headless run (CI, bench) scrape its own MonitorServer and
+/// persist the exposition as an artifact without an external client.
+Result<std::string> HttpGetLocal(int port, const std::string& path);
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_PROM_H_

@@ -176,6 +176,7 @@ void ExplanationService::Shutdown() {
 ExplanationServiceStats ExplanationService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ExplanationServiceStats out = stats_;
+  out.queue_depth = queue_.size();
   for (const auto& [key, cache] : caches_) {
     const EvalCacheStats cs = cache->stats();
     out.cache_hits += cs.hits;
@@ -364,6 +365,13 @@ void ExplanationService::ServeBatch(
   for (size_t i = 0; i < live.size(); ++i) {
     ExplanationResponse resp;
     resp.attribution = results.value()[slot[i]];
+    // Monitoring hook: observers see the response (attribution + the
+    // breakdown as known so far) before the caller's future resolves, so
+    // a drift verdict can never lag the response that caused it.
+    if (opts_.response_observer) {
+      resp.breakdown = live[i]->breakdown;
+      opts_.response_observer(live[i]->req, resp);
+    }
     live[i]->Finish(std::move(resp));
   }
 }

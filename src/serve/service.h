@@ -39,6 +39,8 @@ struct ExplanationRequest {
   std::chrono::milliseconds timeout{0};
 };
 
+struct ExplanationResponse;
+
 struct ExplanationServiceOptions {
   /// Bounded MPSC queue capacity; Submit blocks (TrySubmit fails with
   /// Unavailable) when full.
@@ -59,6 +61,13 @@ struct ExplanationServiceOptions {
   /// table, so repeated instances across sweeps skip their model
   /// evaluations entirely. Caching never changes attribution bits.
   size_t cache_size = 1 << 15;
+  /// Observer invoked on the dispatcher thread for every successfully
+  /// served response, after the sweep and before the request's promise is
+  /// fulfilled — the hook monitoring consumers (the attribution-drift
+  /// watchdog in eval/drift.h) attach to. Keep it cheap: it runs inline
+  /// in the dispatcher. Never called for expired or errored requests.
+  std::function<void(const ExplanationRequest&, const ExplanationResponse&)>
+      response_observer;
 };
 
 /// Where one request's time went, filled in by the dispatcher and
@@ -99,6 +108,11 @@ struct ExplanationServiceStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_entries = 0;
+  /// Requests sitting in the queue right now (instantaneous, not
+  /// monotonic) — the saturation signal the serve.queue_depth gauge
+  /// samples on every enqueue/dequeue; visible here so callers that poll
+  /// stats() see saturation before wait-time histograms degrade.
+  uint64_t queue_depth = 0;
 };
 
 /// Async explanation service: bounded MPSC queue in front of a single

@@ -98,6 +98,33 @@ TEST_F(ObsTest, HistogramQuantilesOnKnownUniform) {
   EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
 }
 
+TEST_F(ObsTest, QuantileInterpolatesWithinWinningBucket) {
+  // Regression: quantiles interpolate linearly inside the winning bucket
+  // rather than snapping to its upper bound. Uniform 1..1000 puts rank
+  // 500 of 1000 at fraction (500-256)/256 of bucket (256, 512] —
+  // exactly 500.0, not the bound 512.
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Observe(static_cast<double>(v));
+  const double p50 = h.Quantile(0.5);
+  EXPECT_DOUBLE_EQ(p50, 500.0);
+  EXPECT_LT(p50, 512.0);
+
+  // The shared static path (used by the sampler on per-window bucket
+  // deltas) agrees with the member on the same counts, and interpolates
+  // a half-full bucket to its midpoint: 100 observations in (64, 128],
+  // q=0.5 → 96.
+  EXPECT_DOUBLE_EQ(Histogram::QuantileFromCounts(h.BucketCounts(), 0.5),
+                   p50);
+  std::vector<uint64_t> counts(8, 0);
+  counts[7] = 100;  // bucket (64, 128]
+  EXPECT_DOUBLE_EQ(Histogram::QuantileFromCounts(counts, 0.5), 96.0);
+  // First bucket interpolates from 0; empty counts report 0.
+  std::vector<uint64_t> first(3, 0);
+  first[0] = 10;  // bucket (0, 1]
+  EXPECT_DOUBLE_EQ(Histogram::QuantileFromCounts(first, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(Histogram::QuantileFromCounts({0, 0, 0}, 0.9), 0.0);
+}
+
 TEST_F(ObsTest, SpanNestingBuildsParentChildPaths) {
   {
     XAI_OBS_SPAN("outer");
