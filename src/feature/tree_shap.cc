@@ -116,12 +116,56 @@ void Recurse(const Tree& tree, const std::vector<double>& x,
   Recurse(tree, x, phi, cold, path, iz * cold_z, 0.0, nd.feature);
 }
 
+/// The same recursion over the compiled SoA arrays: node reads become
+/// indexed loads, the path-weight arithmetic is untouched, so every phi it
+/// produces is the same double as the node-based Recurse above.
+void FlatRecurse(const FlatEnsemble& ens, const double* x,
+                 std::vector<double>* phi, int32_t node,
+                 std::vector<PathElement> path,  // By value, as above.
+                 double pz, double po, int pi) {
+  Extend(&path, pz, po, pi);
+  if (ens.is_leaf(node)) {
+    const double leaf_value = ens.value(node);
+    for (size_t i = 1; i < path.size(); ++i) {
+      const double w = UnwoundSum(path, i);
+      (*phi)[static_cast<size_t>(path[i].feature)] +=
+          w * (path[i].one - path[i].zero) * leaf_value;
+    }
+    return;
+  }
+  const int feature = ens.feature(node);
+  const bool go_left =
+      x[static_cast<size_t>(feature)] <= ens.threshold(node);
+  const int32_t hot = go_left ? ens.left(node) : ens.right(node);
+  const int32_t cold = go_left ? ens.right(node) : ens.left(node);
+  const double node_cover = ens.cover(node);
+  const double hot_z = ens.cover(hot) / node_cover;
+  const double cold_z = ens.cover(cold) / node_cover;
+  double iz = 1.0;
+  double io = 1.0;
+  size_t k = 1;
+  while (k < path.size() && path[k].feature != feature) ++k;
+  if (k < path.size()) {
+    iz = path[k].zero;
+    io = path[k].one;
+    Unwind(&path, k);
+  }
+  FlatRecurse(ens, x, phi, hot, path, iz * hot_z, io, feature);
+  FlatRecurse(ens, x, phi, cold, path, iz * cold_z, 0.0, feature);
+}
+
 }  // namespace
 
 void TreeShapValues(const Tree& tree, const std::vector<double>& x,
                     std::vector<double>* phi) {
   XAI_OBS_COUNT("feature.tree_shap.path_walks");
   Recurse(tree, x, phi, 0, {}, 1.0, 1.0, -1);
+}
+
+void FlatTreeShapValues(const FlatEnsemble& ensemble, size_t t,
+                        const double* x, std::vector<double>* phi) {
+  XAI_OBS_COUNT("feature.tree_shap.path_walks");
+  FlatRecurse(ensemble, x, phi, ensemble.root(t), {}, 1.0, 1.0, -1);
 }
 
 std::vector<double> EnsembleTreeShap(const std::vector<Tree>& trees,
@@ -170,29 +214,28 @@ double TreePathGame::Value(const std::vector<bool>& in_coalition) const {
 
 TreeShapExplainer::TreeShapExplainer(const GradientBoostedTrees& gbdt,
                                      const Schema& schema)
-    : scale_(gbdt.learning_rate()), num_features_(gbdt.num_features()),
-      schema_(schema) {
-  for (const Tree& t : gbdt.trees()) trees_.push_back(&t);
+    : flat_(&gbdt.flat()), scale_(gbdt.learning_rate()),
+      num_features_(gbdt.num_features()), schema_(schema) {
   base_ = gbdt.base_score();
-  for (const Tree& t : gbdt.trees())
-    base_ += gbdt.learning_rate() * t.ExpectedValue();
+  for (size_t t = 0; t < flat_->num_trees(); ++t)
+    base_ += gbdt.learning_rate() * flat_->expected_value(t);
 }
 
 TreeShapExplainer::TreeShapExplainer(const DecisionTree& tree,
                                      const Schema& schema)
-    : scale_(1.0), num_features_(tree.num_features()), schema_(schema) {
-  trees_.push_back(&tree.tree());
-  base_ = tree.tree().ExpectedValue();
+    : flat_(&tree.flat()), scale_(1.0), num_features_(tree.num_features()),
+      schema_(schema) {
+  base_ = flat_->expected_value(0);
 }
 
 TreeShapExplainer::TreeShapExplainer(const RandomForest& forest,
                                      const Schema& schema)
-    : scale_(1.0 / static_cast<double>(forest.trees().size())),
+    : flat_(&forest.flat()),
+      scale_(1.0 / static_cast<double>(forest.trees().size())),
       num_features_(forest.num_features()), schema_(schema) {
-  for (const Tree& t : forest.trees()) trees_.push_back(&t);
   base_ = 0.0;
-  for (const Tree& t : forest.trees())
-    base_ += scale_ * t.ExpectedValue();
+  for (size_t t = 0; t < flat_->num_trees(); ++t)
+    base_ += scale_ * flat_->expected_value(t);
 }
 
 Result<FeatureAttribution> TreeShapExplainer::Explain(
@@ -205,12 +248,13 @@ Result<FeatureAttribution> TreeShapExplainer::Explain(
   out.values.assign(num_features_, 0.0);
   std::vector<double> tree_phi(num_features_, 0.0);
   double margin = base_;
-  for (const Tree* t : trees_) {
+  for (size_t t = 0; t < flat_->num_trees(); ++t) {
     std::fill(tree_phi.begin(), tree_phi.end(), 0.0);
-    TreeShapValues(*t, instance, &tree_phi);
+    FlatTreeShapValues(*flat_, t, instance.data(), &tree_phi);
     for (size_t j = 0; j < num_features_; ++j)
       out.values[j] += scale_ * tree_phi[j];
-    margin += scale_ * (t->Predict(instance) - t->ExpectedValue());
+    margin += scale_ * (flat_->PredictTree(t, instance.data()) -
+                        flat_->expected_value(t));
   }
   for (size_t j = 0; j < num_features_; ++j)
     out.feature_names.push_back(schema_.feature(j).name);
@@ -234,22 +278,22 @@ Result<std::vector<FeatureAttribution>> TreeShapExplainer::ExplainBatch(
   std::vector<double> margins(n, base_);
   for (FeatureAttribution& attr : out) attr.values.assign(num_features_, 0.0);
 
-  // Tree-outer / row-inner: one tree's node array serves the whole row
+  // Tree-outer / row-inner: one tree's flat arrays serve the whole row
   // block before the next tree is touched. Per row the accumulation order
   // over trees is unchanged, so values match the per-row loop bit-for-bit.
+  // The per-tree expected value is a precomputed array read, and rows are
+  // walked straight out of the Matrix buffer (no per-row copy).
   std::vector<double> tree_phi(num_features_, 0.0);
-  std::vector<double> row(num_features_);
-  for (const Tree* t : trees_) {
-    const double expected = t->ExpectedValue();
+  for (size_t t = 0; t < flat_->num_trees(); ++t) {
+    const double expected = flat_->expected_value(t);
     for (size_t i = 0; i < n; ++i) {
       const double* r = instances.RowPtr(i);
-      row.assign(r, r + num_features_);
       std::fill(tree_phi.begin(), tree_phi.end(), 0.0);
-      TreeShapValues(*t, row, &tree_phi);
+      FlatTreeShapValues(*flat_, t, r, &tree_phi);
       std::vector<double>& phi = out[i].values;
       for (size_t j = 0; j < num_features_; ++j)
         phi[j] += scale_ * tree_phi[j];
-      margins[i] += scale_ * (t->Predict(row) - expected);
+      margins[i] += scale_ * (flat_->PredictTree(t, r) - expected);
     }
   }
 

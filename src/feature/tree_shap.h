@@ -8,6 +8,7 @@
 #include "core/game.h"
 #include "data/dataset.h"
 #include "model/decision_tree.h"
+#include "model/flat_tree.h"
 #include "model/gbdt.h"
 #include "model/tree.h"
 
@@ -20,8 +21,21 @@ namespace xai {
 ///
 /// `phi` receives one value per feature; the values satisfy
 ///   sum(phi) = tree(x) - tree.ExpectedValue().
+///
+/// This node-object walker is the *reference* implementation; the serving
+/// path is FlatTreeShapValues below, which runs the same Extend/Unwind
+/// recursion over the compiled SoA arrays and is verified bit-identical.
 void TreeShapValues(const Tree& tree, const std::vector<double>& x,
                     std::vector<double>* phi);
+
+/// Path-dependent TreeSHAP for tree `t` of a compiled FlatEnsemble: the
+/// identical Extend/Unwind path-weight recursion, but every node read
+/// (feature, threshold, children, cover, leaf value) is an index into the
+/// flat arrays — prediction and explanation share one memory layout.
+/// Bit-identical to TreeShapValues on the tree the ensemble was compiled
+/// from.
+void FlatTreeShapValues(const FlatEnsemble& ensemble, size_t t,
+                        const double* x, std::vector<double>* phi);
 
 /// SHAP values for an additive tree ensemble sum_t scale * tree_t(x) (+
 /// base). Returns one value per feature.
@@ -53,6 +67,11 @@ class TreePathGame : public CoalitionGame {
 /// AttributionExplainer facade over a GBDT (explains the raw margin — the
 /// standard choice, attributions in log-odds space) or a single decision
 /// tree / random forest (explains the probability).
+///
+/// Walks the model's compiled FlatEnsemble — the same SoA arrays serving
+/// prediction — and reads the per-tree expected values precomputed at
+/// compile time (no per-explain leaf rescans). The model must outlive the
+/// explainer.
 class TreeShapExplainer : public AttributionExplainer {
  public:
   explicit TreeShapExplainer(const GradientBoostedTrees& gbdt,
@@ -64,15 +83,15 @@ class TreeShapExplainer : public AttributionExplainer {
       const std::vector<double>& instance) override;
 
   /// Amortized multi-instance sweep, traversed tree-outer / row-inner so
-  /// each tree's nodes stay cache-resident across the whole row block
-  /// (the same locality win as the ensembles' PredictBatch). Per row the
-  /// per-tree contributions still accumulate in tree order, so row i is
-  /// bit-identical to Explain(row i).
+  /// each tree's flat arrays stay cache-resident across the whole row
+  /// block (the same locality win as the ensembles' PredictBatch). Per row
+  /// the per-tree contributions still accumulate in tree order, so row i
+  /// is bit-identical to Explain(row i).
   Result<std::vector<FeatureAttribution>> ExplainBatch(
       const Matrix& instances) override;
 
  private:
-  std::vector<const Tree*> trees_;
+  const FlatEnsemble* flat_ = nullptr;
   double scale_ = 1.0;
   double base_ = 0.0;
   size_t num_features_ = 0;

@@ -7,56 +7,70 @@ namespace xai {
 Result<DecisionTree> DecisionTree::Fit(const Dataset& ds,
                                        const TreeConfig& config) {
   if (ds.n() == 0) return Status::InvalidArgument("DecisionTree: empty data");
+  return FromParts(FitRegressionTree(ds.x(), ds.y(), config), ds.d());
+}
+
+DecisionTree DecisionTree::FromParts(Tree tree, size_t num_features) {
   DecisionTree m;
-  m.tree_ = FitRegressionTree(ds.x(), ds.y(), config);
-  m.num_features_ = ds.d();
+  m.tree_ = std::move(tree);
+  m.flat_ = FlatEnsemble::Compile(m.tree_);
+  m.num_features_ = num_features;
   return m;
 }
 
 double DecisionTree::Predict(const std::vector<double>& x) const {
-  return tree_.Predict(x);
+  return flat_.PredictTree(0, x.data());
 }
 
 std::vector<double> DecisionTree::PredictBatch(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  tree_.AccumulateBatch(x, 1.0, &out);
+  flat_.AccumulateTree(0, x, 1.0, &out);
   return out;
 }
 
 Result<RandomForest> RandomForest::Fit(const Dataset& ds,
                                        const Options& opts) {
   if (ds.n() == 0) return Status::InvalidArgument("RandomForest: empty data");
-  RandomForest m;
-  m.num_features_ = ds.d();
   Rng rng(opts.seed);
   TreeConfig cfg = opts.tree;
   if (cfg.max_features == 0) {
     cfg.max_features = std::max(
         1, static_cast<int>(std::sqrt(static_cast<double>(ds.d()))));
   }
-  m.trees_.reserve(opts.num_trees);
+  std::vector<Tree> trees;
+  trees.reserve(opts.num_trees);
   for (int t = 0; t < opts.num_trees; ++t) {
     // Bootstrap sample.
     std::vector<size_t> rows(ds.n());
     for (size_t i = 0; i < ds.n(); ++i)
       rows[i] = static_cast<size_t>(rng.NextInt(ds.n()));
     Rng tree_rng = rng.Fork();
-    m.trees_.push_back(
+    trees.push_back(
         FitRegressionTree(ds.x(), ds.y(), cfg, nullptr, &rows, &tree_rng));
   }
+  return FromParts(std::move(trees), ds.d());
+}
+
+RandomForest RandomForest::FromParts(std::vector<Tree> trees,
+                                     size_t num_features) {
+  RandomForest m;
+  m.trees_ = std::move(trees);
+  m.flat_ = FlatEnsemble::Compile(m.trees_);
+  m.num_features_ = num_features;
   return m;
 }
 
 double RandomForest::Predict(const std::vector<double>& x) const {
   double s = 0.0;
-  for (const Tree& t : trees_) s += t.Predict(x);
-  return s / static_cast<double>(trees_.size());
+  for (size_t t = 0; t < flat_.num_trees(); ++t)
+    s += flat_.PredictTree(t, x.data());
+  return s / static_cast<double>(flat_.num_trees());
 }
 
 std::vector<double> RandomForest::PredictBatch(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  for (const Tree& t : trees_) t.AccumulateBatch(x, 1.0, &out);
-  for (double& v : out) v /= static_cast<double>(trees_.size());
+  flat_.AccumulateAll(x, 1.0, &out);
+  for (double& v : out) v /= static_cast<double>(flat_.num_trees());
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "data/dataset.h"
+#include "model/flat_tree.h"
 #include "model/model.h"
 #include "model/tree.h"
 
@@ -12,25 +13,37 @@ namespace xai {
 /// fraction (so Predict returns a probability); for regression the mean
 /// target. Binary-split variance reduction is used for both — for {0,1}
 /// targets this is equivalent to the Gini gain.
+///
+/// Fit (and FromParts, the deserialization hook) compile the fitted tree
+/// into a FlatEnsemble; Predict/PredictBatch and TreeSHAP all run off the
+/// flat arrays, bit-identical to the node-based Tree reference.
 class DecisionTree : public Model {
  public:
   static Result<DecisionTree> Fit(const Dataset& ds,
                                   const TreeConfig& config = {});
+  /// Reconstructs a fitted tree from its parts (deserialization) and
+  /// compiles the flat runtime form.
+  static DecisionTree FromParts(Tree tree, size_t num_features);
 
   double Predict(const std::vector<double>& x) const override;
-  /// Block row-major tree traversal (bit-identical to Predict per row).
+  /// Row-blocked flat-array traversal (bit-identical to Predict per row).
   std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
 
   const Tree& tree() const { return tree_; }
+  /// The compiled serving/explaining form.
+  const FlatEnsemble& flat() const { return flat_; }
 
  private:
   Tree tree_;
+  FlatEnsemble flat_;
   size_t num_features_ = 0;
 };
 
 /// Bagged random forest of CART trees (bootstrap rows + per-node feature
-/// subsampling); Predict averages tree outputs.
+/// subsampling); Predict averages tree outputs. Like DecisionTree, the
+/// fitted trees are compiled into a FlatEnsemble that serves prediction
+/// and TreeSHAP.
 struct RandomForestOptions {
   int num_trees = 50;
   TreeConfig tree;
@@ -42,16 +55,22 @@ class RandomForest : public Model {
   using Options = RandomForestOptions;
 
   static Result<RandomForest> Fit(const Dataset& ds, const Options& opts = Options());
+  /// Reconstructs a fitted forest from its parts (deserialization) and
+  /// compiles the flat runtime form.
+  static RandomForest FromParts(std::vector<Tree> trees, size_t num_features);
 
   double Predict(const std::vector<double>& x) const override;
-  /// Tree-outer / row-inner ensemble traversal (bit-identical to Predict).
+  /// Tree-outer / row-inner flat traversal (bit-identical to Predict).
   std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
 
   const std::vector<Tree>& trees() const { return trees_; }
+  /// The compiled serving/explaining form.
+  const FlatEnsemble& flat() const { return flat_; }
 
  private:
   std::vector<Tree> trees_;
+  FlatEnsemble flat_;
   size_t num_features_ = 0;
 };
 

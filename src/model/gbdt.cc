@@ -62,6 +62,7 @@ Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
     tree.AccumulateBatch(ds.x(), opts.learning_rate, &margin);
     m.trees_.push_back(std::move(tree));
   }
+  m.flat_ = FlatEnsemble::Compile(m.trees_);
   return m;
 }
 
@@ -70,6 +71,7 @@ GradientBoostedTrees GradientBoostedTrees::FromParts(
     Loss loss, size_t num_features) {
   GradientBoostedTrees m;
   m.trees_ = std::move(trees);
+  m.flat_ = FlatEnsemble::Compile(m.trees_);
   m.base_score_ = base_score;
   m.learning_rate_ = learning_rate;
   m.loss_ = loss;
@@ -80,7 +82,8 @@ GradientBoostedTrees GradientBoostedTrees::FromParts(
 double GradientBoostedTrees::PredictMargin(
     const std::vector<double>& x) const {
   double f = base_score_;
-  for (const Tree& t : trees_) f += learning_rate_ * t.Predict(x);
+  for (size_t t = 0; t < flat_.num_trees(); ++t)
+    f += learning_rate_ * flat_.PredictTree(t, x.data());
   return f;
 }
 
@@ -92,7 +95,7 @@ double GradientBoostedTrees::Predict(const std::vector<double>& x) const {
 std::vector<double> GradientBoostedTrees::PredictMarginBatch(
     const Matrix& x) const {
   std::vector<double> out(x.rows(), base_score_);
-  for (const Tree& t : trees_) t.AccumulateBatch(x, learning_rate_, &out);
+  flat_.AccumulateAll(x, learning_rate_, &out);
   return out;
 }
 

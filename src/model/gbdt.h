@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "data/dataset.h"
+#include "model/flat_tree.h"
 #include "model/model.h"
 #include "model/tree.h"
 
@@ -51,7 +52,7 @@ class GradientBoostedTrees : public Model {
 
   /// Probability for logistic loss, value for squared loss.
   double Predict(const std::vector<double>& x) const override;
-  /// Tree-outer / row-inner block traversal over the whole ensemble
+  /// Tree-outer / row-inner flat-array traversal over the whole ensemble
   /// (bit-identical to Predict per row).
   std::vector<double> PredictBatch(const Matrix& x) const override;
   size_t num_features() const override { return num_features_; }
@@ -62,12 +63,15 @@ class GradientBoostedTrees : public Model {
   std::vector<double> PredictMarginBatch(const Matrix& x) const;
 
   const std::vector<Tree>& trees() const { return trees_; }
+  /// The compiled serving/explaining form (built at Fit/FromParts).
+  const FlatEnsemble& flat() const { return flat_; }
   double base_score() const { return base_score_; }
   double learning_rate() const { return learning_rate_; }
   Loss loss() const { return loss_; }
 
  private:
   std::vector<Tree> trees_;
+  FlatEnsemble flat_;
   double base_score_ = 0.0;
   double learning_rate_ = 0.1;
   Loss loss_ = Loss::kLogistic;

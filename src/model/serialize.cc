@@ -100,6 +100,25 @@ Status SaveModel(const GradientBoostedTrees& model,
   return out ? Status::OK() : Status::IOError("write failed: " + path);
 }
 
+Status SaveModel(const DecisionTree& model, const std::string& path) {
+  std::ofstream out;
+  XAI_RETURN_NOT_OK(OpenForWrite(path, &out));
+  out << "type dtree\n";
+  out << "num_features " << model.num_features() << "\n";
+  WriteTree(out, model.tree());
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveModel(const RandomForest& model, const std::string& path) {
+  std::ofstream out;
+  XAI_RETURN_NOT_OK(OpenForWrite(path, &out));
+  out << "type forest\n";
+  out << "num_features " << model.num_features() << "\n";
+  out << "num_trees " << model.trees().size() << "\n";
+  for (const Tree& t : model.trees()) WriteTree(out, t);
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
 Result<LinearRegression> LoadLinearRegression(const std::string& path) {
   XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "linear"));
   std::string kw;
@@ -152,6 +171,34 @@ Result<GradientBoostedTrees> LoadGbdt(const std::string& path) {
       loss_name == "logistic" ? GbdtLoss::kLogistic : GbdtLoss::kSquared;
   return GradientBoostedTrees::FromParts(std::move(trees), base, lr, loss,
                                          num_features);
+}
+
+Result<DecisionTree> LoadDecisionTree(const std::string& path) {
+  XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "dtree"));
+  std::string kw;
+  size_t num_features = 0;
+  in >> kw >> num_features;
+  if (!in || kw != "num_features")
+    return Status::InvalidArgument("malformed dtree header");
+  XAI_ASSIGN_OR_RETURN(Tree tree, ReadTree(in));
+  return DecisionTree::FromParts(std::move(tree), num_features);
+}
+
+Result<RandomForest> LoadRandomForest(const std::string& path) {
+  XAI_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path, "forest"));
+  std::string kw;
+  size_t num_features = 0;
+  size_t num_trees = 0;
+  in >> kw >> num_features >> kw >> num_trees;
+  if (!in || num_trees == 0 || num_trees > 1'000'000)
+    return Status::InvalidArgument("malformed forest header");
+  std::vector<Tree> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    XAI_ASSIGN_OR_RETURN(Tree tree, ReadTree(in));
+    trees.push_back(std::move(tree));
+  }
+  return RandomForest::FromParts(std::move(trees), num_features);
 }
 
 Result<std::string> PeekModelType(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "model/decision_tree.h"
 #include "model/gbdt.h"
 #include "model/linear_regression.h"
 #include "model/logistic_regression.h"
@@ -14,17 +15,25 @@ namespace xai {
 /// whitespace-separated, full double precision. Lets a trained model move
 /// between processes (train once, explain elsewhere) without any binary
 /// compatibility concerns.
+///
+/// Tree models round-trip through `FromParts`, which recompiles the
+/// FlatEnsemble serving form — a loaded model predicts and explains
+/// bit-identically to the one that was saved.
 
 Status SaveModel(const LinearRegression& model, const std::string& path);
 Status SaveModel(const LogisticRegression& model, const std::string& path);
 Status SaveModel(const GradientBoostedTrees& model, const std::string& path);
+Status SaveModel(const DecisionTree& model, const std::string& path);
+Status SaveModel(const RandomForest& model, const std::string& path);
 
 Result<LinearRegression> LoadLinearRegression(const std::string& path);
 Result<LogisticRegression> LoadLogisticRegression(const std::string& path);
 Result<GradientBoostedTrees> LoadGbdt(const std::string& path);
+Result<DecisionTree> LoadDecisionTree(const std::string& path);
+Result<RandomForest> LoadRandomForest(const std::string& path);
 
-/// The `type` field of a saved model file ("linear", "logistic", "gbdt")
-/// without loading it — for dispatch.
+/// The `type` field of a saved model file ("linear", "logistic", "gbdt",
+/// "dtree", "forest") without loading it — for dispatch.
 Result<std::string> PeekModelType(const std::string& path);
 
 }  // namespace xai

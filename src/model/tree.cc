@@ -25,15 +25,8 @@ int Tree::LeafIndex(const double* x) const {
 
 void Tree::AccumulateBatch(const Matrix& x, double scale,
                            std::vector<double>* out) const {
-  const TreeNode* node = nodes.data();
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const double* r = x.RowPtr(i);
-    int k = 0;
-    while (!node[k].is_leaf())
-      k = r[node[k].feature] <= node[k].threshold ? node[k].left
-                                                  : node[k].right;
-    (*out)[i] += scale * node[k].value;
-  }
+  for (size_t i = 0; i < x.rows(); ++i)
+    (*out)[i] += scale * nodes[static_cast<size_t>(LeafIndex(x.RowPtr(i)))].value;
 }
 
 int Tree::MaxDepth() const {

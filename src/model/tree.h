@@ -36,10 +36,11 @@ struct Tree {
   int LeafIndex(const std::vector<double>& x) const;
   int LeafIndex(const double* x) const;
 
-  /// out[i] += scale * Predict(row i) for every row of x. The batched
-  /// building block behind DecisionTree/RandomForest/GBDT PredictBatch:
-  /// the ensemble iterates tree-outer / row-inner so one tree's nodes stay
-  /// hot in cache across the whole row block.
+  /// out[i] += scale * Predict(row i) for every row of x, one LeafIndex
+  /// walk per row. This is the *node-based reference* traversal: serving
+  /// routes through the compiled FlatEnsemble (flat_tree.h) instead, and
+  /// the flat-vs-node equivalence tests and benches compare against this
+  /// path. GBDT training also uses it (trees aren't compiled mid-fit).
   void AccumulateBatch(const Matrix& x, double scale,
                        std::vector<double>* out) const;
   int MaxDepth() const;
@@ -47,7 +48,8 @@ struct Tree {
 
   /// Expected prediction under the tree's own training distribution
   /// (cover-weighted average of leaf values) — the "background" value
-  /// TreeSHAP attribues against.
+  /// TreeSHAP attributes against. Rescans every leaf: hot paths read the
+  /// copy FlatEnsemble precomputes at compile time instead.
   double ExpectedValue() const;
 };
 
