@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
                                         const ExplanationResponse& r) {
     watchdog.Observe(r.attribution);
   };
-  ExplanationService service(*model, ds, sopts);
+  ExplanationService service(ModelHandle::Borrow(*model), ds, sopts);
 
   obs::MonitorServer server(&sampler);
   const bool endpoint_up = server.Start(0).ok();

@@ -66,7 +66,7 @@ ExplanationRequest MakeRequest(const Dataset& ds, size_t i) {
 
 /// One-at-a-time baseline: next request is submitted only after the
 /// previous one resolved, so every request pays the full per-sweep setup.
-RunResult RunUncoalesced(const Model& model, const Dataset& ds,
+RunResult RunUncoalesced(const ModelHandle& model, const Dataset& ds,
                          const ExplainerConfig& config) {
   ExplanationServiceOptions opts;
   opts.config = config;
@@ -251,7 +251,8 @@ int main(int argc, char** argv) {
   std::vector<FeatureAttribution> solo;
   {
     auto explainer =
-        MakeExplainer(ExplainerKind::kKernelShap, *gbdt, ds, config);
+        MakeExplainer(ExplainerKind::kKernelShap,
+                      ModelHandle::Borrow(*gbdt), ds, config);
     if (!explainer.ok()) return 1;
     for (size_t i = 0; i < kDistinct; ++i) {
       auto attr = (*explainer)->Explain(ds.row(i));
@@ -260,7 +261,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const RunResult unc = RunUncoalesced(*gbdt, ds, config);
+  const RunResult unc =
+      RunUncoalesced(ModelHandle::Borrow(*gbdt), ds, config);
 
   // Coalesced service, cache on (the option default): the cold burst
   // fills the per-key coalition-value cache, the warm burst replays the
@@ -272,7 +274,7 @@ int main(int argc, char** argv) {
   // than sweeps complete, a small max_batch would re-evaluate the same 48
   // hot rows once per batch instead of once per backlog.
   copts.max_batch = kRequests;
-  ExplanationService service(*gbdt, ds, copts);
+  ExplanationService service(ModelHandle::Borrow(*gbdt), ds, copts);
   const ExplanationServiceStats s0 = service.stats();
   const RunResult co = RunBurst(service, ds);
   const RunResult warm = RunBurst(service, ds);

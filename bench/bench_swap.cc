@@ -1,0 +1,447 @@
+// bench_swap — the hot-swap claim: ExplanationService::SwapModel flips
+// the serving model version under sustained concurrent load with zero
+// dropped requests, per-version bit-identical attributions, and a
+// coalition-value cache that is warm for the hot rows the moment the new
+// version starts serving.
+//
+// Workload: two GBDT versions of the same named model ("gbdt@1" with 30
+// boosting rounds, "gbdt@2" with 60) registered in a scratch
+// ModelRegistry, KernelSHAP requests with hot-row repetition over
+// kDistinct distinct rows. Three phases through ONE service:
+//
+//   cold  — a burst against v1 fills the per-family coalition cache.
+//   live  — kLiveThreads closed-loop clients hammer the service while
+//           the main thread calls SwapModel(v2) mid-stream. Requests
+//           capture their version at Submit; each is checked bit-for-bit
+//           against a solo reference for the version it reports.
+//   warm  — a burst against the freshly-flipped v2 replays the hot rows;
+//           SwapModel's pre-flip warming should make these cache hits.
+//
+// Writes machine-readable results to BENCH_swap.json (or the first
+// positional argument). Exits non-zero if any request is dropped or
+// errors, if any attribution differs from its version's solo reference
+// by even one bit, or if the post-swap warm burst sees zero cache hits.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "model/gbdt.h"
+#include "model/registry.h"
+#include "serve/service.h"
+
+using namespace xai;
+
+namespace {
+
+constexpr size_t kDistinct = 32;
+constexpr size_t kBurst = 192;
+constexpr size_t kLiveThreads = 4;
+/// Live traffic completed on the old version before the swap is kicked
+/// off, and completed after the flip before the clients stop. Running the
+/// clients until both quotas are met (rather than for a fixed request
+/// count) guarantees the live phase straddles the flip on fast and slow
+/// machines alike — the swap's pre-flip warming takes however long it
+/// takes, and the clients keep hammering straight through it.
+constexpr size_t kPreSwapQuota = 48;
+constexpr size_t kPostSwapQuota = 96;
+/// Inter-request pacing per live client, so the closed loop resembles
+/// steady dashboard traffic instead of a tight replay loop.
+constexpr std::chrono::microseconds kLivePacing{500};
+
+struct PhaseResult {
+  size_t submitted = 0;
+  double wall_ms = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  ExplanationServiceStats stats;  // snapshot at end of phase
+  std::vector<FeatureAttribution> attrs;
+  std::vector<ExplanationBreakdown> breakdowns;
+  std::vector<size_t> rows;  // distinct-row index per request, for refs
+};
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t i = std::min(v.size() - 1,
+                            static_cast<size_t>(q * static_cast<double>(v.size())));
+  return v[i];
+}
+
+ExplanationRequest MakeRequest(const Dataset& ds, size_t i) {
+  ExplanationRequest req;
+  req.instance = ds.row(i % kDistinct);
+  req.kind = ExplainerKind::kKernelShap;
+  return req;
+}
+
+/// Burst phase: everything enqueued up front, latency measured
+/// submit → promise fulfilled.
+PhaseResult RunBurst(ExplanationService& service, const Dataset& ds,
+                     size_t requests) {
+  PhaseResult out;
+  std::vector<double> lat(requests, 0.0);
+  std::atomic<size_t> done{0};
+  std::vector<std::future<Result<ExplanationResponse>>> futures;
+  futures.reserve(requests);
+  std::vector<bench::Timer> submit_time(requests);
+  out.submitted = requests;
+  bench::Timer total;
+  for (size_t i = 0; i < requests; ++i) {
+    submit_time[i] = bench::Timer();
+    futures.push_back(service.Submit(
+        MakeRequest(ds, i), [&, i](const Result<ExplanationResponse>&) {
+          lat[i] = submit_time[i].ElapsedMs() * 1e3;
+          done.fetch_add(1, std::memory_order_release);
+        }));
+  }
+  for (auto& f : futures) {
+    Result<ExplanationResponse> r = f.get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.breakdowns.push_back(r.value().breakdown);
+    out.attrs.push_back(std::move(r).value().attribution);
+    out.rows.push_back((out.attrs.size() - 1) % kDistinct);
+  }
+  while (done.load(std::memory_order_acquire) < requests) {}
+  out.wall_ms = total.ElapsedMs();
+  out.stats = service.stats();
+  out.p50_us = Quantile(lat, 0.50);
+  out.p99_us = Quantile(lat, 0.99);
+  return out;
+}
+
+/// Live phase: kLiveThreads closed-loop clients (submit, wait, repeat)
+/// while the caller swaps the model mid-stream. The clients run until
+/// kPreSwapQuota requests resolved before the swap started AND
+/// kPostSwapQuota resolved after the flip landed, so the phase always
+/// exercises both versions under concurrent load. Per-thread results are
+/// merged after the join.
+PhaseResult RunLive(ExplanationService& service, const Dataset& ds,
+                    ModelRegistry& registry, const ModelHandle& next,
+                    ModelSwapReport* report) {
+  PhaseResult out;
+  std::vector<std::vector<double>> lat(kLiveThreads);
+  std::vector<std::vector<FeatureAttribution>> attrs(kLiveThreads);
+  std::vector<std::vector<ExplanationBreakdown>> bds(kLiveThreads);
+  std::vector<std::vector<size_t>> rows(kLiveThreads);
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> submitted{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  bench::Timer total;
+  std::vector<std::thread> clients;
+  clients.reserve(kLiveThreads);
+  for (size_t t = 0; t < kLiveThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        std::this_thread::sleep_for(kLivePacing);
+        bench::Timer one;
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        auto fut = service.Submit(MakeRequest(ds, t * 8191 + i));
+        Result<ExplanationResponse> r = fut.get();
+        lat[t].push_back(one.ElapsedMs() * 1e3);
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAIL (live): %s\n",
+                       r.status().ToString().c_str());
+          failed.store(true);
+          return;
+        }
+        bds[t].push_back(r.value().breakdown);
+        attrs[t].push_back(std::move(r).value().attribution);
+        rows[t].push_back((t * 8191 + i) % kDistinct);
+        completed.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+  // Flip mid-stream: wait until live traffic has resolved on the old
+  // version, then swap while the clients keep hammering — both versions
+  // see real concurrent load.
+  while (completed.load(std::memory_order_acquire) < kPreSwapQuota)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto swapped = service.SwapModel(next, {.warm_rows = kDistinct});
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "FAIL: SwapModel: %s\n",
+                 swapped.status().ToString().c_str());
+    std::exit(1);
+  }
+  *report = std::move(swapped).value();
+  // Persist the registry half of the swap: new connections resolving the
+  // bare name now get the flipped version too.
+  const Status st = registry.SetServing(next.name(), next.version());
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL: SetServing: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  // Keep the clients running on the new version before calling the phase
+  // done, so post-flip latency is measured under the same load shape.
+  const size_t at_flip = completed.load(std::memory_order_acquire);
+  while (completed.load(std::memory_order_acquire) < at_flip + kPostSwapQuota)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) c.join();
+  out.wall_ms = total.ElapsedMs();
+  out.submitted = submitted.load();
+  if (failed.load()) std::exit(1);
+  std::vector<double> all_lat;
+  for (size_t t = 0; t < kLiveThreads; ++t) {
+    all_lat.insert(all_lat.end(), lat[t].begin(), lat[t].end());
+    out.attrs.insert(out.attrs.end(),
+                     std::make_move_iterator(attrs[t].begin()),
+                     std::make_move_iterator(attrs[t].end()));
+    out.breakdowns.insert(out.breakdowns.end(), bds[t].begin(), bds[t].end());
+    out.rows.insert(out.rows.end(), rows[t].begin(), rows[t].end());
+  }
+  out.stats = service.stats();
+  out.p50_us = Quantile(all_lat, 0.50);
+  out.p99_us = Quantile(all_lat, 0.99);
+  return out;
+}
+
+EvalCacheStats CacheDelta(const ExplanationServiceStats& before,
+                          const ExplanationServiceStats& after) {
+  EvalCacheStats d;
+  d.hits = after.cache_hits - before.cache_hits;
+  d.misses = after.cache_misses - before.cache_misses;
+  d.evictions = after.cache_evictions - before.cache_evictions;
+  d.entries = after.cache_entries;
+  return d;
+}
+
+/// Bit-compares every response against the solo reference of the version
+/// it reports having been evaluated on. Returns the max abs diff (0.0 is
+/// the only passing value) and counts responses per version.
+double CheckVersions(const PhaseResult& r,
+                     const std::vector<FeatureAttribution>& solo_v1,
+                     const std::vector<FeatureAttribution>& solo_v2,
+                     size_t* v1_count, size_t* v2_count, size_t* unknown) {
+  double max_abs_diff = 0.0;
+  for (size_t i = 0; i < r.attrs.size(); ++i) {
+    const std::vector<FeatureAttribution>* ref = nullptr;
+    if (r.breakdowns[i].model_version == 1) {
+      ref = &solo_v1;
+      ++*v1_count;
+    } else if (r.breakdowns[i].model_version == 2) {
+      ref = &solo_v2;
+      ++*v2_count;
+    } else {
+      ++*unknown;
+      continue;
+    }
+    const FeatureAttribution& want = (*ref)[r.rows[i]];
+    for (size_t j = 0; j < want.values.size(); ++j)
+      max_abs_diff = std::max(
+          max_abs_diff, std::fabs(r.attrs[i].values[j] - want.values[j]));
+  }
+  return max_abs_diff;
+}
+
+void WriteJson(const char* path, const PhaseResult& cold,
+               const PhaseResult& live, const PhaseResult& warm,
+               const ModelSwapReport& report,
+               const EvalCacheStats& cold_cache,
+               const EvalCacheStats& warm_cache, size_t live_v1,
+               size_t live_v2, size_t dropped, double max_abs_diff) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_swap\",\n");
+  std::fprintf(f, "  \"workload\": \"GBDT v1->v2 hot-swap, KernelSHAP, "
+               "%zu+%zu+%zu requests over %zu distinct rows, %zu live "
+               "clients\",\n", cold.submitted, live.submitted,
+               warm.submitted, kDistinct, kLiveThreads);
+  std::fprintf(f, "  \"cold\": {\"p50_us\": %.0f, \"p99_us\": %.0f, "
+               "\"wall_ms\": %.1f},\n", cold.p50_us, cold.p99_us,
+               cold.wall_ms);
+  std::fprintf(f, "  \"live_through_swap\": {\"p50_us\": %.0f, "
+               "\"p99_us\": %.0f, \"wall_ms\": %.1f, "
+               "\"served_on_v1\": %zu, \"served_on_v2\": %zu},\n",
+               live.p50_us, live.p99_us, live.wall_ms, live_v1, live_v2);
+  std::fprintf(f, "  \"warm\": {\"p50_us\": %.0f, \"p99_us\": %.0f, "
+               "\"wall_ms\": %.1f},\n", warm.p50_us, warm.p99_us,
+               warm.wall_ms);
+  std::fprintf(f, "  \"swap\": {\"from\": \"%s\", \"to\": \"%s\", "
+               "\"warmed_families\": %zu, \"warmed_rows\": %zu, "
+               "\"warm_ms\": %.1f},\n", report.from.c_str(),
+               report.to.c_str(), report.warmed_families,
+               report.warmed_rows, report.warm_ms);
+  std::fprintf(f, "  \"cache\": {\"cold\": %s, \"post_swap_warm\": %s},\n",
+               bench::CacheStatsJson(cold_cache).c_str(),
+               bench::CacheStatsJson(warm_cache).c_str());
+  std::fprintf(f, "  \"dropped_requests\": %zu,\n", dropped);
+  std::fprintf(f, "  \"max_abs_diff\": %g\n}\n", max_abs_diff);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::TraceJsonArg(argc, argv);
+  const std::string json_path =
+      bench::PositionalArg(argc, argv, 0, "BENCH_swap.json");
+  bench::Banner("bench_swap",
+                "zero-downtime hot-swap: no dropped requests, per-version "
+                "bit-identical attributions, warm cache after the flip");
+
+  Dataset ds = MakeLoanDataset(1200);
+
+  // Two versions of the same named model, through the registry: the
+  // artifacts round-trip disk exactly the way a production swap would.
+  namespace fs = std::filesystem;
+  const std::string reg_dir =
+      (fs::temp_directory_path() / "xaidb_bench_swap_registry").string();
+  std::error_code ec;
+  fs::remove_all(reg_dir, ec);
+  auto registry = ModelRegistry::OpenOrCreate(reg_dir);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "registry: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  auto g1 = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+  auto g2 = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
+  if (!g1.ok() || !g2.ok()) {
+    std::fprintf(stderr, "fit failed\n");
+    return 1;
+  }
+  for (const Model* m : {static_cast<const Model*>(&*g1),
+                         static_cast<const Model*>(&*g2)}) {
+    auto added = registry->Add(*m, "gbdt");
+    if (!added.ok()) {
+      std::fprintf(stderr, "add: %s\n", added.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto h1 = registry->Get("gbdt", 1);
+  auto h2 = registry->Get("gbdt", 2);
+  if (!h1.ok() || !h2.ok()) {
+    std::fprintf(stderr, "get failed\n");
+    return 1;
+  }
+
+  ExplainerConfig config;
+  config.kernel_shap.max_background = 20;
+
+  // Solo references per version: each distinct row explained alone,
+  // straight through the factory — the ground truth each served response
+  // must match bit-for-bit for the version it reports.
+  std::vector<FeatureAttribution> solo_v1, solo_v2;
+  const auto solo = [&](const ModelHandle& h,
+                        std::vector<FeatureAttribution>& out) {
+    auto explainer = MakeExplainer(ExplainerKind::kKernelShap, h, ds, config);
+    if (!explainer.ok()) return false;
+    for (size_t i = 0; i < kDistinct; ++i) {
+      auto attr = (*explainer)->Explain(ds.row(i));
+      if (!attr.ok()) return false;
+      out.push_back(std::move(attr).value());
+    }
+    return true;
+  };
+  if (!solo(*h1, solo_v1) || !solo(*h2, solo_v2)) return 1;
+
+  ExplanationServiceOptions opts;
+  opts.config = config;
+  opts.queue_capacity = kBurst + kLiveThreads;
+  opts.max_batch = 64;
+  ExplanationService service(*h1, ds, opts);
+  const ExplanationServiceStats s0 = service.stats();
+
+  const PhaseResult cold = RunBurst(service, ds, kBurst);
+  ModelSwapReport report;
+  const PhaseResult live = RunLive(service, ds, *registry, *h2, &report);
+  const PhaseResult warm = RunBurst(service, ds, kBurst);
+  service.Shutdown();
+  const ExplanationServiceStats end = service.stats();
+
+  const EvalCacheStats cold_cache = CacheDelta(s0, cold.stats);
+  const EvalCacheStats warm_cache = CacheDelta(live.stats, warm.stats);
+
+  // Version accounting + per-version bit-identity across all phases.
+  size_t v1 = 0, v2 = 0, unknown = 0;
+  double max_abs_diff = 0.0;
+  for (const PhaseResult* r : {&cold, &live, &warm})
+    max_abs_diff = std::max(
+        max_abs_diff, CheckVersions(*r, solo_v1, solo_v2, &v1, &v2, &unknown));
+  size_t live_v1 = 0, live_v2 = 0, live_unknown = 0;
+  CheckVersions(live, solo_v1, solo_v2, &live_v1, &live_v2, &live_unknown);
+
+  const size_t submitted = cold.submitted + live.submitted + warm.submitted;
+  const size_t resolved = cold.attrs.size() + live.attrs.size() +
+                          warm.attrs.size();
+  const size_t dropped = submitted - resolved;
+
+  bench::Row("%-18s %12s %12s %12s", "phase", "requests", "p50_us", "p99_us");
+  bench::Row("%-18s %12zu %12.0f %12.0f", "cold (v1)", cold.attrs.size(),
+             cold.p50_us, cold.p99_us);
+  bench::Row("%-18s %12zu %12.0f %12.0f", "live (swap)", live.attrs.size(),
+             live.p50_us, live.p99_us);
+  bench::Row("%-18s %12zu %12.0f %12.0f", "warm (v2)", warm.attrs.size(),
+             warm.p50_us, warm.p99_us);
+  bench::Row("swap %s -> %s: warmed %zu families / %zu rows in %.1f ms; "
+             "live traffic split v1=%zu v2=%zu",
+             report.from.c_str(), report.to.c_str(), report.warmed_families,
+             report.warmed_rows, report.warm_ms, live_v1, live_v2);
+  bench::Row("dropped %zu of %zu; swaps=%llu; serving version now %d; "
+             "max_abs_diff %g",
+             dropped, submitted,
+             static_cast<unsigned long long>(end.swaps), end.model_version,
+             max_abs_diff);
+  bench::ReportCacheStats("cache cold", cold_cache);
+  bench::ReportCacheStats("cache post-swap", warm_cache);
+
+  bench::ReportMetrics();
+  bench::MaybeWriteTrace(trace_path);
+  WriteJson(json_path.c_str(), cold, live, warm, report, cold_cache,
+            warm_cache, live_v1, live_v2, dropped, max_abs_diff);
+
+  bool ok = true;
+  if (dropped != 0) {
+    std::fprintf(stderr, "FAIL: %zu requests dropped through the swap\n",
+                 dropped);
+    ok = false;
+  }
+  if (unknown != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu responses report an unknown model version\n",
+                 unknown);
+    ok = false;
+  }
+  if (max_abs_diff != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: attribution differs from its version's solo "
+                 "reference (max_abs_diff %g)\n", max_abs_diff);
+    ok = false;
+  }
+  if (end.swaps != 1 || end.model_version != 2) {
+    std::fprintf(stderr, "FAIL: expected one swap to version 2 (swaps=%llu, "
+                 "model_version=%d)\n",
+                 static_cast<unsigned long long>(end.swaps),
+                 end.model_version);
+    ok = false;
+  }
+  if (live_v1 == 0 || live_v2 == 0) {
+    std::fprintf(stderr,
+                 "FAIL: live phase did not straddle the flip (v1=%zu, "
+                 "v2=%zu) — the swap was not exercised under load\n",
+                 live_v1, live_v2);
+    ok = false;
+  }
+  if (warm_cache.hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: post-swap burst over warmed hot rows saw zero "
+                 "cache hits\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

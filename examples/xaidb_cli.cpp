@@ -4,7 +4,8 @@
 //   xaidb_cli <data.csv> [--model gbdt|logistic|forest] [--row N]
 //             [--explainer treeshap|kernelshap|lime|mcshapley|anchors|
 //                          counterfactual|all]
-//             [--serve-demo]
+//             [--serve-demo] [--swap-demo]
+//             [--registry-dir <dir>] [--model-version N]
 //             [--threads N] [--cache-size N]
 //             [--metrics] [--metrics-json <path>]
 //             [--trace-json <path>]
@@ -20,6 +21,20 @@
 // to the bounded queue, the dispatcher coalesces compatible requests into
 // single ExplainBatch sweeps, and the tool reports the coalescing stats.
 // Attributions are bit-identical to serving each request alone.
+//
+// --registry-dir points at a versioned model registry (created if
+// absent). A freshly-trained model is registered as the next version of
+// its kind; --model-version N instead loads version N of --model from the
+// registry and skips training. All other modes then run against the
+// registry-backed handle.
+//
+// --swap-demo demonstrates the zero-downtime hot-swap: it registers two
+// GBDT versions (30 and 60 boosting rounds) in the registry, serves a
+// burst against v1, swaps to v2 while requests are still in flight —
+// warming v2's caches behind v1 before the atomic flip — then serves a
+// second burst and reports per-version counts and latency. Honors the
+// monitor flags, so a --monitor-scrape shows the serve.model_version
+// gauge flipping.
 //
 // --metrics prints the library's internal counters and span timings
 // (model evals, samples drawn, coalitions enumerated) after the run;
@@ -75,6 +90,7 @@
 #include "model/gbdt.h"
 #include "model/logistic_regression.h"
 #include "model/metrics.h"
+#include "model/registry.h"
 #include "obs/obs.h"
 #include "rule/anchors.h"
 #include "serve/service.h"
@@ -119,6 +135,9 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   bool print_metrics = false;
   bool serve_demo = false;
+  bool swap_demo = false;
+  std::string registry_dir;
+  int model_version = 0;  // 0 = train fresh (and register if --registry-dir)
   size_t row = 0;
   long long cache_size = -1;  // -1 = not given; keep per-mode defaults
   long long monitor_port = -1;  // -1 = no endpoint
@@ -135,6 +154,12 @@ int main(int argc, char** argv) {
       row = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--serve-demo") {
       serve_demo = true;
+    } else if (arg == "--swap-demo") {
+      swap_demo = true;
+    } else if (arg == "--registry-dir" && i + 1 < argc) {
+      registry_dir = argv[++i];
+    } else if (arg == "--model-version" && i + 1 < argc) {
+      model_version = static_cast<int>(std::atoll(argv[++i]));
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else if (arg == "--metrics-json" && i + 1 < argc) {
@@ -158,7 +183,8 @@ int main(int argc, char** argv) {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
-                  "counterfactual|all] [--serve-demo] "
+                  "counterfactual|all] [--serve-demo] [--swap-demo] "
+                  "[--registry-dir <dir>] [--model-version N] "
                   "[--threads N] [--cache-size N] "
                   "[--metrics] [--metrics-json <path>] "
                   "[--trace-json <path>] "
@@ -273,27 +299,157 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Train the requested model.
-  std::unique_ptr<Model> model;
-  if (model_kind == "gbdt") {
-    auto m = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
-    if (!m.ok()) return Fail(m.status());
-    model = std::make_unique<GradientBoostedTrees>(std::move(*m));
-  } else if (model_kind == "logistic") {
-    auto m = LogisticRegression::Fit(ds, {.lambda = 1e-3});
-    if (!m.ok()) return Fail(m.status());
-    model = std::make_unique<LogisticRegression>(std::move(*m));
-  } else if (model_kind == "forest") {
-    auto m = RandomForest::Fit(ds, {.num_trees = 60});
-    if (!m.ok()) return Fail(m.status());
-    model = std::make_unique<RandomForest>(std::move(*m));
-  } else {
-    std::fprintf(stderr, "error: unknown model '%s'\n", model_kind.c_str());
-    return 1;
+  if (swap_demo) {
+    // Zero-downtime hot-swap, end to end: two registered GBDT versions,
+    // live traffic through the flip, per-version accounting after.
+    if (registry_dir.empty()) registry_dir = "/tmp/xaidb_registry_demo";
+    auto reg = ModelRegistry::OpenOrCreate(registry_dir);
+    if (!reg.ok()) return Fail(reg.status());
+    ModelRegistry registry = std::move(reg).value();
+    auto m1 = GradientBoostedTrees::Fit(ds, {.num_rounds = 30});
+    if (!m1.ok()) return Fail(m1.status());
+    auto m2 = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
+    if (!m2.ok()) return Fail(m2.status());
+    auto a1 = registry.Add(*m1, "gbdt");
+    if (!a1.ok()) return Fail(a1.status());
+    auto a2 = registry.Add(*m2, "gbdt");
+    if (!a2.ok()) return Fail(a2.status());
+    auto h1 = registry.Get("gbdt", a1->version);
+    if (!h1.ok()) return Fail(h1.status());
+    auto h2 = registry.Get("gbdt", a2->version);
+    if (!h2.ok()) return Fail(h2.status());
+    std::printf("registry %s: registered %s (30 rounds) and %s (60 "
+                "rounds)\n",
+                registry.dir().c_str(), h1->VersionedName().c_str(),
+                h2->VersionedName().c_str());
+
+    ExplanationServiceOptions sopts;
+    ExplainerConfig sconfig;
+    sconfig.kernel_shap.max_background = 20;
+    sopts.config = sconfig;
+    if (cache_size >= 0) sopts.cache_size = static_cast<size_t>(cache_size);
+    ExplanationService service(*h1, ds, sopts);
+
+    const size_t kPhase = 40;
+    const size_t kDistinct = std::min<size_t>(8, ds.n());
+    auto submit_burst = [&](std::vector<std::future<
+                                Result<ExplanationResponse>>>* futures) {
+      for (size_t i = 0; i < kPhase; ++i) {
+        ExplanationRequest req;
+        req.instance = ds.row(i % kDistinct);
+        req.kind = ExplainerKind::kKernelShap;
+        futures->push_back(service.Submit(std::move(req)));
+      }
+    };
+    std::vector<std::future<Result<ExplanationResponse>>> futures;
+    // Phase 1 is queued against v1; the swap lands while those requests
+    // are still being served. They finish on v1 — the handle each one
+    // captured at Submit — while the flip warms and switches to v2.
+    submit_burst(&futures);
+    auto report = service.SwapModel(*h2, {.warm_rows = 32});
+    if (!report.ok()) return Fail(report.status());
+    std::printf("swap %s -> %s: warmed %zu families / %zu rows in %.1f "
+                "ms\n",
+                report->from.c_str(), report->to.c_str(),
+                report->warmed_families, report->warmed_rows,
+                report->warm_ms);
+    submit_burst(&futures);
+
+    size_t v1_count = 0, v2_count = 0, failures = 0;
+    std::vector<double> total_ms;
+    for (auto& f : futures) {
+      const Result<ExplanationResponse> r = f.get();
+      if (!r.ok()) {
+        ++failures;
+        continue;
+      }
+      total_ms.push_back(r->breakdown.total_ms);
+      if (r->breakdown.model_version == h1->version()) ++v1_count;
+      if (r->breakdown.model_version == h2->version()) ++v2_count;
+    }
+    service.Shutdown();
+    const ExplanationServiceStats stats = service.stats();
+    if (Status st = registry.SetServing("gbdt", h2->version()); !st.ok())
+      return Fail(st);
+    std::printf("swap-demo: %zu requests served on %s, %zu on %s, %zu "
+                "failed/dropped\n",
+                v1_count, h1->VersionedName().c_str(), v2_count,
+                h2->VersionedName().c_str(), failures);
+    std::printf("  latency total_ms: p50=%.3f p99=%.3f   swaps=%llu  "
+                "serving version=%d\n",
+                Quantile(total_ms, 0.50), Quantile(total_ms, 0.99),
+                static_cast<unsigned long long>(stats.swaps),
+                stats.model_version);
+    std::printf("  registry now serves %s by default\n",
+                h2->VersionedName().c_str());
+    if (failures != 0) return 1;
+    if (const int rc = finish_monitor(); rc != 0) return rc;
+    if (obs::Enabled()) {
+      if (print_metrics) std::printf("\n%s", obs::MetricsToTable().c_str());
+      if (!metrics_json_path.empty()) {
+        Status st = obs::WriteMetricsJson(metrics_json_path);
+        if (!st.ok()) return Fail(st);
+        std::printf("\nmetrics written to %s\n", metrics_json_path.c_str());
+      }
+    }
+    return FlushTrace(trace_json_path);
   }
+
+  // Model source: a registry-backed versioned handle, or a borrowed
+  // handle around a freshly-trained in-memory model.
+  ModelRegistry registry;
+  if (!registry_dir.empty()) {
+    auto reg = ModelRegistry::OpenOrCreate(registry_dir);
+    if (!reg.ok()) return Fail(reg.status());
+    registry = std::move(reg).value();
+  }
+
+  std::unique_ptr<Model> model;  // owned only when trained locally
+  ModelHandle handle;
+  if (registry.valid() && model_version > 0) {
+    auto h = registry.Get(model_kind, model_version);
+    if (!h.ok()) return Fail(h.status());
+    handle = std::move(h).value();
+    std::printf("registry: loaded %s (kind=%s) from %s\n",
+                handle.VersionedName().c_str(), handle.kind().c_str(),
+                registry.dir().c_str());
+  } else {
+    if (model_kind == "gbdt") {
+      auto m = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
+      if (!m.ok()) return Fail(m.status());
+      model = std::make_unique<GradientBoostedTrees>(std::move(*m));
+    } else if (model_kind == "logistic") {
+      auto m = LogisticRegression::Fit(ds, {.lambda = 1e-3});
+      if (!m.ok()) return Fail(m.status());
+      model = std::make_unique<LogisticRegression>(std::move(*m));
+    } else if (model_kind == "forest") {
+      auto m = RandomForest::Fit(ds, {.num_trees = 60});
+      if (!m.ok()) return Fail(m.status());
+      model = std::make_unique<RandomForest>(std::move(*m));
+    } else {
+      std::fprintf(stderr, "error: unknown model '%s'\n", model_kind.c_str());
+      return 1;
+    }
+    if (registry.valid()) {
+      // Persist the fresh fit as the next version and serve the
+      // registry-loaded copy, so what runs is exactly what's on disk.
+      auto art = registry.Add(*model, model_kind);
+      if (!art.ok()) return Fail(art.status());
+      auto h = registry.Get(model_kind, art->version);
+      if (!h.ok()) return Fail(h.status());
+      handle = std::move(h).value();
+      model.reset();
+      std::printf("registry: registered %s -> %s/%s\n",
+                  handle.VersionedName().c_str(), registry.dir().c_str(),
+                  art->path.c_str());
+    } else {
+      handle = ModelHandle::Borrow(*model, model_kind, 1);
+    }
+  }
+  const Model& mdl = handle.model();
   std::printf("model=%s  train accuracy=%.3f  AUC=%.3f\n\n",
-              model_kind.c_str(), EvaluateAccuracy(*model, ds),
-              EvaluateAuc(*model, ds));
+              model_kind.c_str(), EvaluateAccuracy(mdl, ds),
+              EvaluateAuc(mdl, ds));
 
   // The per-family explainer options every mode below shares — one config
   // object, forwarded to the factory (and to the service in --serve-demo).
@@ -328,7 +484,7 @@ int main(int argc, char** argv) {
         watchdog->Observe(r.attribution);
       };
     }
-    ExplanationService service(*model, ds, sopts);
+    ExplanationService service(handle, ds, sopts);
     const size_t kRequests = 60;
     const size_t kDistinct = std::min<size_t>(12, ds.n());
     std::vector<std::future<Result<ExplanationResponse>>> futures;
@@ -403,7 +559,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> x = ds.row(row);
   std::printf("explaining row %zu (prediction = %.3f):\n", row,
-              model->Predict(x));
+              mdl.Predict(x));
   for (size_t j = 0; j < ds.d(); ++j)
     std::printf("  %s\n", ds.schema().FormatValue(j, x[j]).c_str());
   std::printf("\n");
@@ -413,7 +569,7 @@ int main(int argc, char** argv) {
     // anchors / counterfactuals return different explanation types and
     // keep their bespoke paths.
     if (auto parsed = ParseExplainerKind(kind); parsed.ok()) {
-      auto explainer = MakeExplainer(*parsed, *model, ds, config);
+      auto explainer = MakeExplainer(*parsed, handle, ds, config);
       if (!explainer.ok()) return Fail(explainer.status());
       auto attr = (*explainer)->Explain(x);
       if (!attr.ok()) return Fail(attr.status());
@@ -440,14 +596,14 @@ int main(int argc, char** argv) {
           break;
       }
     } else if (kind == "anchors") {
-      AnchorsExplainer explainer(*model, ds, {});
+      AnchorsExplainer explainer(mdl, ds, {});
       auto rule = explainer.Explain(x);
       if (!rule.ok()) return Fail(rule.status());
       std::printf("Anchor:\n%s\n", rule->ToString(ds.schema()).c_str());
     } else if (kind == "counterfactual") {
       FeatureSpace space = FeatureSpace::FromDataset(ds);
-      const int desired = model->Predict(x) >= 0.5 ? 0 : 1;
-      auto cfs = DiceCounterfactuals(*model, space, x, desired,
+      const int desired = mdl.Predict(x) >= 0.5 ? 0 : 1;
+      auto cfs = DiceCounterfactuals(mdl, space, x, desired,
                                      {.num_counterfactuals = 3});
       if (!cfs.ok()) return Fail(cfs.status());
       std::printf("counterfactuals toward class %d:\n%s", desired,

@@ -48,6 +48,7 @@ const char* ExplainerKindName(ExplainerKind kind) {
 uint64_t ExplainerConfig::Fingerprint(ExplainerKind kind) const {
   uint64_t h = 14695981039346656037ULL;
   h = HashValue(h, static_cast<int>(kind));
+  h = HashValue(h, model_fingerprint);
   switch (kind) {
     case ExplainerKind::kTreeShap:
       break;  // TreeSHAP is exact and option-free.
@@ -75,8 +76,11 @@ uint64_t ExplainerConfig::Fingerprint(ExplainerKind kind) const {
 }
 
 Result<std::unique_ptr<AttributionExplainer>> MakeExplainer(
-    ExplainerKind kind, const Model& model, const Dataset& background,
+    ExplainerKind kind, const ModelHandle& handle, const Dataset& background,
     const ExplainerConfig& config) {
+  if (!handle.valid())
+    return Status::InvalidArgument("MakeExplainer: invalid model handle");
+  const Model& model = handle.model();
   switch (kind) {
     case ExplainerKind::kTreeShap: {
       if (const auto* gbdt = dynamic_cast<const GradientBoostedTrees*>(&model))

@@ -11,6 +11,7 @@
 #include "feature/lime.h"
 #include "feature/mc_shapley.h"
 #include "model/model.h"
+#include "model/registry.h"
 
 namespace xai {
 
@@ -44,20 +45,39 @@ struct ExplainerConfig {
   /// cached and an uncached explainer are interchangeable for coalescing.
   std::shared_ptr<CoalitionValueCache> cache;
 
-  /// Stable hash of (kind + the option fields that family reads). Two
-  /// configs with equal fingerprints build explainers that produce
-  /// bit-identical attributions, which is what lets the serving layer use
-  /// it as a coalescing key.
+  /// Identity of the model the explainer runs against, normally
+  /// ModelHandle::fingerprint(). Hashed into Fingerprint so configs bound
+  /// to different model versions never collide. Zero means "model-
+  /// agnostic": the serving layer uses a zeroed copy as the *family* key
+  /// (which explainer + options, any version) for caches and history that
+  /// deliberately survive a hot-swap.
+  uint64_t model_fingerprint = 0;
+
+  /// Stable hash of (kind + model_fingerprint + the option fields that
+  /// family reads).
+  ///
+  /// Coalescing-key contract: two requests may share a coalescing batch —
+  /// and therefore a cached explanation — only if their Fingerprints are
+  /// equal, which requires (a) the same explainer kind, (b) bit-equal
+  /// values for every option that kind reads, and (c) the same
+  /// model_fingerprint, i.e. the same model *version*. Equal fingerprints
+  /// must imply bit-identical attributions for the same instance; any new
+  /// field that can change output bits must be hashed here. During a
+  /// hot-swap this is what isolates versions: pre-swap and post-swap
+  /// requests differ in (c), so they never coalesce even mid-flip.
   uint64_t Fingerprint(ExplainerKind kind) const;
 };
 
-/// Builds an explainer of `kind` over `model` + `background`. TreeSHAP
-/// requires a tree model (GradientBoostedTrees, DecisionTree or
-/// RandomForest) and returns InvalidArgument for anything else; the
-/// model-agnostic families accept any Model. The returned explainer
-/// borrows `model` and `background` — both must outlive it.
+/// Builds an explainer of `kind` over the model behind `handle` +
+/// `background`. TreeSHAP requires a tree model (GradientBoostedTrees,
+/// DecisionTree or RandomForest) and returns InvalidArgument for anything
+/// else; the model-agnostic families accept any Model. The returned
+/// explainer borrows the model — callers must hold `handle` (or another
+/// handle to the same version) and keep `background` alive for the
+/// explainer's lifetime. Wrap a plain in-memory model with
+/// ModelHandle::Borrow.
 Result<std::unique_ptr<AttributionExplainer>> MakeExplainer(
-    ExplainerKind kind, const Model& model, const Dataset& background,
+    ExplainerKind kind, const ModelHandle& handle, const Dataset& background,
     const ExplainerConfig& config = {});
 
 }  // namespace xai

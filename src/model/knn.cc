@@ -14,6 +14,13 @@ Result<KnnClassifier> KnnClassifier::Fit(const Dataset& ds, int k) {
   return m;
 }
 
+KnnClassifier KnnClassifier::FromParts(Dataset train, int k) {
+  KnnClassifier m;
+  m.train_ = std::move(train);
+  m.k_ = k;
+  return m;
+}
+
 std::vector<size_t> KnnClassifier::NeighborsByDistance(
     const std::vector<double>& x) const {
   const size_t n = train_.n();

@@ -15,6 +15,9 @@ namespace xai {
 class KnnClassifier : public Model {
  public:
   static Result<KnnClassifier> Fit(const Dataset& ds, int k = 5);
+  /// Reconstructs a fitted classifier from its parts (deserialization) —
+  /// kNN's "parameters" are the training set itself.
+  static KnnClassifier FromParts(Dataset train, int k);
 
   double Predict(const std::vector<double>& x) const override;
   /// Block distance computation with reused scratch buffers (bit-identical

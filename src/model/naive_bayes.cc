@@ -43,6 +43,14 @@ Result<MultinomialNaiveBayes> MultinomialNaiveBayes::Fit(
   return m;
 }
 
+MultinomialNaiveBayes MultinomialNaiveBayes::FromParts(
+    std::vector<double> llr, double prior_log_odds) {
+  MultinomialNaiveBayes m;
+  m.llr_ = std::move(llr);
+  m.prior_llr_ = prior_log_odds;
+  return m;
+}
+
 double MultinomialNaiveBayes::Margin(const std::vector<double>& x) const {
   double z = prior_llr_;
   for (size_t j = 0; j < llr_.size(); ++j) z += x[j] * llr_[j];

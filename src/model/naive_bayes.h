@@ -26,6 +26,9 @@ class MultinomialNaiveBayes : public Model {
 
   static Result<MultinomialNaiveBayes> Fit(const Dataset& ds,
                                            const Options& opts = Options());
+  /// Reconstructs a fitted model from its parameters (deserialization).
+  static MultinomialNaiveBayes FromParts(std::vector<double> llr,
+                                         double prior_log_odds);
 
   /// P(y=1 | x).
   double Predict(const std::vector<double>& x) const override;

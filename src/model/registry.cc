@@ -1,0 +1,343 @@
+#include "model/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "model/serialize.h"
+
+namespace xai {
+namespace {
+
+constexpr char kManifestMagic[] = "xaidb_registry v1";
+constexpr char kManifestFile[] = "MANIFEST";
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string VersionKey(const std::string& name, int version) {
+  return name + "@" + std::to_string(version);
+}
+
+std::string HexFingerprint(uint64_t fp) {
+  std::ostringstream os;
+  os << std::hex << fp;
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- handles
+
+ModelHandle::ModelHandle(std::shared_ptr<const Model> model, Meta meta)
+    : model_(std::move(model)),
+      meta_(std::make_shared<const Meta>(std::move(meta))) {}
+
+ModelHandle ModelHandle::Borrow(const Model& model, std::string name,
+                                int version) {
+  Meta meta;
+  meta.name = std::move(name);
+  meta.version = version;
+  Result<std::string> kind = ModelKindOf(model);
+  meta.kind = kind.ok() ? *kind : std::string("adhoc");
+  meta.fingerprint =
+      SplitMix64(reinterpret_cast<uintptr_t>(&model) ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(version)));
+  return ModelHandle(
+      std::shared_ptr<const Model>(&model, [](const Model*) {}),
+      std::move(meta));
+}
+
+ModelHandle ModelHandle::Adopt(std::unique_ptr<Model> model,
+                               std::string name, int version) {
+  const Model& ref = *model;
+  ModelHandle h = Borrow(ref, std::move(name), version);
+  // Re-seat ownership while keeping the Borrow-derived metadata.
+  h.model_ = std::shared_ptr<const Model>(std::move(model));
+  return h;
+}
+
+std::string ModelHandle::VersionedName() const {
+  return VersionKey(meta_->name, meta_->version);
+}
+
+// --------------------------------------------------------------- registry
+
+struct ModelRegistry::State {
+  std::string dir;
+  mutable std::mutex mu;
+  // name@version -> artifact, sorted so List() is deterministic.
+  std::map<std::string, ModelArtifact> artifacts;
+  std::map<std::string, int> serving;  // name -> serving version
+  // Loaded versions, so every handle to name@version shares one instance.
+  mutable std::map<std::string, std::shared_ptr<const Model>> loaded;
+
+  std::string ManifestPath() const {
+    return (std::filesystem::path(dir) / kManifestFile).string();
+  }
+
+  // Caller holds mu.
+  Status WriteManifestLocked() const {
+    const std::string tmp = ManifestPath() + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) return Status::IOError("cannot write manifest: " + tmp);
+      out << kManifestMagic << "\n";
+      for (const auto& [key, art] : artifacts) {
+        out << "model " << art.name << " " << art.version << " " << art.kind
+            << " " << HexFingerprint(art.fingerprint) << " " << art.path
+            << "\n";
+      }
+      for (const auto& [name, version] : serving)
+        out << "serving " << name << " " << version << "\n";
+      if (!out) return Status::IOError("manifest write failed: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, ManifestPath(), ec);
+    if (ec) return Status::IOError("manifest rename failed: " + ec.message());
+    return Status::OK();
+  }
+
+  Status ReadManifest() {
+    std::ifstream in(ManifestPath());
+    if (!in) return Status::IOError("cannot open manifest: " + ManifestPath());
+    std::string line;
+    if (!std::getline(in, line) || line != kManifestMagic)
+      return Status::InvalidArgument("bad registry magic in " +
+                                     ManifestPath());
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "model") {
+        ModelArtifact art;
+        std::string fp_hex;
+        ls >> art.name >> art.version >> art.kind >> fp_hex >> art.path;
+        if (!ls || art.name.empty() || art.version <= 0 || art.path.empty())
+          return Status::InvalidArgument(
+              "malformed manifest line " + std::to_string(lineno) + ": " +
+              line);
+        std::istringstream hs(fp_hex);
+        hs >> std::hex >> art.fingerprint;
+        if (!hs)
+          return Status::InvalidArgument("bad fingerprint on line " +
+                                         std::to_string(lineno));
+        const std::string key = VersionKey(art.name, art.version);
+        if (artifacts.count(key))
+          return Status::InvalidArgument("duplicate version in manifest: " +
+                                         key);
+        const std::string full =
+            (std::filesystem::path(dir) / art.path).string();
+        if (!std::filesystem::exists(full))
+          return Status::IOError("manifest lists missing artifact: " + full);
+        artifacts.emplace(key, std::move(art));
+      } else if (tag == "serving") {
+        std::string name;
+        int version = 0;
+        ls >> name >> version;
+        if (!ls || name.empty() || version <= 0)
+          return Status::InvalidArgument(
+              "malformed serving line " + std::to_string(lineno) + ": " +
+              line);
+        if (!artifacts.count(VersionKey(name, version)))
+          return Status::InvalidArgument(
+              "serving line points at unknown version: " +
+              VersionKey(name, version));
+        serving[name] = version;
+      } else {
+        return Status::InvalidArgument("unknown manifest tag '" + tag +
+                                       "' on line " + std::to_string(lineno));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Caller holds mu.
+  int LatestVersionLocked(const std::string& name) const {
+    int latest = 0;
+    for (const auto& [key, art] : artifacts)
+      if (art.name == name && art.version > latest) latest = art.version;
+    return latest;
+  }
+};
+
+Result<ModelRegistry> ModelRegistry::Open(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir))
+    return Status::IOError("not a registry directory: " + dir);
+  ModelRegistry reg;
+  reg.state_ = std::make_shared<State>();
+  reg.state_->dir = dir;
+  XAI_RETURN_NOT_OK(reg.state_->ReadManifest());
+  return reg;
+}
+
+Result<ModelRegistry> ModelRegistry::OpenOrCreate(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create registry dir: " + dir);
+  const std::string manifest =
+      (std::filesystem::path(dir) / kManifestFile).string();
+  if (!std::filesystem::exists(manifest)) {
+    std::ofstream out(manifest);
+    if (!out) return Status::IOError("cannot create manifest: " + manifest);
+    out << kManifestMagic << "\n";
+  }
+  return Open(dir);
+}
+
+const std::string& ModelRegistry::dir() const { return state_->dir; }
+
+Result<ModelArtifact> ModelRegistry::Add(const Model& model,
+                                         const std::string& name) {
+  if (name.empty() || name.find_first_of(" \t@/") != std::string::npos)
+    return Status::InvalidArgument("bad model name: '" + name + "'");
+  XAI_ASSIGN_OR_RETURN(std::string kind, ModelKindOf(model));
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  ModelArtifact art;
+  art.name = name;
+  art.version = st.LatestVersionLocked(name) + 1;
+  art.kind = kind;
+  art.path = name + ".v" + std::to_string(art.version) + ".model";
+  const std::string full = (std::filesystem::path(st.dir) / art.path).string();
+  XAI_RETURN_NOT_OK(SaveModel(model, full));
+  XAI_ASSIGN_OR_RETURN(art.fingerprint, FileFingerprint(full));
+  st.artifacts.emplace(VersionKey(art.name, art.version), art);
+  if (!st.serving.count(name)) st.serving[name] = art.version;
+  XAI_RETURN_NOT_OK(st.WriteManifestLocked());
+  return art;
+}
+
+Result<ModelHandle> ModelRegistry::Get(const std::string& name,
+                                       int version) const {
+  State& st = *state_;
+  const std::string key = VersionKey(name, version);
+  ModelArtifact art;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    auto it = st.artifacts.find(key);
+    if (it == st.artifacts.end())
+      return Status::NotFound("no such model version: " + key);
+    auto cached = st.loaded.find(key);
+    if (cached != st.loaded.end()) {
+      ModelHandle::Meta meta;
+      meta.name = name;
+      meta.version = version;
+      meta.kind = it->second.kind;
+      meta.fingerprint = it->second.fingerprint;
+      return ModelHandle(cached->second, std::move(meta));
+    }
+    art = it->second;
+  }
+  // Load outside the lock — artifacts can be large.
+  const std::string full = (std::filesystem::path(st.dir) / art.path).string();
+  XAI_ASSIGN_OR_RETURN(uint64_t fp, FileFingerprint(full));
+  if (fp != art.fingerprint)
+    return Status::InvalidArgument(
+        "artifact fingerprint mismatch for " + key + " (file " + full +
+        " changed since it was registered)");
+  XAI_ASSIGN_OR_RETURN(std::string file_kind, PeekModelType(full));
+  if (file_kind != art.kind)
+    return Status::InvalidArgument("artifact kind mismatch for " + key +
+                                   ": manifest says " + art.kind +
+                                   ", file says " + file_kind);
+  XAI_ASSIGN_OR_RETURN(std::unique_ptr<Model> model, LoadAnyModel(full));
+  std::shared_ptr<const Model> shared(std::move(model));
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    // First loader wins if two threads raced.
+    auto [it, inserted] = st.loaded.emplace(key, shared);
+    if (!inserted) shared = it->second;
+  }
+  ModelHandle::Meta meta;
+  meta.name = name;
+  meta.version = version;
+  meta.kind = art.kind;
+  meta.fingerprint = art.fingerprint;
+  return ModelHandle(std::move(shared), std::move(meta));
+}
+
+Result<ModelHandle> ModelRegistry::Resolve(const std::string& spec) const {
+  const size_t at = spec.rfind('@');
+  if (at == std::string::npos) return Serving(spec);
+  const std::string name = spec.substr(0, at);
+  int version = 0;
+  std::istringstream vs(spec.substr(at + 1));
+  vs >> version;
+  if (!vs || version <= 0 || !vs.eof())
+    return Status::InvalidArgument("bad version in spec: '" + spec + "'");
+  return Get(name, version);
+}
+
+Result<ModelHandle> ModelRegistry::Serving(const std::string& name) const {
+  State& st = *state_;
+  int version = 0;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    auto it = st.serving.find(name);
+    version = it != st.serving.end() ? it->second
+                                     : st.LatestVersionLocked(name);
+  }
+  if (version == 0) return Status::NotFound("no versions of model: " + name);
+  return Get(name, version);
+}
+
+Status ModelRegistry::SetServing(const std::string& name, int version) {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.artifacts.count(VersionKey(name, version)))
+    return Status::NotFound("no such model version: " +
+                            VersionKey(name, version));
+  st.serving[name] = version;
+  return st.WriteManifestLocked();
+}
+
+std::vector<ModelArtifact> ModelRegistry::List() const {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::vector<ModelArtifact> out;
+  out.reserve(st.artifacts.size());
+  for (const auto& [key, art] : st.artifacts) out.push_back(art);
+  // Map keys sort "m@10" before "m@2"; order numerically instead.
+  std::sort(out.begin(), out.end(),
+            [](const ModelArtifact& a, const ModelArtifact& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : a.version < b.version;
+            });
+  return out;
+}
+
+int ModelRegistry::LatestVersion(const std::string& name) const {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.LatestVersionLocked(name);
+}
+
+Result<uint64_t> FileFingerprint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for fingerprint: " + path);
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis.
+  char buf[1 << 14];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ULL;  // FNV prime.
+    }
+    if (!in) break;
+  }
+  return h;
+}
+
+}  // namespace xai

@@ -1,0 +1,148 @@
+#ifndef XAIDB_MODEL_REGISTRY_H_
+#define XAIDB_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/model.h"
+
+namespace xai {
+
+/// A refcounted reference to one loaded model version. Handles are what
+/// the serving layer passes around instead of raw `const Model&`: every
+/// in-flight request captures the handle it started on, so a hot-swap can
+/// flip the serving version atomically while old requests finish on the
+/// version they were admitted under — the last handle to a version keeps
+/// it alive, and it is destroyed when the refcount drains.
+///
+/// `fingerprint()` identifies the exact artifact bytes (or, for borrowed
+/// in-memory models, the exact instance). It feeds ExplainerConfig::
+/// model_fingerprint, which makes coalescing keys and coalition-cache
+/// entries version-specific: requests against different versions never
+/// share a batch or a cached coalition value.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+
+  /// Wraps a caller-owned in-memory model (no registry, no artifact).
+  /// The caller must keep `model` alive for the handle's lifetime. The
+  /// fingerprint is derived from the instance address and version, so two
+  /// borrows of the same object with the same version agree.
+  static ModelHandle Borrow(const Model& model, std::string name = "model",
+                            int version = 1);
+
+  /// Takes ownership of an in-memory model (no artifact on disk).
+  static ModelHandle Adopt(std::unique_ptr<Model> model,
+                           std::string name = "model", int version = 1);
+
+  bool valid() const { return model_ != nullptr; }
+  const Model& model() const { return *model_; }
+  const Model* get() const { return model_.get(); }
+
+  const std::string& name() const { return meta_->name; }
+  int version() const { return meta_->version; }
+  /// Artifact kind ("gbdt", "linear", ...); "adhoc" for models with no
+  /// artifact form (LambdaModel borrows).
+  const std::string& kind() const { return meta_->kind; }
+  uint64_t fingerprint() const { return meta_->fingerprint; }
+
+  /// "name@version" — the registry's unit of identity.
+  std::string VersionedName() const;
+
+  /// Number of live references to this version (including this one).
+  long use_count() const { return model_.use_count(); }
+
+ private:
+  friend class ModelRegistry;
+  struct Meta {
+    std::string name;
+    std::string kind;
+    int version = 0;
+    uint64_t fingerprint = 0;
+  };
+  ModelHandle(std::shared_ptr<const Model> model, Meta meta);
+
+  std::shared_ptr<const Model> model_;
+  std::shared_ptr<const Meta> meta_;
+};
+
+/// One manifest row: a named, versioned, fingerprinted artifact on disk.
+struct ModelArtifact {
+  std::string name;
+  int version = 0;
+  std::string kind;        // Artifact type string (serialize.h).
+  uint64_t fingerprint = 0;  // FNV-1a over the artifact file's bytes.
+  std::string path;        // Relative to the registry directory.
+};
+
+/// Versioned on-disk model store. A registry directory holds one artifact
+/// file per model version plus a `MANIFEST` listing them:
+///
+///   xaidb_registry v1
+///   model <name> <version> <kind> <fingerprint-hex> <relpath>
+///   serving <name> <version>
+///
+/// `Add` serializes a model as the next version of a name; `Get` loads an
+/// artifact (verifying kind against the file header and fingerprint
+/// against the file bytes) and hands out refcounted ModelHandles. Loaded
+/// versions are cached, so every handle to `name@version` shares one
+/// in-memory instance. `serving` lines record which version a name serves
+/// by default; flipping it (SetServing) is the registry half of a
+/// hot-swap — the in-process half is ExplanationService::SwapModel.
+///
+/// The registry object is a shared reference to common state: copies see
+/// each other's additions. Open/Get/Add/SetServing are thread-safe.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Opens an existing registry directory; fails if the manifest is
+  /// missing, malformed, lists a missing artifact file, or contains a
+  /// duplicate name@version.
+  static Result<ModelRegistry> Open(const std::string& dir);
+
+  /// Opens, creating the directory and an empty manifest if absent.
+  static Result<ModelRegistry> OpenOrCreate(const std::string& dir);
+
+  bool valid() const { return state_ != nullptr; }
+  const std::string& dir() const;
+
+  /// Serializes `model` as the next version of `name` (1 + latest, or 1),
+  /// fingerprints the written file, appends it to the manifest, and makes
+  /// it the serving version if the name had none.
+  Result<ModelArtifact> Add(const Model& model, const std::string& name);
+
+  /// Loads (or returns the cached) name@version. Verifies the artifact's
+  /// header kind matches the manifest and the file bytes still hash to the
+  /// manifest fingerprint, so a corrupted or swapped-out file is rejected.
+  Result<ModelHandle> Get(const std::string& name, int version) const;
+
+  /// Resolves "name" (serving version, else latest) or "name@version".
+  Result<ModelHandle> Resolve(const std::string& spec) const;
+
+  /// The version `name` currently serves (serving line, else latest).
+  Result<ModelHandle> Serving(const std::string& name) const;
+
+  /// Marks name@version as the serving version and persists the manifest.
+  Status SetServing(const std::string& name, int version);
+
+  /// All artifacts, ordered by (name, version).
+  std::vector<ModelArtifact> List() const;
+
+  /// Latest registered version of `name`, or 0 if none.
+  int LatestVersion(const std::string& name) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// FNV-1a over a file's raw bytes — the registry's artifact fingerprint.
+Result<uint64_t> FileFingerprint(const std::string& path);
+
+}  // namespace xai
+
+#endif  // XAIDB_MODEL_REGISTRY_H_

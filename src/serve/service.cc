@@ -34,6 +34,28 @@ ExplainerConfig ApplyBudget(ExplainerConfig c, ExplainerKind kind,
   return c;
 }
 
+/// Folds the request arity into a config fingerprint — requests of
+/// different width can never share a sweep's Matrix.
+uint64_t MixArity(uint64_t fp, size_t arity) {
+  return fp ^ (0x9e3779b97f4a7c15ULL * (arity + 1));
+}
+
+/// FNV-1a over a row's raw bytes, for the warm-history dedup set.
+uint64_t HashRow(const std::vector<double>& row) {
+  uint64_t h = 14695981039346656037ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(row.data());
+  for (size_t i = 0; i < row.size() * sizeof(double); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool IsShapleyFamily(ExplainerKind kind) {
+  return kind == ExplainerKind::kKernelShap ||
+         kind == ExplainerKind::kMcShapley;
+}
+
 }  // namespace
 
 struct ExplanationService::Pending {
@@ -43,7 +65,16 @@ struct ExplanationService::Pending {
   Clock::time_point submit_time;
   Clock::time_point deadline;  // time_point::max() when none
   uint64_t seq = 0;
+  /// Full coalescing key: family fingerprint with the model version baked
+  /// in, plus arity. Only requests captured on the same version coalesce.
   uint64_t key = 0;
+  /// Version-agnostic family key (model_fingerprint zeroed) — indexes the
+  /// shared-across-swaps coalition cache and warm history.
+  uint64_t family_key = 0;
+  /// The serving version captured at Submit. Holding it here is what
+  /// guarantees the request is evaluated on the version it was admitted
+  /// under, even if a swap flips the serving handle while it queues.
+  ModelHandle handle;
   /// Filled in as the request moves through the pipeline; trace_id is
   /// assigned at Submit, queue_ms/sweep_ms/batch size by the dispatcher.
   ExplanationBreakdown breakdown;
@@ -67,15 +98,17 @@ struct ExplanationService::Pending {
   }
 };
 
-ExplanationService::ExplanationService(const Model& model,
+ExplanationService::ExplanationService(ModelHandle model,
                                        const Dataset& background,
                                        ExplanationServiceOptions opts)
-    : model_(model),
+    : serving_(std::make_shared<const ModelHandle>(std::move(model))),
       background_(background),
       opts_(std::move(opts)),
       paused_(opts_.start_paused) {
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
   if (opts_.max_batch == 0) opts_.max_batch = 1;
+  stats_.model_version = serving_.load()->version();
+  XAI_OBS_GAUGE_SET("serve.model_version", stats_.model_version);
   dispatcher_ = std::thread([this] { RunDispatcher(); });
 }
 
@@ -88,9 +121,15 @@ std::unique_ptr<ExplanationService::Pending> ExplanationService::MakePending(
   p->deadline = req.timeout.count() > 0 ? p->submit_time + req.timeout
                                         : Clock::time_point::max();
   p->cb = std::move(cb);
-  p->key = ApplyBudget(opts_.config, req.kind, req.budget)
-               .Fingerprint(req.kind) ^
-           (0x9e3779b97f4a7c15ULL * (req.instance.size() + 1));
+  // Capture the serving version now: the request is evaluated against
+  // exactly this handle no matter how many swaps land while it queues.
+  p->handle = *serving_.load();
+  ExplainerConfig cfg = ApplyBudget(opts_.config, req.kind, req.budget);
+  cfg.model_fingerprint = 0;  // family key: any version
+  p->family_key = MixArity(cfg.Fingerprint(req.kind), req.instance.size());
+  cfg.model_fingerprint = p->handle.fingerprint();
+  p->key = MixArity(cfg.Fingerprint(req.kind), req.instance.size());
+  p->breakdown.model_version = p->handle.version();
   p->req = std::move(req);
   // Trace-context propagation starts here: the request's id is minted on
   // the submitting thread, its async span opens on this thread, and the
@@ -173,6 +212,120 @@ void ExplanationService::Shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+ModelHandle ExplanationService::serving_model() const {
+  return *serving_.load();
+}
+
+Result<ModelSwapReport> ExplanationService::SwapModel(
+    ModelHandle next, ModelSwapOptions swap_opts) {
+  if (!next.valid())
+    return Status::InvalidArgument("SwapModel: invalid model handle");
+  if (next.model().num_features() != 0 && background_.d() != 0 &&
+      next.model().num_features() != background_.d())
+    return Status::InvalidArgument(
+        "SwapModel: incoming model expects " +
+        std::to_string(next.model().num_features()) + " features, service " +
+        "background has " + std::to_string(background_.d()));
+  // One swap at a time; the dispatcher keeps serving the old version
+  // throughout — we only take mu_ for short map snapshots/inserts.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  const ModelHandle prev = *serving_.load();
+
+  ModelSwapReport report;
+  report.from = prev.VersionedName();
+  report.to = next.VersionedName();
+  obs::Stopwatch warm_timer;
+
+  // Snapshot every coalescing family seen so far, with its recent rows.
+  struct FamilySnapshot {
+    uint64_t family_key = 0;
+    ExplainerKind kind = ExplainerKind::kKernelShap;
+    int budget = 0;
+    size_t arity = 0;
+    std::vector<std::vector<double>> rows;
+  };
+  std::vector<FamilySnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(families_.size());
+    for (const auto& [fkey, hist] : families_) {
+      FamilySnapshot fs;
+      fs.family_key = fkey;
+      fs.kind = hist.kind;
+      fs.budget = hist.budget;
+      fs.arity = hist.arity;
+      const size_t take = std::min(swap_opts.warm_rows, hist.rows.size());
+      fs.rows.assign(hist.rows.end() - static_cast<long>(take),
+                     hist.rows.end());
+      snapshot.push_back(std::move(fs));
+    }
+  }
+
+  // Build (validating!) and warm the incoming version's explainer for
+  // every family BEFORE the flip. A family the new model cannot serve —
+  // treeshap over a non-tree model, say — rejects the whole swap here,
+  // with the old version still serving and nothing mutated.
+  std::vector<std::pair<uint64_t, ExplainerEntry>> built;
+  built.reserve(snapshot.size());
+  for (FamilySnapshot& fs : snapshot) {
+    ExplainerConfig cfg = ApplyBudget(opts_.config, fs.kind, fs.budget);
+    cfg.model_fingerprint = next.fingerprint();
+    cfg.cache = FamilyCache(fs.kind, fs.family_key);
+    const uint64_t key = MixArity(cfg.Fingerprint(fs.kind), fs.arity);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (explainers_.count(key)) continue;  // re-swap to a known version
+    }
+    auto ex = MakeExplainer(fs.kind, next, background_, cfg);
+    if (!ex.ok())
+      return Status::InvalidArgument(
+          "SwapModel: incoming model " + next.VersionedName() +
+          " cannot serve family '" + ExplainerKindName(fs.kind) +
+          "': " + ex.status().message());
+    if (!fs.rows.empty()) {
+      Matrix rows(fs.rows.size(), fs.arity);
+      for (size_t i = 0; i < fs.rows.size(); ++i) rows.SetRow(i, fs.rows[i]);
+      // Warming replay: populates the family's shared coalition cache
+      // with new-version entries (distinct keyspace — the eval engine's
+      // context fingerprint covers the model identity) while the old
+      // version still answers live traffic. Attribution output discarded.
+      Result<std::vector<FeatureAttribution>> warmed =
+          ex.value()->ExplainBatch(rows);
+      if (!warmed.ok())
+        return Status::InvalidArgument(
+            "SwapModel: warming failed for family '" +
+            std::string(ExplainerKindName(fs.kind)) +
+            "': " + warmed.status().message());
+      report.warmed_rows += fs.rows.size();
+    }
+    ExplainerEntry entry;
+    entry.explainer = std::move(ex).value();
+    entry.handle = next;
+    built.emplace_back(key, std::move(entry));
+    ++report.warmed_families;
+  }
+
+  // Publish the pre-built explainers, then flip. Requests captured before
+  // the store keep their old handle (and old-version explainers, which
+  // stay in explainers_ for as long as they might be needed); requests
+  // captured after see only `next`.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, entry] : built)
+      explainers_.emplace(key, std::move(entry));
+  }
+  serving_.store(std::make_shared<const ModelHandle>(next));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.swaps;
+    stats_.model_version = next.version();
+  }
+  XAI_OBS_COUNT("serve.swaps");
+  XAI_OBS_GAUGE_SET("serve.model_version", next.version());
+  report.warm_ms = warm_timer.ElapsedUs() * 1e-3;
+  return report;
+}
+
 ExplanationServiceStats ExplanationService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ExplanationServiceStats out = stats_;
@@ -228,27 +381,45 @@ void ExplanationService::RunDispatcher() {
   }
 }
 
+std::shared_ptr<CoalitionValueCache> ExplanationService::FamilyCache(
+    ExplainerKind kind, uint64_t family_key) {
+  // One memo cache per coalescing *family*, shared by every model version
+  // the family serves: instances repeated across batches (and across a
+  // hot-swap's warming pass) hit instead of re-evaluating the model. Only
+  // the Shapley families route coalition values through the engine;
+  // building caches for the others would just pad the stats with dead
+  // capacity.
+  if (opts_.cache_size == 0 || !IsShapleyFamily(kind)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = caches_.find(family_key);
+  if (it != caches_.end()) return it->second;
+  auto cache = std::make_shared<CoalitionValueCache>(opts_.cache_size);
+  caches_.emplace(family_key, cache);
+  return cache;
+}
+
 Result<AttributionExplainer*> ExplanationService::GetExplainer(
-    ExplainerKind kind, int budget, uint64_t key) {
-  auto it = explainers_.find(key);
-  if (it != explainers_.end()) return it->second.get();
-  ExplainerConfig cfg = ApplyBudget(opts_.config, kind, budget);
-  // One memo cache per coalescing key: every sweep the key's explainer
-  // runs shares it, so instances repeated across batches hit instead of
-  // re-evaluating the model. Only the Shapley families route coalition
-  // values through the engine; building caches for the others would just
-  // pad the stats with dead capacity.
-  if (opts_.cache_size > 0 && (kind == ExplainerKind::kKernelShap ||
-                               kind == ExplainerKind::kMcShapley)) {
-    cfg.cache = std::make_shared<CoalitionValueCache>(opts_.cache_size);
+    const Pending& leader) {
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    caches_.emplace(key, cfg.cache);
+    auto it = explainers_.find(leader.key);
+    if (it != explainers_.end()) return it->second.explainer.get();
   }
+  const ExplainerKind kind = leader.req.kind;
+  ExplainerConfig cfg = ApplyBudget(opts_.config, kind, leader.req.budget);
+  cfg.model_fingerprint = leader.handle.fingerprint();
+  cfg.cache = FamilyCache(kind, leader.family_key);
   XAI_ASSIGN_OR_RETURN(std::unique_ptr<AttributionExplainer> ex,
-                       MakeExplainer(kind, model_, background_, cfg));
+                       MakeExplainer(kind, leader.handle, background_, cfg));
   AttributionExplainer* raw = ex.get();
-  explainers_.emplace(key, std::move(ex));
-  return raw;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      explainers_.try_emplace(leader.key);
+  if (inserted) {
+    it->second.explainer = std::move(ex);
+    it->second.handle = leader.handle;
+  }
+  return inserted ? raw : it->second.explainer.get();
 }
 
 void ExplanationService::FinishError(
@@ -310,6 +481,9 @@ void ExplanationService::ServeBatch(
 
   // Publish stats BEFORE fulfilling any promise: a caller that observed
   // its future resolve must see this batch already reflected in stats().
+  // The same critical section records this batch's unique rows into the
+  // family's warm history — the instances SwapModel replays against an
+  // incoming model version.
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
@@ -317,6 +491,23 @@ void ExplanationService::ServeBatch(
     stats_.expired += expired.size();
     stats_.completed += live.size();
     stats_.coalesced_duplicates += n_duplicates;
+    if (!live.empty()) {
+      FamilyHistory& hist = families_[live[0]->family_key];
+      hist.kind = live[0]->req.kind;
+      hist.budget = live[0]->req.budget;
+      hist.arity = live[0]->req.instance.size();
+      for (const std::vector<double>* row : unique_rows) {
+        if (!hist.seen.insert(HashRow(*row)).second) continue;
+        if (hist.rows.size() < kHistoryCap) {
+          hist.rows.push_back(*row);
+        } else {
+          // Ring overwrite; drop the evictee's hash so it can re-enter.
+          hist.seen.erase(HashRow(hist.rows[hist.next]));
+          hist.rows[hist.next] = *row;
+          hist.next = (hist.next + 1) % kHistoryCap;
+        }
+      }
+    }
   }
 
   FinishError(expired, Status::DeadlineExceeded(
@@ -343,8 +534,7 @@ void ExplanationService::ServeBatch(
     }
   }
 
-  Result<AttributionExplainer*> ex =
-      GetExplainer(live[0]->req.kind, live[0]->req.budget, live[0]->key);
+  Result<AttributionExplainer*> ex = GetExplainer(*live[0]);
   if (!ex.ok()) {
     FinishError(live, ex.status());
     return;

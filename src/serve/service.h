@@ -1,6 +1,7 @@
 #ifndef XAIDB_SERVE_SERVICE_H_
 #define XAIDB_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -8,8 +9,10 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -17,6 +20,7 @@
 #include "data/dataset.h"
 #include "feature/explainer_factory.h"
 #include "model/model.h"
+#include "model/registry.h"
 
 namespace xai {
 
@@ -83,6 +87,11 @@ struct ExplanationBreakdown {
   /// Flight-recorder id linking this request's trace events across
   /// threads; 0 when tracing is off or the request was sampled out.
   uint64_t trace_id = 0;
+  /// Version of the model this request was evaluated against — the one it
+  /// captured at Submit, which a concurrent hot-swap cannot change. The
+  /// swap bench groups responses by this to check per-version
+  /// bit-identity through a live flip.
+  int model_version = 0;
 };
 
 /// What a completed request resolves to: the attribution plus the
@@ -113,6 +122,29 @@ struct ExplanationServiceStats {
   /// samples on every enqueue/dequeue; visible here so callers that poll
   /// stats() see saturation before wait-time histograms degrade.
   uint64_t queue_depth = 0;
+  /// Completed hot-swaps (SwapModel calls that flipped the serving
+  /// handle).
+  uint64_t swaps = 0;
+  /// Version of the currently-serving model (also exported as the
+  /// serve.model_version gauge, so a Prometheus scrape shows the flip).
+  int model_version = 0;
+};
+
+/// Knobs for ExplanationService::SwapModel.
+struct ModelSwapOptions {
+  /// Max recent unique instances replayed per coalescing family to warm
+  /// the incoming version's explainers and coalition caches before the
+  /// flip. 0 skips warming (cold flip).
+  size_t warm_rows = 64;
+};
+
+/// What a completed hot-swap did, for logs and the swap bench.
+struct ModelSwapReport {
+  std::string from;  ///< VersionedName of the outgoing model.
+  std::string to;    ///< VersionedName of the incoming model.
+  size_t warmed_families = 0;  ///< Coalescing families pre-built + warmed.
+  size_t warmed_rows = 0;      ///< Recent instances replayed in total.
+  double warm_ms = 0.0;        ///< Wall time spent building + warming.
 };
 
 /// Async explanation service: bounded MPSC queue in front of a single
@@ -125,11 +157,22 @@ struct ExplanationServiceStats {
 ///
 /// Lifecycle: the destructor drains — every accepted request is completed
 /// (evaluated or expired), never dropped.
+///
+/// Hot-swap: SwapModel warms an incoming model version behind the
+/// currently-serving one, then flips the serving handle atomically.
+/// Every request captures the serving handle at Submit and is evaluated
+/// against exactly that version — in-flight requests finish on the
+/// version they started on, kept alive by the handle's refcount. Because
+/// the coalescing key includes the model fingerprint, pre- and post-swap
+/// requests never share a batch or a cached result; old-version cache
+/// entries age out through the coalition cache's CLOCK eviction.
 class ExplanationService {
  public:
   using Callback = std::function<void(const Result<ExplanationResponse>&)>;
 
-  ExplanationService(const Model& model, const Dataset& background,
+  /// `model` is the initially-serving version — a registry handle, or
+  /// ModelHandle::Borrow(...) around a caller-owned in-memory model.
+  ExplanationService(ModelHandle model, const Dataset& background,
                      ExplanationServiceOptions opts = {});
   ~ExplanationService();
 
@@ -157,10 +200,48 @@ class ExplanationService {
   /// and joins the dispatcher. Idempotent.
   void Shutdown();
 
+  /// Zero-downtime hot-swap to `next`. While the old version keeps
+  /// serving: builds an explainer for `next` in every coalescing family
+  /// seen so far (validating compatibility — a family that cannot be
+  /// rebuilt, e.g. treeshap over a non-tree model, rejects the swap
+  /// before anything changes), replays up to warm_rows recent unique
+  /// instances per family so the incoming version's coalition-cache
+  /// entries are hot, then atomically flips the serving handle. Requests
+  /// submitted before the flip finish on the old version; requests after
+  /// see only the new one. Thread-safe; concurrent swaps serialize.
+  Result<ModelSwapReport> SwapModel(ModelHandle next,
+                                    ModelSwapOptions swap_opts = {});
+
+  /// The currently-serving model version (what a Submit issued now would
+  /// capture).
+  ModelHandle serving_model() const;
+
   ExplanationServiceStats stats() const;
 
  private:
   struct Pending;
+
+  /// An explainer bound to one (coalescing family, model version). The
+  /// handle keeps that version alive for as long as the explainer that
+  /// borrows it exists — an old version swapped out mid-flight stays
+  /// valid until its last entry (and last in-flight request) is gone.
+  struct ExplainerEntry {
+    std::unique_ptr<AttributionExplainer> explainer;
+    ModelHandle handle;
+  };
+
+  /// Per-family record of recently-served unique instances, replayed by
+  /// SwapModel to warm the incoming version. Keyed by the *family* key
+  /// (model_fingerprint zeroed), so history survives swaps.
+  struct FamilyHistory {
+    ExplainerKind kind = ExplainerKind::kKernelShap;
+    int budget = 0;
+    size_t arity = 0;
+    std::vector<std::vector<double>> rows;  // ring, capacity kHistoryCap
+    std::unordered_set<uint64_t> seen;      // row hashes, for dedup
+    size_t next = 0;
+  };
+  static constexpr size_t kHistoryCap = 128;
 
   std::unique_ptr<Pending> MakePending(ExplanationRequest req,
                                        Callback cb) const;
@@ -169,10 +250,15 @@ class ExplanationService {
   void ServeBatch(std::vector<std::unique_ptr<Pending>> batch);
   static void FinishError(std::vector<std::unique_ptr<Pending>>& batch,
                           const Status& status);
-  Result<AttributionExplainer*> GetExplainer(ExplainerKind kind, int budget,
-                                             uint64_t key);
+  Result<AttributionExplainer*> GetExplainer(const Pending& leader);
+  /// The family's shared coalition cache, created on first use (Shapley
+  /// families only, nullptr otherwise). Guarded by mu_ internally.
+  std::shared_ptr<CoalitionValueCache> FamilyCache(ExplainerKind kind,
+                                                   uint64_t family_key);
 
-  const Model& model_;
+  /// The serving version. Atomic shared_ptr: Submit loads it lock-free,
+  /// SwapModel stores the replacement after warming.
+  std::atomic<std::shared_ptr<const ModelHandle>> serving_;
   const Dataset& background_;
   ExplanationServiceOptions opts_;
 
@@ -184,13 +270,23 @@ class ExplanationService {
   bool shutdown_ = false;
   uint64_t next_seq_ = 0;
 
-  /// Dispatcher-only: explainers cached per coalescing key.
-  std::unordered_map<uint64_t, std::unique_ptr<AttributionExplainer>>
-      explainers_;
-  /// One coalition-value cache per coalescing key (Shapley families only),
-  /// kept here so stats() can report totals. Guarded by mu_; the caches
-  /// themselves are internally synchronized.
+  /// Serializes SwapModel calls (never held while mu_ is wanted by the
+  /// dispatcher for long — warming runs outside mu_).
+  std::mutex swap_mu_;
+
+  /// Explainers cached per full coalescing key (family + model version).
+  /// Guarded by mu_ for map access; a looked-up explainer runs outside
+  /// the lock (dispatcher or warming thread, never both — pre-flip only
+  /// the swap thread touches new-version entries).
+  std::unordered_map<uint64_t, ExplainerEntry> explainers_;
+  /// One coalition-value cache per coalescing *family* (Shapley families
+  /// only), shared across model versions: a swap warms new-version
+  /// entries into the same cache while stale-version entries age out via
+  /// CLOCK eviction. Kept here so stats() can report totals. Guarded by
+  /// mu_; the caches themselves are internally synchronized.
   std::unordered_map<uint64_t, std::shared_ptr<CoalitionValueCache>> caches_;
+  /// Recent-instance history per family, for swap warming. Guarded by mu_.
+  std::unordered_map<uint64_t, FamilyHistory> families_;
 
   ExplanationServiceStats stats_;  // guarded by mu_
 

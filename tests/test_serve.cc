@@ -51,6 +51,12 @@ class ServeTest : public ::testing::Test {
     return config;
   }
 
+  /// Borrowed handle around the shared GBDT — what every service /
+  /// factory call site passes now that both take ModelHandle.
+  static ModelHandle Handle() {
+    return ModelHandle::Borrow(*gbdt_, "gbdt", 1);
+  }
+
   static ExplanationRequest Request(size_t row, ExplainerKind kind) {
     ExplanationRequest req;
     req.instance = ds_->row(row);
@@ -77,13 +83,13 @@ TEST_F(ServeTest, ExplainBatchBitIdenticalAllFamilies) {
        {ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
         ExplainerKind::kLime, ExplainerKind::kMcShapley}) {
     SCOPED_TRACE(ExplainerKindName(kind));
-    auto batch_ex = MakeExplainer(kind, *gbdt_, *ds_, FastConfig());
+    auto batch_ex = MakeExplainer(kind, Handle(), *ds_, FastConfig());
     ASSERT_TRUE(batch_ex.ok());
     auto batch = (*batch_ex)->ExplainBatch(rows);
     ASSERT_TRUE(batch.ok());
     ASSERT_EQ(batch->size(), kRows);
     // Fresh explainer for the solo side so no state leaks between paths.
-    auto solo_ex = MakeExplainer(kind, *gbdt_, *ds_, FastConfig());
+    auto solo_ex = MakeExplainer(kind, Handle(), *ds_, FastConfig());
     ASSERT_TRUE(solo_ex.ok());
     for (size_t i = 0; i < kRows; ++i) {
       auto solo = (*solo_ex)->Explain(ds_->row(i));
@@ -100,7 +106,8 @@ TEST_F(ServeTest, ExplainBatchBitIdenticalAllFamilies) {
 TEST_F(ServeTest, FactoryRejectsTreeShapOnNonTreeModel) {
   auto logistic = LogisticRegression::Fit(*ds_, {});
   ASSERT_TRUE(logistic.ok());
-  auto ex = MakeExplainer(ExplainerKind::kTreeShap, *logistic, *ds_, {});
+  auto ex = MakeExplainer(ExplainerKind::kTreeShap,
+                          ModelHandle::Borrow(*logistic), *ds_, {});
   ASSERT_FALSE(ex.ok());
   EXPECT_EQ(ex.status().code(), StatusCode::kInvalidArgument);
 }
@@ -141,7 +148,7 @@ TEST_F(ServeTest, CoalescedEqualsSoloBitIdentical) {
     ExplanationServiceOptions opts;
     opts.config = FastConfig();
     opts.coalesce = false;
-    ExplanationService service(*gbdt_, *ds_, opts);
+    ExplanationService service(Handle(), *ds_, opts);
     for (size_t i = 0; i < 6; ++i) {
       auto r = service.Submit(Request(i % 3, ExplainerKind::kKernelShap))
                    .get();
@@ -153,7 +160,7 @@ TEST_F(ServeTest, CoalescedEqualsSoloBitIdentical) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.start_paused = true;
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 6; ++i)
     futures.push_back(service.Submit(Request(i % 3, ExplainerKind::kKernelShap)));
@@ -183,7 +190,7 @@ TEST_F(ServeTest, MixedKindsNeverCoalesceTogether) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.start_paused = true;
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 4; ++i)
     futures.push_back(service.Submit(Request(
@@ -199,7 +206,7 @@ TEST_F(ServeTest, BudgetOverrideChangesResultAndKey) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.start_paused = true;
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   ExplanationRequest a = Request(0, ExplainerKind::kMcShapley);
   ExplanationRequest b = Request(0, ExplainerKind::kMcShapley);
   b.budget = 25;  // different permutation budget -> must not coalesce
@@ -223,7 +230,7 @@ TEST_F(ServeTest, DeadlineExpiryIsTypedError) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.start_paused = true;  // hold the queue so the deadline passes
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   ExplanationRequest req = Request(0, ExplainerKind::kTreeShap);
   req.timeout = std::chrono::milliseconds(5);
   auto fut = service.Submit(std::move(req));
@@ -240,7 +247,7 @@ TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.start_paused = true;
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 8; ++i)
     futures.push_back(service.Submit(Request(i, ExplainerKind::kTreeShap)));
@@ -257,7 +264,7 @@ TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
 TEST_F(ServeTest, SubmitAfterShutdownIsUnavailable) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   service.Shutdown();
   auto fut = service.Submit(Request(0, ExplainerKind::kTreeShap));
   auto r = fut.get();
@@ -273,7 +280,7 @@ TEST_F(ServeTest, TrySubmitReportsFullQueue) {
   opts.config = FastConfig();
   opts.queue_capacity = 2;
   opts.start_paused = true;  // nothing drains, so the queue genuinely fills
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<std::future<Result<ExplanationResponse>>> futures;
   for (size_t i = 0; i < 2; ++i) {
     auto r = service.TrySubmit(Request(i, ExplainerKind::kTreeShap));
@@ -293,7 +300,7 @@ TEST_F(ServeTest, PriorityOrdersServing) {
   opts.config = FastConfig();
   opts.start_paused = true;
   opts.max_batch = 1;  // serve strictly one at a time
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<int> order;
   std::mutex order_mu;
   std::vector<std::future<Result<ExplanationResponse>>> futures;
@@ -319,7 +326,7 @@ TEST_F(ServeTest, PriorityOrdersServing) {
 TEST_F(ServeTest, CallbackAndFutureBothFire) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::promise<double> cb_base;
   auto cb_future = cb_base.get_future();
   auto fut = service.Submit(Request(0, ExplainerKind::kTreeShap),
@@ -344,11 +351,11 @@ TEST_F(ServeTest, ConcurrentSubmitRace) {
   ExplanationServiceOptions opts;
   opts.config = FastConfig();
   opts.queue_capacity = 16;  // small: exercises backpressure too
-  ExplanationService service(*gbdt_, *ds_, opts);
+  ExplanationService service(Handle(), *ds_, opts);
   std::vector<FeatureAttribution> want;
   {
     auto ex =
-        MakeExplainer(ExplainerKind::kTreeShap, *gbdt_, *ds_, FastConfig());
+        MakeExplainer(ExplainerKind::kTreeShap, Handle(), *ds_, FastConfig());
     ASSERT_TRUE(ex.ok());
     for (size_t i = 0; i < 4; ++i) {
       auto attr = (*ex)->Explain(ds_->row(i));
@@ -393,7 +400,7 @@ TEST_F(ServeTest, ConnectedTraceAcrossThreads) {
   {
     ExplanationServiceOptions opts;
     opts.config = FastConfig();
-    ExplanationService service(*gbdt_, *ds_, opts);
+    ExplanationService service(Handle(), *ds_, opts);
     auto r = service.Submit(Request(0, ExplainerKind::kKernelShap)).get();
     ASSERT_TRUE(r.ok());
     trace_id = r->breakdown.trace_id;
