@@ -171,7 +171,8 @@ void WriteJson(const char* path, size_t rows, size_t threads,
     std::fprintf(f, "     \"max_abs_diff\": %g}%s\n", m.max_abs_diff,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"resources\": %s\n}\n",
+               bench::ResourcesJson().c_str());
   std::fclose(f);
   std::printf("# results written to %s\n", path);
 }

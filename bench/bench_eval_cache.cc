@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"cache\": {\"fill\": %s, \"warm\": %s},\n",
                  bench::CacheStatsJson(fill_stats).c_str(),
                  bench::CacheStatsJson(warm_stats).c_str());
+    std::fprintf(f, "  \"resources\": %s,\n", bench::ResourcesJson().c_str());
     std::fprintf(f, "  \"max_abs_diff\": %g\n}\n", max_abs_diff);
     std::fclose(f);
   } else {

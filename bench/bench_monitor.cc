@@ -265,10 +265,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"slo\": {\"alerts\": %llu},\n",
                static_cast<unsigned long long>(slo.alert_count()));
   std::fprintf(f, "  \"service\": {\"completed\": %llu, \"batches\": %llu, "
-               "\"queue_depth_final\": %llu}\n",
+               "\"queue_depth_final\": %llu},\n",
                static_cast<unsigned long long>(stats.completed),
                static_cast<unsigned long long>(stats.batches),
                static_cast<unsigned long long>(stats.queue_depth));
+  std::fprintf(f, "  \"resources\": %s\n", bench::ResourcesJson().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

@@ -35,6 +35,7 @@
 #include "data/synthetic.h"
 #include "model/gbdt.h"
 #include "model/registry.h"
+#include "obs/audit.h"
 #include "serve/service.h"
 
 using namespace xai;
@@ -245,12 +246,23 @@ double CheckVersions(const PhaseResult& r,
   return max_abs_diff;
 }
 
+/// What replaying the audit ledger against each logged version's solo
+/// references found: the served *history* diffed per version, not just
+/// the in-memory responses.
+struct AuditReplay {
+  uint64_t records = 0;
+  uint64_t v1 = 0, v2 = 0;
+  double max_abs_diff = 0.0;
+  ::xai::obs::AuditLogStats log;
+};
+
 void WriteJson(const char* path, const PhaseResult& cold,
                const PhaseResult& live, const PhaseResult& warm,
                const ModelSwapReport& report,
                const EvalCacheStats& cold_cache,
                const EvalCacheStats& warm_cache, size_t live_v1,
-               size_t live_v2, size_t dropped, double max_abs_diff) {
+               size_t live_v2, size_t dropped, double max_abs_diff,
+               const AuditReplay& ar) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -280,6 +292,17 @@ void WriteJson(const char* path, const PhaseResult& cold,
                bench::CacheStatsJson(cold_cache).c_str(),
                bench::CacheStatsJson(warm_cache).c_str());
   std::fprintf(f, "  \"dropped_requests\": %zu,\n", dropped);
+  std::fprintf(f, "  \"audit\": {\"records\": %llu, \"served_on_v1\": %llu, "
+               "\"served_on_v2\": %llu, \"bytes\": %llu, \"dropped\": %llu, "
+               "\"replay_max_abs_diff\": %g},\n",
+               static_cast<unsigned long long>(ar.records),
+               static_cast<unsigned long long>(ar.v1),
+               static_cast<unsigned long long>(ar.v2),
+               static_cast<unsigned long long>(ar.log.bytes),
+               static_cast<unsigned long long>(ar.log.dropped),
+               ar.max_abs_diff);
+  std::fprintf(f, "  \"resources\": %s,\n",
+               bench::ResourcesJson(ar.log.bytes).c_str());
   std::fprintf(f, "  \"max_abs_diff\": %g\n}\n", max_abs_diff);
   std::fclose(f);
 }
@@ -350,10 +373,25 @@ int main(int argc, char** argv) {
   };
   if (!solo(*h1, solo_v1) || !solo(*h2, solo_v2)) return 1;
 
+  // Audit every served response through the swap: the ledger is what lets
+  // the bench diff served *history* per version afterwards, not just the
+  // responses it happened to hold in memory.
+  const std::string audit_dir =
+      (fs::temp_directory_path() / "xaidb_bench_swap_audit").string();
+  fs::remove_all(audit_dir, ec);
+  auto opened = obs::AuditLog::Open(audit_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "audit open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<obs::AuditLog> audit = std::move(opened).value();
+
   ExplanationServiceOptions opts;
   opts.config = config;
   opts.queue_capacity = kBurst + kLiveThreads;
   opts.max_batch = 64;
+  opts.audit = audit;
   ExplanationService service(*h1, ds, opts);
   const ExplanationServiceStats s0 = service.stats();
 
@@ -363,6 +401,60 @@ int main(int argc, char** argv) {
   const PhaseResult warm = RunBurst(service, ds, kBurst);
   service.Shutdown();
   const ExplanationServiceStats end = service.stats();
+
+  // Replay the served history out of the ledger: every record names the
+  // version that served it, so each logged top-k is diffed against that
+  // version's solo reference for the logged row — pre-flip records
+  // against v1, post-flip against v2, regardless of when they landed.
+  audit->Flush();
+  AuditReplay ar;
+  ar.log = audit->stats();
+  {
+    auto reader = obs::AuditReader::Open(audit_dir);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "audit reader failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
+    const Status scan_st = reader->ForEach(
+        obs::AuditQuery{}, [&](const obs::AuditRecord& rec) {
+          ++ar.records;
+          const std::vector<FeatureAttribution>* ref = nullptr;
+          if (rec.model_version == 1) {
+            ref = &solo_v1;
+            ++ar.v1;
+          } else if (rec.model_version == 2) {
+            ref = &solo_v2;
+            ++ar.v2;
+          }
+          size_t row = kDistinct;
+          for (size_t i = 0; i < kDistinct; ++i) {
+            if (rec.instance == ds.row(i)) {
+              row = i;
+              break;
+            }
+          }
+          if (ref == nullptr || row == kDistinct) {
+            // A record the bench cannot attribute is as bad as a diff.
+            ar.max_abs_diff = std::max(ar.max_abs_diff, 1.0);
+            return;
+          }
+          const FeatureAttribution& want = (*ref)[row];
+          ar.max_abs_diff = std::max(
+              ar.max_abs_diff, std::fabs(want.prediction - rec.prediction));
+          ar.max_abs_diff = std::max(
+              ar.max_abs_diff, std::fabs(want.base_value - rec.base_value));
+          for (const obs::AuditTopAttr& a : rec.top_attr)
+            ar.max_abs_diff =
+                std::max(ar.max_abs_diff,
+                         std::fabs(want.values[a.index] - a.value));
+        });
+    if (!scan_st.ok()) {
+      std::fprintf(stderr, "audit scan failed: %s\n",
+                   scan_st.ToString().c_str());
+      return 1;
+    }
+  }
 
   const EvalCacheStats cold_cache = CacheDelta(s0, cold.stats);
   const EvalCacheStats warm_cache = CacheDelta(live.stats, warm.stats);
@@ -399,11 +491,19 @@ int main(int argc, char** argv) {
              max_abs_diff);
   bench::ReportCacheStats("cache cold", cold_cache);
   bench::ReportCacheStats("cache post-swap", warm_cache);
+  bench::Row("audit ledger: %llu records (v1=%llu, v2=%llu), %llu bytes, "
+             "%llu dropped; served-history replay max_abs_diff %g",
+             static_cast<unsigned long long>(ar.records),
+             static_cast<unsigned long long>(ar.v1),
+             static_cast<unsigned long long>(ar.v2),
+             static_cast<unsigned long long>(ar.log.bytes),
+             static_cast<unsigned long long>(ar.log.dropped),
+             ar.max_abs_diff);
 
   bench::ReportMetrics();
   bench::MaybeWriteTrace(trace_path);
   WriteJson(json_path.c_str(), cold, live, warm, report, cold_cache,
-            warm_cache, live_v1, live_v2, dropped, max_abs_diff);
+            warm_cache, live_v1, live_v2, dropped, max_abs_diff, ar);
 
   bool ok = true;
   if (dropped != 0) {
@@ -441,6 +541,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: post-swap burst over warmed hot rows saw zero "
                  "cache hits\n");
+    ok = false;
+  }
+  if (ar.max_abs_diff != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: audit-ledger replay differs from per-version solo "
+                 "references (max_abs_diff %g)\n", ar.max_abs_diff);
+    ok = false;
+  }
+  if (ar.records != resolved || ar.log.dropped != 0 || ar.v1 == 0 ||
+      ar.v2 == 0) {
+    std::fprintf(stderr,
+                 "FAIL: ledger does not cover the served history "
+                 "(records=%llu vs %zu resolved, dropped=%llu, v1=%llu, "
+                 "v2=%llu)\n",
+                 static_cast<unsigned long long>(ar.records), resolved,
+                 static_cast<unsigned long long>(ar.log.dropped),
+                 static_cast<unsigned long long>(ar.v1),
+                 static_cast<unsigned long long>(ar.v2));
     ok = false;
   }
   return ok ? 0 : 1;

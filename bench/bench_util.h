@@ -1,6 +1,8 @@
 #ifndef XAIDB_BENCH_BENCH_UTIL_H_
 #define XAIDB_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -112,6 +114,41 @@ inline void ReportCacheStats(const char* label,
       static_cast<unsigned long long>(s.misses), 100.0 * s.HitRate(),
       static_cast<unsigned long long>(s.entries),
       static_cast<unsigned long long>(s.evictions));
+}
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// ru_maxrss is KiB; macOS reports bytes directly). 0 when unavailable.
+inline uint64_t PeakRssBytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<uint64_t>(ru.ru_maxrss);
+#else
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+}
+
+/// JSON object fragment recording the process resource footprint, written
+/// into every BENCH_*.json so memory joins the perf trajectory:
+/// {"peak_rss_bytes": .., "peak_rss_mib": ..[, "audit_log_bytes": ..]}.
+/// Pass the ledger's stats().bytes when the bench ran with auditing on.
+inline std::string ResourcesJson(uint64_t audit_log_bytes = 0) {
+  const uint64_t rss = PeakRssBytes();
+  char buf[160];
+  if (audit_log_bytes > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"peak_rss_bytes\": %llu, \"peak_rss_mib\": %.1f, "
+                  "\"audit_log_bytes\": %llu}",
+                  static_cast<unsigned long long>(rss),
+                  static_cast<double>(rss) / (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(audit_log_bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"peak_rss_bytes\": %llu, \"peak_rss_mib\": %.1f}",
+                  static_cast<unsigned long long>(rss),
+                  static_cast<double>(rss) / (1024.0 * 1024.0));
+  }
+  return buf;
 }
 
 /// Writes the merged flight-recorder buffers to `path` (Chrome trace JSON)

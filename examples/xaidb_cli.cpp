@@ -11,6 +11,9 @@
 //             [--trace-json <path>]
 //             [--monitor-port N] [--monitor-period-ms N]
 //             [--monitor-snapshot <path>] [--monitor-scrape <path>]
+//             [--audit-dir <dir>]
+//   xaidb_cli --audit-query <dir>
+//   xaidb_cli --audit-replay <dir> [--registry-dir <dir>] [--model-version N]
 //
 // The CSV format is WriteCsv's: header row, last column = binary target.
 // With no arguments the tool writes a demo CSV to /tmp and explains it —
@@ -69,13 +72,37 @@
 // headless runs; --monitor-scrape performs one self-scrape of /metrics at
 // exit and writes the exposition to a file (implies an ephemeral
 // endpoint when --monitor-port is absent).
+//
+// --audit-dir <dir> (with --serve-demo / --swap-demo) writes every served
+// explanation into the crash-safe audit ledger at <dir>: who asked (row
+// hash + full instance), what answered (model name/version/fingerprint,
+// explainer-config fingerprint), what came back (prediction, base value,
+// top-k attributions) and how long it took. The ledger is flushed and
+// summarized at exit.
+//
+// --audit-query <dir> reads a ledger standalone (no model, no CSV): a
+// per-(model@version, explainer) digest table of counts, latency
+// quantiles and mean top-attribution magnitude, plus a CRC integrity
+// summary (corrupt frames / torn tail bytes).
+//
+// --audit-replay <dir> re-executes every logged request against the
+// model named by --registry-dir/--model-version (or a freshly trained
+// one) using the CLI's serving config, and reports the max absolute
+// difference between replayed and logged values. Against the same model
+// version and config the diff is exactly 0 — the grep-able
+// "max_abs_diff 0" line is the determinism proof. Records whose model
+// fingerprint differs from the loaded model are reported but skipped.
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 
 #include <vector>
 
@@ -91,6 +118,7 @@
 #include "model/logistic_regression.h"
 #include "model/metrics.h"
 #include "model/registry.h"
+#include "obs/audit.h"
 #include "obs/obs.h"
 #include "rule/anchors.h"
 #include "serve/service.h"
@@ -110,6 +138,146 @@ double Quantile(std::vector<double> v, double q) {
   const size_t i = std::min(
       v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
   return v[i];
+}
+
+const char* KindName(uint8_t kind) {
+  switch (static_cast<ExplainerKind>(kind)) {
+    case ExplainerKind::kTreeShap: return "treeshap";
+    case ExplainerKind::kKernelShap: return "kernelshap";
+    case ExplainerKind::kLime: return "lime";
+    case ExplainerKind::kMcShapley: return "mcshapley";
+  }
+  return "unknown";
+}
+
+/// --audit-query: standalone ledger inspection — per-(model@version, kind)
+/// digests plus a CRC integrity summary. Needs neither model nor CSV.
+int RunAuditQuery(const std::string& dir) {
+  auto reader = obs::AuditReader::Open(dir);
+  if (!reader.ok()) return Fail(reader.status());
+
+  struct Digest {
+    std::vector<double> total_ms;
+    double queue_sum = 0.0, sweep_sum = 0.0, top1_sum = 0.0;
+    uint64_t first_ms = 0, last_ms = 0;
+  };
+  std::map<std::string, Digest> by_key;
+  obs::AuditScanStats scan;
+  Status st = reader->ForEach(
+      obs::AuditQuery{},
+      [&](const obs::AuditRecord& r) {
+        char key[320];
+        std::snprintf(key, sizeof key, "%s@v%d %s", r.model_name.c_str(),
+                      r.model_version, KindName(r.kind));
+        Digest& d = by_key[key];
+        d.total_ms.push_back(r.total_ms);
+        d.queue_sum += r.queue_ms;
+        d.sweep_sum += r.sweep_ms;
+        if (!r.top_attr.empty()) d.top1_sum += std::fabs(r.top_attr[0].value);
+        if (d.first_ms == 0 || r.unix_ms < d.first_ms) d.first_ms = r.unix_ms;
+        d.last_ms = std::max(d.last_ms, r.unix_ms);
+      },
+      &scan);
+  if (!st.ok()) return Fail(st);
+
+  std::printf("audit-query: %s — %zu segments, %" PRIu64 " records, %" PRIu64
+              " bytes\n",
+              dir.c_str(), reader->segments().size(), scan.records,
+              scan.bytes);
+  std::printf("%-28s %8s %9s %9s %9s %11s\n", "model@version explainer",
+              "count", "p50_ms", "p99_ms", "sweep_ms", "mean|top1|");
+  for (const auto& [key, d] : by_key) {
+    const double n = static_cast<double>(d.total_ms.size());
+    std::printf("%-28s %8zu %9.3f %9.3f %9.3f %11.4f\n", key.c_str(),
+                d.total_ms.size(), Quantile(d.total_ms, 0.50),
+                Quantile(d.total_ms, 0.99), d.sweep_sum / n, d.top1_sum / n);
+  }
+  if (scan.corrupt_frames != 0 || scan.corrupt_segments != 0 ||
+      scan.torn_tail_bytes != 0) {
+    std::printf("audit-query: integrity — %" PRIu64 " corrupt frames, %" PRIu64
+                " corrupt segments, %" PRIu64 " torn tail bytes\n",
+                scan.corrupt_frames, scan.corrupt_segments,
+                scan.torn_tail_bytes);
+  } else {
+    std::printf("audit-query: integrity — clean (every frame "
+                "CRC-verified)\n");
+  }
+  return 0;
+}
+
+/// --audit-replay: re-executes every logged request against the loaded
+/// model through a fresh ExplanationService and diffs the results against
+/// the ledger. Same model version + serving config => max_abs_diff 0.
+int RunAuditReplay(const std::string& dir, const ModelHandle& handle,
+                   const Dataset& ds, const ExplainerConfig& config) {
+  auto reader = obs::AuditReader::Open(dir);
+  if (!reader.ok()) return Fail(reader.status());
+  obs::AuditScanStats scan;
+  auto records = reader->ReadAll(obs::AuditQuery{}, &scan);
+  if (!records.ok()) return Fail(records.status());
+  std::printf("audit-replay: %s — %zu records to replay against %s "
+              "(fingerprint %016" PRIx64 ")\n",
+              dir.c_str(), records->size(), handle.VersionedName().c_str(),
+              handle.fingerprint());
+
+  ExplanationServiceOptions sopts;
+  sopts.config = config;
+  ExplanationService service(handle, ds, sopts);
+
+  // Identical (kind, budget, row) requests are deterministic, so each
+  // distinct tuple is re-executed once and compared against every record
+  // that logged it.
+  std::map<std::tuple<uint8_t, int32_t, std::vector<double>>,
+           FeatureAttribution> memo;
+  size_t replayed = 0, skipped_model = 0;
+  double max_abs_diff = 0.0;
+  for (const obs::AuditRecord& rec : records.value()) {
+    if (rec.model_fingerprint != handle.fingerprint()) {
+      ++skipped_model;
+      continue;
+    }
+    auto key = std::make_tuple(rec.kind, rec.budget, rec.instance);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      ExplanationRequest req;
+      req.instance = rec.instance;
+      req.kind = static_cast<ExplainerKind>(rec.kind);
+      req.budget = rec.budget;
+      Result<ExplanationResponse> r = service.Submit(std::move(req)).get();
+      if (!r.ok()) return Fail(r.status());
+      it = memo.emplace(std::move(key), std::move(r).value().attribution)
+               .first;
+    }
+    const FeatureAttribution& fa = it->second;
+    double d = std::fabs(fa.prediction - rec.prediction);
+    d = std::max(d, std::fabs(fa.base_value - rec.base_value));
+    for (const obs::AuditTopAttr& a : rec.top_attr) {
+      // An out-of-range index means the model arity changed under the
+      // ledger — count it as a full-scale divergence, not a crash.
+      if (a.index < fa.values.size())
+        d = std::max(d, std::fabs(fa.values[a.index] - a.value));
+      else
+        d = std::max(d, 1.0);
+    }
+    max_abs_diff = std::max(max_abs_diff, d);
+    ++replayed;
+  }
+  service.Shutdown();
+
+  std::printf("audit-replay: replayed %zu records (%zu unique sweeps, "
+              "%zu skipped: different model fingerprint)\n",
+              replayed, memo.size(), skipped_model);
+  if (scan.corrupt_frames != 0 || scan.torn_tail_bytes != 0)
+    std::printf("audit-replay: ledger had %" PRIu64 " corrupt frames, %" PRIu64
+                " torn tail bytes\n",
+                scan.corrupt_frames, scan.torn_tail_bytes);
+  std::printf("audit-replay: max_abs_diff %g\n", max_abs_diff);
+  if (replayed > 0 && max_abs_diff != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: replayed attributions diverge from the ledger\n");
+    return 1;
+  }
+  return 0;
 }
 
 /// Writes the flight-recorder buffers out when --trace-json was given.
@@ -144,6 +312,9 @@ int main(int argc, char** argv) {
   long long monitor_period_ms = 200;
   std::string monitor_snapshot_path;
   std::string monitor_scrape_path;
+  std::string audit_dir;
+  std::string audit_query_dir;
+  std::string audit_replay_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--model" && i + 1 < argc) {
@@ -179,6 +350,12 @@ int main(int argc, char** argv) {
       monitor_snapshot_path = argv[++i];
     } else if (arg == "--monitor-scrape" && i + 1 < argc) {
       monitor_scrape_path = argv[++i];
+    } else if (arg == "--audit-dir" && i + 1 < argc) {
+      audit_dir = argv[++i];
+    } else if (arg == "--audit-query" && i + 1 < argc) {
+      audit_query_dir = argv[++i];
+    } else if (arg == "--audit-replay" && i + 1 < argc) {
+      audit_replay_dir = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
@@ -189,13 +366,20 @@ int main(int argc, char** argv) {
                   "[--metrics] [--metrics-json <path>] "
                   "[--trace-json <path>] "
                   "[--monitor-port N] [--monitor-period-ms N] "
-                  "[--monitor-snapshot <path>] [--monitor-scrape <path>]\n",
+                  "[--monitor-snapshot <path>] [--monitor-scrape <path>] "
+                  "[--audit-dir <dir>] | "
+                  "--audit-query <dir> | "
+                  "--audit-replay <dir> [--registry-dir <dir>] "
+                  "[--model-version N]\n",
                   argv[0]);
       return 0;
     } else if (csv_path.empty()) {
       csv_path = arg;
     }
   }
+  // Ledger inspection is fully standalone: no model, no CSV, no monitor.
+  if (!audit_query_dir.empty()) return RunAuditQuery(audit_query_dir);
+
   // A scrape file without an explicit port still needs an endpoint to
   // scrape — use an ephemeral one.
   if (!monitor_scrape_path.empty() && monitor_port < 0) monitor_port = 0;
@@ -328,6 +512,16 @@ int main(int argc, char** argv) {
     sconfig.kernel_shap.max_background = 20;
     sopts.config = sconfig;
     if (cache_size >= 0) sopts.cache_size = static_cast<size_t>(cache_size);
+    std::shared_ptr<obs::AuditLog> audit;
+    if (!audit_dir.empty()) {
+      auto a = obs::AuditLog::Open(audit_dir);
+      if (!a.ok()) return Fail(a.status());
+      audit = std::move(a).value();
+      sopts.audit = audit;
+      std::printf("audit: writing every served explanation to the ledger "
+                  "at %s\n",
+                  audit_dir.c_str());
+    }
     ExplanationService service(*h1, ds, sopts);
 
     const size_t kPhase = 40;
@@ -368,6 +562,15 @@ int main(int argc, char** argv) {
       if (r->breakdown.model_version == h2->version()) ++v2_count;
     }
     service.Shutdown();
+    if (audit) {
+      audit->Flush();
+      const obs::AuditLogStats as = audit->stats();
+      std::printf("audit: %" PRIu64 " records (%" PRIu64 " dropped) in %"
+                  PRIu64 " segments, %" PRIu64 " bytes, %" PRIu64
+                  " fsyncs — records span both versions; --audit-query "
+                  "shows the per-version split\n",
+                  as.written, as.dropped, as.segments, as.bytes, as.fsyncs);
+    }
     const ExplanationServiceStats stats = service.stats();
     if (Status st = registry.SetServing("gbdt", h2->version()); !st.ok())
       return Fail(st);
@@ -457,6 +660,9 @@ int main(int argc, char** argv) {
   config.kernel_shap.max_background = 50;
   config.lime.num_samples = 3000;
 
+  if (!audit_replay_dir.empty())
+    return RunAuditReplay(audit_replay_dir, handle, ds, config);
+
   if (serve_demo) {
     // Submit a burst with hot-row repetition: 60 requests over 12 distinct
     // rows, two explainer families. The dispatcher coalesces compatible
@@ -468,6 +674,16 @@ int main(int argc, char** argv) {
     // Default on: the demo's hot-row repetition is exactly the workload
     // the coalition-value cache exists for.
     if (cache_size >= 0) sopts.cache_size = static_cast<size_t>(cache_size);
+    std::shared_ptr<obs::AuditLog> audit;
+    if (!audit_dir.empty()) {
+      auto a = obs::AuditLog::Open(audit_dir);
+      if (!a.ok()) return Fail(a.status());
+      audit = std::move(a).value();
+      sopts.audit = audit;
+      std::printf("audit: writing every served explanation to the ledger "
+                  "at %s\n",
+                  audit_dir.c_str());
+    }
     // With monitoring on, the drift watchdog rides the response observer:
     // every served attribution feeds its sliding mean-|phi| windows, and
     // drift.* gauges flow into the sampler and the scrape endpoint.
@@ -537,6 +753,16 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.cache_evictions));
     }
     service.Shutdown();
+    if (audit) {
+      // Drain + fsync before the monitor self-scrape so the
+      // xaidb_audit_* counters in the exposition cover the whole burst.
+      audit->Flush();
+      const obs::AuditLogStats as = audit->stats();
+      std::printf("audit: %" PRIu64 " records (%" PRIu64 " dropped) in %"
+                  PRIu64 " segments, %" PRIu64 " bytes, %" PRIu64
+                  " fsyncs\n",
+                  as.written, as.dropped, as.segments, as.bytes, as.fsyncs);
+    }
     if (watchdog) {
       const DriftReport dr = watchdog->Report();
       std::printf("drift watchdog: %llu responses observed, reference %s, "

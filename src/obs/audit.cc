@@ -1,0 +1,683 @@
+#include "obs/audit.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/obs.h"
+
+namespace xai::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kManifestHeader[] = "xaidb_audit v1";
+/// Every segment starts with these 8 bytes so a reader can reject foreign
+/// files before trusting any frame in them.
+constexpr char kSegHeader[8] = {'X', 'A', 'U', 'D', 'S', 'E', 'G', '1'};
+/// Frame magic: "XADR" little-endian.
+constexpr uint32_t kFrameMagic = 0x52444158u;
+constexpr size_t kFrameHeaderBytes = 12;  // magic + payload_len + crc.
+/// Sanity bound on a single payload — a frame claiming more is corrupt.
+constexpr uint32_t kMaxPayload = 16u << 20;
+/// stdio buffer per open segment: fewer write() syscalls on the drain
+/// thread (a 4 KiB default buffer flushes every ~15 records). Frames
+/// still buffered at a crash just shorten the torn tail.
+constexpr size_t kSegBufBytes = 256u << 10;
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06" PRIu64 ".log", id);
+  return buf;
+}
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- little-endian payload packing ---------------------------------------
+
+void PutBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(p);
+  out->insert(out->end(), b, b + n);
+}
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+void PutU32(std::vector<uint8_t>* out, uint32_t v) { PutBytes(out, &v, 4); }
+void PutU64(std::vector<uint8_t>* out, uint64_t v) { PutBytes(out, &v, 8); }
+void PutI32(std::vector<uint8_t>* out, int32_t v) { PutBytes(out, &v, 4); }
+void PutF32(std::vector<uint8_t>* out, float v) { PutBytes(out, &v, 4); }
+void PutF64(std::vector<uint8_t>* out, double v) { PutBytes(out, &v, 8); }
+
+/// Bounds-checked sequential reader over a decoded payload.
+struct Cursor {
+  const uint8_t* p;
+  size_t n;
+  size_t off = 0;
+
+  bool Take(void* out, size_t k) {
+    if (off + k > n) return false;
+    std::memcpy(out, p + off, k);
+    off += k;
+    return true;
+  }
+  bool U8(uint8_t* v) { return Take(v, 1); }
+  bool U32(uint32_t* v) { return Take(v, 4); }
+  bool U64(uint64_t* v) { return Take(v, 8); }
+  bool I32(int32_t* v) { return Take(v, 4); }
+  bool F32(float* v) { return Take(v, 4); }
+  bool F64(double* v) { return Take(v, 8); }
+};
+
+void EncodePayload(const AuditRecord& r, std::vector<uint8_t>* out) {
+  PutU64(out, r.unix_ms);
+  PutU64(out, r.trace_id);
+  PutU64(out, r.row_hash);
+  PutU64(out, r.model_fingerprint);
+  PutU64(out, r.config_fingerprint);
+  PutI32(out, r.model_version);
+  PutI32(out, r.budget);
+  PutU8(out, r.kind);
+  const size_t name_len = std::min<size_t>(r.model_name.size(), 255);
+  PutU8(out, static_cast<uint8_t>(name_len));
+  PutBytes(out, r.model_name.data(), name_len);
+  PutF32(out, r.queue_ms);
+  PutF32(out, r.sweep_ms);
+  PutF32(out, r.total_ms);
+  PutU32(out, r.batch_size);
+  PutU32(out, static_cast<uint32_t>(r.instance.size()));
+  PutBytes(out, r.instance.data(), r.instance.size() * sizeof(double));
+  PutF64(out, r.base_value);
+  PutF64(out, r.prediction);
+  PutU32(out, static_cast<uint32_t>(r.top_attr.size()));
+  for (const AuditTopAttr& a : r.top_attr) {
+    PutU32(out, a.index);
+    PutF64(out, a.value);
+  }
+}
+
+bool DecodePayload(const uint8_t* p, size_t n, AuditRecord* r) {
+  Cursor c{p, n};
+  uint8_t name_len = 0;
+  uint32_t arity = 0, k = 0;
+  if (!c.U64(&r->unix_ms) || !c.U64(&r->trace_id) || !c.U64(&r->row_hash) ||
+      !c.U64(&r->model_fingerprint) || !c.U64(&r->config_fingerprint) ||
+      !c.I32(&r->model_version) || !c.I32(&r->budget) || !c.U8(&r->kind) ||
+      !c.U8(&name_len))
+    return false;
+  if (c.off + name_len > c.n) return false;
+  r->model_name.assign(reinterpret_cast<const char*>(p + c.off), name_len);
+  c.off += name_len;
+  if (!c.F32(&r->queue_ms) || !c.F32(&r->sweep_ms) || !c.F32(&r->total_ms) ||
+      !c.U32(&r->batch_size) || !c.U32(&arity))
+    return false;
+  if (c.off + static_cast<size_t>(arity) * sizeof(double) > c.n) return false;
+  r->instance.resize(arity);
+  c.Take(r->instance.data(), arity * sizeof(double));
+  if (!c.F64(&r->base_value) || !c.F64(&r->prediction) || !c.U32(&k))
+    return false;
+  if (c.off + static_cast<size_t>(k) * 12 > c.n) return false;
+  r->top_attr.resize(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    if (!c.U32(&r->top_attr[i].index) || !c.F64(&r->top_attr[i].value))
+      return false;
+  }
+  return c.off == c.n;  // trailing garbage is as suspect as a short read
+}
+
+// --- manifest ------------------------------------------------------------
+
+Result<std::vector<AuditSegmentInfo>> ParseManifest(const std::string& dir) {
+  const std::string path = (fs::path(dir) / kManifestFile).string();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr)
+    return Status::NotFound("audit: no MANIFEST in " + dir);
+  std::vector<AuditSegmentInfo> out;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // Strip the newline (a final line without one is fine too).
+    line[std::strcspn(line, "\r\n")] = '\0';
+    if (line[0] == '\0') continue;
+    if (first) {
+      first = false;
+      if (std::strcmp(line, kManifestHeader) != 0) {
+        std::fclose(f);
+        return Status::IOError("audit: bad manifest header in " + path);
+      }
+      continue;
+    }
+    char name[256];
+    unsigned long long id = 0;
+    if (std::sscanf(line, "segment %llu %255s", &id, name) != 2) {
+      std::fclose(f);
+      return Status::IOError("audit: malformed manifest line: " +
+                             std::string(line));
+    }
+    if (!out.empty() && id <= out.back().id) {
+      std::fclose(f);
+      return Status::IOError("audit: manifest segment ids not increasing");
+    }
+    out.push_back({id, name});
+  }
+  std::fclose(f);
+  if (first)
+    return Status::IOError("audit: empty manifest in " + path);
+  return out;
+}
+
+/// Scans a segment file and reports how many prefix bytes hold verifiable
+/// frames (header included) and how many records they frame. Everything
+/// past valid_bytes is torn or corrupt.
+struct SegmentScan {
+  uint64_t valid_bytes = 0;
+  uint64_t records = 0;
+};
+
+SegmentScan ScanSegment(const std::string& path) {
+  SegmentScan out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char hdr[8];
+  if (std::fread(hdr, 1, 8, f) != 8 ||
+      std::memcmp(hdr, kSegHeader, 8) != 0) {
+    std::fclose(f);
+    return out;  // torn header: the whole file is rewritable
+  }
+  out.valid_bytes = 8;
+  std::vector<uint8_t> buf;
+  for (;;) {
+    uint8_t fh[kFrameHeaderBytes];
+    if (std::fread(fh, 1, sizeof(fh), f) != sizeof(fh)) break;
+    uint32_t magic, len, crc;
+    std::memcpy(&magic, fh, 4);
+    std::memcpy(&len, fh + 4, 4);
+    std::memcpy(&crc, fh + 8, 4);
+    if (magic != kFrameMagic || len > kMaxPayload) break;
+    buf.resize(len);
+    if (std::fread(buf.data(), 1, len, f) != len) break;
+    if (Crc32(buf.data(), len) != crc) break;
+    out.valid_bytes += kFrameHeaderBytes + len;
+    ++out.records;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+// --- public helpers ------------------------------------------------------
+
+uint32_t Crc32(const void* data, size_t n) {
+  // Slicing-by-8: eight derived tables let the hot loop fold 8 input
+  // bytes per iteration — ~8x the classic byte-at-a-time loop, which
+  // matters because the drain thread checksums every served explanation.
+  // The 8-byte step loads two little-endian u32s (the codebase's record
+  // serialization is LE-native already).
+  struct Tables {
+    std::array<std::array<uint32_t, 256>, 8> t;
+  };
+  static const Tables tables = [] {
+    Tables tb{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      tb.t[0][i] = c;
+    }
+    for (size_t s = 1; s < 8; ++s)
+      for (uint32_t i = 0; i < 256; ++i)
+        tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xFF];
+    return tb;
+  }();
+  const auto& t = tables.t;
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+          t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^ t[3][hi & 0xFF] ^
+          t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n, ++p) crc = t[0][(crc ^ *p) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void TopKAttributionsInto(const std::vector<double>& values, size_t k,
+                          std::vector<AuditTopAttr>* out) {
+  out->clear();
+  k = std::min(k, values.size());
+  if (k == 0) return;
+  // Partial insertion-select straight into *out: k is small (8 by
+  // default), so shifting beats a heap or partial_sort — and unlike
+  // partial_sort over an index array it needs no scratch allocation.
+  // Strictly-greater keeps earlier (lower-index) entries ahead on |value|
+  // ties, and drops later ones first when the list is full.
+  for (uint32_t i = 0; i < values.size(); ++i) {
+    const double a = std::abs(values[i]);
+    size_t pos = out->size();
+    while (pos > 0 && std::abs((*out)[pos - 1].value) < a) --pos;
+    if (pos == out->size()) {
+      if (out->size() < k) out->push_back({i, values[i]});
+      continue;
+    }
+    if (out->size() < k) out->push_back({});
+    for (size_t j = out->size() - 1; j > pos; --j) (*out)[j] = (*out)[j - 1];
+    (*out)[pos] = {i, values[i]};
+  }
+}
+
+std::vector<AuditTopAttr> TopKAttributions(const std::vector<double>& values,
+                                           size_t k) {
+  std::vector<AuditTopAttr> out;
+  TopKAttributionsInto(values, k, &out);
+  return out;
+}
+
+bool AuditQuery::Matches(const AuditRecord& r) const {
+  if (r.unix_ms < min_unix_ms || r.unix_ms > max_unix_ms) return false;
+  if (!model_name.empty() && r.model_name != model_name) return false;
+  if (model_version != 0 && r.model_version != model_version) return false;
+  if (kind >= 0 && static_cast<int>(r.kind) != kind) return false;
+  if (trace_id != 0 && r.trace_id != trace_id) return false;
+  if (model_fingerprint != 0 && r.model_fingerprint != model_fingerprint)
+    return false;
+  return true;
+}
+
+// --- AuditLog ------------------------------------------------------------
+
+AuditLog::AuditLog(std::string dir, AuditLogOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  if (opts_.segment_bytes < 4096) opts_.segment_bytes = 4096;
+  slots_.resize(opts_.queue_capacity);
+  paused_ = opts_.start_paused;
+}
+
+Result<std::unique_ptr<AuditLog>> AuditLog::Open(const std::string& dir,
+                                                 AuditLogOptions opts) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return Status::IOError("audit: cannot create " + dir + ": " +
+                           ec.message());
+  std::unique_ptr<AuditLog> log(new AuditLog(dir, opts));
+  XAI_RETURN_NOT_OK(log->Recover());
+  log->drain_ = std::thread([raw = log.get()] { raw->RunDrain(); });
+  return log;
+}
+
+Status AuditLog::Recover() {
+  const std::string manifest_path =
+      (fs::path(dir_) / kManifestFile).string();
+  std::vector<AuditSegmentInfo> segs;
+  if (fs::exists(manifest_path)) {
+    XAI_ASSIGN_OR_RETURN(segs, ParseManifest(dir_));
+    manifest_file_ = std::fopen(manifest_path.c_str(), "ab");
+  } else {
+    manifest_file_ = std::fopen(manifest_path.c_str(), "wb");
+    if (manifest_file_ != nullptr) {
+      std::fprintf(manifest_file_, "%s\n", kManifestHeader);
+      std::fflush(manifest_file_);
+      ::fsync(fileno(manifest_file_));
+    }
+  }
+  if (manifest_file_ == nullptr)
+    return Status::IOError("audit: cannot open " + manifest_path);
+
+  if (segs.empty()) return Rotate();
+
+  // Resume the last segment: verify its frames and cut the torn tail so
+  // the next append lands right after the last durable record.
+  const AuditSegmentInfo& last = segs.back();
+  const std::string path = (fs::path(dir_) / last.file).string();
+  const SegmentScan scan = ScanSegment(path);
+  std::error_code ec;
+  const uint64_t size = fs::exists(path) ? fs::file_size(path, ec) : 0;
+  if (size > scan.valid_bytes) {
+    truncated_bytes_.store(size - scan.valid_bytes,
+                           std::memory_order_relaxed);
+    fs::resize_file(path, scan.valid_bytes, ec);
+    if (ec)
+      return Status::IOError("audit: cannot truncate torn tail of " + path +
+                             ": " + ec.message());
+  }
+  segments_.store(segs.size(), std::memory_order_relaxed);
+  if (scan.valid_bytes == 0) {
+    // The header itself was torn (crash during segment creation) — the
+    // file is empty after truncation; rewrite it in place.
+    return OpenSegment(last.id, /*fresh=*/true);
+  }
+  seg_id_ = last.id;
+  seg_file_ = std::fopen(path.c_str(), "ab");
+  if (seg_file_ == nullptr)
+    return Status::IOError("audit: cannot append to " + path);
+  std::setvbuf(seg_file_, nullptr, _IOFBF, kSegBufBytes);
+  seg_bytes_ = scan.valid_bytes;
+  return Status::OK();
+}
+
+Status AuditLog::OpenSegment(uint64_t id, bool fresh) {
+  const std::string path =
+      (fs::path(dir_) / SegmentFileName(id)).string();
+  seg_file_ = std::fopen(path.c_str(), "wb");
+  if (seg_file_ == nullptr)
+    return Status::IOError("audit: cannot create segment " + path);
+  std::setvbuf(seg_file_, nullptr, _IOFBF, kSegBufBytes);
+  std::fwrite(kSegHeader, 1, sizeof(kSegHeader), seg_file_);
+  std::fflush(seg_file_);
+  seg_id_ = id;
+  seg_bytes_ = sizeof(kSegHeader);
+  bytes_.fetch_add(sizeof(kSegHeader), std::memory_order_relaxed);
+  XAI_OBS_COUNT_N("audit.bytes", sizeof(kSegHeader));
+  if (fresh) return Status::OK();
+  // New segment: record it in the manifest before any frame lands in it,
+  // and make the manifest line durable first — a reader never learns about
+  // a segment the directory does not hold.
+  segments_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(manifest_file_, "segment %" PRIu64 " %s\n", id,
+               SegmentFileName(id).c_str());
+  std::fflush(manifest_file_);
+  ::fsync(fileno(manifest_file_));
+  return Status::OK();
+}
+
+Status AuditLog::Rotate() {
+  if (seg_file_ != nullptr) {
+    DoFsync();
+    std::fclose(seg_file_);
+    seg_file_ = nullptr;
+  }
+  return OpenSegment(seg_id_ + 1, /*fresh=*/false);
+}
+
+void AuditLog::DoFsync() {
+  if (seg_file_ == nullptr) return;
+  std::fflush(seg_file_);
+  ::fsync(fileno(seg_file_));
+  bytes_since_fsync_ = 0;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  XAI_OBS_COUNT("audit.fsyncs");
+}
+
+void AuditLog::WriteRecord(const AuditRecord& rec) {
+  frame_buf_.clear();
+  frame_buf_.resize(kFrameHeaderBytes);  // header filled in below
+  EncodePayload(rec, &frame_buf_);
+  const uint32_t len =
+      static_cast<uint32_t>(frame_buf_.size() - kFrameHeaderBytes);
+  const uint32_t crc = Crc32(frame_buf_.data() + kFrameHeaderBytes, len);
+  std::memcpy(frame_buf_.data(), &kFrameMagic, 4);
+  std::memcpy(frame_buf_.data() + 4, &len, 4);
+  std::memcpy(frame_buf_.data() + 8, &crc, 4);
+
+  if (seg_bytes_ + frame_buf_.size() > opts_.segment_bytes &&
+      seg_bytes_ > sizeof(kSegHeader)) {
+    if (!Rotate().ok()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  if (seg_file_ == nullptr ||
+      std::fwrite(frame_buf_.data(), 1, frame_buf_.size(), seg_file_) !=
+          frame_buf_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    XAI_OBS_COUNT("audit.dropped");
+    return;
+  }
+  seg_bytes_ += frame_buf_.size();
+  bytes_since_fsync_ += frame_buf_.size();
+  bytes_.fetch_add(frame_buf_.size(), std::memory_order_relaxed);
+  written_.fetch_add(1, std::memory_order_relaxed);
+  XAI_OBS_COUNT("audit.records");
+  XAI_OBS_COUNT_N("audit.bytes", frame_buf_.size());
+  if (opts_.fsync_every_bytes != 0 &&
+      bytes_since_fsync_ >= opts_.fsync_every_bytes)
+    DoFsync();
+}
+
+AuditRecord* AuditLog::StageAppend() {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  if (head - tail_.load(std::memory_order_acquire) >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    XAI_OBS_COUNT("audit.dropped");
+    return nullptr;
+  }
+  AuditRecord& s = slots_[head % slots_.size()];
+  // Reset scalars but only clear() the heap-backed fields: their buffers
+  // survive, so assigning this serve's data into them allocates nothing
+  // once every slot has been through one lap of the ring.
+  s.unix_ms = 0;
+  s.trace_id = 0;
+  s.row_hash = 0;
+  s.model_fingerprint = 0;
+  s.config_fingerprint = 0;
+  s.model_version = 0;
+  s.kind = 0;
+  s.budget = 0;
+  s.queue_ms = 0.0f;
+  s.sweep_ms = 0.0f;
+  s.total_ms = 0.0f;
+  s.batch_size = 0;
+  s.base_value = 0.0;
+  s.prediction = 0.0;
+  s.model_name.clear();
+  s.instance.clear();
+  s.top_attr.clear();
+  return &s;
+}
+
+void AuditLog::CommitAppend() {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  AuditRecord& s = slots_[head % slots_.size()];
+  if (s.unix_ms == 0) s.unix_ms = NowUnixMs();
+  // Publish and return — no wakeup. The drain thread polls on a short
+  // timeout; a notify here would cost the serving thread a futex syscall
+  // (and on small machines a context switch) per served explanation.
+  // Durability latency is bounded by the poll period; Flush and shutdown
+  // notify explicitly when someone is actually waiting.
+  head_.store(head + 1, std::memory_order_release);
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AuditLog::Append(AuditRecord rec) {
+  AuditRecord* slot = StageAppend();
+  if (slot == nullptr) return;
+  if (rec.unix_ms == 0) rec.unix_ms = NowUnixMs();
+  *slot = std::move(rec);
+  CommitAppend();
+}
+
+void AuditLog::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint64_t target = ++flush_requested_;
+  cv_drain_.notify_one();
+  cv_flush_.wait(lk, [&] { return flush_done_ >= target; });
+}
+
+void AuditLog::ResumeDrain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_drain_.notify_one();
+}
+
+void AuditLog::RunDrain() {
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_drain_.wait_for(lk, std::chrono::milliseconds(5), [&] {
+        return stop_ ||
+               (!paused_ && (!RingEmpty() || flush_requested_ > flush_done_));
+      });
+      if (paused_ && !stop_) continue;
+      stopping = stop_;
+    }
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    while (tail != head_.load(std::memory_order_acquire)) {
+      // Serialize straight out of the slot, then release it. Not moving
+      // the record out is what preserves the slot's heap buffers for the
+      // producer's next lap (see StageAppend).
+      WriteRecord(slots_[tail % slots_.size()]);
+      tail_.store(tail + 1, std::memory_order_release);
+      ++tail;
+    }
+    XAI_OBS_GAUGE_SET(
+        "audit.lag_records",
+        head_.load(std::memory_order_relaxed) - tail);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (flush_requested_ > flush_done_ && RingEmpty()) {
+        DoFsync();
+        flush_done_ = flush_requested_;
+        cv_flush_.notify_all();
+      }
+      if (stopping && RingEmpty()) break;
+    }
+  }
+  DoFsync();
+}
+
+AuditLogStats AuditLog::stats() const {
+  AuditLogStats s;
+  s.appended = appended_.load(std::memory_order_relaxed);
+  s.written = written_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.segments = segments_.load(std::memory_order_relaxed);
+  s.truncated_bytes = truncated_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+AuditLog::~AuditLog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    paused_ = false;  // drain even if never resumed
+  }
+  cv_drain_.notify_all();
+  if (drain_.joinable()) drain_.join();
+  if (seg_file_ != nullptr) std::fclose(seg_file_);
+  if (manifest_file_ != nullptr) std::fclose(manifest_file_);
+}
+
+// --- AuditReader ---------------------------------------------------------
+
+Result<AuditReader> AuditReader::Open(const std::string& dir) {
+  XAI_ASSIGN_OR_RETURN(std::vector<AuditSegmentInfo> segs,
+                       ParseManifest(dir));
+  return AuditReader(dir, std::move(segs));
+}
+
+Status AuditReader::ForEach(const AuditQuery& q,
+                            const std::function<void(const AuditRecord&)>& fn,
+                            AuditScanStats* scan) const {
+  AuditScanStats local;
+  AuditScanStats& s = scan != nullptr ? *scan : local;
+  s = AuditScanStats{};
+  std::vector<uint8_t> buf;
+  for (size_t si = 0; si < segments_.size(); ++si) {
+    const bool is_last = si + 1 == segments_.size();
+    const std::string path =
+        (fs::path(dir_) / segments_[si].file).string();
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      // A manifest entry whose file vanished: data loss on a non-final
+      // segment, an unstarted segment (crash between manifest append and
+      // file creation never happens — the file is created first — but a
+      // deleted file can) otherwise.
+      ++s.corrupt_segments;
+      continue;
+    }
+    std::error_code ec;
+    const uint64_t size = fs::file_size(path, ec);
+    if (!ec) s.bytes += size;
+    uint64_t off = 0;
+    char hdr[8];
+    bool header_ok = std::fread(hdr, 1, 8, f) == 8 &&
+                     std::memcmp(hdr, kSegHeader, 8) == 0;
+    if (!header_ok) {
+      if (is_last) {
+        s.torn_tail_bytes += size;
+      } else {
+        ++s.corrupt_frames;
+        ++s.corrupt_segments;
+      }
+      std::fclose(f);
+      continue;
+    }
+    off = 8;
+    bool segment_corrupt = false;
+    for (;;) {
+      uint8_t fh[kFrameHeaderBytes];
+      const size_t got = std::fread(fh, 1, sizeof(fh), f);
+      if (got == 0) break;  // clean end of segment
+      uint32_t magic = 0, len = 0, crc = 0;
+      bool ok = got == sizeof(fh);
+      if (ok) {
+        std::memcpy(&magic, fh, 4);
+        std::memcpy(&len, fh + 4, 4);
+        std::memcpy(&crc, fh + 8, 4);
+        ok = magic == kFrameMagic && len <= kMaxPayload;
+      }
+      AuditRecord rec;
+      if (ok) {
+        buf.resize(len);
+        ok = std::fread(buf.data(), 1, len, f) == len &&
+             Crc32(buf.data(), len) == crc &&
+             DecodePayload(buf.data(), len, &rec);
+      }
+      if (!ok) {
+        // Frames are not self-synchronizing: nothing after a bad frame in
+        // this segment can be trusted. In the final segment that is the
+        // expected shape of a crash (or of racing a live writer) — a torn
+        // tail, not corruption.
+        if (is_last) {
+          s.torn_tail_bytes += size - off;
+        } else {
+          ++s.corrupt_frames;
+          segment_corrupt = true;
+        }
+        break;
+      }
+      off += kFrameHeaderBytes + len;
+      ++s.records;
+      if (q.Matches(rec)) {
+        ++s.matched;
+        fn(rec);
+      }
+    }
+    if (segment_corrupt) ++s.corrupt_segments;
+    std::fclose(f);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AuditRecord>> AuditReader::ReadAll(
+    const AuditQuery& q, AuditScanStats* scan) const {
+  std::vector<AuditRecord> out;
+  XAI_RETURN_NOT_OK(
+      ForEach(q, [&](const AuditRecord& r) { out.push_back(r); }, scan));
+  return out;
+}
+
+}  // namespace xai::obs

@@ -1,0 +1,292 @@
+#ifndef XAIDB_OBS_AUDIT_H_
+#define XAIDB_OBS_AUDIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xai::obs {
+
+/// One (feature index, attribution value) pair of a logged explanation's
+/// top-k. Values are full doubles so a replay can demand bit-identity.
+struct AuditTopAttr {
+  uint32_t index = 0;
+  double value = 0.0;
+};
+
+/// Everything the audit ledger durably records about one served
+/// explanation: enough provenance to answer "what did we serve, against
+/// which model version, how long did it take" — and enough payload (the
+/// full request row plus the top-k attribution values) to deterministically
+/// re-execute the request later and diff the result against what was
+/// actually served.
+struct AuditRecord {
+  /// Wall-clock serve time; AuditLog::Append stamps it when left 0.
+  uint64_t unix_ms = 0;
+  /// Flight-recorder id linking the record to its trace, 0 when off.
+  uint64_t trace_id = 0;
+  /// FNV-1a over the request row's raw bytes (cheap equality probe).
+  uint64_t row_hash = 0;
+  /// ModelHandle::fingerprint() of the version that served the request.
+  uint64_t model_fingerprint = 0;
+  /// The serving layer's full coalescing key (explainer-config fingerprint
+  /// with the model fingerprint and arity mixed in): equal keys guarantee
+  /// bit-identical attributions for equal rows.
+  uint64_t config_fingerprint = 0;
+  std::string model_name;  ///< Registry name ("gbdt"); truncated to 255.
+  int32_t model_version = 0;
+  uint8_t kind = 0;   ///< ExplainerKind as a byte.
+  int32_t budget = 0; ///< Request budget override (0 = config default).
+  float queue_ms = 0.0f;
+  float sweep_ms = 0.0f;
+  float total_ms = 0.0f;
+  uint32_t batch_size = 0;  ///< Requests served by the same sweep.
+  /// The full request row — what a replay re-executes.
+  std::vector<double> instance;
+  double base_value = 0.0;
+  double prediction = 0.0;
+  /// Top-k attribution values by |value| (ties broken by lower index).
+  std::vector<AuditTopAttr> top_attr;
+};
+
+/// Selects the k largest-|value| attributions, deterministically (ties by
+/// ascending index), in descending |value| order.
+std::vector<AuditTopAttr> TopKAttributions(const std::vector<double>& values,
+                                           size_t k);
+
+/// Allocation-free variant for the serving hot path: writes the top-k into
+/// *out (clear()ed first, capacity reused). Identical selection and order.
+void TopKAttributionsInto(const std::vector<double>& values, size_t k,
+                          std::vector<AuditTopAttr>* out);
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) over `n` bytes — the per-record
+/// checksum the ledger frames carry. Exposed for tests.
+uint32_t Crc32(const void* data, size_t n);
+
+struct AuditLogOptions {
+  /// Rotate to a new segment file once the current one reaches this size.
+  size_t segment_bytes = 4u << 20;
+  /// Bounded SPSC ring capacity between Append and the drain thread.
+  /// Appends beyond it are dropped (and counted) — never blocked.
+  size_t queue_capacity = 4096;
+  /// fsync the current segment after this many bytes written since the
+  /// last sync (0 = only on rotation, Flush and close).
+  size_t fsync_every_bytes = 1u << 20;
+  /// Attribution values logged per record (top-k by |value|).
+  size_t top_k = 8;
+  /// When true the drain thread starts idle and writes nothing until
+  /// ResumeDrain() — lets tests fill (and overflow) the ring
+  /// deterministically.
+  bool start_paused = false;
+};
+
+/// Monotonic counters, readable at any time from any thread.
+struct AuditLogStats {
+  uint64_t appended = 0;   ///< Records accepted into the ring.
+  uint64_t written = 0;    ///< Records durably framed into a segment.
+  uint64_t dropped = 0;    ///< Appends rejected by a full ring.
+  uint64_t bytes = 0;      ///< Segment bytes written (frames + headers).
+  uint64_t fsyncs = 0;
+  uint64_t segments = 0;   ///< Segment files this log has written into.
+  uint64_t truncated_bytes = 0;  ///< Torn tail removed at open.
+};
+
+/// Crash-safe append-only ledger of served explanations.
+///
+/// On disk: a directory holding size-rotated segment files plus a MANIFEST
+/// listing them in order. Every record is framed as
+///   [magic u32][payload_len u32][crc32(payload) u32][payload]
+/// so a reader can verify each record independently; a crash mid-write
+/// leaves at most one torn frame at the tail of the last segment, which
+/// Open() truncates away before appending resumes — records are either
+/// durable and verifiable or gone, never silently corrupt.
+///
+/// Threading: Append is wait-free for its (single) producer — the service
+/// dispatcher thread — pushing into a bounded SPSC ring; a drain thread
+/// owns all file I/O (serialize, rotate, fsync). A full ring drops the
+/// record and counts it rather than ever stalling the serving hot path.
+///
+/// Metrics (when obs is enabled): audit.records / audit.bytes /
+/// audit.dropped / audit.fsyncs counters and the audit.lag_records gauge
+/// (ring occupancy — how far durability trails serving).
+class AuditLog {
+ public:
+  /// Opens `dir` for appending, creating it (and a fresh MANIFEST) if
+  /// absent. An existing ledger is recovered first: the last segment is
+  /// scanned and any torn tail truncated (stats().truncated_bytes).
+  static Result<std::unique_ptr<AuditLog>> Open(const std::string& dir,
+                                                AuditLogOptions opts = {});
+
+  /// Drains, fsyncs and closes. Every record accepted before destruction
+  /// is durable afterwards.
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Hands the record to the drain thread. Never blocks: a full ring drops
+  /// the record and increments stats().dropped. Single producer at a time.
+  /// Stamps rec.unix_ms with wall-clock now when left 0. Convenience
+  /// wrapper over StageAppend/CommitAppend (this one moves buffers into
+  /// the slot; the staged pair reuses them).
+  void Append(AuditRecord rec);
+
+  /// Zero-allocation append, for the serving hot path: returns the next
+  /// ring slot with scalars zeroed and vectors clear()ed but their heap
+  /// buffers kept — filling the slot by assignment reuses that capacity,
+  /// so a warmed-up producer appends without touching the allocator (and
+  /// without a single syscall: the drain thread polls, it is never
+  /// notified from here). Returns nullptr (and counts the drop) when the
+  /// ring is full. Must be paired with CommitAppend before the next
+  /// Stage/Append call; single producer at a time.
+  AuditRecord* StageAppend();
+
+  /// Publishes the slot returned by the matching StageAppend (stamping
+  /// unix_ms with wall-clock now when still 0).
+  void CommitAppend();
+
+  /// Blocks until everything appended so far is written and fsynced.
+  void Flush();
+
+  /// Starts draining when constructed with start_paused (tests only).
+  void ResumeDrain();
+
+  AuditLogStats stats() const;
+  const std::string& dir() const { return dir_; }
+  const AuditLogOptions& options() const { return opts_; }
+
+ private:
+  AuditLog(std::string dir, AuditLogOptions opts);
+
+  Status Recover();          // parse manifest, truncate torn tail
+  Status OpenSegment(uint64_t id, bool fresh);
+  Status Rotate();
+  void DoFsync();
+  void WriteRecord(const AuditRecord& rec);
+  void RunDrain();
+  bool RingEmpty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::string dir_;
+  AuditLogOptions opts_;
+
+  // SPSC ring: producer writes slots_[head % cap] then publishes head+1;
+  // the drain thread consumes from tail. Slot reuse is safe because the
+  // producer never writes a slot whose index is within (tail, head].
+  std::vector<AuditRecord> slots_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+
+  // Drain-thread coordination. The producer never takes mu_ on Append (it
+  // only notifies, and a missed wakeup is repaired by the drain thread's
+  // periodic wait_for timeout); Flush and shutdown do take it.
+  mutable std::mutex mu_;
+  std::condition_variable cv_drain_;
+  std::condition_variable cv_flush_;
+  uint64_t flush_requested_ = 0;
+  uint64_t flush_done_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  // File state, owned by the drain thread after construction.
+  std::FILE* seg_file_ = nullptr;
+  std::FILE* manifest_file_ = nullptr;
+  uint64_t seg_id_ = 0;
+  uint64_t seg_bytes_ = 0;
+  uint64_t bytes_since_fsync_ = 0;
+  std::vector<uint8_t> frame_buf_;
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> written_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> segments_{0};
+  std::atomic<uint64_t> truncated_bytes_{0};
+
+  std::thread drain_;
+};
+
+/// Record filter for AuditReader — zero/empty/negative means "any".
+struct AuditQuery {
+  uint64_t min_unix_ms = 0;
+  uint64_t max_unix_ms = UINT64_MAX;
+  std::string model_name;        // empty = any
+  int model_version = 0;         // 0 = any
+  int kind = -1;                 // -1 = any (ExplainerKind byte)
+  uint64_t trace_id = 0;         // 0 = any
+  uint64_t model_fingerprint = 0;  // 0 = any
+
+  bool Matches(const AuditRecord& r) const;
+};
+
+/// One manifest entry as seen by a reader.
+struct AuditSegmentInfo {
+  uint64_t id = 0;
+  std::string file;  // relative to the ledger directory
+};
+
+/// What one scan over the ledger observed, beyond the matching records.
+struct AuditScanStats {
+  uint64_t records = 0;         ///< Valid records decoded.
+  uint64_t matched = 0;         ///< Records passing the query.
+  uint64_t corrupt_frames = 0;  ///< Bad frames in non-final segments.
+  uint64_t corrupt_segments = 0;  ///< Segments abandoned mid-way.
+  uint64_t torn_tail_bytes = 0; ///< Unverifiable bytes at the ledger tail.
+  uint64_t bytes = 0;           ///< Total segment bytes visited.
+};
+
+/// Sequential reader over a ledger directory. Segments are streamed one
+/// frame at a time through a fixed-size buffer (out-of-core: memory use is
+/// bounded by the largest single record, not the ledger), in manifest
+/// order, so iteration yields records oldest-first.
+///
+/// Corruption policy: a bad frame in the FINAL segment is a torn tail — the
+/// normal result of a crash mid-append — and ends iteration quietly. A bad
+/// frame in any earlier segment is real corruption (e.g. bit rot): the rest
+/// of that segment is skipped (frames are not self-synchronizing), the
+/// corruption is counted, and iteration continues with the next segment.
+/// Readers may run concurrently with a live writer appending to the same
+/// directory: a half-written tail frame simply looks torn on this pass.
+class AuditReader {
+ public:
+  /// Opens the directory and parses its MANIFEST.
+  static Result<AuditReader> Open(const std::string& dir);
+
+  /// Streams every record matching `q` through `fn`, oldest first.
+  /// Scan statistics (corruption, tail state) land in *scan when non-null.
+  Status ForEach(const AuditQuery& q,
+                 const std::function<void(const AuditRecord&)>& fn,
+                 AuditScanStats* scan = nullptr) const;
+
+  /// Convenience: materializes every matching record.
+  Result<std::vector<AuditRecord>> ReadAll(const AuditQuery& q = {},
+                                           AuditScanStats* scan = nullptr)
+      const;
+
+  const std::vector<AuditSegmentInfo>& segments() const { return segments_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  AuditReader(std::string dir, std::vector<AuditSegmentInfo> segments)
+      : dir_(std::move(dir)), segments_(std::move(segments)) {}
+
+  std::string dir_;
+  std::vector<AuditSegmentInfo> segments_;
+};
+
+}  // namespace xai::obs
+
+#endif  // XAIDB_OBS_AUDIT_H_

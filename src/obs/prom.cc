@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -15,8 +16,22 @@
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 
+// CMake injects the real values as compile definitions on xai_obs; the
+// fallbacks keep out-of-tree builds (and IDE parses) compiling.
+#ifndef XAIDB_VERSION
+#define XAIDB_VERSION "0.0.0-dev"
+#endif
+#ifndef XAIDB_GIT_SHA
+#define XAIDB_GIT_SHA "unknown"
+#endif
+
 namespace xai::obs {
 namespace {
+
+/// Anchored when this translation unit's statics initialize — process
+/// start for uptime purposes.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
 
 /// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
 /// dotted names map onto that with '_' for everything else.
@@ -41,9 +56,26 @@ void Appendf(std::string* out, const char* fmt, ...) {
 
 }  // namespace
 
+const char* BuildVersion() { return XAIDB_VERSION; }
+const char* BuildGitSha() { return XAIDB_GIT_SHA; }
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_start)
+      .count();
+}
+
 std::string MetricsToProm() {
   const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
   std::string out;
+
+  // Build identity and uptime lead the exposition so they are present
+  // even when the registry is empty (metrics disabled).
+  Appendf(&out, "# TYPE xaidb_build_info gauge\n");
+  Appendf(&out, "xaidb_build_info{version=\"%s\",git_sha=\"%s\"} 1\n",
+          BuildVersion(), BuildGitSha());
+  Appendf(&out, "# TYPE xaidb_uptime_seconds gauge\n");
+  Appendf(&out, "xaidb_uptime_seconds %.3f\n", UptimeSeconds());
 
   for (const auto& [name, value] : snap.counters) {
     const std::string pn = PromName(name);
@@ -156,6 +188,23 @@ std::string MonitorServer::Respond(const std::string& path) const {
       body += "]";
     }
     body += "}}\n";
+    content_type = "application/json";
+  } else if (path == "/healthz") {
+    // Liveness probe: 200 with the two gauges an orchestrator cares about
+    // — saturation (queue depth) and identity (serving model version).
+    // Both read 0 when the serving layer is absent or metrics are off.
+    const MetricsSnapshot snap = MetricsRegistry::Global().TakeSnapshot();
+    double queue_depth = 0.0, model_version = 0.0;
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == "serve.queue_depth") queue_depth = value;
+      if (name == "serve.model_version") model_version = value;
+    }
+    Appendf(&body,
+            "{\"status\": \"ok\", \"version\": \"%s\", "
+            "\"uptime_seconds\": %.3f, \"queue_depth\": %d, "
+            "\"serving_model_version\": %d}\n",
+            BuildVersion(), UptimeSeconds(), static_cast<int>(queue_depth),
+            static_cast<int>(model_version));
     content_type = "application/json";
   } else {
     body = "not found\n";

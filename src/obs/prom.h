@@ -13,6 +13,15 @@ namespace xai::obs {
 
 class MetricsSampler;
 
+/// Build identity baked in at compile time (CMake injects XAIDB_VERSION /
+/// XAIDB_GIT_SHA; "0.0.0-dev" / "unknown" outside a configured build).
+const char* BuildVersion();
+const char* BuildGitSha();
+
+/// Seconds since this process loaded the obs library — what the
+/// xaidb_uptime_seconds gauge in the exposition reports.
+double UptimeSeconds();
+
 /// Renders the current registry in Prometheus text exposition format
 /// (0.0.4): counters as `xaidb_<name>_total`, gauges as `xaidb_<name>`,
 /// histograms as full `_bucket{le=...}` / `_sum` / `_count` families with
@@ -27,6 +36,8 @@ std::string MetricsToProm();
 ///   /json            → MetricsToJson()            application/json
 ///   /series          → sampler time series JSON   application/json
 ///                      (404 when constructed without a sampler)
+///   /healthz         → 200 + liveness JSON        application/json
+///                      (uptime, queue depth, serving model version)
 /// Deliberately not a real HTTP server — it exists so `curl` and a
 /// Prometheus scrape_config can read a serving process, nothing more.
 class MonitorServer {

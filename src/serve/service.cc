@@ -4,6 +4,7 @@
 #include <map>
 
 #include "math/matrix.h"
+#include "obs/audit.h"
 #include "obs/obs.h"
 
 namespace xai {
@@ -563,6 +564,39 @@ void ExplanationService::ServeBatch(
       opts_.response_observer(live[i]->req, resp);
     }
     live[i]->Finish(std::move(resp));
+    // Provenance: ledger the served response after its promise resolves.
+    // The staged append fills a ring slot in place (no allocation, no
+    // syscall — the ledger's drain thread does all I/O), so auditing adds
+    // nothing observable to request latency; a full ring drops and counts.
+    if (opts_.audit) {
+      if (obs::AuditRecord* rec = opts_.audit->StageAppend()) {
+        const Pending& p = *live[i];
+        const FeatureAttribution& fa = results.value()[slot[i]];
+        rec->trace_id = p.breakdown.trace_id;
+        rec->row_hash = HashRow(p.req.instance);
+        rec->model_fingerprint = p.handle.fingerprint();
+        rec->config_fingerprint = p.key;
+        rec->model_name = p.handle.name();
+        rec->model_version = p.handle.version();
+        rec->kind = static_cast<uint8_t>(p.req.kind);
+        rec->budget = p.req.budget;
+        rec->queue_ms = static_cast<float>(p.breakdown.queue_ms);
+        rec->sweep_ms = static_cast<float>(p.breakdown.sweep_ms);
+        rec->total_ms = static_cast<float>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - p.submit_time)
+                .count() *
+            1e-3);
+        rec->batch_size =
+            static_cast<uint32_t>(p.breakdown.coalesce_batch_size);
+        rec->instance = p.req.instance;
+        rec->base_value = fa.base_value;
+        rec->prediction = fa.prediction;
+        obs::TopKAttributionsInto(fa.values, opts_.audit->options().top_k,
+                                  &rec->top_attr);
+        opts_.audit->CommitAppend();
+      }
+    }
   }
 }
 

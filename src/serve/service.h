@@ -24,6 +24,10 @@
 
 namespace xai {
 
+namespace obs {
+class AuditLog;
+}  // namespace obs
+
 /// One explanation request as submitted by a caller. The service answers
 /// with a FeatureAttribution (or a typed error) through the future
 /// returned by Submit and/or a per-request callback.
@@ -72,6 +76,14 @@ struct ExplanationServiceOptions {
   /// in the dispatcher. Never called for expired or errored requests.
   std::function<void(const ExplanationRequest&, const ExplanationResponse&)>
       response_observer;
+  /// When set, every successfully served response is appended to this
+  /// crash-safe provenance ledger (obs/audit.h): row hash + full instance,
+  /// model name/version/fingerprint, coalescing-key fingerprint, latency
+  /// breakdown, and the top-k attribution values. The append is wait-free
+  /// on the dispatcher thread — all ledger I/O happens on the log's own
+  /// drain thread, and overflow drops (with a counter) rather than ever
+  /// stalling serving. Never written for expired or errored requests.
+  std::shared_ptr<obs::AuditLog> audit;
 };
 
 /// Where one request's time went, filled in by the dispatcher and

@@ -29,12 +29,18 @@ using obs::SloTracker;
 using obs::SloTrackerOptions;
 
 // Runs FIRST in this binary, before anything registers a metric: an
-// empty registry must render to an empty-but-valid exposition and an
-// empty snapshot JSON, not crash or emit partial families.
+// empty registry must render to a valid exposition carrying only the
+// build-identity preamble (build_info + uptime — always present so any
+// scrape identifies the binary) and an empty snapshot JSON, not crash
+// or emit partial families.
 TEST(MonitorEmptyRegistry, ScrapeAndJsonAreValid) {
   obs::SetEnabled(true);
   const std::string prom = obs::MetricsToProm();
-  EXPECT_EQ(prom.find("xaidb_"), std::string::npos);
+  EXPECT_NE(prom.find("xaidb_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("xaidb_uptime_seconds "), std::string::npos);
+  // ...and nothing else: no registry-derived families on an empty registry.
+  EXPECT_EQ(prom.find("_total"), std::string::npos);
+  EXPECT_EQ(prom.find("_bucket"), std::string::npos);
   const std::string json = obs::MetricsToJson();
   EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
   EXPECT_NE(json.find("\"snapshot_unix_ms\""), std::string::npos);
@@ -322,6 +328,38 @@ TEST_F(MonitorTest, MonitorServerScrapeRoundtrip) {
   EXPECT_NE(missing.value().find("not found"), std::string::npos);
 
   EXPECT_EQ(server.requests_served(), 4u);
+  server.Stop();
+}
+
+TEST_F(MonitorTest, ExpositionCarriesBuildInfoAndUptime) {
+  // Build identity and uptime lead every exposition — even one over an
+  // otherwise-quiet registry — so any scrape can tell which binary it hit.
+  const std::string prom = obs::MetricsToProm();
+  EXPECT_NE(prom.find("xaidb_build_info{version=\""), std::string::npos);
+  EXPECT_NE(prom.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(prom.find("xaidb_uptime_seconds "), std::string::npos);
+  EXPECT_NE(std::string(obs::BuildVersion()).find('.'), std::string::npos);
+  EXPECT_GT(obs::UptimeSeconds(), 0.0);
+}
+
+TEST_F(MonitorTest, HealthzReportsQueueDepthAndServingVersion) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetGauge("serve.queue_depth")->Set(7.0);
+  reg.GetGauge("serve.model_version")->Set(3.0);
+  MetricsSampler sampler(MonitorOptions{std::chrono::milliseconds(1000), 8});
+  MonitorServer server(&sampler);
+  const Status st = server.Start(0);
+  if (!st.ok()) GTEST_SKIP() << "cannot bind a local socket: "
+                             << st.ToString();
+
+  const Result<std::string> health = obs::HttpGetLocal(server.port(),
+                                                       "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_NE(health.value().find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.value().find("\"queue_depth\": 7"), std::string::npos);
+  EXPECT_NE(health.value().find("\"serving_model_version\": 3"),
+            std::string::npos);
+  EXPECT_NE(health.value().find("\"uptime_seconds\""), std::string::npos);
   server.Stop();
 }
 
