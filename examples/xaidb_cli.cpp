@@ -315,6 +315,7 @@ int main(int argc, char** argv) {
   std::string audit_dir;
   std::string audit_query_dir;
   std::string audit_replay_dir;
+  TrainOptions train_opts;  // --train-method / --max-bins (default: hist)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--model" && i + 1 < argc) {
@@ -356,12 +357,27 @@ int main(int argc, char** argv) {
       audit_query_dir = argv[++i];
     } else if (arg == "--audit-replay" && i + 1 < argc) {
       audit_replay_dir = argv[++i];
+    } else if (arg == "--train-method" && i + 1 < argc) {
+      const std::string method = argv[++i];
+      if (method == "exact") {
+        train_opts.method = TrainMethod::kExact;
+      } else if (method == "hist") {
+        train_opts.method = TrainMethod::kHist;
+      } else {
+        std::fprintf(stderr, "error: unknown --train-method '%s'\n",
+                     method.c_str());
+        return 1;
+      }
+    } else if (arg == "--max-bins" && i + 1 < argc) {
+      train_opts.max_bins = static_cast<int>(
+          std::clamp(std::atoll(argv[++i]), 2LL, 65536LL));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s <data.csv> [--model gbdt|logistic|forest] "
                   "[--row N] [--explainer "
                   "treeshap|kernelshap|lime|mcshapley|anchors|"
                   "counterfactual|all] [--serve-demo] [--swap-demo] "
                   "[--registry-dir <dir>] [--model-version N] "
+                  "[--train-method hist|exact] [--max-bins N] "
                   "[--threads N] [--cache-size N] "
                   "[--metrics] [--metrics-json <path>] "
                   "[--trace-json <path>] "
@@ -617,8 +633,11 @@ int main(int argc, char** argv) {
                 handle.VersionedName().c_str(), handle.kind().c_str(),
                 registry.dir().c_str());
   } else {
+    obs::Stopwatch fit_watch;
     if (model_kind == "gbdt") {
-      auto m = GradientBoostedTrees::Fit(ds, {.num_rounds = 60});
+      GbdtOptions gopts{.num_rounds = 60};
+      gopts.tree.train = train_opts;
+      auto m = GradientBoostedTrees::Fit(ds, gopts);
       if (!m.ok()) return Fail(m.status());
       model = std::make_unique<GradientBoostedTrees>(std::move(*m));
     } else if (model_kind == "logistic") {
@@ -626,12 +645,19 @@ int main(int argc, char** argv) {
       if (!m.ok()) return Fail(m.status());
       model = std::make_unique<LogisticRegression>(std::move(*m));
     } else if (model_kind == "forest") {
-      auto m = RandomForest::Fit(ds, {.num_trees = 60});
+      RandomForestOptions fopts{.num_trees = 60};
+      fopts.tree.train = train_opts;
+      auto m = RandomForest::Fit(ds, fopts);
       if (!m.ok()) return Fail(m.status());
       model = std::make_unique<RandomForest>(std::move(*m));
     } else {
       std::fprintf(stderr, "error: unknown model '%s'\n", model_kind.c_str());
       return 1;
+    }
+    if (model_kind == "gbdt" || model_kind == "forest") {
+      std::printf("train: method=%s max_bins=%d fit_ms=%.1f\n",
+                  train_opts.method == TrainMethod::kHist ? "hist" : "exact",
+                  train_opts.max_bins, fit_watch.ElapsedMs());
     }
     if (registry.valid()) {
       // Persist the fresh fit as the next version and serve the

@@ -1,0 +1,120 @@
+#include "data/binned.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+
+namespace xai {
+
+namespace {
+
+/// Midpoint between two consecutive distinct raw values — the threshold
+/// the exact learner would write for a split between them. Falls back to
+/// the left value when the midpoint rounds onto a neighbor (adjacent
+/// representable doubles), keeping `lo <= mid < hi` so routing stays
+/// consistent with `v <= mid`.
+double Midpoint(double lo, double hi) {
+  const double mid = 0.5 * (lo + hi);
+  if (mid >= hi) return lo;
+  return mid < lo ? lo : mid;
+}
+
+}  // namespace
+
+BinMapper BinMapper::Build(const double* values, size_t n, int max_bins) {
+  BinMapper m;
+  if (n == 0) return m;
+
+  std::vector<double> sorted(values, values + n);
+  std::sort(sorted.begin(), sorted.end());
+
+  // Distinct values with their multiplicities, ascending.
+  std::vector<double> distinct;
+  std::vector<size_t> count;
+  for (size_t i = 0; i < n;) {
+    size_t j = i;
+    while (j < n && sorted[j] == sorted[i]) ++j;
+    distinct.push_back(sorted[i]);
+    count.push_back(j - i);
+    i = j;
+  }
+  const size_t num_distinct = distinct.size();
+  if (num_distinct <= 1) return m;  // Constant column: one bin, no bounds.
+
+  if (num_distinct <= static_cast<size_t>(max_bins)) {
+    // Exact mode: one bin per distinct value, boundaries at the midpoints
+    // the sort-based learner evaluates.
+    m.bounds_.reserve(num_distinct - 1);
+    for (size_t i = 0; i + 1 < num_distinct; ++i)
+      m.bounds_.push_back(Midpoint(distinct[i], distinct[i + 1]));
+  } else {
+    // Quantile mode: close a bin after the distinct value that carries the
+    // sample at rank k*n/max_bins, k = 1..max_bins-1. A heavy value can
+    // swallow several ranks; duplicates collapse, so num_bins <= max_bins.
+    m.bounds_.reserve(static_cast<size_t>(max_bins) - 1);
+    size_t cum = 0;      // Samples in distinct[0..j].
+    size_t j = 0;        // Current distinct value.
+    cum = count[0];
+    for (int k = 1; k < max_bins; ++k) {
+      const size_t rank =
+          (static_cast<size_t>(k) * n) / static_cast<size_t>(max_bins);
+      while (cum <= rank && j + 1 < num_distinct) cum += count[++j];
+      if (j + 1 >= num_distinct) break;  // Tail fits in the last bin.
+      const double b = Midpoint(distinct[j], distinct[j + 1]);
+      if (m.bounds_.empty() || b > m.bounds_.back()) m.bounds_.push_back(b);
+    }
+  }
+  return m;
+}
+
+uint32_t BinMapper::CodeOf(double v) const {
+  // First bound >= v; one past the last bound = the unbounded top bin.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<uint32_t>(it - bounds_.begin());
+}
+
+Result<BinnedDataset> BinnedDataset::Build(const Matrix& x, int max_bins) {
+  if (max_bins < 2 || max_bins > 65536)
+    return Status::InvalidArgument(
+        "BinnedDataset: max_bins must be in [2, 65536]");
+  if (x.empty())
+    return Status::InvalidArgument("BinnedDataset: empty matrix");
+
+  XAI_OBS_SPAN("train.bin_build");
+  obs::Stopwatch watch;
+
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  BinnedDataset ds;
+  ds.rows_ = n;
+  ds.max_bins_ = max_bins;
+  ds.mappers_.resize(d);
+  ds.codes8_.resize(d);
+  ds.codes16_.resize(d);
+  ds.bin_offsets_.resize(d);
+
+  std::vector<double> col(n);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < n; ++i) col[i] = x(i, f);
+    ds.mappers_[f] = BinMapper::Build(col.data(), n, max_bins);
+    const BinMapper& m = ds.mappers_[f];
+    if (m.num_bins() <= 256) {
+      ds.codes8_[f].resize(n);
+      for (size_t i = 0; i < n; ++i)
+        ds.codes8_[f][i] = static_cast<uint8_t>(m.CodeOf(col[i]));
+    } else {
+      ds.codes16_[f].resize(n);
+      for (size_t i = 0; i < n; ++i)
+        ds.codes16_[f][i] = static_cast<uint16_t>(m.CodeOf(col[i]));
+    }
+    ds.bin_offsets_[f] = ds.total_bins_;
+    ds.total_bins_ += static_cast<size_t>(m.num_bins());
+  }
+
+  XAI_OBS_COUNT("train.bin_builds");
+  XAI_OBS_OBSERVE("train.bin_build_us", watch.ElapsedUs());
+  return ds;
+}
+
+}  // namespace xai

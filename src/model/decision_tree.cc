@@ -2,6 +2,11 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "data/binned.h"
+#include "model/hist_learner.h"
+#include "obs/obs.h"
+
 namespace xai {
 
 Result<DecisionTree> DecisionTree::Fit(const Dataset& ds,
@@ -31,23 +36,40 @@ std::vector<double> DecisionTree::PredictBatch(const Matrix& x) const {
 Result<RandomForest> RandomForest::Fit(const Dataset& ds,
                                        const Options& opts) {
   if (ds.n() == 0) return Status::InvalidArgument("RandomForest: empty data");
-  Rng rng(opts.seed);
+  XAI_OBS_SPAN("train.fit_forest");
   TreeConfig cfg = opts.tree;
   if (cfg.max_features == 0) {
     cfg.max_features = std::max(
         1, static_cast<int>(std::sqrt(static_cast<double>(ds.d()))));
   }
-  std::vector<Tree> trees;
-  trees.reserve(opts.num_trees);
-  for (int t = 0; t < opts.num_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<size_t> rows(ds.n());
-    for (size_t i = 0; i < ds.n(); ++i)
-      rows[i] = static_cast<size_t>(rng.NextInt(ds.n()));
-    Rng tree_rng = rng.Fork();
-    trees.push_back(
-        FitRegressionTree(ds.x(), ds.y(), cfg, nullptr, &rows, &tree_rng));
+  // Quantize once; every tree of the forest shares the read-only codes.
+  BinnedDataset binned;
+  bool hist = cfg.train.method == TrainMethod::kHist;
+  if (hist) {
+    auto b = BinnedDataset::Build(ds.x(), cfg.train.max_bins);
+    if (b.ok()) {
+      binned = std::move(*b);
+    } else {
+      hist = false;
+    }
   }
+  // Per-tree ChunkSeed counter streams (PR 2 scheme): tree t's bootstrap
+  // bag and feature-sampling stream depend only on (seed, t), never on
+  // which thread fits it or how many trees ran before — forest training
+  // is bit-identical for any thread count.
+  std::vector<Tree> trees(static_cast<size_t>(opts.num_trees));
+  GlobalPool().ParallelFor(
+      0, trees.size(), 1, [&](size_t t) {
+        Rng boot_rng(ChunkSeed(opts.seed, 2 * t));
+        std::vector<size_t> rows(ds.n());
+        for (size_t i = 0; i < ds.n(); ++i)
+          rows[i] = static_cast<size_t>(boot_rng.NextInt(ds.n()));
+        Rng tree_rng(ChunkSeed(opts.seed, 2 * t + 1));
+        trees[t] = hist ? FitRegressionTreeHist(binned, ds.y(), cfg, nullptr,
+                                                &rows, &tree_rng)
+                        : FitRegressionTree(ds.x(), ds.y(), cfg, nullptr,
+                                            &rows, &tree_rng);
+      });
   return FromParts(std::move(trees), ds.d());
 }
 

@@ -4,19 +4,35 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/binned.h"
 #include "math/stats.h"
+#include "model/hist_learner.h"
+#include "obs/obs.h"
 
 namespace xai {
 
 Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
                                                        const Options& opts) {
   if (ds.n() == 0) return Status::InvalidArgument("GBDT: empty data");
+  XAI_OBS_SPAN("train.fit_gbdt");
   const size_t n = ds.n();
   GradientBoostedTrees m;
   m.loss_ = opts.loss;
   m.learning_rate_ = opts.learning_rate;
   m.num_features_ = ds.d();
   Rng rng(opts.seed);
+
+  // Quantize once; all rounds share the read-only bin codes.
+  BinnedDataset binned;
+  bool hist = opts.tree.train.method == TrainMethod::kHist;
+  if (hist) {
+    auto b = BinnedDataset::Build(ds.x(), opts.tree.train.max_bins);
+    if (b.ok()) {
+      binned = std::move(*b);
+    } else {
+      hist = false;
+    }
+  }
 
   if (opts.loss == Loss::kLogistic) {
     const double pos =
@@ -31,6 +47,7 @@ Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
   std::vector<double> margin(n, m.base_score_);
   std::vector<double> residual(n);
   std::vector<double> hessian(n);
+  std::vector<int32_t> leaf_of_row;
 
   m.trees_.reserve(opts.num_rounds);
   for (int round = 0; round < opts.num_rounds; ++round) {
@@ -56,10 +73,29 @@ Result<GradientBoostedTrees> GradientBoostedTrees::Fit(const Dataset& ds,
       rows_ptr = &rows;
     }
     Rng tree_rng = rng.Fork();
-    Tree tree = FitRegressionTree(ds.x(), residual, opts.tree, hess, rows_ptr,
-                                  opts.tree.max_features > 0 ? &tree_rng
-                                                             : nullptr);
-    tree.AccumulateBatch(ds.x(), opts.learning_rate, &margin);
+    Rng* tree_rng_ptr = opts.tree.max_features > 0 ? &tree_rng : nullptr;
+    Tree tree;
+    if (hist && rows_ptr == nullptr) {
+      // Full-data round: the learner already knows which leaf every row
+      // landed in, so the margin update is one indexed add per row — no
+      // tree re-traversal at all (the binned-codes fast path).
+      tree = FitRegressionTreeHist(binned, residual, opts.tree, hess,
+                                   nullptr, tree_rng_ptr, &leaf_of_row);
+      for (size_t i = 0; i < n; ++i)
+        margin[i] += opts.learning_rate *
+                     tree.nodes[static_cast<size_t>(leaf_of_row[i])].value;
+    } else {
+      tree = hist ? FitRegressionTreeHist(binned, residual, opts.tree, hess,
+                                          rows_ptr, tree_rng_ptr)
+                  : FitRegressionTree(ds.x(), residual, opts.tree, hess,
+                                      rows_ptr, tree_rng_ptr);
+      // Subsampled rounds update margins for *all* rows: compile the round
+      // tree and run the branch-free flat accumulation (same leaf, same
+      // scale-and-add as the node walker, so exact-mode output is
+      // unchanged — just no longer the last consumer of the slow path).
+      const FlatEnsemble one = FlatEnsemble::Compile(tree);
+      one.AccumulateTree(0, ds.x(), opts.learning_rate, &margin);
+    }
     m.trees_.push_back(std::move(tree));
   }
   m.flat_ = FlatEnsemble::Compile(m.trees_);

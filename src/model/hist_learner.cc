@@ -1,0 +1,407 @@
+#include "model/hist_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace xai {
+
+size_t DataPartition::Split(const BinnedDataset& binned, size_t f,
+                            uint32_t split_bin, size_t begin, size_t end) {
+  const auto lo = rows_.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto hi = rows_.begin() + static_cast<std::ptrdiff_t>(end);
+  if (binned.narrow(f)) {
+    const uint8_t* codes = binned.Codes8(f);
+    return static_cast<size_t>(
+        std::partition(lo, hi, [&](size_t r) { return codes[r] <= split_bin; }) -
+        rows_.begin());
+  }
+  const uint16_t* codes = binned.Codes16(f);
+  return static_cast<size_t>(
+      std::partition(lo, hi, [&](size_t r) { return codes[r] <= split_bin; }) -
+      rows_.begin());
+}
+
+namespace {
+
+/// One histogram bin: the sufficient statistics of every training row whose
+/// feature code falls in the bin. `h` is only maintained when the fit has
+/// per-sample hessian weights; otherwise the (exact) integer count stands
+/// in for it, matching the exact learner's sum of unit weights.
+struct HistEntry {
+  double t = 0.0;   // sum of targets
+  double h = 0.0;   // sum of hessian weights (unused when hessian == null)
+  uint32_t c = 0;   // row count
+};
+
+using HistBuffer = std::vector<HistEntry>;
+
+/// Reusable node-histogram buffers; at most O(tree depth) are alive at
+/// once (the subtraction trick keeps one parent buffer per level).
+class HistPool {
+ public:
+  explicit HistPool(size_t buffer_size) : buffer_size_(buffer_size) {}
+
+  std::unique_ptr<HistBuffer> Acquire() {
+    if (!free_.empty()) {
+      auto b = std::move(free_.back());
+      free_.pop_back();
+      return b;
+    }
+    return std::make_unique<HistBuffer>(buffer_size_);
+  }
+  void Release(std::unique_ptr<HistBuffer> b) {
+    if (b) free_.push_back(std::move(b));
+  }
+
+ private:
+  size_t buffer_size_;
+  std::vector<std::unique_ptr<HistBuffer>> free_;
+};
+
+/// Accumulates feature f's histogram slice over rows [begin, end) of the
+/// partition, ascending — the fixed accumulation order the determinism
+/// contract requires.
+template <typename CodeT>
+void AccumulateFeature(const CodeT* codes, const std::vector<size_t>& rows,
+                       size_t begin, size_t end,
+                       const std::vector<double>& t,
+                       const std::vector<double>* h, HistEntry* bins) {
+  if (h != nullptr) {
+    for (size_t k = begin; k < end; ++k) {
+      const size_t r = rows[k];
+      HistEntry& e = bins[codes[r]];
+      e.t += t[r];
+      e.h += (*h)[r];
+      ++e.c;
+    }
+  } else {
+    for (size_t k = begin; k < end; ++k) {
+      const size_t r = rows[k];
+      HistEntry& e = bins[codes[r]];
+      e.t += t[r];
+      ++e.c;
+    }
+  }
+}
+
+/// Best split of one feature, found by an ascending scan over its bins.
+struct FeatureSplit {
+  double gain = 1e-12;  // Same strict floor as the exact learner.
+  int bin = -1;         // Split after this bin; -1 = no valid split.
+};
+
+/// Depth-first histogram tree builder. Mirrors the exact TreeBuilder's
+/// node order, stopping rules, gain formula and leaf values so the two
+/// learners agree tree-for-tree when quantization is lossless.
+class HistTreeBuilder {
+ public:
+  HistTreeBuilder(const BinnedDataset& binned, const std::vector<double>& t,
+                  const std::vector<double>* h, const TreeConfig& config,
+                  Rng* rng, std::vector<int32_t>* leaf_of_row)
+      : binned_(binned),
+        t_(t),
+        h_(h),
+        config_(config),
+        rng_(rng),
+        leaf_of_row_(leaf_of_row),
+        partition_(0),
+        pool_(binned.TotalBins()) {
+    const size_t d = binned_.features();
+    // Per-node feature sampling changes the candidate set node to node, so
+    // parent − sibling subtraction (which needs both histograms to cover
+    // the same features) only runs for full-candidate fits.
+    sampling_ = config_.max_features > 0 &&
+                static_cast<size_t>(config_.max_features) < d &&
+                rng_ != nullptr;
+    subtraction_ = config_.train.hist_subtraction && !sampling_;
+    all_feats_.resize(d);
+    std::iota(all_feats_.begin(), all_feats_.end(), size_t{0});
+  }
+
+  Tree Build(std::vector<size_t> rows) {
+    partition_ = DataPartition(std::move(rows));
+    const size_t n = partition_.size();
+    std::unique_ptr<HistBuffer> root_hist;
+    if (!sampling_ && MaySplit(n, 0)) {
+      root_hist = pool_.Acquire();
+      BuildHistogram(0, n, all_feats_, root_hist.get());
+    }
+    BuildNode(0, n, 0, std::move(root_hist));
+    return std::move(tree_);
+  }
+
+ private:
+  double HWeight(size_t i) const { return h_ ? (*h_)[i] : 1.0; }
+
+  bool MaySplit(size_t n, int depth) const {
+    return depth < config_.max_depth &&
+           n >= 2 * static_cast<size_t>(config_.min_samples_leaf);
+  }
+
+  /// Zeroes and fills the histogram slices of `feats` over partition rows
+  /// [begin, end); one ParallelFor unit per feature.
+  void BuildHistogram(size_t begin, size_t end,
+                      const std::vector<size_t>& feats, HistBuffer* out) {
+    const std::vector<size_t>& rows = partition_.rows();
+    GlobalPool().ParallelFor(0, feats.size(), 1, [&](size_t fi) {
+      const size_t f = feats[fi];
+      HistEntry* bins = out->data() + binned_.BinOffset(f);
+      std::fill(bins, bins + binned_.num_bins(f), HistEntry{});
+      if (binned_.narrow(f)) {
+        AccumulateFeature(binned_.Codes8(f), rows, begin, end, t_, h_, bins);
+      } else {
+        AccumulateFeature(binned_.Codes16(f), rows, begin, end, t_, h_, bins);
+      }
+    });
+    XAI_OBS_COUNT("train.histograms_built");
+  }
+
+  /// parent − child, in place into `parent` (which becomes the sibling's
+  /// histogram). Counts subtract exactly; sums are floating-point, so a
+  /// subtracted histogram can differ from a directly accumulated one in
+  /// the last ulps — which child is subtracted depends only on the split
+  /// sizes, so results stay bit-identical for any thread count.
+  void SubtractInto(HistBuffer* parent, const HistBuffer& child) {
+    HistEntry* p = parent->data();
+    const HistEntry* c = child.data();
+    const size_t total = binned_.TotalBins();
+    for (size_t i = 0; i < total; ++i) {
+      p[i].t -= c[i].t;
+      p[i].h -= c[i].h;
+      p[i].c -= c[i].c;
+    }
+    XAI_OBS_COUNT("train.hist_subtractions");
+  }
+
+  /// Ascending-bin scan for feature f's best split of a node with the
+  /// given totals. Candidate boundaries sit after every nonempty bin with
+  /// data remaining on the right — the same candidate set (and the same
+  /// first-wins tie order) the exact learner enumerates between distinct
+  /// present values.
+  FeatureSplit ScanFeature(size_t f, const HistBuffer& hist, size_t n,
+                           double sum_t, double sum_h,
+                           double parent_score) const {
+    FeatureSplit best;
+    const HistEntry* bins = hist.data() + binned_.BinOffset(f);
+    const int nb = binned_.num_bins(f);
+    const auto msl = static_cast<uint64_t>(config_.min_samples_leaf);
+    double left_t = 0.0;
+    double left_h = 0.0;
+    uint64_t left_c = 0;
+    uint64_t evaluated = 0;
+    for (int b = 0; b + 1 < nb; ++b) {
+      const HistEntry& e = bins[b];
+      if (e.c == 0) continue;  // Same partition as the previous candidate.
+      left_t += e.t;
+      left_h += h_ ? e.h : 0.0;
+      left_c += e.c;
+      const uint64_t right_c = n - left_c;
+      if (right_c == 0) break;
+      if (left_c < msl || right_c < msl) continue;
+      const double lh = h_ ? left_h : static_cast<double>(left_c);
+      const double right_t = sum_t - left_t;
+      const double rh =
+          h_ ? sum_h - left_h : static_cast<double>(right_c);
+      const double score = left_t * left_t / std::max(lh, 1e-12) +
+                           right_t * right_t / std::max(rh, 1e-12);
+      const double gain = score - parent_score;
+      ++evaluated;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.bin = b;
+      }
+    }
+    if (evaluated > 0) XAI_OBS_COUNT_N("train.splits_evaluated", evaluated);
+    return best;
+  }
+
+  void RecordLeaf(size_t begin, size_t end, int node_idx) {
+    if (leaf_of_row_ == nullptr) return;
+    for (size_t k = begin; k < end; ++k)
+      (*leaf_of_row_)[partition_.row(k)] = node_idx;
+  }
+
+  /// Creates the node for partition rows [begin, end) at `depth`, taking
+  /// ownership of the node's histogram (null when the node cannot split);
+  /// returns its index. Node numbering is DFS (node, left subtree, right
+  /// subtree), matching the exact builder.
+  int BuildNode(size_t begin, size_t end, int depth,
+                std::unique_ptr<HistBuffer> hist) {
+    // Node totals from a direct ascending row scan — the same values (and
+    // accumulation order) the exact learner computes, independent of any
+    // subtracted histogram drift.
+    double sum_t = 0.0;
+    double sum_h = 0.0;
+    for (size_t k = begin; k < end; ++k) {
+      const size_t r = partition_.row(k);
+      sum_t += t_[r];
+      sum_h += HWeight(r);
+    }
+    const int node_idx = static_cast<int>(tree_.nodes.size());
+    tree_.nodes.emplace_back();
+    tree_.nodes[node_idx].cover = static_cast<double>(end - begin);
+    tree_.nodes[node_idx].value = sum_h > 1e-12 ? sum_t / sum_h : 0.0;
+
+    const size_t n = end - begin;
+    if (!MaySplit(n, depth)) {
+      pool_.Release(std::move(hist));
+      RecordLeaf(begin, end, node_idx);
+      return node_idx;
+    }
+
+    // Candidate features — same sampling stream position as the exact
+    // learner (one SampleWithoutReplacement per splittable node).
+    const std::vector<size_t>* feats = &all_feats_;
+    std::vector<size_t> sampled;
+    if (sampling_) {
+      sampled = rng_->SampleWithoutReplacement(binned_.features(),
+                                               config_.max_features);
+      feats = &sampled;
+      // No subtraction under sampling: this node's candidate histogram is
+      // built fresh here instead of arriving from the parent.
+      hist = pool_.Acquire();
+      BuildHistogram(begin, end, *feats, hist.get());
+    }
+
+    const double parent_score = sum_t * sum_t / std::max(sum_h, 1e-12);
+
+    // Per-feature best splits in parallel (each feature's scan is an
+    // ascending serial loop), then a serial first-wins reduction in
+    // candidate order — the exact learner's tie-break.
+    std::vector<FeatureSplit> splits(feats->size());
+    GlobalPool().ParallelFor(0, feats->size(), 1, [&](size_t fi) {
+      splits[fi] =
+          ScanFeature((*feats)[fi], *hist, n, sum_t, sum_h, parent_score);
+    });
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    int best_bin = -1;
+    for (size_t fi = 0; fi < splits.size(); ++fi) {
+      if (splits[fi].bin >= 0 && splits[fi].gain > best_gain) {
+        best_gain = splits[fi].gain;
+        best_feature = static_cast<int>((*feats)[fi]);
+        best_bin = splits[fi].bin;
+      }
+    }
+
+    if (best_feature < 0) {
+      pool_.Release(std::move(hist));
+      RecordLeaf(begin, end, node_idx);
+      return node_idx;
+    }
+
+    const size_t mid =
+        partition_.Split(binned_, static_cast<size_t>(best_feature),
+                         static_cast<uint32_t>(best_bin), begin, end);
+    if (mid == begin || mid == end) {  // Cannot happen: both sides counted.
+      pool_.Release(std::move(hist));
+      RecordLeaf(begin, end, node_idx);
+      return node_idx;
+    }
+
+    tree_.nodes[node_idx].feature = best_feature;
+    tree_.nodes[node_idx].threshold =
+        binned_.mapper(static_cast<size_t>(best_feature))
+            .BinUpperBound(best_bin);
+
+    // Child histograms: accumulate the smaller child directly, derive the
+    // larger as parent − sibling in the parent's buffer. Under feature
+    // sampling each child rebuilds its own candidates instead.
+    std::unique_ptr<HistBuffer> left_hist;
+    std::unique_ptr<HistBuffer> right_hist;
+    const size_t n_left = mid - begin;
+    const size_t n_right = end - mid;
+    const bool left_may = MaySplit(n_left, depth + 1);
+    const bool right_may = MaySplit(n_right, depth + 1);
+    if (subtraction_ && (left_may || right_may)) {
+      // Accumulating the smaller child and subtracting is never worse than
+      // a direct build of either child, so do it whenever any child needs
+      // a histogram (the small build also serves a small-child-only need).
+      const bool left_smaller = n_left <= n_right;
+      const bool smaller_may = left_smaller ? left_may : right_may;
+      const bool larger_may = left_smaller ? right_may : left_may;
+      std::unique_ptr<HistBuffer> small = pool_.Acquire();
+      BuildHistogram(left_smaller ? begin : mid, left_smaller ? mid : end,
+                     all_feats_, small.get());
+      if (larger_may) {
+        SubtractInto(hist.get(), *small);  // hist is now the larger child's.
+      } else {
+        pool_.Release(std::move(hist));
+      }
+      std::unique_ptr<HistBuffer>& small_slot =
+          left_smaller ? left_hist : right_hist;
+      std::unique_ptr<HistBuffer>& large_slot =
+          left_smaller ? right_hist : left_hist;
+      if (smaller_may) {
+        small_slot = std::move(small);
+      } else {
+        pool_.Release(std::move(small));
+      }
+      if (larger_may) large_slot = std::move(hist);
+    } else if (!subtraction_ && !sampling_) {
+      // Subtraction disabled by the knob: both children re-accumulate.
+      pool_.Release(std::move(hist));
+      if (left_may) {
+        left_hist = pool_.Acquire();
+        BuildHistogram(begin, mid, all_feats_, left_hist.get());
+      }
+      if (right_may) {
+        right_hist = pool_.Acquire();
+        BuildHistogram(mid, end, all_feats_, right_hist.get());
+      }
+    } else {
+      // Sampling mode: children build their own candidate histograms.
+      pool_.Release(std::move(hist));
+    }
+
+    const int left = BuildNode(begin, mid, depth + 1, std::move(left_hist));
+    tree_.nodes[node_idx].left = left;
+    const int right = BuildNode(mid, end, depth + 1, std::move(right_hist));
+    tree_.nodes[node_idx].right = right;
+    return node_idx;
+  }
+
+  const BinnedDataset& binned_;
+  const std::vector<double>& t_;
+  const std::vector<double>* h_;
+  const TreeConfig& config_;
+  Rng* rng_;
+  std::vector<int32_t>* leaf_of_row_;
+  DataPartition partition_;
+  HistPool pool_;
+  std::vector<size_t> all_feats_;
+  bool sampling_ = false;
+  bool subtraction_ = true;
+  Tree tree_;
+};
+
+}  // namespace
+
+Tree FitRegressionTreeHist(const BinnedDataset& binned,
+                           const std::vector<double>& targets,
+                           const TreeConfig& config,
+                           const std::vector<double>* hessian_weights,
+                           const std::vector<size_t>* row_subset, Rng* rng,
+                           std::vector<int32_t>* leaf_of_row) {
+  XAI_OBS_SPAN("train.fit_tree_hist");
+  std::vector<size_t> rows;
+  if (row_subset) {
+    rows = *row_subset;
+  } else {
+    rows.resize(binned.rows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+  if (leaf_of_row) leaf_of_row->assign(binned.rows(), -1);
+  HistTreeBuilder builder(binned, targets, hessian_weights, config, rng,
+                          leaf_of_row);
+  Tree tree = builder.Build(std::move(rows));
+  XAI_OBS_COUNT("train.trees_fit_hist");
+  return tree;
+}
+
+}  // namespace xai

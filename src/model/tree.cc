@@ -4,6 +4,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/binned.h"
+#include "model/hist_learner.h"
+#include "obs/obs.h"
+
 namespace xai {
 
 double Tree::Predict(const std::vector<double>& x) const {
@@ -76,6 +80,10 @@ class TreeBuilder {
 
   Tree Build(std::vector<size_t> rows) {
     tree_.nodes.clear();
+    // One (value, row) scratch buffer for the whole fit: every node's
+    // feature loop refills and re-sorts it in place, instead of paying a
+    // fresh allocation per node.
+    vals_.reserve(rows.size());
     BuildNode(&rows, 0, rows.size(), 0);
     return std::move(tree_);
   }
@@ -118,8 +126,7 @@ class TreeBuilder {
     int best_feature = -1;
     double best_threshold = 0.0;
 
-    std::vector<std::pair<double, size_t>> vals;  // (feature value, row)
-    vals.reserve(n);
+    std::vector<std::pair<double, size_t>>& vals = vals_;
     for (size_t f : feats) {
       vals.clear();
       for (size_t k = begin; k < end; ++k)
@@ -178,6 +185,7 @@ class TreeBuilder {
   const TreeConfig& config_;
   Rng* rng_;
   Tree tree_;
+  std::vector<std::pair<double, size_t>> vals_;  // (feature value, row)
 };
 
 }  // namespace
@@ -186,6 +194,16 @@ Tree FitRegressionTree(const Matrix& x, const std::vector<double>& targets,
                        const TreeConfig& config,
                        const std::vector<double>* hessian_weights,
                        const std::vector<size_t>* row_subset, Rng* rng) {
+  if (config.train.method == TrainMethod::kHist) {
+    auto binned = BinnedDataset::Build(x, config.train.max_bins);
+    // Degenerate inputs (empty matrix) fall through to the exact learner,
+    // which shares the empty-tree behavior tests pin down.
+    if (binned.ok()) {
+      return FitRegressionTreeHist(*binned, targets, config, hessian_weights,
+                                   row_subset, rng);
+    }
+  }
+  XAI_OBS_SPAN("train.fit_tree_exact");
   std::vector<size_t> rows;
   if (row_subset) {
     rows = *row_subset;
@@ -194,7 +212,9 @@ Tree FitRegressionTree(const Matrix& x, const std::vector<double>& targets,
     std::iota(rows.begin(), rows.end(), 0);
   }
   TreeBuilder builder(x, targets, hessian_weights, config, rng);
-  return builder.Build(std::move(rows));
+  Tree tree = builder.Build(std::move(rows));
+  XAI_OBS_COUNT("train.trees_fit_exact");
+  return tree;
 }
 
 }  // namespace xai

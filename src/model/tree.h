@@ -53,6 +53,29 @@ struct Tree {
   double ExpectedValue() const;
 };
 
+/// How a regression tree's splits are found.
+enum class TrainMethod {
+  /// Sort-per-node exact split enumeration — the reference oracle the
+  /// histogram learner's parity tests compare against.
+  kExact,
+  /// Quantized histogram split finding over a BinnedDataset (default):
+  /// per-feature parallel accumulation + parent−sibling subtraction.
+  kHist,
+};
+
+/// Training-method knobs shared by DecisionTree/RandomForest/GBDT fits.
+struct TrainOptions {
+  TrainMethod method = TrainMethod::kHist;
+  /// Histogram resolution per feature. <= 256 stores u8 bin codes,
+  /// <= 65536 stores u16. Features with fewer distinct values than this
+  /// are binned losslessly (one bin per value, exact-learner thresholds).
+  int max_bins = 256;
+  /// Derive the larger child's histogram as parent − sibling instead of
+  /// re-accumulating it (off only for debugging/tests; only applies when
+  /// feature sampling is off).
+  bool hist_subtraction = true;
+};
+
 /// CART configuration.
 struct TreeConfig {
   int max_depth = 6;
@@ -60,12 +83,18 @@ struct TreeConfig {
   /// Number of candidate features per split; 0 = all (deterministic CART),
   /// otherwise sampled per node (random forest mode).
   int max_features = 0;
+  TrainOptions train;
 };
 
 /// Fits a regression tree minimizing squared error on (X, targets) with
 /// optional per-sample `hessian_weights`: when provided, leaf values are
 /// sum(target_i)/sum(weight_i) — the Newton leaf step used by gradient
 /// boosting with logistic loss. Without weights, leaf value = mean target.
+///
+/// Dispatches on config.train.method: kHist quantizes x into a
+/// BinnedDataset and runs the histogram learner (hist_learner.h); callers
+/// fitting many trees over the same matrix (forest/GBDT) should build the
+/// BinnedDataset once and call FitRegressionTreeHist directly.
 Tree FitRegressionTree(const Matrix& x, const std::vector<double>& targets,
                        const TreeConfig& config,
                        const std::vector<double>* hessian_weights = nullptr,
